@@ -1,0 +1,71 @@
+package buanalysis_test
+
+import (
+	"math"
+	"testing"
+
+	"buanalysis"
+	"buanalysis/internal/bumdp"
+)
+
+// TestFacadeQuickstart runs the README's quickstart through the public
+// facade.
+func TestFacadeQuickstart(t *testing.T) {
+	a, err := buanalysis.NewBU(buanalysis.BUParams{
+		Alpha: 0.25, Beta: 0.375, Gamma: 0.375,
+		Setting: buanalysis.Setting1,
+		Model:   buanalysis.Compliant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility-0.2624) > 5e-4 {
+		t.Errorf("facade quickstart = %.4f, want 0.2624", res.Utility)
+	}
+	if a.HonestUtility() != 0.25 {
+		t.Errorf("honest utility = %g", a.HonestUtility())
+	}
+}
+
+func TestFacadeBitcoin(t *testing.T) {
+	a, err := buanalysis.NewBitcoin(buanalysis.BitcoinParams{
+		Alpha: 0.25, TieWinProb: 0.5, Objective: buanalysis.AbsoluteReward,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Utility-0.383) > 5e-3 {
+		t.Errorf("facade bitcoin baseline = %.4f, want ~0.383", res.Utility)
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	cells := buanalysis.Sweep(buanalysis.Compliant, buanalysis.SweepConfig{
+		Alphas:   []float64{0.25},
+		Ratios:   []buanalysis.Ratio{{Name: "1:1", B: 1, G: 1}},
+		Settings: []bumdp.Setting{buanalysis.Setting1},
+	})
+	if len(cells) != 1 || cells[0].Err != nil {
+		t.Fatalf("sweep cells: %+v", cells)
+	}
+	if math.Abs(cells[0].Value-0.2624) > 5e-4 {
+		t.Errorf("sweep value = %.4f", cells[0].Value)
+	}
+}
+
+func TestFacadeGrids(t *testing.T) {
+	if len(buanalysis.PaperAlphas) != 7 {
+		t.Errorf("PaperAlphas has %d entries, want 7", len(buanalysis.PaperAlphas))
+	}
+	if len(buanalysis.PaperRatios) != 9 {
+		t.Errorf("PaperRatios has %d entries, want 9", len(buanalysis.PaperRatios))
+	}
+}

@@ -1,0 +1,92 @@
+// Command bugames analyzes the Section 5 games for an arbitrary mining
+// power distribution:
+//
+//	bugames -powers 0.1,0.2,0.3,0.4           block size increasing game
+//	bugames -powers 0.3,0.3,0.4 -eb           EB choosing game equilibria
+//
+// Powers are listed per miner group in increasing order of maximum
+// profitable block size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"buanalysis/internal/games"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bugames: ")
+	var (
+		powersFlag = flag.String("powers", "0.1,0.2,0.3,0.4", "comma-separated mining power shares")
+		eb         = flag.Bool("eb", false, "analyze the EB choosing game instead of the block size game")
+		choices    = flag.Int("choices", 2, "number of candidate EB values (EB game)")
+	)
+	flag.Parse()
+
+	var powers []float64
+	for _, s := range strings.Split(*powersFlag, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			log.Fatalf("bad power %q: %v", s, err)
+		}
+		powers = append(powers, p)
+	}
+
+	if *eb {
+		ebGame(powers, *choices)
+		return
+	}
+	blockSizeGame(powers)
+}
+
+func ebGame(powers []float64, choices int) {
+	g, err := games.NewEBChoosingGame(powers, choices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EB choosing game: %d miners, %d candidate EBs\n", len(powers), choices)
+	for c := 0; c < choices; c++ {
+		ok, err := g.IsNashEquilibrium(games.Uniform(len(powers), c))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  all miners choose EB%d: Nash equilibrium = %v\n", c, ok)
+	}
+	eqs, err := g.PureNashEquilibria()
+	if err != nil {
+		fmt.Printf("  full enumeration skipped: %v\n", err)
+		return
+	}
+	fmt.Printf("  pure Nash equilibria (%d):\n", len(eqs))
+	for _, eq := range eqs {
+		u, _ := g.Utilities(eq)
+		fmt.Printf("    profile %v utilities %v\n", eq, u)
+	}
+}
+
+func blockSizeGame(powers []float64) {
+	g, err := games.NewBlockSizeGame(powers, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("block size increasing game: %d groups, powers %v\n", len(powers), powers)
+	fmt.Printf("initial set stable (no forced increase): %v\n", g.AllStable())
+	res := g.Play()
+	for i, r := range res.Rounds {
+		fmt.Printf("round %d: raise past group %d's MPB: yes=%.1f%% no=%.1f%% passed=%v\n",
+			i+1, r.Lowest+1, r.YesPower*100, r.NoPower*100, r.Passed)
+	}
+	fmt.Printf("survivors: groups %d..%d of %d\n", res.Survivors+1, len(powers), len(powers))
+	fmt.Printf("terminal utilities: %v\n", res.Utilities)
+	eliminated := res.Survivors
+	if eliminated > 0 {
+		fmt.Printf("=> %d group(s) forced out of business (Analytical Result 5)\n", eliminated)
+	} else {
+		fmt.Println("=> stable: consensus on MG/EB can hold for this distribution")
+	}
+}

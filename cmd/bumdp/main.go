@@ -1,0 +1,119 @@
+// Command bumdp solves a single instance of the paper's attack MDP (or
+// the Bitcoin baseline) with explicit parameters and prints the optimal
+// utility, diagnostics, and optionally the optimal policy.
+//
+//	bumdp -alpha 0.25 -beta 0.375 -gamma 0.375 -model compliant -setting 1
+//	bumdp -alpha 0.10 -ratio 1:2 -model noncompliant -setting 2
+//	bumdp -bitcoin -alpha 0.25 -tie 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"buanalysis/internal/bitcoin"
+	"buanalysis/internal/bumdp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bumdp: ")
+	var (
+		alpha   = flag.Float64("alpha", 0.25, "attacker mining power share")
+		beta    = flag.Float64("beta", 0, "Bob's share (small EB); 0 = derive from -ratio")
+		gamma   = flag.Float64("gamma", 0, "Carol's share (large EB); 0 = derive from -ratio")
+		ratio   = flag.String("ratio", "1:1", "Bob:Carol split when -beta/-gamma are not given")
+		model   = flag.String("model", "compliant", "compliant | noncompliant | nonprofit")
+		setting = flag.Int("setting", 1, "1 = no sticky gate, 2 = both phases")
+		ad      = flag.Int("ad", 6, "excessive acceptance depth")
+		rds     = flag.Float64("rds", 10, "double-spending reward in block rewards")
+		policy  = flag.Bool("policy", false, "print the optimal policy (phase-1 states)")
+		btc     = flag.Bool("bitcoin", false, "solve the Bitcoin baseline instead of BU")
+		tie     = flag.Float64("tie", 0.5, "Bitcoin baseline: P(win a tie)")
+	)
+	flag.Parse()
+
+	if *btc {
+		solveBitcoin(*alpha, *tie, *model, *rds)
+		return
+	}
+
+	b, g := *beta, *gamma
+	if b == 0 || g == 0 {
+		parts := strings.SplitN(*ratio, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad -ratio %q", *ratio)
+		}
+		rb, err1 := strconv.ParseFloat(parts[0], 64)
+		rg, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil || rb <= 0 || rg <= 0 {
+			log.Fatalf("bad -ratio %q", *ratio)
+		}
+		rest := 1 - *alpha
+		b = rest * rb / (rb + rg)
+		g = rest - b
+	}
+
+	var m bumdp.IncentiveModel
+	switch *model {
+	case "compliant":
+		m = bumdp.Compliant
+	case "noncompliant":
+		m = bumdp.NonCompliant
+	case "nonprofit":
+		m = bumdp.NonProfit
+	default:
+		log.Fatalf("unknown model %q", *model)
+	}
+
+	a, err := bumdp.New(bumdp.Params{
+		Alpha: *alpha, Beta: b, Gamma: g,
+		AD: *ad, Setting: bumdp.Setting(*setting), Model: m,
+		DoubleSpendReward: *rds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %v, setting %d, AD=%d\n", m, *setting, *ad)
+	fmt.Printf("alpha=%.4f beta=%.4f gamma=%.4f (states: %d)\n", *alpha, b, g, len(a.States))
+	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", res.Utility, a.HonestUtility())
+	fmt.Printf("fork rate under optimal policy: %.3f; solver probes: %d\n", res.ForkRate, res.Probes)
+	if *policy {
+		fmt.Println("optimal policy (phase-1 states, (l1,l2,a1,a2,r) -> action):")
+		fmt.Print(a.DescribePolicy(res.Policy, true))
+	}
+}
+
+func solveBitcoin(alpha, tie float64, model string, rds float64) {
+	var obj bitcoin.Objective
+	switch model {
+	case "compliant":
+		obj = bitcoin.RelativeRevenue
+	case "noncompliant":
+		obj = bitcoin.AbsoluteReward
+	case "nonprofit":
+		obj = bitcoin.OrphanRate
+	default:
+		log.Fatalf("unknown model %q", model)
+	}
+	a, err := bitcoin.New(bitcoin.Params{
+		Alpha: alpha, TieWinProb: tie, Objective: obj, DoubleSpendReward: rds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bitcoin baseline: alpha=%.4f tie=%.2f objective=%d (states: %d)\n",
+		alpha, tie, obj, len(a.States))
+	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", res.Utility, a.HonestUtility())
+}

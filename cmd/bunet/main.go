@@ -1,0 +1,104 @@
+// Command bunet demonstrates the paper's central hazard over real TCP
+// sockets: it starts a BU network on localhost — Bob with a small EB,
+// Carol with a large EB, Alice attacking — relays blocks with Bitcoin's
+// inv/getdata gossip, and narrates the ledger split as it happens.
+//
+//	bunet                 run the scripted phase-1 attack
+//	bunet -ad 6           use a deeper acceptance depth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"buanalysis/internal/p2p"
+	"buanalysis/internal/protocol"
+)
+
+const mb = 1 << 20
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bunet: ")
+	ad := flag.Int("ad", 3, "excessive acceptance depth for Bob and Carol")
+	flag.Parse()
+
+	mk := func(name string, eb int64) *p2p.Node {
+		n, err := p2p.NewNode(p2p.Config{
+			Name:   name,
+			Rules:  protocol.BU{EB: eb, AD: *ad},
+			Signal: p2p.Signal{EB: eb, AD: *ad},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return n
+	}
+	bob := mk("bob", mb)
+	carol := mk("carol", 8*mb)
+	alice := mk("alice", 8*mb)
+	defer bob.Close()
+	defer carol.Close()
+	defer alice.Close()
+
+	addrB, err := bob.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrC, err := carol.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dial := range []struct {
+		node *p2p.Node
+		addr string
+	}{
+		{alice, addrB.String()},
+		{alice, addrC.String()},
+		{bob, addrC.String()},
+	} {
+		if err := dial.node.Dial(dial.addr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("bob listening on %s (EB=1MB), carol on %s (EB=8MB), AD=%d\n",
+		addrB, addrC, *ad)
+
+	wait := func(cond func() bool, what string) {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		log.Fatalf("timed out waiting for %s", what)
+	}
+
+	status := func(stage string) {
+		fmt.Printf("%-34s bob at height %d, carol at height %d\n",
+			stage+":", bob.Target().Height, carol.Target().Height)
+	}
+
+	alice.MineOn(mb / 2)
+	wait(func() bool { return bob.Target().Height == 1 && carol.Target().Height == 1 }, "prefix sync")
+	status("common prefix")
+
+	alice.MineOn(8 * mb)
+	wait(func() bool { return carol.Target().Height == 2 }, "carol adopting the split block")
+	status("alice mines an 8MB block")
+	fmt.Println("  -> the ledgers have diverged: same wire network, two blockchains")
+
+	for i := 0; i < *ad-1; i++ {
+		carol.MineOn(mb / 2)
+	}
+	want := 1 + *ad
+	wait(func() bool { return bob.Target().Height == want }, "bob capitulating")
+	status(fmt.Sprintf("carol buries it %d deep", *ad))
+	fmt.Println("  -> bob accepted the excessive block; every block he mined meanwhile is orphaned")
+
+	sigs := bob.PeerSignals()
+	fmt.Printf("bob's view of peer signals: %v\n", sigs)
+}

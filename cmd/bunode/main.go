@@ -1,0 +1,187 @@
+// Command bunode runs a miniature currency network of full nodes on
+// localhost: real Ed25519 transactions, Merkle-committed blocks, toy
+// proof of work, mempools, and gossip over TCP. With -split it gives the
+// nodes different block size limits and walks through the ledger split:
+// the same coin confirmed to two different merchants on two nodes of one
+// network.
+//
+//	bunode                 mine a few blocks and settle a payment
+//	bunode -split          demonstrate the BU ledger split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"buanalysis/internal/fullnode"
+	"buanalysis/internal/ledger"
+	"buanalysis/internal/tx"
+)
+
+const subsidy = 50
+
+func keypair(b byte) tx.Keypair {
+	var s [32]byte
+	s[0] = b
+	return tx.NewKeypair(s)
+}
+
+func wait(cond func() bool, what string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %s", what)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bunode: ")
+	split := flag.Bool("split", false, "run the BU ledger-split scenario")
+	flag.Parse()
+	if *split {
+		runSplit()
+		return
+	}
+	runPayment()
+}
+
+func node(name string, key tx.Keypair, limit int64) *fullnode.Node {
+	n, err := fullnode.New(fullnode.Config{
+		Name: name, Key: key, Subsidy: subsidy,
+		MaxBlockSize: limit, PoWBits: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return n
+}
+
+func runPayment() {
+	minerKey, aliceKey := keypair(1), keypair(2)
+	miner := node("miner", minerKey, 1<<20)
+	wallet := node("wallet", aliceKey, 1<<20)
+	defer miner.Close()
+	defer wallet.Close()
+
+	addr, err := miner.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wallet.Dial(addr.String()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("miner on %s, wallet connected\n", addr)
+
+	fund, err := miner.Mine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool { return wallet.Head().Height == 1 }, "funding sync")
+	fmt.Printf("block 1 mined and synced; miner balance %d\n", wallet.Balance(minerKey.Pub))
+
+	payment := &tx.Transaction{
+		Inputs: []tx.Input{{Previous: tx.Outpoint{TxID: fund.Txs[0].TxID(), Index: 0}}},
+		Outputs: []tx.Output{
+			{Value: 30, PubKey: aliceKey.Pub},
+			{Value: subsidy - 30 - 2, PubKey: minerKey.Pub},
+		},
+	}
+	if err := payment.Sign(0, minerKey.Priv); err != nil {
+		log.Fatal(err)
+	}
+	if err := wallet.SubmitTx(payment); err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool { return miner.MempoolSize() == 1 }, "tx gossip")
+	if _, err := miner.Mine(); err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool { return wallet.Confirmations(payment.TxID()) == 1 }, "confirmation")
+	fmt.Printf("payment confirmed; alice balance %d, fee claimed by the miner\n",
+		wallet.Balance(aliceKey.Pub))
+}
+
+func runSplit() {
+	attacker := keypair(1)
+	m1, m2 := keypair(2), keypair(3)
+	alice := node("alice", attacker, 8<<20)
+	bob := node("bob", keypair(4), 1<<20)
+	carol := node("carol", keypair(5), 8<<20)
+	defer alice.Close()
+	defer bob.Close()
+	defer carol.Close()
+
+	addrB, err := bob.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrC, err := carol.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range []string{addrB.String(), addrC.String()} {
+		if err := alice.Dial(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("bob (limit 1MB) on %s, carol (limit 8MB) on %s\n", addrB, addrC)
+
+	fund, err := alice.Mine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool { return bob.Head().Height == 1 && carol.Head().Height == 1 }, "funding sync")
+	coin := tx.Outpoint{TxID: fund.Txs[0].TxID(), Index: 0}
+	fmt.Println("funding block synced to both nodes")
+
+	pay1 := &tx.Transaction{
+		Inputs:  []tx.Input{{Previous: coin}},
+		Outputs: []tx.Output{{Value: subsidy, PubKey: m1.Pub}},
+		Payload: make([]byte, 2<<20),
+	}
+	if err := pay1.Sign(0, attacker.Priv); err != nil {
+		log.Fatal(err)
+	}
+	cb := &tx.Transaction{Outputs: []tx.Output{{Value: subsidy, PubKey: attacker.Pub}}, Payload: []byte("big")}
+	big := ledger.Assemble(alice.Head(), []*tx.Transaction{cb, pay1}, "alice", 0)
+	if err := big.Header.Seal(4, 1<<22); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.SubmitBlock(big); err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool { return carol.Head().ID() == big.Header.ID() }, "carol adopting the big block")
+	fmt.Printf("2MB block: carol at height %d, bob still at height %d\n",
+		carol.Head().Height, bob.Head().Height)
+
+	pay2 := &tx.Transaction{
+		Inputs:  []tx.Input{{Previous: coin}},
+		Outputs: []tx.Output{{Value: subsidy, PubKey: m2.Pub}},
+	}
+	if err := pay2.Sign(0, attacker.Priv); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.SubmitTx(pay2); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Mine(); err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool {
+		return carol.Confirmations(pay1.TxID()) >= 1 && bob.Confirmations(pay2.TxID()) >= 1
+	}, "divergent confirmations")
+
+	fmt.Println()
+	fmt.Printf("carol's ledger: merchant1 = %d, merchant2 = %d\n",
+		carol.Balance(m1.Pub), carol.Balance(m2.Pub))
+	fmt.Printf("bob's ledger:   merchant1 = %d, merchant2 = %d\n",
+		bob.Balance(m1.Pub), bob.Balance(m2.Pub))
+	fmt.Println("\nthe same coin is confirmed to two different merchants on one network:")
+	fmt.Println("without a prescribed block validity consensus there is no single ledger.")
+}

@@ -1,0 +1,76 @@
+// Countermeasure demonstrates the paper's Section 6.3 proposal: keep a
+// prescribed block validity consensus but let miners adjust the limit by
+// on-chain vote, with thresholds, a veto, and an activation delay. The
+// example contrasts three miner populations and shows that the limit
+// tracks broad agreement, resists minority pushes, and that a modest
+// veto protects slow nodes — all while every node derives the identical
+// limit schedule from the chain itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"buanalysis/internal/countermeasure"
+)
+
+const mb = 1 << 20
+
+func main() {
+	log.SetFlags(0)
+
+	cfg := countermeasure.Config{} // paper defaults: 2016-block periods, 200-block delay
+
+	scenarios := []struct {
+		name   string
+		groups []countermeasure.MinerGroup
+	}{
+		{
+			"broad agreement on 4MB",
+			[]countermeasure.MinerGroup{
+				{Power: 0.6, Target: 4 * mb},
+				{Power: 0.4, Target: 4 * mb},
+			},
+		},
+		{
+			"a 40% minority wants 8MB",
+			[]countermeasure.MinerGroup{
+				{Power: 0.4, Target: 8 * mb},
+				{Power: 0.6, Target: 1 * mb},
+			},
+		},
+		{
+			"80% push, 20% veto for slow nodes",
+			[]countermeasure.MinerGroup{
+				{Power: 0.8, Target: 8 * mb},
+				{Power: 0.2, Target: mb / 2},
+			},
+		},
+	}
+
+	for _, sc := range scenarios {
+		rng := rand.New(rand.NewSource(7))
+		res, err := countermeasure.Simulate(cfg, sc.groups, 16, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s final limit %.2f MB\n", sc.name+":", float64(res.Final)/mb)
+
+		// Every node re-derives the same schedule from the chain alone:
+		// this is what "prescribed BVC" means operationally.
+		s, err := countermeasure.BuildSchedule(cfg, res.Votes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := res.Limits[len(res.Limits)-1]
+		if got := s.LimitAt((len(res.Limits) - 1) * 2016); got != last {
+			log.Fatalf("BVC violated: node derives %d, simulator had %d", got, last)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("In all three scenarios every node agrees on every block's validity at")
+	fmt.Println("every height: the limit adjusts without ever abandoning the prescribed")
+	fmt.Println("block validity consensus (unlike BU's per-node EB).")
+}

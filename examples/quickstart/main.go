@@ -1,0 +1,42 @@
+// Quickstart: solve the paper's headline instance — a compliant,
+// profit-driven miner with 25% of the power facing two honest groups of
+// 37.5% each — and show that Bitcoin Unlimited is not incentive
+// compatible: the optimal strategy earns 26.24% of the rewards instead
+// of the fair 25%.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"buanalysis"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	a, err := buanalysis.NewBU(buanalysis.BUParams{
+		Alpha: 0.25, Beta: 0.375, Gamma: 0.375,
+		Setting: buanalysis.Setting1,
+		Model:   buanalysis.Compliant,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := a.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Bitcoin Unlimited without a block validity consensus:")
+	fmt.Printf("  a fully compliant 25%% miner can earn %.2f%% of the rewards\n", res.Utility*100)
+	fmt.Printf("  (fair share: %.2f%%; the chain is forked %.0f%% of the time)\n",
+		a.HonestUtility()*100, res.ForkRate*100)
+
+	fmt.Println("\nHow: the attacker mines blocks of size EB_C, which the large-EB")
+	fmt.Println("group accepts and the small-EB group rejects, splitting the honest")
+	fmt.Println("mining power. The optimal chain choice per race state:")
+	fmt.Println()
+	fmt.Print(a.DescribePolicy(res.Policy, true))
+}

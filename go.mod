@@ -1,0 +1,3 @@
+module buanalysis
+
+go 1.22

@@ -1,0 +1,187 @@
+package bumdp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"buanalysis/internal/mdp"
+)
+
+// Analysis is a compiled instance of the paper's MDP for one parameter
+// set, ready to be solved.
+type Analysis struct {
+	Params Params
+	States []State
+	Index  map[State]int
+	Model  *mdp.Model
+}
+
+// New enumerates the state space for the given parameters and compiles
+// the MDP.
+func New(p Params) (*Analysis, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	states := enumStates(p.maxAD(), p.window())
+	index := make(map[State]int, len(states))
+	for i, s := range states {
+		index[s] = i
+	}
+	a := &Analysis{Params: p, States: states, Index: index}
+	model, err := mdp.Compile(builder{a})
+	if err != nil {
+		return nil, fmt.Errorf("bumdp: compiling model: %w", err)
+	}
+	a.Model = model
+	return a, nil
+}
+
+// BaseState returns the index of the phase-1 base state (0,0,0,0,0).
+func (a *Analysis) BaseState() int { return a.Index[State{}] }
+
+// builder adapts the dynamics to mdp.Builder.
+type builder struct{ a *Analysis }
+
+func (b builder) NumStates() int { return len(b.a.States) }
+
+func (b builder) Actions(s int) []int { return b.a.Params.Actions(b.a.States[s]) }
+
+func (b builder) Transitions(s, action int) []mdp.Transition {
+	p := b.a.Params
+	events := p.Events(b.a.States[s], action)
+	trs := make([]mdp.Transition, 0, len(events))
+	for _, ev := range events {
+		to, ok := b.a.Index[ev.Next]
+		if !ok {
+			panic(fmt.Sprintf("bumdp: event from %v action %s reaches unenumerated state %v",
+				b.a.States[s], ActionName(action), ev.Next))
+		}
+		num, den := p.rewards(ev.Delta)
+		trs = append(trs, mdp.Transition{To: to, Prob: ev.Prob, Num: num, Den: den})
+	}
+	return trs
+}
+
+// rewards maps a reward bookkeeping record to the (numerator,
+// denominator) streams of the configured utility function.
+func (p Params) rewards(d Delta) (num, den float64) {
+	switch p.Model {
+	case Compliant:
+		return d.RA, d.RA + d.ROthers
+	case NonCompliant:
+		// Each MDP step mines exactly one block, so the time denominator
+		// of Equation 2 is 1 per transition.
+		return d.RA + d.DS, 1
+	case NonProfit:
+		return d.OOthers, d.RA + d.OA
+	}
+	panic(fmt.Sprintf("bumdp: unknown model %d", p.Model))
+}
+
+// Result reports a solved instance.
+type Result struct {
+	// Utility is the optimal value of the configured utility function:
+	// u_{A,1}, u_{A,2} or u_{A,3}.
+	Utility float64
+	// Policy attains the utility (indexed like Analysis.States).
+	Policy mdp.Policy
+	// ForkRate is the long-run fraction of steps with a fork in progress
+	// under the optimal policy.
+	ForkRate float64
+	// Probes is the number of inner average-reward solves (1 for the
+	// non-compliant model, the bisection count otherwise).
+	Probes int
+}
+
+// Solve computes the optimal utility with the paper's tolerances
+// (bisection to 1e-5; inner solves to 1e-9).
+func (a *Analysis) Solve() (Result, error) {
+	return a.SolveTol(1e-5, 1e-9)
+}
+
+// SolveTol computes the optimal utility with explicit tolerances:
+// ratioTol for the bisection on ratio objectives, epsilon for the inner
+// relative-value-iteration span criterion.
+func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
+	inner := mdp.Options{Epsilon: epsilon}
+	var res Result
+	switch a.Params.Model {
+	case NonCompliant:
+		r, err := a.Model.AverageReward(inner)
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Utility: r.Gain, Policy: r.Policy, Probes: 1}
+	default:
+		hi := 1.0
+		lo := 0.0
+		if a.Params.Model == Compliant {
+			// Honest mining guarantees relative revenue alpha.
+			lo = a.Params.Alpha * 0.999
+		}
+		r, err := a.Model.SolveRatio(mdp.RatioOptions{
+			Lo: lo, Hi: hi, Tolerance: ratioTol, Inner: inner,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes}
+	}
+	fork, err := a.Model.StateVisitRate(res.Policy, func(s int) bool {
+		return !a.States[s].Base()
+	}, inner)
+	if err == nil {
+		res.ForkRate = fork
+	}
+	return res, nil
+}
+
+// HonestUtility is the utility Alice obtains by always mining on the
+// consensus chain: alpha for the profit-driven models (relative and
+// absolute revenue) and 0 for the non-profit model.
+func (a *Analysis) HonestUtility() float64 {
+	if a.Params.Model == NonProfit {
+		return 0
+	}
+	return a.Params.Alpha
+}
+
+// DescribePolicy renders the actions a policy takes in the phase-1
+// states (and, when compact is false, all states), one line per state,
+// ordered lexicographically. It is meant for CLI output and debugging.
+func (a *Analysis) DescribePolicy(pol mdp.Policy, compact bool) string {
+	type row struct {
+		s State
+		a int
+	}
+	var rows []row
+	for i, s := range a.States {
+		if compact && s.R > 0 {
+			continue
+		}
+		rows = append(rows, row{s, pol.ActionAt(a.Model, i)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		x, y := rows[i].s, rows[j].s
+		if x.R != y.R {
+			return x.R < y.R
+		}
+		if x.L2 != y.L2 {
+			return x.L2 < y.L2
+		}
+		if x.L1 != y.L1 {
+			return x.L1 < y.L1
+		}
+		if x.A1 != y.A1 {
+			return x.A1 < y.A1
+		}
+		return x.A2 < y.A2
+	})
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%v -> %s\n", r.s, ActionName(r.a))
+	}
+	return sb.String()
+}

@@ -1,0 +1,83 @@
+package bumdp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Group is an honest miner group signaling one EB value.
+type Group struct {
+	EB    int64
+	Power float64
+}
+
+// SplitOption is one way for the attacker to divide the honest miners:
+// a block with size in (EB_d, EB_{d+1}] is rejected by the first d
+// groups ("Bob's side", the model's Chain 1) and accepted by the rest
+// ("Carol's side", Chain 2).
+type SplitOption struct {
+	// D is the paper's split index: groups 1..D reject, D+1..k accept.
+	D int
+	// Beta and Gamma are the aggregated powers of the two sides.
+	Beta, Gamma float64
+	// Result is the solved attack value for this split.
+	Result Result
+}
+
+// BestSplit implements the paper's Section 4.1.1 remark: "having more
+// EBs in the network only gives Alice more options to split other
+// miners' mining power in her advantage". It sorts the groups by EB,
+// solves the two-group MDP for every split index d, and returns every
+// option plus the index of the best one.
+func BestSplit(groups []Group, alpha float64, p Params) ([]SplitOption, int, error) {
+	if len(groups) < 2 {
+		return nil, 0, errors.New("bumdp: need at least two EB groups to split")
+	}
+	sorted := make([]Group, len(groups))
+	copy(sorted, groups)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].EB < sorted[j].EB })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].EB == sorted[i-1].EB {
+			return nil, 0, fmt.Errorf("bumdp: duplicate EB %d; merge groups first", sorted[i].EB)
+		}
+	}
+	total := alpha
+	for _, g := range sorted {
+		if g.Power <= 0 {
+			return nil, 0, errors.New("bumdp: non-positive group power")
+		}
+		total += g.Power
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		return nil, 0, fmt.Errorf("bumdp: powers sum to %g, want 1", total)
+	}
+
+	var options []SplitOption
+	best := -1
+	for d := 1; d < len(sorted); d++ {
+		beta, gamma := 0.0, 0.0
+		for i, g := range sorted {
+			if i < d {
+				beta += g.Power
+			} else {
+				gamma += g.Power
+			}
+		}
+		params := p
+		params.Alpha, params.Beta, params.Gamma = alpha, beta, gamma
+		a, err := New(params)
+		if err != nil {
+			return nil, 0, err
+		}
+		res, err := a.Solve()
+		if err != nil {
+			return nil, 0, err
+		}
+		options = append(options, SplitOption{D: d, Beta: beta, Gamma: gamma, Result: res})
+		if best < 0 || res.Utility > options[best].Result.Utility {
+			best = len(options) - 1
+		}
+	}
+	return options, best, nil
+}

@@ -1,0 +1,76 @@
+package bumdp
+
+import (
+	"testing"
+)
+
+func TestBestSplitValidation(t *testing.T) {
+	if _, _, err := BestSplit([]Group{{EB: 1, Power: 0.8}}, 0.2, Params{}); err == nil {
+		t.Error("accepted a single group")
+	}
+	if _, _, err := BestSplit([]Group{{EB: 1, Power: 0.4}, {EB: 1, Power: 0.4}}, 0.2, Params{}); err == nil {
+		t.Error("accepted duplicate EBs")
+	}
+	if _, _, err := BestSplit([]Group{{EB: 1, Power: 0.4}, {EB: 2, Power: 0.9}}, 0.2, Params{}); err == nil {
+		t.Error("accepted powers not summing to 1")
+	}
+	if _, _, err := BestSplit([]Group{{EB: 1, Power: -0.1}, {EB: 2, Power: 0.9}}, 0.2, Params{}); err == nil {
+		t.Error("accepted negative power")
+	}
+}
+
+// TestMoreEBsHelpTheAttacker verifies the Section 4.1.1 remark: with
+// three EB groups the attacker picks the better of two splits, which
+// weakly dominates either forced two-group configuration — and for this
+// distribution the two splits differ, so the choice is real.
+func TestMoreEBsHelpTheAttacker(t *testing.T) {
+	groups := []Group{
+		{EB: 1 << 20, Power: 0.30},
+		{EB: 4 << 20, Power: 0.25},
+		{EB: 16 << 20, Power: 0.20},
+	}
+	alpha := 0.25
+	options, best, err := BestSplit(groups, alpha, Params{Model: Compliant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(options) != 2 {
+		t.Fatalf("got %d split options, want 2", len(options))
+	}
+	for _, opt := range options {
+		if options[best].Result.Utility < opt.Result.Utility {
+			t.Errorf("best split not maximal")
+		}
+	}
+	// d=1: beta=0.30, gamma=0.45 (alpha+gamma=0.70 > beta: attack pays).
+	// d=2: beta=0.55, gamma=0.20 (alpha+gamma=0.45 < beta: no attack).
+	if options[0].Result.Utility <= alpha {
+		t.Errorf("split d=1 should be profitable, got %.4f", options[0].Result.Utility)
+	}
+	if options[1].Result.Utility > alpha+1e-3 {
+		t.Errorf("split d=2 should be unprofitable, got %.4f", options[1].Result.Utility)
+	}
+	if best != 0 {
+		t.Errorf("best split index = %d, want 0", best)
+	}
+	// Sanity: the groups' powers aggregated correctly.
+	if opt := options[0]; opt.Beta != 0.30 || opt.Gamma != 0.45 {
+		t.Errorf("split d=1 powers = (%g, %g)", opt.Beta, opt.Gamma)
+	}
+}
+
+// TestBestSplitUnsortedInput: groups may be passed in any order.
+func TestBestSplitUnsortedInput(t *testing.T) {
+	groups := []Group{
+		{EB: 16 << 20, Power: 0.20},
+		{EB: 1 << 20, Power: 0.30},
+		{EB: 4 << 20, Power: 0.25},
+	}
+	options, _, err := BestSplit(groups, 0.25, Params{Model: Compliant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if options[0].Beta != 0.30 {
+		t.Errorf("groups not sorted by EB before splitting: %+v", options[0])
+	}
+}

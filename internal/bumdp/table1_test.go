@@ -1,0 +1,158 @@
+package bumdp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1 verifies the model's setting-1 dynamics row by row against
+// the paper's Table 1 (state transition and reward distribution for the
+// compliant and profit-driven model). Events reaching the same successor
+// are aggregated exactly as in the table: probabilities add, rewards are
+// probability-weighted.
+func TestTable1(t *testing.T) {
+	const (
+		alpha = 0.2
+		beta  = 0.45
+		gamma = 0.35
+		ad    = 6
+	)
+	p, err := Params{Alpha: alpha, Beta: beta, Gamma: gamma, AD: ad, Setting: Setting1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// aggregated reproduces the table's presentation: per successor state,
+	// total probability and probability-weighted (RA, Rothers).
+	type agg struct {
+		prob, ra, rothers float64
+	}
+	aggregate := func(s State, action int) map[State]agg {
+		out := make(map[State]agg)
+		for _, ev := range p.Events(s, action) {
+			a := out[ev.Next]
+			a.prob += ev.Prob
+			a.ra += ev.Prob * ev.Delta.RA
+			a.rothers += ev.Prob * ev.Delta.ROthers
+			out[ev.Next] = a
+		}
+		// Normalize to conditional expected rewards, as printed in Table 1.
+		for k, a := range out {
+			if a.prob > 0 {
+				a.ra /= a.prob
+				a.rothers /= a.prob
+				out[k] = a
+			}
+		}
+		return out
+	}
+
+	type expect struct {
+		next              State
+		prob, ra, rothers float64
+	}
+	check := func(name string, s State, action int, rows []expect) {
+		t.Helper()
+		got := aggregate(s, action)
+		if len(got) != len(rows) {
+			t.Errorf("%s: %d successor states, want %d (%v)", name, len(got), len(rows), got)
+			return
+		}
+		for _, row := range rows {
+			a, ok := got[row.next]
+			if !ok {
+				t.Errorf("%s: missing successor %v", name, row.next)
+				continue
+			}
+			if math.Abs(a.prob-row.prob) > 1e-12 ||
+				math.Abs(a.ra-row.ra) > 1e-12 ||
+				math.Abs(a.rothers-row.rothers) > 1e-12 {
+				t.Errorf("%s -> %v: got (p=%g, RA=%g, Ro=%g), want (p=%g, RA=%g, Ro=%g)",
+					name, row.next, a.prob, a.ra, a.rothers, row.prob, row.ra, row.rothers)
+			}
+		}
+	}
+
+	base := State{}
+	alphaP := alpha / (alpha + beta)
+	betaP := beta / (alpha + beta)
+	alphaPP := alpha / (alpha + gamma)
+	gammaPP := gamma / (alpha + gamma)
+
+	// Row 1: (0,0,0,0), onC1 -> (0,0,0,0) w.p. 1, reward (alpha, beta+gamma).
+	check("base/onC1", base, OnChain1, []expect{
+		{base, 1, alpha, beta + gamma},
+	})
+
+	// Row 2: (0,0,0,0), onC2 -> base w.p. beta+gamma reward (0,1);
+	// (0,1,0,1) w.p. alpha reward (0,0).
+	check("base/onC2", base, OnChain2, []expect{
+		{base, beta + gamma, 0, 1},
+		{State{0, 1, 0, 1, 0}, alpha, 0, 0},
+	})
+
+	// Row 3: l1 < l2 != AD-1, onC1. Use (1,3,1,2).
+	s := State{1, 3, 1, 2, 0}
+	check("l1<l2/onC1", s, OnChain1, []expect{
+		{State{2, 3, 2, 2, 0}, alpha, 0, 0},
+		{State{2, 3, 1, 2, 0}, beta, 0, 0},
+		{State{1, 4, 1, 2, 0}, gamma, 0, 0},
+	})
+
+	// Row 4: l1 < l2 != AD-1, onC2.
+	check("l1<l2/onC2", s, OnChain2, []expect{
+		{State{1, 4, 1, 3, 0}, alpha, 0, 0},
+		{State{2, 3, 1, 2, 0}, beta, 0, 0},
+		{State{1, 4, 1, 2, 0}, gamma, 0, 0},
+	})
+
+	// Row 5: l1 = l2 != AD-1, onC1. Use (3,3,1,2): Alice or Bob extending
+	// Chain 1 wins the race; Carol extends Chain 2.
+	s = State{3, 3, 1, 2, 0}
+	check("l1=l2/onC1", s, OnChain1, []expect{
+		{base, alpha + beta, alphaP*2 + betaP*1, alphaP*(4-2) + betaP*(4-1)},
+		{State{3, 4, 1, 2, 0}, gamma, 0, 0},
+	})
+
+	// Row 6: l1 = l2 != AD-1, onC2.
+	check("l1=l2/onC2", s, OnChain2, []expect{
+		{State{3, 4, 1, 3, 0}, alpha, 0, 0},
+		{base, beta, 1, 3},
+		{State{3, 4, 1, 2, 0}, gamma, 0, 0},
+	})
+
+	// Row 7: l1 < l2 = AD-1, onC1. Use (2,5,1,3): Carol completes Chain 2.
+	s = State{2, 5, 1, 3, 0}
+	check("l2=AD-1/onC1", s, OnChain1, []expect{
+		{State{3, 5, 2, 3, 0}, alpha, 0, 0},
+		{State{3, 5, 1, 3, 0}, beta, 0, 0},
+		{base, gamma, 3, 6 - 3},
+	})
+
+	// Row 8: l1 < l2 = AD-1, onC2: Alice or Carol completes Chain 2.
+	check("l2=AD-1/onC2", s, OnChain2, []expect{
+		{base, alpha + gamma, alphaPP*4 + gammaPP*3, alphaPP*(5-3) + gammaPP*(6-3)},
+		{State{3, 5, 1, 3, 0}, beta, 0, 0},
+	})
+
+	// Row 9: l1 = l2 = AD-1, onC1: every outcome ends the race. The paper
+	// prints the Carol term of Rothers as gamma*(l2-a2); as in row 10 that
+	// is a typo — when Carol completes Chain 2 the locked chain has l2+1
+	// blocks (cf. rows 7 and 8), so the correct term is gamma*(l2+1-a2).
+	s = State{5, 5, 2, 3, 0}
+	check("l1=l2=AD-1/onC1", s, OnChain1, []expect{
+		{base, 1,
+			alpha*3 + beta*2 + gamma*3,
+			alpha*(5-2) + beta*(6-2) + gamma*(6-3)},
+	})
+
+	// Row 10: l1 = l2 = AD-1, onC2. The paper prints the Bob term of
+	// Rothers as beta*(l1-a1); that is a typo — when Bob wins the tie the
+	// locked chain has l1+1 blocks (cf. rows 6 and 9, and block
+	// conservation), so the correct term is beta*(l1+1-a1).
+	check("l1=l2=AD-1/onC2", s, OnChain2, []expect{
+		{base, 1,
+			alpha*4 + beta*2 + gamma*3,
+			alpha*(5-3) + beta*(6-2) + gamma*(6-3)},
+	})
+}

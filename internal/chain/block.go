@@ -1,0 +1,97 @@
+// Package chain provides the blockchain substrate used by the protocol
+// rules and the discrete-event simulator: blocks with hash identities,
+// an append-only block store with parent/child indexing, chain walking,
+// fork-point computation, and orphan accounting.
+package chain
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// ID is a block identifier: the SHA-256 hash of the block header fields.
+type ID [sha256.Size]byte
+
+// String renders the first eight hex digits, enough for logs and tests.
+func (id ID) String() string { return hex.EncodeToString(id[:4]) }
+
+// Block is an immutable block header. Transactions are abstracted to a
+// byte size, which is what the BU validity rules depend on; the paper's
+// threat model lets every miner generate blocks of any size.
+type Block struct {
+	Parent ID      // ID of the preceding block; zero for the genesis block
+	Height int     // distance from genesis; genesis has height 0
+	Size   int64   // block size in bytes
+	Miner  string  // identifier of the miner that produced the block
+	Time   float64 // simulation time at which the block was found
+	Nonce  uint64  // proof-of-work nonce (see Seal)
+	// TxRoot commits to the block's transactions (the Merkle root
+	// computed by internal/ledger); zero for headers used in the
+	// abstract simulations, where transactions are modeled by Size only.
+	TxRoot [32]byte
+
+	id     ID
+	hashed bool
+}
+
+// headerBytes encodes the fields covered by the block hash.
+func (b *Block) headerBytes() []byte {
+	buf := make([]byte, 0, len(b.Parent)+len(b.TxRoot)+8*4+len(b.Miner))
+	buf = append(buf, b.Parent[:]...)
+	buf = append(buf, b.TxRoot[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Height))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Size))
+	buf = binary.BigEndian.AppendUint64(buf, floatBits(b.Time))
+	buf = binary.BigEndian.AppendUint64(buf, b.Nonce)
+	buf = append(buf, b.Miner...)
+	return buf
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// ID returns the block's hash identity, computing and caching it on first
+// use. Blocks must not be mutated after their ID has been observed.
+func (b *Block) ID() ID {
+	if !b.hashed {
+		b.id = sha256.Sum256(b.headerBytes())
+		b.hashed = true
+	}
+	return b.id
+}
+
+// Seal searches for a nonce such that the block hash interpreted as a
+// big-endian integer has at least `zeroBits` leading zero bits. It is a
+// miniature proof of work used by tests and examples to demonstrate the
+// substrate; the simulators model mining as a Poisson process instead.
+// Seal returns an error if no nonce is found within maxTries.
+func (b *Block) Seal(zeroBits uint, maxTries uint64) error {
+	if zeroBits > 64 {
+		return fmt.Errorf("chain: unsupported difficulty %d bits", zeroBits)
+	}
+	for try := uint64(0); try < maxTries; try++ {
+		b.Nonce = try
+		b.hashed = false
+		id := b.ID()
+		lead := binary.BigEndian.Uint64(id[:8])
+		if zeroBits == 0 || lead>>(64-zeroBits) == 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("chain: no nonce with %d leading zero bits in %d tries", zeroBits, maxTries)
+}
+
+// MeetsDifficulty reports whether the block's hash has the required number
+// of leading zero bits.
+func (b *Block) MeetsDifficulty(zeroBits uint) bool {
+	id := b.ID()
+	lead := binary.BigEndian.Uint64(id[:8])
+	return zeroBits == 0 || lead>>(64-zeroBits) == 0
+}
+
+// Genesis constructs the canonical genesis block.
+func Genesis() *Block {
+	return &Block{Height: 0, Size: 0, Miner: "genesis"}
+}

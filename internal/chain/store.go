@@ -1,0 +1,204 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Common store errors.
+var (
+	ErrUnknownParent = errors.New("chain: unknown parent block")
+	ErrDuplicate     = errors.New("chain: duplicate block")
+	ErrBadHeight     = errors.New("chain: height does not extend parent")
+)
+
+// Store is an append-only block DAG rooted at a genesis block. It indexes
+// parent/child relations and records arrival order, which the protocol
+// rules use for first-received tie breaking. Store is not safe for
+// concurrent use; the simulator serializes access through its event loop.
+type Store struct {
+	genesis *Block
+	blocks  map[ID]*Block
+	childs  map[ID][]ID
+	arrival map[ID]int // order in which blocks were added
+	nextSeq int
+}
+
+// NewStore creates a store containing only the given genesis block.
+func NewStore(genesis *Block) *Store {
+	s := &Store{
+		genesis: genesis,
+		blocks:  make(map[ID]*Block),
+		childs:  make(map[ID][]ID),
+		arrival: make(map[ID]int),
+	}
+	s.blocks[genesis.ID()] = genesis
+	s.arrival[genesis.ID()] = s.nextSeq
+	s.nextSeq++
+	return s
+}
+
+// Genesis returns the store's genesis block.
+func (s *Store) Genesis() *Block { return s.genesis }
+
+// Len reports the number of blocks in the store, including genesis.
+func (s *Store) Len() int { return len(s.blocks) }
+
+// Add inserts a block. The parent must already be present and the block's
+// height must be parent height + 1. Re-adding a block is an error.
+func (s *Store) Add(b *Block) error {
+	id := b.ID()
+	if _, ok := s.blocks[id]; ok {
+		return fmt.Errorf("%w: %v", ErrDuplicate, id)
+	}
+	parent, ok := s.blocks[b.Parent]
+	if !ok {
+		return fmt.Errorf("%w: block %v wants parent %v", ErrUnknownParent, id, b.Parent)
+	}
+	if b.Height != parent.Height+1 {
+		return fmt.Errorf("%w: block %v has height %d, parent %d", ErrBadHeight, id, b.Height, parent.Height)
+	}
+	s.blocks[id] = b
+	s.childs[b.Parent] = append(s.childs[b.Parent], id)
+	s.arrival[id] = s.nextSeq
+	s.nextSeq++
+	return nil
+}
+
+// Get returns the block with the given id, or nil if absent.
+func (s *Store) Get(id ID) *Block { return s.blocks[id] }
+
+// Has reports whether the block is present.
+func (s *Store) Has(id ID) bool { _, ok := s.blocks[id]; return ok }
+
+// ArrivalIndex reports the insertion order of a block (genesis is 0).
+// Blocks not in the store report -1.
+func (s *Store) ArrivalIndex(id ID) int {
+	if seq, ok := s.arrival[id]; ok {
+		return seq
+	}
+	return -1
+}
+
+// Children returns the ids of the blocks extending the given block, in
+// arrival order. The returned slice is owned by the store.
+func (s *Store) Children(id ID) []ID { return s.childs[id] }
+
+// Path returns the chain from genesis to the given block, inclusive.
+// It returns nil if the block is absent.
+func (s *Store) Path(id ID) []*Block {
+	b := s.blocks[id]
+	if b == nil {
+		return nil
+	}
+	path := make([]*Block, b.Height+1)
+	for b != nil {
+		path[b.Height] = b
+		if b.Height == 0 {
+			break
+		}
+		b = s.blocks[b.Parent]
+	}
+	if b == nil {
+		return nil // broken ancestry; cannot happen for blocks added via Add
+	}
+	return path
+}
+
+// Tips returns all leaf blocks (blocks with no children), sorted by height
+// descending, then by arrival order ascending, so Tips()[0] is the tip of
+// the longest, earliest-seen chain.
+func (s *Store) Tips() []*Block {
+	var tips []*Block
+	for id, b := range s.blocks {
+		if len(s.childs[id]) == 0 {
+			tips = append(tips, b)
+		}
+	}
+	sort.Slice(tips, func(i, j int) bool {
+		if tips[i].Height != tips[j].Height {
+			return tips[i].Height > tips[j].Height
+		}
+		return s.arrival[tips[i].ID()] < s.arrival[tips[j].ID()]
+	})
+	return tips
+}
+
+// Ancestor reports whether a is an ancestor of (or equal to) b.
+func (s *Store) Ancestor(a, b ID) bool {
+	blk := s.blocks[b]
+	target := s.blocks[a]
+	if blk == nil || target == nil {
+		return false
+	}
+	for blk != nil && blk.Height >= target.Height {
+		if blk.ID() == a {
+			return true
+		}
+		if blk.Height == 0 {
+			break
+		}
+		blk = s.blocks[blk.Parent]
+	}
+	return false
+}
+
+// ForkPoint returns the highest common ancestor of two blocks.
+func (s *Store) ForkPoint(a, b ID) (*Block, error) {
+	x, y := s.blocks[a], s.blocks[b]
+	if x == nil || y == nil {
+		return nil, errors.New("chain: fork point of unknown block")
+	}
+	for x.Height > y.Height {
+		x = s.blocks[x.Parent]
+	}
+	for y.Height > x.Height {
+		y = s.blocks[y.Parent]
+	}
+	for x.ID() != y.ID() {
+		if x.Height == 0 {
+			return nil, errors.New("chain: blocks share no ancestor")
+		}
+		x = s.blocks[x.Parent]
+		y = s.blocks[y.Parent]
+	}
+	return x, nil
+}
+
+// Accounting summarizes the fate of every non-genesis block relative to a
+// winning chain tip.
+type Accounting struct {
+	// MainChain counts blocks on the winning chain per miner.
+	MainChain map[string]int
+	// Orphaned counts blocks off the winning chain per miner.
+	Orphaned map[string]int
+}
+
+// Account classifies every block in the store as main-chain or orphaned
+// relative to the chain ending at tip.
+func (s *Store) Account(tip ID) (Accounting, error) {
+	path := s.Path(tip)
+	if path == nil {
+		return Accounting{}, errors.New("chain: accounting against unknown tip")
+	}
+	onMain := make(map[ID]bool, len(path))
+	for _, b := range path {
+		onMain[b.ID()] = true
+	}
+	acc := Accounting{
+		MainChain: make(map[string]int),
+		Orphaned:  make(map[string]int),
+	}
+	for id, b := range s.blocks {
+		if b.Height == 0 {
+			continue
+		}
+		if onMain[id] {
+			acc.MainChain[b.Miner]++
+		} else {
+			acc.Orphaned[b.Miner]++
+		}
+	}
+	return acc, nil
+}

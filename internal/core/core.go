@@ -1,0 +1,224 @@
+// Package core is the paper's analytical framework (Section 3): it
+// evaluates mining protocols under the three attacker incentive models —
+// compliant and profit-driven, non-compliant and profit-driven, and
+// non-profit-driven — and regenerates every table of the evaluation by
+// sweeping the paper's parameter grid over the BU attack MDP
+// (internal/bumdp) and the Bitcoin baselines (internal/bitcoin).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"buanalysis/internal/bitcoin"
+	"buanalysis/internal/bumdp"
+)
+
+// Ratio is a Bob:Carol mining power split.
+type Ratio struct {
+	Name string
+	B, G float64
+}
+
+// PaperRatios are the nine splits of Section 4.1.2.
+var PaperRatios = []Ratio{
+	{"4:1", 4, 1}, {"3:1", 3, 1}, {"2:1", 2, 1}, {"3:2", 3, 2}, {"1:1", 1, 1},
+	{"2:3", 2, 3}, {"1:2", 1, 2}, {"1:3", 1, 3}, {"1:4", 1, 4},
+}
+
+// PaperAlphas are the seven attacker power shares of Section 4.1.2.
+var PaperAlphas = []float64{0.01, 0.025, 0.05, 0.10, 0.15, 0.20, 0.25}
+
+// Split converts (alpha, ratio) into the three power shares.
+func (r Ratio) Split(alpha float64) (beta, gamma float64) {
+	rest := 1 - alpha
+	beta = rest * r.B / (r.B + r.G)
+	return beta, rest - beta
+}
+
+// Admissible reports whether the parameter set satisfies the paper's
+// constraint alpha <= min(beta, gamma); inadmissible cells are blank in
+// the paper's tables.
+func (r Ratio) Admissible(alpha float64) bool {
+	beta, gamma := r.Split(alpha)
+	return alpha <= beta+1e-12 && alpha <= gamma+1e-12
+}
+
+// Cell is one solved table cell.
+type Cell struct {
+	Alpha   float64
+	Ratio   string
+	Setting bumdp.Setting
+	Model   bumdp.IncentiveModel
+	// Skipped marks cells outside the paper's constraint.
+	Skipped bool
+	// Value is the optimal utility; Honest is the no-attack baseline.
+	Value, Honest float64
+	// ForkRate is the long-run fraction of steps spent forked under the
+	// optimal policy.
+	ForkRate float64
+	Err      error
+}
+
+// Key renders a short cell identifier for logs.
+func (c Cell) Key() string {
+	return fmt.Sprintf("alpha=%g %s set%d model=%d", c.Alpha, c.Ratio, c.Setting, c.Model)
+}
+
+// SweepConfig controls a table sweep.
+type SweepConfig struct {
+	Alphas   []float64
+	Ratios   []Ratio
+	Settings []bumdp.Setting
+	// AD overrides the acceptance depth (default 6).
+	AD int
+	// RatioTol and Epsilon are the solver tolerances (defaults 1e-5,
+	// 1e-9; the full setting-2 sweeps are substantially faster at 1e-4,
+	// 1e-8 with no visible change at the paper's print precision).
+	RatioTol, Epsilon float64
+	// Workers bounds solver parallelism (default: GOMAXPROCS).
+	Workers int
+}
+
+func (c SweepConfig) withDefaults(model bumdp.IncentiveModel) SweepConfig {
+	if c.Alphas == nil {
+		c.Alphas = PaperAlphas
+	}
+	if c.Ratios == nil {
+		c.Ratios = PaperRatios
+	}
+	if c.Settings == nil {
+		c.Settings = []bumdp.Setting{bumdp.Setting1, bumdp.Setting2}
+	}
+	if c.RatioTol == 0 {
+		c.RatioTol = 1e-5
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-9
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	_ = model
+	return c
+}
+
+// Sweep solves the BU MDP over the configured grid for one incentive
+// model, in parallel. Cells violating the paper's admissibility
+// constraint are returned with Skipped set. The result is ordered by
+// (setting, alpha, ratio).
+func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
+	cfg = cfg.withDefaults(model)
+	var cells []Cell
+	for _, setting := range cfg.Settings {
+		for _, alpha := range cfg.Alphas {
+			for _, ratio := range cfg.Ratios {
+				cells = append(cells, Cell{
+					Alpha: alpha, Ratio: ratio.Name, Setting: setting, Model: model,
+					Skipped: !ratioByName(cfg.Ratios, ratio.Name).Admissible(alpha),
+				})
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := range cells {
+		if cells[i].Skipped {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c *Cell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			*c = solveCell(*c, cfg)
+		}(&cells[i])
+	}
+	wg.Wait()
+	return cells
+}
+
+func ratioByName(ratios []Ratio, name string) Ratio {
+	for _, r := range ratios {
+		if r.Name == name {
+			return r
+		}
+	}
+	return Ratio{Name: name, B: 1, G: 1}
+}
+
+func solveCell(c Cell, cfg SweepConfig) Cell {
+	ratio := ratioByName(cfg.Ratios, c.Ratio)
+	beta, gamma := ratio.Split(c.Alpha)
+	a, err := bumdp.New(bumdp.Params{
+		Alpha: c.Alpha, Beta: beta, Gamma: gamma,
+		AD: cfg.AD, Setting: c.Setting, Model: c.Model,
+	})
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	res, err := a.SolveTol(cfg.RatioTol, cfg.Epsilon)
+	if err != nil {
+		c.Err = err
+		return c
+	}
+	c.Value = res.Utility
+	c.Honest = a.HonestUtility()
+	c.ForkRate = res.ForkRate
+	return c
+}
+
+// BitcoinBaselineCell is one cell of Table 3's bottom block.
+type BitcoinBaselineCell struct {
+	Alpha, TieWinProb float64
+	Value             float64
+	Err               error
+}
+
+// BitcoinBaseline solves the combined selfish-mining / double-spending
+// attack for the paper's grid (Table 3, bottom).
+func BitcoinBaseline(alphas, ties []float64, workers int) []BitcoinBaselineCell {
+	if alphas == nil {
+		alphas = []float64{0.10, 0.15, 0.20, 0.25}
+	}
+	if ties == nil {
+		ties = []float64{0.5, 1.0}
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var cells []BitcoinBaselineCell
+	for _, tie := range ties {
+		for _, alpha := range alphas {
+			cells = append(cells, BitcoinBaselineCell{Alpha: alpha, TieWinProb: tie})
+		}
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cells {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(c *BitcoinBaselineCell) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			an, err := bitcoin.New(bitcoin.Params{
+				Alpha: c.Alpha, TieWinProb: c.TieWinProb,
+				Objective: bitcoin.AbsoluteReward,
+			})
+			if err != nil {
+				c.Err = err
+				return
+			}
+			res, err := an.Solve()
+			if err != nil {
+				c.Err = err
+				return
+			}
+			c.Value = res.Utility
+		}(&cells[i])
+	}
+	wg.Wait()
+	return cells
+}

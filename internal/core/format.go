@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"buanalysis/internal/bumdp"
+)
+
+// FormatTable renders a slice of cells as a paper-style grid: one block
+// per setting, alphas as rows, ratios as columns. format controls the
+// cell rendering ("%.2f%%"-style percent for Table 2, plain "%.3f" for
+// Tables 3 and 4).
+func FormatTable(cells []Cell, percent bool) string {
+	bySetting := map[bumdp.Setting][]Cell{}
+	for _, c := range cells {
+		bySetting[c.Setting] = append(bySetting[c.Setting], c)
+	}
+	var settings []bumdp.Setting
+	for s := range bySetting {
+		settings = append(settings, s)
+	}
+	sort.Slice(settings, func(i, j int) bool { return settings[i] < settings[j] })
+
+	var sb strings.Builder
+	for _, s := range settings {
+		group := bySetting[s]
+		fmt.Fprintf(&sb, "Setting %d\n", s)
+		// Collect axes in first-seen order.
+		var alphas []float64
+		var ratios []string
+		seenA := map[float64]bool{}
+		seenR := map[string]bool{}
+		for _, c := range group {
+			if !seenA[c.Alpha] {
+				seenA[c.Alpha] = true
+				alphas = append(alphas, c.Alpha)
+			}
+			if !seenR[c.Ratio] {
+				seenR[c.Ratio] = true
+				ratios = append(ratios, c.Ratio)
+			}
+		}
+		cell := map[[2]string]Cell{}
+		for _, c := range group {
+			cell[[2]string{fmt.Sprint(c.Alpha), c.Ratio}] = c
+		}
+		fmt.Fprintf(&sb, "%8s", "alpha\\bg")
+		for _, r := range ratios {
+			fmt.Fprintf(&sb, "%9s", r)
+		}
+		sb.WriteByte('\n')
+		for _, a := range alphas {
+			fmt.Fprintf(&sb, "%7.3g%%", a*100)
+			for _, r := range ratios {
+				c := cell[[2]string{fmt.Sprint(a), r}]
+				switch {
+				case c.Skipped:
+					fmt.Fprintf(&sb, "%9s", "-")
+				case c.Err != nil:
+					fmt.Fprintf(&sb, "%9s", "ERR")
+				case percent:
+					fmt.Fprintf(&sb, "%8.2f%%", c.Value*100)
+				default:
+					fmt.Fprintf(&sb, "%9.3f", c.Value)
+				}
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// FormatBitcoinBaseline renders Table 3's bottom block.
+func FormatBitcoinBaseline(cells []BitcoinBaselineCell) string {
+	byTie := map[float64][]BitcoinBaselineCell{}
+	var ties []float64
+	for _, c := range cells {
+		if _, ok := byTie[c.TieWinProb]; !ok {
+			ties = append(ties, c.TieWinProb)
+		}
+		byTie[c.TieWinProb] = append(byTie[c.TieWinProb], c)
+	}
+	sort.Float64s(ties)
+	var sb strings.Builder
+	sb.WriteString("Selfish Mining + Double-Spending on Bitcoin\n")
+	for _, tie := range ties {
+		fmt.Fprintf(&sb, "P(win a tie)=%3.0f%% ", tie*100)
+		for _, c := range byTie[tie] {
+			if c.Err != nil {
+				fmt.Fprintf(&sb, "  alpha=%g: ERR", c.Alpha)
+				continue
+			}
+			fmt.Fprintf(&sb, "  alpha=%g: %.3f", c.Alpha, c.Value)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package countermeasure
+
+import (
+	"errors"
+	"sort"
+)
+
+// BIP100Config parameterizes the BIP 100 style scheme the paper cites as
+// the existing design in the keep-the-BVC class: miners embed an
+// explicit block size vote in their blocks; at every period boundary the
+// limit becomes a low quantile of the votes (so a minority can hold the
+// limit down), clamped to at most a factor-2 move.
+type BIP100Config struct {
+	// PeriodLength in blocks (default 2016).
+	PeriodLength int
+	// Quantile of the sorted votes adopted as the new limit: 0.2 means a
+	// 20% minority voting low holds the limit down (BIP 100's choice).
+	Quantile float64
+	// MaxFactor clamps a single adjustment (default 2).
+	MaxFactor float64
+	// InitialLimit and MinLimit as in Config (defaults 1 MiB).
+	InitialLimit, MinLimit int64
+}
+
+func (c BIP100Config) withDefaults() (BIP100Config, error) {
+	if c.PeriodLength == 0 {
+		c.PeriodLength = 2016
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.2
+	}
+	if c.MaxFactor == 0 {
+		c.MaxFactor = 2
+	}
+	if c.InitialLimit == 0 {
+		c.InitialLimit = 1 << 20
+	}
+	if c.MinLimit == 0 {
+		c.MinLimit = 1 << 20
+	}
+	if c.PeriodLength < 1 {
+		return c, errors.New("countermeasure: period length must be positive")
+	}
+	if c.Quantile <= 0 || c.Quantile > 0.5 {
+		return c, errors.New("countermeasure: quantile must be in (0, 0.5]")
+	}
+	if c.MaxFactor <= 1 {
+		return c, errors.New("countermeasure: max factor must exceed 1")
+	}
+	if c.InitialLimit < c.MinLimit {
+		return c, errors.New("countermeasure: initial limit below floor")
+	}
+	return c, nil
+}
+
+// BIP100Schedule derives the limit trajectory from per-block explicit
+// size votes (block 0 first): after each full period, the limit becomes
+// the configured low quantile of that period's votes, clamped to
+// [limit/MaxFactor, limit*MaxFactor] and floored at MinLimit. Like
+// BuildSchedule, it is a pure function of chain data, so the BVC holds.
+func BIP100Schedule(cfg BIP100Config, votes []int64) ([]int64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	limit := cfg.InitialLimit
+	var out []int64
+	period := make([]int64, 0, cfg.PeriodLength)
+	for start := 0; start+cfg.PeriodLength <= len(votes); start += cfg.PeriodLength {
+		period = append(period[:0], votes[start:start+cfg.PeriodLength]...)
+		sort.Slice(period, func(i, j int) bool { return period[i] < period[j] })
+		idx := int(cfg.Quantile * float64(len(period)))
+		if idx >= len(period) {
+			idx = len(period) - 1
+		}
+		next := period[idx]
+		lo := int64(float64(limit) / cfg.MaxFactor)
+		hi := int64(float64(limit) * cfg.MaxFactor)
+		if next < lo {
+			next = lo
+		}
+		if next > hi {
+			next = hi
+		}
+		if next < cfg.MinLimit {
+			next = cfg.MinLimit
+		}
+		limit = next
+		out = append(out, limit)
+	}
+	return out, nil
+}
+
+// SimulateBIP100 runs miner groups voting their targets for the given
+// number of periods and returns the per-period limits.
+func SimulateBIP100(cfg BIP100Config, groups []MinerGroup, periods int, seed int64) ([]int64, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, g := range groups {
+		if g.Power <= 0 {
+			return nil, errors.New("countermeasure: non-positive miner power")
+		}
+		total += g.Power
+	}
+	if total <= 0 {
+		return nil, errors.New("countermeasure: no mining power")
+	}
+	// A small deterministic linear congruential generator keeps this
+	// reproducible without pulling in math/rand state.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+	votes := make([]int64, 0, periods*cfg.PeriodLength)
+	for i := 0; i < periods*cfg.PeriodLength; i++ {
+		u := next() * total
+		var miner MinerGroup
+		for _, g := range groups {
+			if u < g.Power {
+				miner = g
+				break
+			}
+			u -= g.Power
+		}
+		if miner.Power == 0 {
+			miner = groups[len(groups)-1]
+		}
+		votes = append(votes, miner.Target)
+	}
+	return BIP100Schedule(cfg, votes)
+}

@@ -1,0 +1,149 @@
+package countermeasure
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBIP100Validation(t *testing.T) {
+	bad := []BIP100Config{
+		{Quantile: 0.8},
+		{Quantile: -0.1},
+		{MaxFactor: 0.5},
+		{InitialLimit: mb / 2, MinLimit: mb},
+		{PeriodLength: -1},
+	}
+	for i, c := range bad {
+		if _, err := BIP100Schedule(c, nil); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, c)
+		}
+	}
+}
+
+func TestBIP100QuantileHoldsLimitDown(t *testing.T) {
+	cfg := BIP100Config{PeriodLength: 100}
+	// 75% vote 8MB, 25% vote 1MB: the 20th-percentile vote is 1MB, so
+	// the limit does not move.
+	votes := make([]int64, 100)
+	for i := range votes {
+		if i < 75 {
+			votes[i] = 8 * mb
+		} else {
+			votes[i] = mb
+		}
+	}
+	limits, err := BIP100Schedule(cfg, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limits) != 1 || limits[0] != mb {
+		t.Errorf("limits = %v, want the 20%% minority to hold 1MB", limits)
+	}
+}
+
+func TestBIP100ClampAndConvergence(t *testing.T) {
+	cfg := BIP100Config{PeriodLength: 10}
+	// Everyone votes 16MB: the factor-2 clamp doubles per period:
+	// 2, 4, 8, 16, then stays.
+	votes := make([]int64, 50)
+	for i := range votes {
+		votes[i] = 16 * mb
+	}
+	limits, err := BIP100Schedule(cfg, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2 * mb, 4 * mb, 8 * mb, 16 * mb, 16 * mb}
+	for i, w := range want {
+		if limits[i] != w {
+			t.Errorf("period %d limit = %d, want %d", i, limits[i], w)
+		}
+	}
+}
+
+func TestBIP100FloorsAtMinimum(t *testing.T) {
+	cfg := BIP100Config{PeriodLength: 10, InitialLimit: 2 * mb}
+	votes := make([]int64, 30)
+	for i := range votes {
+		votes[i] = mb / 4
+	}
+	limits, err := BIP100Schedule(cfg, votes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := limits[len(limits)-1]
+	if final != mb {
+		t.Errorf("final limit = %d, want floor %d", final, mb)
+	}
+}
+
+func TestSimulateBIP100(t *testing.T) {
+	groups := []MinerGroup{
+		{Power: 0.70, Target: 4 * mb},
+		{Power: 0.30, Target: mb},
+	}
+	limits, err := SimulateBIP100(BIP100Config{PeriodLength: 500}, groups, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 30% low-vote minority exceeds the 20% quantile, so it pins the
+	// limit at 1MB — BIP100's minority protection.
+	for i, l := range limits {
+		if l != mb {
+			t.Errorf("period %d limit = %d, want minority to pin 1MB", i, l)
+		}
+	}
+	// A 10% minority sits below the quantile: the majority prevails.
+	groups[1].Power = 0.10
+	groups[0].Power = 0.90
+	limits, err = SimulateBIP100(BIP100Config{PeriodLength: 500}, groups, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limits[len(limits)-1] != 4*mb {
+		t.Errorf("final limit = %d, want 4MB with a 10%% minority", limits[len(limits)-1])
+	}
+	if _, err := SimulateBIP100(BIP100Config{}, nil, 1, 1); err == nil {
+		t.Error("accepted empty miner set")
+	}
+}
+
+// TestBIP100Deterministic: the schedule is a pure function of chain
+// votes — the BVC property.
+func TestBIP100Deterministic(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) < 20 {
+			return true
+		}
+		votes := make([]int64, len(raw))
+		for i, r := range raw {
+			votes[i] = mb * int64(1+r%16)
+		}
+		cfg := BIP100Config{PeriodLength: 10}
+		a, err1 := BIP100Schedule(cfg, votes)
+		b, err2 := BIP100Schedule(cfg, votes)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		// Clamp invariant: consecutive limits within factor 2.
+		prev := cfg.InitialLimit
+		if prev == 0 {
+			prev = mb
+		}
+		for _, l := range a {
+			if l > prev*2 || l*2 < prev {
+				return false
+			}
+			prev = l
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package countermeasure implements the voting scheme the paper proposes
+// in Section 6.3: miners vote for or against a block size increase with
+// their blocks; at each 2016-block difficulty-adjustment period the limit
+// moves by a small fixed step if enough blocks voted for the change and
+// few enough vetoed it, and the adjustment only takes effect after a
+// significant number of blocks of the next period have been mined, so a
+// fork at a period boundary cannot split the network's view of the limit.
+//
+// The scheme keeps a prescribed block validity consensus at all times:
+// the effective limit at any height is a deterministic function of the
+// blocks below it, so every node that sees the same chain agrees on the
+// validity of every block.
+package countermeasure
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Vote is a miner's per-block signal.
+type Vote int
+
+// The three block vote values.
+const (
+	Keep Vote = iota
+	Increase
+	Decrease
+)
+
+func (v Vote) String() string {
+	switch v {
+	case Keep:
+		return "keep"
+	case Increase:
+		return "increase"
+	case Decrease:
+		return "decrease"
+	}
+	return fmt.Sprintf("Vote(%d)", int(v))
+}
+
+// Config parameterizes the scheme.
+type Config struct {
+	// PeriodLength is the voting window in blocks (Bitcoin's difficulty
+	// period, 2016, by default).
+	PeriodLength int
+	// ActivationDelay is the number of blocks of the next period that
+	// must be mined before an adopted adjustment becomes effective
+	// (default 200, the paper's "say two hundred").
+	ActivationDelay int
+	// AdoptThreshold is the fraction of period blocks that must vote for
+	// a direction to adopt it (default 0.75).
+	AdoptThreshold float64
+	// VetoThreshold is the fraction of period blocks voting the opposite
+	// direction that blocks adoption (default 0.10).
+	VetoThreshold float64
+	// Step is the fixed limit change per adoption in bytes (default 256 KiB).
+	Step int64
+	// InitialLimit is the starting block size limit (default 1 MiB).
+	InitialLimit int64
+	// MinLimit floors the limit (default 1 MiB).
+	MinLimit int64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.PeriodLength == 0 {
+		c.PeriodLength = 2016
+	}
+	if c.ActivationDelay == 0 {
+		c.ActivationDelay = 200
+	}
+	if c.AdoptThreshold == 0 {
+		c.AdoptThreshold = 0.75
+	}
+	if c.VetoThreshold == 0 {
+		c.VetoThreshold = 0.10
+	}
+	if c.Step == 0 {
+		c.Step = 256 << 10
+	}
+	if c.InitialLimit == 0 {
+		c.InitialLimit = 1 << 20
+	}
+	if c.MinLimit == 0 {
+		c.MinLimit = 1 << 20
+	}
+	if c.PeriodLength < 1 || c.ActivationDelay < 0 || c.ActivationDelay >= c.PeriodLength {
+		return c, fmt.Errorf("countermeasure: activation delay %d must be in [0, period %d)",
+			c.ActivationDelay, c.PeriodLength)
+	}
+	if c.AdoptThreshold <= 0.5 || c.AdoptThreshold > 1 {
+		return c, fmt.Errorf("countermeasure: adopt threshold %g must be in (0.5, 1]", c.AdoptThreshold)
+	}
+	if c.VetoThreshold < 0 || c.VetoThreshold >= c.AdoptThreshold {
+		return c, fmt.Errorf("countermeasure: veto threshold %g must be in [0, adopt threshold)", c.VetoThreshold)
+	}
+	if c.Step <= 0 || c.InitialLimit < c.MinLimit {
+		return c, errors.New("countermeasure: invalid step or limits")
+	}
+	return c, nil
+}
+
+// Schedule is the deterministic limit schedule derived from a chain's
+// votes. It reports the effective limit at every height.
+type Schedule struct {
+	cfg Config
+	// changes lists (height, newLimit) activation points, increasing.
+	heights []int
+	limits  []int64
+}
+
+// LimitAt returns the block size limit in force for the block at the
+// given height.
+func (s *Schedule) LimitAt(height int) int64 {
+	limit := s.cfg.InitialLimit
+	for i, h := range s.heights {
+		if height >= h {
+			limit = s.limits[i]
+		} else {
+			break
+		}
+	}
+	return limit
+}
+
+// Changes returns the activation points as (height, limit) pairs.
+func (s *Schedule) Changes() ([]int, []int64) { return s.heights, s.limits }
+
+// BuildSchedule derives the limit schedule from the per-block votes of a
+// chain, block 0 first. The function is pure: every node evaluating the
+// same vote sequence obtains the same schedule, which is what maintains
+// the prescribed BVC.
+func BuildSchedule(cfg Config, votes []Vote) (*Schedule, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{cfg: cfg}
+	limit := cfg.InitialLimit
+	for start := 0; start+cfg.PeriodLength <= len(votes); start += cfg.PeriodLength {
+		var inc, dec int
+		for _, v := range votes[start : start+cfg.PeriodLength] {
+			switch v {
+			case Increase:
+				inc++
+			case Decrease:
+				dec++
+			}
+		}
+		incFrac := float64(inc) / float64(cfg.PeriodLength)
+		decFrac := float64(dec) / float64(cfg.PeriodLength)
+		next := limit
+		switch {
+		case incFrac >= cfg.AdoptThreshold && decFrac <= cfg.VetoThreshold:
+			next = limit + cfg.Step
+		case decFrac >= cfg.AdoptThreshold && incFrac <= cfg.VetoThreshold:
+			next = limit - cfg.Step
+			if next < cfg.MinLimit {
+				next = cfg.MinLimit
+			}
+		}
+		if next != limit {
+			limit = next
+			s.heights = append(s.heights, start+cfg.PeriodLength+cfg.ActivationDelay)
+			s.limits = append(s.limits, limit)
+		}
+	}
+	return s, nil
+}
+
+// MinerGroup is a cohort of mining power with a target limit: it votes
+// Increase while the limit is below its target, Decrease while above,
+// and Keep at the target.
+type MinerGroup struct {
+	Power  float64
+	Target int64
+}
+
+// SimResult summarizes a simulation run.
+type SimResult struct {
+	// Limits is the effective limit at the start of each period.
+	Limits []int64
+	// Final is the limit after the last period.
+	Final int64
+	// Votes is the full vote sequence (for re-derivation checks).
+	Votes []Vote
+}
+
+// Simulate mines periods*PeriodLength blocks with the given miner groups,
+// each block's vote drawn from the miner that found it, and returns the
+// resulting limit trajectory. The rng drives both block attribution and
+// nothing else, so runs are reproducible.
+func Simulate(cfg Config, groups []MinerGroup, periods int, rng *rand.Rand) (SimResult, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return SimResult{}, err
+	}
+	total := 0.0
+	for _, g := range groups {
+		if g.Power <= 0 {
+			return SimResult{}, errors.New("countermeasure: non-positive miner power")
+		}
+		total += g.Power
+	}
+	if total <= 0 {
+		return SimResult{}, errors.New("countermeasure: no mining power")
+	}
+
+	var res SimResult
+	votes := make([]Vote, 0, periods*cfg.PeriodLength)
+	limit := cfg.InitialLimit
+	var pendingHeight = -1
+	var pendingLimit int64
+	for p := 0; p < periods; p++ {
+		res.Limits = append(res.Limits, limit)
+		var inc, dec int
+		for b := 0; b < cfg.PeriodLength; b++ {
+			height := p*cfg.PeriodLength + b
+			if pendingHeight >= 0 && height >= pendingHeight {
+				limit = pendingLimit
+				pendingHeight = -1
+			}
+			// Pick the block's miner.
+			u := rng.Float64() * total
+			var miner MinerGroup
+			for _, g := range groups {
+				if u < g.Power {
+					miner = g
+					break
+				}
+				u -= g.Power
+			}
+			if miner.Power == 0 {
+				miner = groups[len(groups)-1]
+			}
+			v := Keep
+			switch {
+			case miner.Target > limit:
+				v = Increase
+			case miner.Target < limit:
+				v = Decrease
+			}
+			votes = append(votes, v)
+			switch v {
+			case Increase:
+				inc++
+			case Decrease:
+				dec++
+			}
+		}
+		incFrac := float64(inc) / float64(cfg.PeriodLength)
+		decFrac := float64(dec) / float64(cfg.PeriodLength)
+		next := limit
+		switch {
+		case incFrac >= cfg.AdoptThreshold && decFrac <= cfg.VetoThreshold:
+			next = limit + cfg.Step
+		case decFrac >= cfg.AdoptThreshold && incFrac <= cfg.VetoThreshold:
+			next = limit - cfg.Step
+			if next < cfg.MinLimit {
+				next = cfg.MinLimit
+			}
+		}
+		if next != limit {
+			pendingHeight = (p+1)*cfg.PeriodLength + cfg.ActivationDelay
+			pendingLimit = next
+		}
+	}
+	// Apply a pending change that activates right after the horizon.
+	if pendingHeight >= 0 && pendingHeight <= periods*cfg.PeriodLength {
+		limit = pendingLimit
+	}
+	res.Final = limit
+	res.Votes = votes
+	return res, nil
+}

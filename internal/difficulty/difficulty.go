@@ -1,0 +1,134 @@
+// Package difficulty implements the block difficulty adjustment of
+// Section 2.1: the target is retuned every RetargetInterval blocks so
+// that blocks arrive every TargetSpacing on average, with Bitcoin's 4x
+// clamp on any single adjustment. Targets are 256-bit values compared
+// against block hashes.
+package difficulty
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math/big"
+)
+
+// Bitcoin's scheduling constants.
+const (
+	// RetargetInterval is the number of blocks per adjustment window.
+	RetargetInterval = 2016
+	// TargetSpacing is the desired inter-block time in seconds.
+	TargetSpacing = 600
+	// MaxAdjustment clamps a single retarget factor.
+	MaxAdjustment = 4
+)
+
+var maxTarget = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+
+// Target is a 256-bit proof-of-work threshold: a hash is a solution when
+// it is numerically at most the target.
+type Target struct{ v *big.Int }
+
+// MaxTarget is the easiest possible target (every hash qualifies).
+func MaxTarget() Target { return Target{new(big.Int).Set(maxTarget)} }
+
+// FromDifficulty converts a difficulty (expected hashes per block,
+// relative to MaxTarget) into a target.
+func FromDifficulty(d float64) (Target, error) {
+	if d < 1 {
+		return Target{}, errors.New("difficulty: difficulty below 1")
+	}
+	df := new(big.Float).SetFloat64(d)
+	tf := new(big.Float).Quo(new(big.Float).SetInt(maxTarget), df)
+	v, _ := tf.Int(nil)
+	if v.Sign() <= 0 {
+		return Target{}, errors.New("difficulty: target underflow")
+	}
+	return Target{v}, nil
+}
+
+// Difficulty reports the expected number of hash attempts per block.
+func (t Target) Difficulty() float64 {
+	if t.v == nil || t.v.Sign() <= 0 {
+		return 0
+	}
+	f, _ := new(big.Float).Quo(new(big.Float).SetInt(maxTarget), new(big.Float).SetInt(t.v)).Float64()
+	return f
+}
+
+// Meets reports whether the hash satisfies the target.
+func (t Target) Meets(hash [sha256.Size]byte) bool {
+	if t.v == nil {
+		return false
+	}
+	h := new(big.Int).SetBytes(hash[:])
+	return h.Cmp(t.v) <= 0
+}
+
+// Cmp compares two targets (-1 if t is harder, i.e. smaller).
+func (t Target) Cmp(o Target) int { return t.v.Cmp(o.v) }
+
+// Work returns the expected work (hash attempts) a block at this target
+// represents; chain work sums block work, the quantity "longest chain"
+// really maximizes.
+func (t Target) Work() *big.Int {
+	if t.v == nil || t.v.Sign() <= 0 {
+		return new(big.Int)
+	}
+	w := new(big.Int).Div(maxTarget, t.v)
+	return w.Add(w, big.NewInt(1))
+}
+
+// Retarget computes the next target from the actual time span of the
+// last window, clamping the adjustment factor to [1/MaxAdjustment,
+// MaxAdjustment] as Bitcoin does.
+func Retarget(current Target, actualSeconds int64) (Target, error) {
+	if current.v == nil || current.v.Sign() <= 0 {
+		return Target{}, errors.New("difficulty: invalid current target")
+	}
+	if actualSeconds <= 0 {
+		return Target{}, errors.New("difficulty: non-positive window duration")
+	}
+	const want = int64(RetargetInterval) * TargetSpacing
+	if actualSeconds < want/MaxAdjustment {
+		actualSeconds = want / MaxAdjustment
+	}
+	if actualSeconds > want*MaxAdjustment {
+		actualSeconds = want * MaxAdjustment
+	}
+	next := new(big.Int).Mul(current.v, big.NewInt(actualSeconds))
+	next.Div(next, big.NewInt(want))
+	if next.Cmp(maxTarget) > 0 {
+		next.Set(maxTarget)
+	}
+	if next.Sign() <= 0 {
+		next.SetInt64(1)
+	}
+	return Target{next}, nil
+}
+
+// Schedule simulates a sequence of retargets given per-window hash rates
+// (blocks found per second at difficulty 1) and returns the difficulty
+// after each window. It demonstrates the feedback loop converging to one
+// block per TargetSpacing.
+func Schedule(initial Target, hashRates []float64) ([]float64, error) {
+	cur := initial
+	out := make([]float64, 0, len(hashRates))
+	for _, rate := range hashRates {
+		if rate <= 0 {
+			return nil, errors.New("difficulty: non-positive hash rate")
+		}
+		// Expected seconds to mine the window at this rate and target:
+		// difficulty / rate seconds per block.
+		perBlock := cur.Difficulty() / rate
+		actual := int64(perBlock * RetargetInterval)
+		if actual <= 0 {
+			actual = 1
+		}
+		next, err := Retarget(cur, actual)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		out = append(out, cur.Difficulty())
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package difficulty
+
+import (
+	"crypto/sha256"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDifficultyRoundTrip(t *testing.T) {
+	for _, d := range []float64{1, 2, 1000, 1e12} {
+		tgt, err := FromDifficulty(d)
+		if err != nil {
+			t.Fatalf("FromDifficulty(%g): %v", d, err)
+		}
+		if got := tgt.Difficulty(); math.Abs(got-d)/d > 1e-9 {
+			t.Errorf("Difficulty(FromDifficulty(%g)) = %g", d, got)
+		}
+	}
+	if _, err := FromDifficulty(0.5); err == nil {
+		t.Error("accepted difficulty below 1")
+	}
+}
+
+func TestMeets(t *testing.T) {
+	easy := MaxTarget()
+	var anyHash [sha256.Size]byte
+	for i := range anyHash {
+		anyHash[i] = 0xff
+	}
+	if !easy.Meets(anyHash) {
+		t.Error("max target rejects a hash")
+	}
+	hard, err := FromDifficulty(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Meets(anyHash) {
+		t.Error("hard target accepts the all-ones hash")
+	}
+	var zero [sha256.Size]byte
+	if !hard.Meets(zero) {
+		t.Error("any target must accept the zero hash")
+	}
+}
+
+func TestRetargetDirection(t *testing.T) {
+	cur, err := FromDifficulty(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(RetargetInterval) * TargetSpacing
+	// Blocks came in twice as fast: difficulty must double (target halves).
+	next, err := Retarget(cur, want/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Difficulty(); math.Abs(got-2000)/2000 > 1e-6 {
+		t.Errorf("fast window: difficulty = %g, want 2000", got)
+	}
+	// Blocks came in twice as slow: difficulty halves.
+	next, err = Retarget(cur, want*2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Difficulty(); math.Abs(got-500)/500 > 1e-6 {
+		t.Errorf("slow window: difficulty = %g, want 500", got)
+	}
+	// Exactly on schedule: unchanged.
+	next, err = Retarget(cur, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Cmp(cur) != 0 {
+		t.Errorf("on-schedule retarget changed the target")
+	}
+}
+
+func TestRetargetClamp(t *testing.T) {
+	cur, err := FromDifficulty(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 100x-fast window is clamped to a 4x difficulty increase.
+	next, err := Retarget(cur, int64(RetargetInterval)*TargetSpacing/100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := next.Difficulty(); math.Abs(got-4000)/4000 > 1e-6 {
+		t.Errorf("clamped difficulty = %g, want 4000", got)
+	}
+	if _, err := Retarget(cur, 0); err == nil {
+		t.Error("accepted zero window duration")
+	}
+	if _, err := Retarget(Target{}, 100); err == nil {
+		t.Error("accepted zero target")
+	}
+}
+
+func TestWorkMonotone(t *testing.T) {
+	lo, _ := FromDifficulty(100)
+	hi, _ := FromDifficulty(10000)
+	if lo.Work().Cmp(hi.Work()) >= 0 {
+		t.Error("harder target must represent more work")
+	}
+}
+
+// TestScheduleConvergence: with a constant hash rate, repeated retargets
+// converge to a difficulty equal to rate * TargetSpacing, restoring the
+// ten-minute average of Section 2.1.
+func TestScheduleConvergence(t *testing.T) {
+	initial, err := FromDifficulty(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rate = 50.0 // difficulty-1 blocks per second
+	rates := make([]float64, 12)
+	for i := range rates {
+		rates[i] = rate
+	}
+	ds, err := Schedule(initial, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ds[len(ds)-1]
+	want := rate * TargetSpacing
+	if math.Abs(final-want)/want > 0.01 {
+		t.Errorf("converged difficulty = %g, want %g", final, want)
+	}
+	if _, err := Schedule(initial, []float64{0}); err == nil {
+		t.Error("accepted zero hash rate")
+	}
+}
+
+// TestRetargetBounded is a property test: one retarget never moves
+// difficulty by more than the clamp factor.
+func TestRetargetBounded(t *testing.T) {
+	prop := func(rawD uint32, rawT uint32) bool {
+		d := 1 + float64(rawD%1_000_000)
+		cur, err := FromDifficulty(d)
+		if err != nil {
+			return false
+		}
+		secs := int64(rawT%10_000_000) + 1
+		next, err := Retarget(cur, secs)
+		if err != nil {
+			return false
+		}
+		ratio := next.Difficulty() / cur.Difficulty()
+		return ratio <= MaxAdjustment+1e-6 && ratio >= 1.0/MaxAdjustment-1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+// Package feemarket implements Rizun's fee-market model ("A Transaction
+// Fee Market Exists Without a Block Size Limit", 2015), which the paper
+// reviews in Section 2.3: without any block size limit, a rational
+// miner's block size trades the extra fees of a larger block against its
+// higher orphaning probability, because larger blocks propagate more
+// slowly.
+//
+// The model gives each miner a maximum profitable block size (MPB)
+// determined by its network capacity and the fee supply — exactly
+// Assumption 2 of the paper's block size increasing game (Section 5.2).
+// DeriveMPBs connects the two: it computes the MPB of each miner group
+// from first principles and feeds the result to games.BlockSizeGame.
+package feemarket
+
+import (
+	"errors"
+	"math"
+)
+
+// Miner describes one miner's economics.
+type Miner struct {
+	// Power is the miner's hash power share in (0, 1).
+	Power float64
+	// Bandwidth is the effective block propagation rate to the rest of
+	// the network, in bytes per second. Larger blocks take Size/Bandwidth
+	// seconds to reach other miners, during which a competing block can
+	// orphan them.
+	Bandwidth float64
+}
+
+// Market describes the shared environment.
+type Market struct {
+	// BlockReward is the fixed subsidy per block, in coin units.
+	BlockReward float64
+	// FeeRate is the marginal fee supply, in coins per byte: the fee
+	// collected by including one more byte of transactions. (A constant
+	// marginal rate is Rizun's simplest supply curve; Mempool-derived
+	// curves can be plugged in via FeeForSize.)
+	FeeRate float64
+	// MeanInterval is the expected block interval in seconds (600).
+	MeanInterval float64
+	// FeeForSize overrides the linear fee supply when non-nil.
+	FeeForSize func(size float64) float64
+}
+
+func (m Market) withDefaults() (Market, error) {
+	if m.BlockReward == 0 {
+		m.BlockReward = 12.5
+	}
+	if m.MeanInterval == 0 {
+		m.MeanInterval = 600
+	}
+	if m.BlockReward < 0 || m.FeeRate < 0 || m.MeanInterval <= 0 {
+		return m, errors.New("feemarket: invalid market parameters")
+	}
+	return m, nil
+}
+
+func (m Market) fees(size float64) float64 {
+	if m.FeeForSize != nil {
+		return m.FeeForSize(size)
+	}
+	return m.FeeRate * size
+}
+
+// OrphanProbability is Rizun's orphaning model: while a block of the
+// given size propagates (size/bandwidth seconds), the rest of the
+// network (power share 1-p) may find a competing block; block discovery
+// is Poisson with rate 1/MeanInterval.
+func OrphanProbability(miner Miner, market Market, size float64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	tau := size / miner.Bandwidth
+	rate := (1 - miner.Power) / market.MeanInterval
+	return 1 - math.Exp(-rate*tau)
+}
+
+// ExpectedProfit is the miner's expected revenue per block found: the
+// reward plus fees, discounted by the probability the block survives.
+// (Mining hardware costs are sunk per block found and drop out of the
+// size choice.)
+func ExpectedProfit(miner Miner, market Market, size float64) float64 {
+	win := 1 - OrphanProbability(miner, market, size)
+	return win * (market.BlockReward + market.fees(size))
+}
+
+// OptimalSize numerically maximizes ExpectedProfit over [0, maxSize]
+// by golden-section search (the profit is unimodal in Rizun's model:
+// increasing fee income against exponentially decaying survival).
+func OptimalSize(miner Miner, market Market, maxSize float64) (float64, error) {
+	market, err := market.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if miner.Power <= 0 || miner.Power >= 1 || miner.Bandwidth <= 0 {
+		return 0, errors.New("feemarket: invalid miner parameters")
+	}
+	if maxSize <= 0 {
+		return 0, errors.New("feemarket: non-positive size bound")
+	}
+	f := func(s float64) float64 { return ExpectedProfit(miner, market, s) }
+	lo, hi := 0.0, maxSize
+	const phi = 0.6180339887498949
+	a := hi - phi*(hi-lo)
+	b := lo + phi*(hi-lo)
+	fa, fb := f(a), f(b)
+	for i := 0; i < 200 && hi-lo > 1; i++ {
+		if fa < fb {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = f(b)
+		} else {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = f(a)
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// BreakEvenSize finds the largest size at which the miner's expected
+// profit still exceeds `threshold` times the profit of mining an empty
+// block — the paper's "maximum profitable block size" (MPB) notion: if
+// most blockchain blocks are larger, the miner is effectively priced
+// out. threshold is typically 1 (strictly better than empty blocks).
+func BreakEvenSize(miner Miner, market Market, threshold, maxSize float64) (float64, error) {
+	market, err := market.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if miner.Power <= 0 || miner.Power >= 1 || miner.Bandwidth <= 0 {
+		return 0, errors.New("feemarket: invalid miner parameters")
+	}
+	base := threshold * ExpectedProfit(miner, market, 0)
+	// Profit(0) = base/threshold; find the largest s with profit >= base
+	// by bisection past the optimum.
+	opt, err := OptimalSize(miner, market, maxSize)
+	if err != nil {
+		return 0, err
+	}
+	if ExpectedProfit(miner, market, maxSize) >= base {
+		return maxSize, nil
+	}
+	lo, hi := opt, maxSize
+	for i := 0; i < 200 && hi-lo > 1; i++ {
+		mid := (lo + hi) / 2
+		if ExpectedProfit(miner, market, mid) >= base {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// DeriveMPBs computes each miner's break-even size, returning values
+// suitable as MPB inputs to the block size increasing game. Miners are
+// returned in the input order; callers sort by MPB before building the
+// game.
+func DeriveMPBs(miners []Miner, market Market, maxSize float64) ([]int64, error) {
+	out := make([]int64, len(miners))
+	for i, m := range miners {
+		s, err := BreakEvenSize(m, market, 1, maxSize)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(s)
+	}
+	return out, nil
+}

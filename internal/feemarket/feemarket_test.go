@@ -1,0 +1,178 @@
+package feemarket
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"buanalysis/internal/games"
+)
+
+const mb = 1 << 20
+
+func market() Market {
+	return Market{BlockReward: 12.5, FeeRate: 2e-6, MeanInterval: 600}
+}
+
+func TestOrphanProbability(t *testing.T) {
+	m := Miner{Power: 0.2, Bandwidth: float64(mb)} // 1 MB/s
+	mk := market()
+	if got := OrphanProbability(m, mk, 0); got != 0 {
+		t.Errorf("empty block orphan probability = %g, want 0", got)
+	}
+	small := OrphanProbability(m, mk, mb)
+	large := OrphanProbability(m, mk, 8*mb)
+	if !(0 < small && small < large && large < 1) {
+		t.Errorf("orphan probabilities not ordered: %g, %g", small, large)
+	}
+	// Faster bandwidth lowers the orphan probability.
+	fast := Miner{Power: 0.2, Bandwidth: 10 * float64(mb)}
+	if OrphanProbability(fast, mk, 8*mb) >= large {
+		t.Error("faster miner should orphan less")
+	}
+	// More power lowers it too (fewer competitors).
+	big := Miner{Power: 0.6, Bandwidth: float64(mb)}
+	if OrphanProbability(big, mk, 8*mb) >= large {
+		t.Error("stronger miner should orphan less")
+	}
+}
+
+// TestFeeMarketExists is Rizun's headline: with positive fees and finite
+// bandwidth, the optimal block size is interior — neither zero nor
+// unbounded — so a fee market exists without a protocol limit.
+func TestFeeMarketExists(t *testing.T) {
+	m := Miner{Power: 0.2, Bandwidth: float64(mb)}
+	mk := market()
+	opt, err := OptimalSize(m, mk, 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytically the optimum of exp(-c s)(R + f s) is 1/c - R/f.
+	c := (1 - m.Power) / (mk.MeanInterval * m.Bandwidth)
+	want := 1/c - mk.BlockReward/mk.FeeRate
+	if opt < 0.95*want || opt > 1.05*want {
+		t.Errorf("optimal size %g, want ~%g", opt, want)
+	}
+	// Profit at the optimum beats both extremes.
+	p0 := ExpectedProfit(m, mk, 0)
+	pOpt := ExpectedProfit(m, mk, opt)
+	pHuge := ExpectedProfit(m, mk, 1<<31)
+	if pOpt <= p0 || pOpt <= pHuge {
+		t.Errorf("optimum not interior: p(0)=%g p(opt)=%g p(huge)=%g", p0, pOpt, pHuge)
+	}
+}
+
+func TestOptimalSizeMonotoneInBandwidth(t *testing.T) {
+	mk := market()
+	prev := 0.0
+	for _, bw := range []float64{0.25 * float64(mb), float64(mb), 4 * float64(mb)} {
+		opt, err := OptimalSize(Miner{Power: 0.1, Bandwidth: bw}, mk, 1<<33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt < prev {
+			t.Errorf("optimal size decreased with bandwidth: %g after %g", opt, prev)
+		}
+		prev = opt
+	}
+}
+
+func TestBreakEvenBeyondOptimum(t *testing.T) {
+	// A slow miner (100 KB/s) has an interior break-even well below 1 GB.
+	m := Miner{Power: 0.2, Bandwidth: 1e5}
+	mk := market()
+	opt, err := OptimalSize(m, mk, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := BreakEvenSize(m, mk, 1, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be < opt {
+		t.Errorf("break-even %g below optimum %g", be, opt)
+	}
+	// At the break-even size the profit is within a whisker of the
+	// empty-block profit.
+	p := ExpectedProfit(m, mk, be)
+	p0 := ExpectedProfit(m, mk, 0)
+	if p < 0.98*p0 || p > 1.05*p0 {
+		t.Errorf("break-even profit %g not near empty-block profit %g", p, p0)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mk := market()
+	if _, err := OptimalSize(Miner{Power: 0, Bandwidth: 1}, mk, 100); err == nil {
+		t.Error("accepted zero power")
+	}
+	if _, err := OptimalSize(Miner{Power: 0.5, Bandwidth: 0}, mk, 100); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+	if _, err := OptimalSize(Miner{Power: 0.5, Bandwidth: 1}, mk, 0); err == nil {
+		t.Error("accepted zero size bound")
+	}
+	if _, err := BreakEvenSize(Miner{Power: 0.5, Bandwidth: 1}, Market{MeanInterval: -1}, 1, 100); err == nil {
+		t.Error("accepted negative interval")
+	}
+}
+
+// TestDeriveMPBsFeedsBlockSizeGame is the Section 2.3 -> Section 5.2
+// bridge: derive MPBs from bandwidths and run the block size increasing
+// game on them. Miners with more bandwidth get larger MPBs, and the
+// game shows whether the slow miners get forced out.
+func TestDeriveMPBsFeedsBlockSizeGame(t *testing.T) {
+	miners := []Miner{
+		{Power: 0.10, Bandwidth: 5e4}, // slow home miner (50 KB/s)
+		{Power: 0.20, Bandwidth: 1e5},
+		{Power: 0.30, Bandwidth: 4e5},
+		{Power: 0.40, Bandwidth: 1.6e6}, // datacenter cartel
+	}
+	mpbs, err := DeriveMPBs(miners, market(), 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(mpbs, func(i, j int) bool { return mpbs[i] < mpbs[j] }) {
+		t.Fatalf("MPBs not increasing with bandwidth: %v", mpbs)
+	}
+	powers := []float64{0.10, 0.20, 0.30, 0.40}
+	g, err := games.NewBlockSizeGame(powers, mpbs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Play()
+	// This is Figure 4's distribution: the slowest miner is forced out.
+	if res.Survivors != 1 {
+		t.Errorf("survivors start at %d, want 1 (slowest miner forced out)", res.Survivors)
+	}
+}
+
+// TestProfitUnimodal is a property test supporting the golden-section
+// search: along increasing sizes, profit rises then falls (no second
+// peak) for random miner parameters.
+func TestProfitUnimodal(t *testing.T) {
+	prop := func(rawPower, rawBW uint16) bool {
+		m := Miner{
+			Power:     0.05 + 0.9*float64(rawPower)/65536,
+			Bandwidth: float64(mb) * (0.1 + 10*float64(rawBW)/65536),
+		}
+		mk := market()
+		prev := ExpectedProfit(m, mk, 0)
+		falling := false
+		for s := float64(mb) / 4; s < float64(256*mb); s *= 1.5 {
+			p := ExpectedProfit(m, mk, s)
+			if p > prev+1e-9 {
+				if falling {
+					return false // second rise: not unimodal
+				}
+			} else if p < prev-1e-9 {
+				falling = true
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package fullnode integrates the substrates into a working currency
+// node: a validating ledger (internal/ledger), a fee-ordered mempool
+// (internal/mempool), toy proof of work (internal/chain), and gossip of
+// transactions and full blocks over real net.Conn transports using the
+// p2p wire format.
+//
+// Each node enforces its own block size limit at full validation depth,
+// so nodes configured with different limits — the BU situation — end up
+// with different UTXO sets: the same coin can be "confirmed" to two
+// different recipients on two nodes of the same running network, which
+// is the paper's block-validity-consensus hazard expressed in actual
+// account balances rather than MDP rewards.
+package fullnode
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/ledger"
+	"buanalysis/internal/mempool"
+	"buanalysis/internal/p2p"
+	"buanalysis/internal/protocol"
+	"buanalysis/internal/tx"
+)
+
+// Config configures a full node.
+type Config struct {
+	// Name identifies the node and its mined blocks.
+	Name string
+	// Key receives this node's coinbase payouts.
+	Key tx.Keypair
+	// Subsidy per block.
+	Subsidy int64
+	// MaxBlockSize is this node's block validity limit (its "EB" in BU
+	// terms; nodes may disagree). 0 means unlimited.
+	MaxBlockSize int64
+	// Rules, when set, replaces the flat MaxBlockSize acceptance with
+	// full BU-style chain selection (protocol.BU: excessive blocks become
+	// acceptable once buried AD deep, opening the sticky gate). The
+	// ledger then stores oversize blocks and the node capitulates to a
+	// branch exactly when the rules accept its whole path.
+	Rules protocol.Rules
+	// PoWBits is the toy proof-of-work difficulty (0 disables).
+	PoWBits uint
+	// SealTries bounds the nonce search per mining attempt.
+	SealTries uint64
+}
+
+// Node is a running full node.
+type Node struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ledger *ledger.Ledger
+	pool   *mempool.Pool
+	// seen dedupes gossip.
+	seenTx    map[tx.ID]bool
+	seenBlock map[chain.ID]bool
+	// orphan blocks waiting for their parents.
+	pendingBlocks map[chain.ID][]*ledger.FullBlock
+	peers         map[net.Conn]*sync.Mutex // per-connection write locks
+	closed        bool
+
+	listener net.Listener
+	wg       sync.WaitGroup
+}
+
+// New creates a node with an empty chain.
+func New(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("fullnode: node needs a name")
+	}
+	if cfg.Subsidy <= 0 {
+		return nil, errors.New("fullnode: subsidy must be positive")
+	}
+	if cfg.SealTries == 0 {
+		cfg.SealTries = 1 << 22
+	}
+	sizeLimit := cfg.MaxBlockSize
+	if cfg.Rules != nil {
+		// BU-style nodes store any block the wire can carry; validity is
+		// judged per chain by the rules at selection time.
+		sizeLimit = 0
+	}
+	params := ledger.Params{
+		Subsidy:      cfg.Subsidy,
+		MaxBlockSize: sizeLimit,
+		PoWBits:      cfg.PoWBits,
+	}
+	if cfg.Rules != nil {
+		params.AcceptBranch = func(path []*chain.Block) bool {
+			return protocol.AcceptsTip(cfg.Rules, path)
+		}
+	}
+	l := ledger.New(params)
+	return &Node{
+		cfg:           cfg,
+		ledger:        l,
+		pool:          mempool.New(l.UTXO()),
+		seenTx:        make(map[tx.ID]bool),
+		seenBlock:     make(map[chain.ID]bool),
+		pendingBlocks: make(map[chain.ID][]*ledger.FullBlock),
+		peers:         make(map[net.Conn]*sync.Mutex),
+	}, nil
+}
+
+// Listen accepts peers on addr ("127.0.0.1:0" for tests).
+func (n *Node) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("fullnode: closed")
+	}
+	n.listener = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.addConn(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Dial connects to a peer.
+func (n *Node) Dial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	n.addConn(conn)
+	return nil
+}
+
+func (n *Node) addConn(conn net.Conn) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.peers[conn] = &sync.Mutex{}
+	// Sync a late joiner: send our active chain's full blocks in order.
+	var blocks []*ledger.FullBlock
+	for b := n.ledger.Head(); b.Height > 0; {
+		fb := n.ledger.Block(b.ID())
+		blocks = append([]*ledger.FullBlock{fb}, blocks...)
+		parent := fb.Header.Parent
+		next := n.ledger.Block(parent)
+		if next == nil {
+			break
+		}
+		b = next.Header
+	}
+	head := n.ledger.Head()
+	n.mu.Unlock()
+	// Edge case: height-1 chains have no parent FullBlock; resend head.
+	if len(blocks) == 0 && head.Height > 0 {
+		if fb := n.ledger.Block(head.ID()); fb != nil {
+			blocks = []*ledger.FullBlock{fb}
+		}
+	}
+	for _, fb := range blocks {
+		n.sendBlock(conn, fb)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer conn.Close()
+		for {
+			m, err := p2p.Decode(conn)
+			if err != nil {
+				n.mu.Lock()
+				delete(n.peers, conn)
+				n.mu.Unlock()
+				return
+			}
+			n.handle(m)
+		}
+	}()
+}
+
+// sendBlock writes a full block to one peer.
+func (n *Node) sendBlock(conn net.Conn, fb *ledger.FullBlock) {
+	msg := &p2p.Message{Type: p2p.MsgBlock, Block: fb.Header}
+	for _, txn := range fb.Txs {
+		msg.TxData = append(msg.TxData, txn.Serialize())
+	}
+	n.write(conn, msg)
+}
+
+func (n *Node) write(conn net.Conn, m *p2p.Message) {
+	n.mu.Lock()
+	lock := n.peers[conn]
+	n.mu.Unlock()
+	if lock == nil {
+		return
+	}
+	lock.Lock()
+	defer lock.Unlock()
+	if err := p2p.Encode(conn, m); err != nil {
+		conn.Close()
+	}
+}
+
+// broadcast sends a message to every peer.
+func (n *Node) broadcast(m *p2p.Message) {
+	n.mu.Lock()
+	conns := make([]net.Conn, 0, len(n.peers))
+	for c := range n.peers {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		n.write(c, m)
+	}
+}
+
+// handle dispatches one incoming message.
+func (n *Node) handle(m *p2p.Message) {
+	switch m.Type {
+	case p2p.MsgTx:
+		txn, err := tx.Deserialize(m.TxData[0])
+		if err != nil {
+			return
+		}
+		n.SubmitTx(txn)
+	case p2p.MsgBlock:
+		fb := &ledger.FullBlock{Header: m.Block}
+		for _, td := range m.TxData {
+			txn, err := tx.Deserialize(td)
+			if err != nil {
+				return
+			}
+			fb.Txs = append(fb.Txs, txn)
+		}
+		n.SubmitBlock(fb)
+	}
+}
+
+// SubmitTx validates a transaction into the mempool and gossips it.
+// Transactions invalid under the node's current UTXO view are dropped
+// (and not re-gossiped).
+func (n *Node) SubmitTx(txn *tx.Transaction) error {
+	id := txn.TxID()
+	n.mu.Lock()
+	if n.seenTx[id] {
+		n.mu.Unlock()
+		return nil
+	}
+	n.seenTx[id] = true
+	err := n.pool.Add(txn)
+	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	n.broadcast(&p2p.Message{Type: p2p.MsgTx, TxData: [][]byte{txn.Serialize()}})
+	return nil
+}
+
+// SubmitBlock ingests a full block (local or from the network), updating
+// the ledger and mempool, and re-gossips it if it was new and valid
+// under this node's rules. Blocks with unknown parents are buffered.
+func (n *Node) SubmitBlock(fb *ledger.FullBlock) error {
+	id := fb.Header.ID()
+	n.mu.Lock()
+	if n.seenBlock[id] {
+		n.mu.Unlock()
+		return nil
+	}
+	n.seenBlock[id] = true
+	if fb.Header.Height > 1 && n.ledger.Block(fb.Header.Parent) == nil {
+		n.pendingBlocks[fb.Header.Parent] = append(n.pendingBlocks[fb.Header.Parent], fb)
+		n.mu.Unlock()
+		return nil
+	}
+	accepted := n.ingestLocked(fb)
+	n.mu.Unlock()
+	if len(accepted) == 0 {
+		return fmt.Errorf("fullnode %s: block %v rejected", n.cfg.Name, id)
+	}
+	for _, blk := range accepted {
+		msg := &p2p.Message{Type: p2p.MsgBlock, Block: blk.Header}
+		for _, txn := range blk.Txs {
+			msg.TxData = append(msg.TxData, txn.Serialize())
+		}
+		n.broadcast(msg)
+	}
+	return nil
+}
+
+// ingestLocked adds a block and any buffered children; n.mu held.
+func (n *Node) ingestLocked(fb *ledger.FullBlock) []*ledger.FullBlock {
+	var accepted []*ledger.FullBlock
+	queue := []*ledger.FullBlock{fb}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if err := n.ledger.AddBlock(blk); err != nil {
+			continue
+		}
+		accepted = append(accepted, blk)
+		id := blk.Header.ID()
+		queue = append(queue, n.pendingBlocks[id]...)
+		delete(n.pendingBlocks, id)
+	}
+	if len(accepted) > 0 {
+		n.pool.Prune()
+	}
+	return accepted
+}
+
+// Mine assembles a block from the mempool, seals it, and submits it.
+// It returns the block, or an error if sealing failed.
+func (n *Node) Mine() (*ledger.FullBlock, error) {
+	n.mu.Lock()
+	head := n.ledger.Head()
+	limit := n.cfg.MaxBlockSize
+	if limit == 0 {
+		limit = 1 << 62
+	}
+	// Reserve room for the coinbase (its size is payload-independent).
+	cbProto := &tx.Transaction{Outputs: []tx.Output{{Value: 0, PubKey: n.cfg.Key.Pub}}}
+	asm, err := n.pool.Assemble(limit - cbProto.Size())
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	cb := &tx.Transaction{
+		Outputs: []tx.Output{{Value: n.cfg.Subsidy + asm.TotalFees, PubKey: n.cfg.Key.Pub}},
+		Payload: []byte(n.cfg.Name + fmt.Sprint(head.Height)), // unique per height
+	}
+	txs := append([]*tx.Transaction{cb}, asm.Transactions...)
+	fb := ledger.Assemble(head, txs, n.cfg.Name, 0)
+	n.mu.Unlock()
+
+	if n.cfg.PoWBits > 0 {
+		if err := fb.Header.Seal(n.cfg.PoWBits, n.cfg.SealTries); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.SubmitBlock(fb); err != nil {
+		return nil, err
+	}
+	return fb, nil
+}
+
+// Head returns the node's active chain tip.
+func (n *Node) Head() *chain.Block {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ledger.Head()
+}
+
+// Balance sums the unspent outputs payable to a key, per this node's
+// ledger — the quantity two BU nodes can disagree about.
+func (n *Node) Balance(pub [32]byte) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var total int64
+	for _, op := range n.utxoOutpointsLocked() {
+		out, ok := n.ledger.UTXO().Lookup(op)
+		if ok && out.PubKey == pub {
+			total += out.Value
+		}
+	}
+	return total
+}
+
+// Confirmations reports a transaction's depth in this node's chain.
+func (n *Node) Confirmations(id tx.ID) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ledger.Confirmations(id)
+}
+
+// MempoolSize reports pooled transactions.
+func (n *Node) MempoolSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pool.Len()
+}
+
+// utxoOutpointsLocked snapshots the UTXO keys (n.mu held).
+func (n *Node) utxoOutpointsLocked() []tx.Outpoint {
+	// The UTXO set does not expose iteration; walk the active chain's
+	// outputs instead and keep the ones still unspent.
+	var ops []tx.Outpoint
+	for b := n.ledger.Head(); ; {
+		fb := n.ledger.Block(b.ID())
+		if fb == nil {
+			break
+		}
+		for _, txn := range fb.Txs {
+			id := txn.TxID()
+			for i := range txn.Outputs {
+				op := tx.Outpoint{TxID: id, Index: uint32(i)}
+				if _, ok := n.ledger.UTXO().Lookup(op); ok {
+					ops = append(ops, op)
+				}
+			}
+		}
+		if fb.Header.Height <= 1 {
+			break
+		}
+		parent := n.ledger.Block(fb.Header.Parent)
+		if parent == nil {
+			break
+		}
+		b = parent.Header
+	}
+	return ops
+}
+
+// Close shuts the node down.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.listener
+	conns := make([]net.Conn, 0, len(n.peers))
+	for c := range n.peers {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}

@@ -1,0 +1,349 @@
+package fullnode
+
+import (
+	"testing"
+	"time"
+
+	"buanalysis/internal/ledger"
+	"buanalysis/internal/protocol"
+	"buanalysis/internal/tx"
+)
+
+const subsidy = 50
+
+func keypair(b byte) tx.Keypair {
+	var s [32]byte
+	s[0] = b
+	return tx.NewKeypair(s)
+}
+
+func newNode(t *testing.T, name string, key tx.Keypair, maxSize int64) *Node {
+	t.Helper()
+	n, err := New(Config{
+		Name: name, Key: key, Subsidy: subsidy,
+		MaxBlockSize: maxSize, PoWBits: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Key: keypair(1), Subsidy: 1}); err == nil {
+		t.Error("accepted empty name")
+	}
+	if _, err := New(Config{Name: "x", Key: keypair(1)}); err == nil {
+		t.Error("accepted zero subsidy")
+	}
+}
+
+// TestMiningAndPayment runs the full currency loop over sockets: mine a
+// coinbase, broadcast a signed payment, another node mines it into a
+// block, and both ledgers agree on balances and confirmations.
+func TestMiningAndPayment(t *testing.T) {
+	minerKey, aliceKey := keypair(1), keypair(2)
+	miner := newNode(t, "miner", minerKey, 1<<20)
+	wallet := newNode(t, "wallet", aliceKey, 1<<20)
+
+	addr, err := miner.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wallet.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mine a funding block; it must reach the wallet node.
+	fund, err := miner.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "funding block propagation", func() bool {
+		return wallet.Head().ID() == fund.Header.ID()
+	})
+	if got := wallet.Balance(minerKey.Pub); got != subsidy {
+		t.Fatalf("wallet sees miner balance %d, want %d", got, subsidy)
+	}
+
+	// The miner pays alice 30 with a fee of 2, submitted at the wallet
+	// node (it must gossip back to the miner).
+	cb := fund.Txs[0]
+	payment := &tx.Transaction{
+		Inputs: []tx.Input{{Previous: tx.Outpoint{TxID: cb.TxID(), Index: 0}}},
+		Outputs: []tx.Output{
+			{Value: 30, PubKey: aliceKey.Pub},
+			{Value: subsidy - 30 - 2, PubKey: minerKey.Pub},
+		},
+	}
+	if err := payment.Sign(0, minerKey.Priv); err != nil {
+		t.Fatal(err)
+	}
+	if err := wallet.SubmitTx(payment); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "tx gossip", func() bool { return miner.MempoolSize() == 1 })
+
+	// Mine it. The coinbase claims subsidy + fee.
+	blk, err := miner.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blk.Txs) != 2 {
+		t.Fatalf("mined block has %d txs, want coinbase + payment", len(blk.Txs))
+	}
+	if blk.Txs[0].Outputs[0].Value != subsidy+2 {
+		t.Errorf("coinbase value = %d, want %d", blk.Txs[0].Outputs[0].Value, subsidy+2)
+	}
+	waitFor(t, "payment confirmation at the wallet", func() bool {
+		return wallet.Confirmations(payment.TxID()) == 1
+	})
+	if got := wallet.Balance(aliceKey.Pub); got != 30 {
+		t.Errorf("alice balance = %d, want 30", got)
+	}
+	if got := miner.Balance(aliceKey.Pub); got != 30 {
+		t.Errorf("miner's view of alice balance = %d, want 30", got)
+	}
+	if wallet.MempoolSize() != 0 || miner.MempoolSize() != 0 {
+		t.Errorf("mempools not drained: wallet %d, miner %d",
+			wallet.MempoolSize(), miner.MempoolSize())
+	}
+}
+
+// TestLateJoinerFullSync: a node connecting after several blocks
+// receives the whole chain with transactions.
+func TestLateJoinerFullSync(t *testing.T) {
+	minerKey := keypair(1)
+	miner := newNode(t, "miner", minerKey, 1<<20)
+	addr, err := miner.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := miner.Mine(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := newNode(t, "late", keypair(2), 1<<20)
+	if err := late.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "late joiner sync", func() bool { return late.Head().Height == 3 })
+	if got := late.Balance(minerKey.Pub); got != 3*subsidy {
+		t.Errorf("late joiner sees balance %d, want %d", got, 3*subsidy)
+	}
+}
+
+// TestLedgerSplitRealMoney is the paper's hazard in account balances:
+// bob (1 MB limit) and carol (8 MB limit) share one network; the
+// attacker gets a big block accepted by carol only, then spends the same
+// coin to two different merchants — each "confirmed" on one node.
+func TestLedgerSplitRealMoney(t *testing.T) {
+	attacker := keypair(1)
+	m1, m2 := keypair(2), keypair(3) // the two merchants
+	// The attacker mines its funding on a node with carol's rules.
+	alice := newNode(t, "alice", attacker, 8<<20)
+	bob := newNode(t, "bob", keypair(4), 1<<20)
+	carol := newNode(t, "carol", keypair(5), 8<<20)
+
+	addrB, err := bob.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrC, err := carol.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Dial(addrB.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Dial(addrC.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A small funding block everyone accepts.
+	fund, err := alice.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "funding sync", func() bool {
+		return bob.Head().Height == 1 && carol.Head().Height == 1
+	})
+	coin := tx.Outpoint{TxID: fund.Txs[0].TxID(), Index: 0}
+
+	// The attacker builds a >1MB block containing a payment to merchant
+	// 1. Carol accepts it; bob rejects it.
+	pay1 := &tx.Transaction{
+		Inputs:  []tx.Input{{Previous: coin}},
+		Outputs: []tx.Output{{Value: subsidy, PubKey: m1.Pub}},
+		Payload: make([]byte, 2<<20), // pushes the block over bob's limit
+	}
+	if err := pay1.Sign(0, attacker.Priv); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker does not gossip pay1 as a loose transaction — the
+	// paper's merchants on one chain must not see the other chain's
+	// conflicting spend — but embeds it directly in a self-built block.
+	cb2 := &tx.Transaction{
+		Outputs: []tx.Output{{Value: subsidy, PubKey: attacker.Pub}},
+		Payload: []byte("big"),
+	}
+	big := ledger.Assemble(alice.Head(), []*tx.Transaction{cb2, pay1}, "alice", 0)
+	if err := big.Header.Seal(4, 1<<22); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.SubmitBlock(big); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "carol accepting the big block", func() bool {
+		return carol.Head().ID() == big.Header.ID()
+	})
+	if bob.Head().Height != 1 {
+		t.Fatalf("bob accepted an oversize block")
+	}
+
+	// The same coin pays merchant 2 in a small transaction; bob's view
+	// still has it unspent, so a small block on bob's chain confirms it.
+	pay2 := &tx.Transaction{
+		Inputs:  []tx.Input{{Previous: coin}},
+		Outputs: []tx.Output{{Value: subsidy, PubKey: m2.Pub}},
+	}
+	if err := pay2.Sign(0, attacker.Priv); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.SubmitTx(pay2); err != nil {
+		t.Fatalf("bob rejected the second spend: %v", err)
+	}
+	small, err := bob.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Txs) != 2 {
+		t.Fatalf("bob's block has %d txs, want 2", len(small.Txs))
+	}
+
+	// The hazard, in balances: merchant 1 is paid on carol's ledger,
+	// merchant 2 on bob's — the same coin, spent twice, both "confirmed".
+	waitFor(t, "divergent confirmations", func() bool {
+		return carol.Confirmations(pay1.TxID()) >= 1 && bob.Confirmations(pay2.TxID()) >= 1
+	})
+	if carol.Balance(m1.Pub) != subsidy {
+		t.Errorf("carol's ledger: merchant1 balance = %d, want %d", carol.Balance(m1.Pub), subsidy)
+	}
+	if bob.Balance(m2.Pub) != subsidy {
+		t.Errorf("bob's ledger: merchant2 balance = %d, want %d", bob.Balance(m2.Pub), subsidy)
+	}
+	if bob.Balance(m1.Pub) != 0 || carol.Balance(m2.Pub) != 0 {
+		t.Errorf("merchants paid on both ledgers: views did not diverge")
+	}
+}
+
+// TestBUCapitulationFullNodes runs the paper's AD mechanics over full
+// blocks and sockets: bob (EB=1MB, AD=3) rejects a big block until it is
+// buried AD deep, then capitulates — orphaning his own chain — and his
+// sticky gate accepts the next big block immediately.
+func TestBUCapitulationFullNodes(t *testing.T) {
+	attacker := keypair(1)
+	mkBU := func(name string, eb int64) *Node {
+		n, err := New(Config{
+			Name: name, Key: keypair(9), Subsidy: subsidy,
+			Rules: protocol.BU{EB: eb, AD: 3},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { n.Close() })
+		return n
+	}
+	bob := mkBU("bob", 1<<20)
+	carol := mkBU("carol", 8<<20)
+	alice, err := New(Config{
+		Name: "alice", Key: attacker, Subsidy: subsidy,
+		Rules: protocol.BU{EB: 8 << 20, AD: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { alice.Close() })
+
+	addrB, err := bob.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrC, err := carol.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Dial(addrB.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Dial(addrC.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := carol.Dial(addrB.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Small common prefix.
+	if _, err := alice.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "prefix sync", func() bool {
+		return bob.Head().Height == 1 && carol.Head().Height == 1
+	})
+
+	// A big block (oversized coinbase payload) splits bob from carol.
+	bigCB := &tx.Transaction{
+		Outputs: []tx.Output{{Value: subsidy, PubKey: attacker.Pub}},
+		Payload: make([]byte, 2<<20),
+	}
+	big := ledger.Assemble(alice.Head(), []*tx.Transaction{bigCB}, "alice", 0)
+	if err := alice.SubmitBlock(big); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "carol adopting the big block", func() bool {
+		return carol.Head().ID() == big.Header.ID()
+	})
+	if bob.Head().Height != 1 {
+		t.Fatalf("bob adopted the unburied excessive block")
+	}
+
+	// Carol buries it AD deep; bob capitulates.
+	if _, err := carol.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := carol.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bob capitulating at AD burial", func() bool {
+		return bob.Head().ID() == tip.Header.ID()
+	})
+
+	// Bob's sticky gate is now open: the next big block is accepted
+	// immediately, with no burial wait.
+	bigCB2 := &tx.Transaction{
+		Outputs: []tx.Output{{Value: subsidy, PubKey: attacker.Pub}},
+		Payload: make([]byte, 3<<20),
+	}
+	big2 := ledger.Assemble(carol.Head(), []*tx.Transaction{bigCB2}, "alice", 0)
+	if err := alice.SubmitBlock(big2); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bob accepting under the open gate", func() bool {
+		return bob.Head().ID() == big2.Header.ID()
+	})
+}

@@ -1,0 +1,162 @@
+package games
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockSizeGame is the block size increasing game of Section 5.2: n miner
+// groups with distinct maximum profitable block sizes (MPBs), in
+// increasing order, vote in rounds on raising the generation size MG to
+// the next MPB. A raise forces the lowest remaining group out of
+// business; the rewards are eventually split among the survivors. All
+// groups know each other's MPBs and vote strategically.
+type BlockSizeGame struct {
+	// Powers are the groups' mining power shares, ordered by increasing
+	// MPB. A group may hold more than half of the total power.
+	Powers []float64
+	// MPB are the groups' maximum profitable block sizes, strictly
+	// increasing. Optional: the game's analysis depends only on the
+	// ordering, but the values make playouts and examples concrete.
+	MPB []int64
+}
+
+// NewBlockSizeGame validates and constructs the game.
+func NewBlockSizeGame(powers []float64, mpb []int64) (*BlockSizeGame, error) {
+	if err := powersValid(powers); err != nil {
+		return nil, err
+	}
+	if mpb != nil {
+		if len(mpb) != len(powers) {
+			return nil, fmt.Errorf("games: %d MPB values for %d groups", len(mpb), len(powers))
+		}
+		for i := 1; i < len(mpb); i++ {
+			if mpb[i] <= mpb[i-1] {
+				return nil, errors.New("games: MPB values must be strictly increasing")
+			}
+		}
+	}
+	return &BlockSizeGame{Powers: powers, MPB: mpb}, nil
+}
+
+// suffixPower sums the power of groups i..j-1.
+func (g *BlockSizeGame) rangePower(i, j int) float64 {
+	total := 0.0
+	for k := i; k < j; k++ {
+		total += g.Powers[k]
+	}
+	return total
+}
+
+// Stable reports whether the suffix set {i, ..., n-1} is a stable set of
+// miner groups in the paper's sense: either it is the last group alone,
+// or, with {k, ..., n-1} its largest proper stable subset, the groups
+// i..k-1 jointly outweigh the subset while i+1..k-1 do not.
+//
+// Stability is exactly the condition under which the game terminates with
+// this suffix as the surviving set.
+func (g *BlockSizeGame) Stable(i int) bool {
+	n := len(g.Powers)
+	if i < 0 || i >= n {
+		return false
+	}
+	if i == n-1 {
+		return true
+	}
+	k := g.largestStableSubset(i)
+	front := g.rangePower(i, k)
+	tail := g.rangePower(k, n)
+	return front > tail && g.rangePower(i+1, k) <= tail
+}
+
+// largestStableSubset returns the smallest k > i such that the suffix
+// {k, ..., n-1} is stable (the largest proper stable subset of the suffix
+// at i). The last group alone is always stable, so k exists.
+func (g *BlockSizeGame) largestStableSubset(i int) int {
+	for k := i + 1; k < len(g.Powers); k++ {
+		if g.Stable(k) {
+			return k
+		}
+	}
+	return len(g.Powers) - 1
+}
+
+// Termination returns the index t such that the game starting with groups
+// {start, ..., n-1} terminates with survivors {t, ..., n-1}: the first
+// stable suffix at or after start.
+func (g *BlockSizeGame) Termination(start int) int {
+	for i := start; i < len(g.Powers); i++ {
+		if g.Stable(i) {
+			return i
+		}
+	}
+	return len(g.Powers) - 1
+}
+
+// Round records one voting round of a playout.
+type Round struct {
+	// Lowest is the index of the lowest remaining group, whose MPB would
+	// be abandoned by the proposed raise.
+	Lowest int
+	// Votes[j] reports whether remaining group j (j >= Lowest) voted for
+	// the raise.
+	Votes map[int]bool
+	// YesPower and NoPower are the total power behind each side.
+	YesPower, NoPower float64
+	// Passed reports whether the raise was adopted (at least half of the
+	// remaining power voted yes).
+	Passed bool
+}
+
+// PlayResult is a full strategic playout.
+type PlayResult struct {
+	Rounds []Round
+	// Survivors is the index of the first surviving group; groups
+	// Survivors..n-1 remain when the game terminates.
+	Survivors int
+	// Utilities are the terminal utilities of all original groups.
+	Utilities []float64
+}
+
+// Play runs the game with fully strategic (backward-induction) voting:
+// each group votes for a raise exactly when it survives the termination
+// state that the raise leads to — surviving a strictly smaller set always
+// pays more than the status quo, and being eliminated pays zero.
+func (g *BlockSizeGame) Play() PlayResult {
+	n := len(g.Powers)
+	var res PlayResult
+	cur := 0
+	for cur < n-1 {
+		next := g.Termination(cur + 1)
+		round := Round{Lowest: cur, Votes: make(map[int]bool)}
+		for j := cur; j < n; j++ {
+			yes := j >= next // survives the post-raise termination state
+			round.Votes[j] = yes
+			if yes {
+				round.YesPower += g.Powers[j]
+			} else {
+				round.NoPower += g.Powers[j]
+			}
+		}
+		round.Passed = round.YesPower >= round.NoPower
+		res.Rounds = append(res.Rounds, round)
+		if !round.Passed {
+			// The remaining groups form a stable set; the game terminates
+			// with this failed vote (cf. Figure 4, round 2).
+			break
+		}
+		cur++
+	}
+	res.Survivors = cur
+	res.Utilities = make([]float64, n)
+	total := g.rangePower(cur, n)
+	for j := cur; j < n; j++ {
+		res.Utilities[j] = g.Powers[j] / total
+	}
+	return res
+}
+
+// AllStable reports whether the initial set of all groups is stable, i.e.
+// whether the game terminates immediately with no block size increase —
+// the paper's necessary condition for a consensus on MG and EB to hold.
+func (g *BlockSizeGame) AllStable() bool { return g.Stable(0) }

@@ -1,0 +1,82 @@
+package games
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DynamicsResult records a best-response-dynamics run on the EB choosing
+// game.
+type DynamicsResult struct {
+	// History holds the profile after each individual best-response move.
+	History []Profile
+	// Converged reports whether a full round-robin pass left the profile
+	// unchanged — i.e. play reached a pure Nash equilibrium.
+	Converged bool
+	// Final is the last profile.
+	Final Profile
+	// Cycle is non-zero when the same profile recurred without
+	// convergence, giving the cycle length in moves.
+	Cycle int
+}
+
+// BestResponseDynamics simulates the deliberation the BU community
+// expected to produce "emergent consensus": starting from an initial
+// profile, miners take turns (round-robin) switching to a best response
+// against the others' current EBs. With every miner below 50% this
+// converges to an all-same-EB equilibrium; with a strict-majority miner
+// it cycles forever (the majority prefers to be alone on its EB, the
+// minority chases it), so no consensus emerges.
+func (g *EBChoosingGame) BestResponseDynamics(initial Profile, maxRounds int) (DynamicsResult, error) {
+	if err := g.checkProfile(initial); err != nil {
+		return DynamicsResult{}, err
+	}
+	if maxRounds <= 0 {
+		return DynamicsResult{}, errors.New("games: maxRounds must be positive")
+	}
+	n := len(g.Powers)
+	cur := make(Profile, n)
+	copy(cur, initial)
+	res := DynamicsResult{}
+	seen := map[string]int{profileKey(cur): 0}
+	move := 0
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			br, err := g.BestResponse(i, cur)
+			if err != nil {
+				return DynamicsResult{}, err
+			}
+			if br != cur[i] {
+				cur[i] = br
+				changed = true
+				move++
+				snapshot := make(Profile, n)
+				copy(snapshot, cur)
+				res.History = append(res.History, snapshot)
+				key := profileKey(cur)
+				if prev, ok := seen[key]; ok {
+					res.Cycle = move - prev
+					res.Final = snapshot
+					return res, nil
+				}
+				seen[key] = move
+			}
+		}
+		if !changed {
+			res.Converged = true
+			final := make(Profile, n)
+			copy(final, cur)
+			res.Final = final
+			return res, nil
+		}
+	}
+	final := make(Profile, n)
+	copy(final, cur)
+	res.Final = final
+	return res, nil
+}
+
+func profileKey(p Profile) string {
+	return fmt.Sprint([]int(p))
+}

@@ -1,0 +1,398 @@
+package games
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPowers draws a positive power vector summing to 1.
+func randomPowers(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n)
+	sum := 0.0
+	for i := range m {
+		m[i] = 0.05 + rng.Float64()
+		sum += m[i]
+	}
+	for i := range m {
+		m[i] /= sum
+	}
+	return m
+}
+
+func TestEBGameValidation(t *testing.T) {
+	if _, err := NewEBChoosingGame(nil, 2); err == nil {
+		t.Error("accepted empty game")
+	}
+	if _, err := NewEBChoosingGame([]float64{0.5, 0.6}, 2); err == nil {
+		t.Error("accepted powers summing above 1")
+	}
+	if _, err := NewEBChoosingGame([]float64{1, 0}, 2); err == nil {
+		t.Error("accepted zero power")
+	}
+	if _, err := NewEBChoosingGame([]float64{0.5, 0.5}, 1); err == nil {
+		t.Error("accepted single EB choice")
+	}
+	g, err := NewEBChoosingGame([]float64{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Utilities(Profile{0}); err == nil {
+		t.Error("accepted short profile")
+	}
+	if _, err := g.Utilities(Profile{0, 5}); err == nil {
+		t.Error("accepted out-of-range choice")
+	}
+}
+
+func TestEBGameUtilities(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.2, 0.3, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miners 0 and 2 choose EB 0 (0.7 total), miner 1 chooses EB 1.
+	u, err := g.Utilities(Profile{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2 / 0.7, 0, 0.5 / 0.7}
+	for i := range u {
+		if math.Abs(u[i]-want[i]) > 1e-12 {
+			t.Errorf("u[%d] = %g, want %g", i, u[i], want[i])
+		}
+	}
+	// A tied split (0.5 vs 0.5) pays everyone zero.
+	u, err = g.Utilities(Profile{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range u {
+		if v != 0 {
+			t.Errorf("tie: u[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+// TestEBUniformIsNash verifies Analytical Result 4: with every miner
+// below 50%, all-same-EB profiles are Nash equilibria, for arbitrary
+// distributions and any number of EB choices.
+func TestEBUniformIsNash(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// n >= 3, otherwise no distribution has every share below 50%.
+		n := 3 + rng.Intn(5)
+		var m []float64
+		for {
+			m = randomPowers(rng, n)
+			ok := true
+			for _, p := range m {
+				if p >= 0.5 {
+					ok = false
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		choices := 2 + rng.Intn(3)
+		g, err := NewEBChoosingGame(m, choices)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < choices; c++ {
+			ok, err := g.IsNashEquilibrium(Uniform(n, c))
+			if err != nil || !ok {
+				t.Logf("seed %d: uniform profile at choice %d not Nash", seed, c)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEBMajorityMinerDominates: with a majority miner, its choice always
+// wins, so the minority strictly prefers to join it — the split profile
+// is not an equilibrium and the minority's best response is to follow.
+func TestEBMajorityMinerDominates(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.6, 0.4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := g.IsNashEquilibrium(Profile{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("split profile should not be Nash: the minority gains by joining")
+	}
+	br, err := g.BestResponse(1, Profile{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 0 {
+		t.Errorf("minority best response = %d, want 0 (follow the majority)", br)
+	}
+	// The paper's equilibrium proof requires every miner below 50%, and
+	// necessarily so: a strict-majority miner always gains by splitting
+	// off alone (it keeps the whole reward), and the minority then
+	// follows — no pure equilibrium exists at all.
+	eqs, err := g.PureNashEquilibria()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) != 0 {
+		t.Errorf("expected no pure equilibria with a majority miner, got %v", eqs)
+	}
+}
+
+func TestEBBestResponseJoinsMajority(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.2, 0.3, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Miners 1 and 2 choose EB 1 (0.8); miner 0's best response is 1.
+	br, err := g.BestResponse(0, Profile{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br != 1 {
+		t.Errorf("best response = %d, want 1 (join the majority)", br)
+	}
+}
+
+func TestEBPureNashEnumeration(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.3, 0.3, 0.4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs, err := g.PureNashEquilibria()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all miners below 50%, the only pure equilibria are the two
+	// uniform profiles: any split either loses for the minority side
+	// (they deviate to join) or ties (everyone earns 0 and deviating
+	// breaks the tie in the deviator's favor).
+	if len(eqs) != 2 {
+		t.Fatalf("found %d equilibria %v, want the 2 uniform ones", len(eqs), eqs)
+	}
+	for _, eq := range eqs {
+		for i := 1; i < len(eq); i++ {
+			if eq[i] != eq[0] {
+				t.Errorf("non-uniform equilibrium %v", eq)
+			}
+		}
+	}
+}
+
+// TestFigure4 reproduces the paper's Figure 4 playout: groups with powers
+// 10/20/30/40 percent; round 1 raises the block size (groups 2-4 vote
+// yes) and group 1 leaves; in round 2 groups 2 and 3 vote no — if group 2
+// left, group 4 could force group 3 out next — and the game terminates.
+func TestFigure4(t *testing.T) {
+	g, err := NewBlockSizeGame([]float64{0.1, 0.2, 0.3, 0.4}, []int64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Play()
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(res.Rounds))
+	}
+	r1 := res.Rounds[0]
+	if !r1.Passed || r1.Votes[0] || !r1.Votes[1] || !r1.Votes[2] || !r1.Votes[3] {
+		t.Errorf("round 1 = %+v, want groups 2-4 voting yes and passing", r1)
+	}
+	r2 := res.Rounds[1]
+	if r2.Passed || r2.Votes[1] || r2.Votes[2] || !r2.Votes[3] {
+		t.Errorf("round 2 = %+v, want only group 4 voting yes and failing", r2)
+	}
+	if res.Survivors != 1 {
+		t.Errorf("survivors start at %d, want 1", res.Survivors)
+	}
+	wantU := []float64{0, 0.2 / 0.9, 0.3 / 0.9, 0.4 / 0.9}
+	for i, u := range res.Utilities {
+		if math.Abs(u-wantU[i]) > 1e-12 {
+			t.Errorf("utility[%d] = %g, want %g", i, u, wantU[i])
+		}
+	}
+}
+
+func TestBlockSizeGameValidation(t *testing.T) {
+	if _, err := NewBlockSizeGame([]float64{0.5, 0.5}, []int64{2, 2}); err == nil {
+		t.Error("accepted non-increasing MPBs")
+	}
+	if _, err := NewBlockSizeGame([]float64{0.5, 0.5}, []int64{1}); err == nil {
+		t.Error("accepted MPB length mismatch")
+	}
+	if _, err := NewBlockSizeGame([]float64{0.7, 0.5}, nil); err == nil {
+		t.Error("accepted powers summing above 1")
+	}
+}
+
+func TestStableSetExamples(t *testing.T) {
+	cases := []struct {
+		powers []float64
+		stable bool // is the full set stable?
+	}{
+		// Paper's Section 5.2 running example: m1=m2=0.3, m3=0.4. If
+		// group 2 voted yes in round 1, group 3 would force it out next,
+		// so groups 1 and 2 (0.6 > 0.4) keep the game stable.
+		{[]float64{0.3, 0.3, 0.4}, true},
+		// Figure 4's distribution is not stable (group 1 is forced out).
+		{[]float64{0.1, 0.2, 0.3, 0.4}, false},
+		// A single group is trivially stable.
+		{[]float64{1}, true},
+		// A majority group at the top forces everyone else out step by
+		// step: {0.1, 0.2, 0.7}: largest stable subset of the full set is
+		// {0.7} alone; front 0.1+0.2 = 0.3 < 0.7, not stable.
+		{[]float64{0.1, 0.2, 0.7}, false},
+	}
+	for _, tc := range cases {
+		g, err := NewBlockSizeGame(tc.powers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := g.AllStable(); got != tc.stable {
+			t.Errorf("AllStable(%v) = %v, want %v", tc.powers, got, tc.stable)
+		}
+	}
+}
+
+func TestMajorityTopGroupSweepsBoard(t *testing.T) {
+	g, err := NewBlockSizeGame([]float64{0.1, 0.2, 0.7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Play()
+	if res.Survivors != 2 {
+		t.Errorf("survivors = %d, want only the 70%% group (index 2)", res.Survivors)
+	}
+	if res.Utilities[2] != 1 {
+		t.Errorf("top group utility = %g, want 1", res.Utilities[2])
+	}
+}
+
+// TestPlayoutMatchesTermination is the paper's termination theorem as a
+// property: the strategic playout ends exactly at the first stable
+// suffix, and votes pass exactly while the remaining set is unstable.
+func TestPlayoutMatchesTermination(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		g, err := NewBlockSizeGame(randomPowers(rng, n), nil)
+		if err != nil {
+			return false
+		}
+		res := g.Play()
+		if res.Survivors != g.Termination(0) {
+			t.Logf("seed %d: playout survivors %d, termination %d (powers %v)",
+				seed, res.Survivors, g.Termination(0), g.Powers)
+			return false
+		}
+		for _, r := range res.Rounds {
+			if r.Passed == g.Stable(r.Lowest) {
+				t.Logf("seed %d: round at %d passed=%v but stable=%v",
+					seed, r.Lowest, r.Passed, g.Stable(r.Lowest))
+				return false
+			}
+		}
+		// Utilities: survivors' shares sum to 1, eliminated groups get 0.
+		sum := 0.0
+		for i, u := range res.Utilities {
+			if i < res.Survivors && u != 0 {
+				return false
+			}
+			sum += u
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStableSetMonotonicity: adding power to the weakest group of a
+// stable configuration keeps it stable (the front only gets stronger).
+func TestStableFrontStrengthening(t *testing.T) {
+	g, err := NewBlockSizeGame([]float64{0.3, 0.3, 0.4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.AllStable() {
+		t.Fatal("base configuration should be stable")
+	}
+	stronger, err := NewBlockSizeGame([]float64{0.35, 0.3, 0.35}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stronger.AllStable() {
+		t.Error("strengthening the front should preserve stability")
+	}
+}
+
+// TestBestResponseDynamicsConverges: with all miners below 50%, the
+// deliberation converges to an all-same-EB equilibrium from any start.
+func TestBestResponseDynamicsConverges(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.2, 0.3, 0.3, 0.2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []Profile{
+		{0, 1, 0, 1},
+		{1, 1, 0, 0},
+		{0, 0, 0, 1},
+	} {
+		res, err := g.BestResponseDynamics(start, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("dynamics from %v did not converge: %+v", start, res)
+		}
+		for i := 1; i < len(res.Final); i++ {
+			if res.Final[i] != res.Final[0] {
+				t.Errorf("converged to non-uniform profile %v", res.Final)
+			}
+		}
+		ok, err := g.IsNashEquilibrium(res.Final)
+		if err != nil || !ok {
+			t.Errorf("final profile %v is not an equilibrium", res.Final)
+		}
+	}
+}
+
+// TestBestResponseDynamicsCycles: a strict-majority miner makes the
+// deliberation cycle — emergent consensus never arrives.
+func TestBestResponseDynamicsCycles(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.6, 0.25, 0.15}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.BestResponseDynamics(Profile{0, 0, 0}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("dynamics converged to %v despite a majority miner", res.Final)
+	}
+	if res.Cycle == 0 {
+		t.Errorf("expected a detected cycle, got %+v", res)
+	}
+}
+
+func TestBestResponseDynamicsValidation(t *testing.T) {
+	g, err := NewEBChoosingGame([]float64{0.5, 0.5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.BestResponseDynamics(Profile{0}, 10); err == nil {
+		t.Error("accepted short profile")
+	}
+	if _, err := g.BestResponseDynamics(Profile{0, 0}, 0); err == nil {
+		t.Error("accepted zero rounds")
+	}
+}

@@ -1,0 +1,304 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/tx"
+)
+
+// Validation errors.
+var (
+	ErrBadTxRoot     = errors.New("ledger: header TxRoot does not match transactions")
+	ErrBadSize       = errors.New("ledger: header size does not match transactions")
+	ErrNoCoinbase    = errors.New("ledger: first transaction must be the coinbase")
+	ErrExtraCoinbase = errors.New("ledger: coinbase after the first transaction")
+	ErrOversize      = errors.New("ledger: block exceeds the size limit")
+	ErrPoW           = errors.New("ledger: proof of work does not meet the difficulty")
+)
+
+// FullBlock is a header plus its transactions; Txs[0] is the coinbase.
+type FullBlock struct {
+	Header *chain.Block
+	Txs    []*tx.Transaction
+}
+
+// Assemble builds a sealed-size block on the given parent: the header's
+// Size and TxRoot are derived from the transactions.
+func Assemble(parent *chain.Block, txs []*tx.Transaction, miner string, t float64) *FullBlock {
+	var size int64
+	for _, txn := range txs {
+		size += txn.Size()
+	}
+	return &FullBlock{
+		Header: &chain.Block{
+			Parent: parent.ID(),
+			Height: parent.Height + 1,
+			Size:   size,
+			Miner:  miner,
+			Time:   t,
+			TxRoot: MerkleRoot(txs),
+		},
+		Txs: txs,
+	}
+}
+
+// Params configure a Ledger.
+type Params struct {
+	// Subsidy is the coinbase block reward.
+	Subsidy int64
+	// MaxBlockSize enforces a prescribed size limit (0 = no limit, BU
+	// style: size validity is then judged per node by protocol rules).
+	MaxBlockSize int64
+	// PoWBits, when positive, requires block hashes to carry that many
+	// leading zero bits (see chain.Block.Seal).
+	PoWBits uint
+	// AcceptBranch, when set, gates chain selection: a strictly longer
+	// branch is adopted only if the hook accepts its full header path
+	// (genesis first). This is how BU-style per-node validity plugs into
+	// the ledger: protocol.BU's AcceptableDepth decides whether an
+	// excessive block is buried deeply enough to capitulate to.
+	AcceptBranch func(path []*chain.Block) bool
+}
+
+// undoRecord lets a connected block be disconnected exactly.
+type undoRecord struct {
+	spent   []spentEntry
+	created []tx.Outpoint
+}
+
+type spentEntry struct {
+	op  tx.Outpoint
+	out tx.Output
+}
+
+// Ledger is a full node's state: the block tree, the UTXO set of the
+// active chain, and undo data for reorganizations.
+type Ledger struct {
+	params Params
+	store  *chain.Store
+	blocks map[chain.ID]*FullBlock
+	utxo   *tx.UTXOSet
+	head   *chain.Block
+	undo   map[chain.ID]*undoRecord
+	// Reorgs counts chain switches; DisconnectedTxs counts transactions
+	// removed from the ledger by reorgs — each a potential reversed
+	// payment, the paper's double-spend measure made concrete.
+	Reorgs          int
+	DisconnectedTxs int
+}
+
+// New creates a ledger rooted at the standard genesis block.
+func New(p Params) *Ledger {
+	g := chain.Genesis()
+	return &Ledger{
+		params: p,
+		store:  chain.NewStore(g),
+		blocks: make(map[chain.ID]*FullBlock),
+		utxo:   tx.NewUTXOSet(),
+		head:   g,
+		undo:   make(map[chain.ID]*undoRecord),
+	}
+}
+
+// Head returns the active chain tip.
+func (l *Ledger) Head() *chain.Block { return l.head }
+
+// UTXO exposes the active chain's UTXO set (read-only use).
+func (l *Ledger) UTXO() *tx.UTXOSet { return l.utxo }
+
+// Block returns the stored full block for an id.
+func (l *Ledger) Block(id chain.ID) *FullBlock { return l.blocks[id] }
+
+// checkStateless validates everything that does not need the UTXO set.
+func (l *Ledger) checkStateless(fb *FullBlock) error {
+	if len(fb.Txs) == 0 || !fb.Txs[0].Coinbase() {
+		return ErrNoCoinbase
+	}
+	for _, txn := range fb.Txs[1:] {
+		if txn.Coinbase() {
+			return ErrExtraCoinbase
+		}
+	}
+	if MerkleRoot(fb.Txs) != fb.Header.TxRoot {
+		return ErrBadTxRoot
+	}
+	var size int64
+	for _, txn := range fb.Txs {
+		size += txn.Size()
+	}
+	if size != fb.Header.Size {
+		return fmt.Errorf("%w: header %d, transactions %d", ErrBadSize, fb.Header.Size, size)
+	}
+	if l.params.MaxBlockSize > 0 && size > l.params.MaxBlockSize {
+		return fmt.Errorf("%w: %d > %d", ErrOversize, size, l.params.MaxBlockSize)
+	}
+	if l.params.PoWBits > 0 && !fb.Header.MeetsDifficulty(l.params.PoWBits) {
+		return ErrPoW
+	}
+	return nil
+}
+
+// connect applies a block's transactions to the UTXO set, recording undo
+// data. On any failure the partial application is rolled back.
+func (l *Ledger) connect(fb *FullBlock) error {
+	rec := &undoRecord{}
+	rollback := func() {
+		for i := len(rec.created) - 1; i >= 0; i-- {
+			l.utxo.Remove(rec.created[i])
+		}
+		for i := len(rec.spent) - 1; i >= 0; i-- {
+			l.utxo.Put(rec.spent[i].op, rec.spent[i].out)
+		}
+	}
+	var fees int64
+	for _, txn := range fb.Txs[1:] {
+		fee, err := l.utxo.ValidateTransaction(txn)
+		if err != nil {
+			rollback()
+			return fmt.Errorf("ledger: block %v: %w", fb.Header.ID(), err)
+		}
+		fees += fee
+		for _, in := range txn.Inputs {
+			out, _ := l.utxo.Lookup(in.Previous)
+			rec.spent = append(rec.spent, spentEntry{in.Previous, out})
+			l.utxo.Remove(in.Previous)
+		}
+		id := txn.TxID()
+		for i, out := range txn.Outputs {
+			op := tx.Outpoint{TxID: id, Index: uint32(i)}
+			l.utxo.Put(op, out)
+			rec.created = append(rec.created, op)
+		}
+	}
+	// Coinbase last: its allowance includes this block's fees.
+	cb := fb.Txs[0]
+	var minted int64
+	for _, out := range cb.Outputs {
+		if out.Value < 0 {
+			rollback()
+			return tx.ErrNegativeValue
+		}
+		minted += out.Value
+	}
+	if minted > l.params.Subsidy+fees {
+		rollback()
+		return fmt.Errorf("ledger: coinbase mints %d, allowed %d", minted, l.params.Subsidy+fees)
+	}
+	id := cb.TxID()
+	for i, out := range cb.Outputs {
+		op := tx.Outpoint{TxID: id, Index: uint32(i)}
+		l.utxo.Put(op, out)
+		rec.created = append(rec.created, op)
+	}
+	l.undo[fb.Header.ID()] = rec
+	return nil
+}
+
+// disconnect reverses a connected block.
+func (l *Ledger) disconnect(id chain.ID) error {
+	rec := l.undo[id]
+	if rec == nil {
+		return fmt.Errorf("ledger: no undo data for %v", id)
+	}
+	for i := len(rec.created) - 1; i >= 0; i-- {
+		l.utxo.Remove(rec.created[i])
+	}
+	for i := len(rec.spent) - 1; i >= 0; i-- {
+		l.utxo.Put(rec.spent[i].op, rec.spent[i].out)
+	}
+	delete(l.undo, id)
+	return nil
+}
+
+// AddBlock ingests a block: stateless checks, storage, and — when the
+// block's chain is strictly longer than the active one — connection,
+// including a full reorganization if it extends a side branch. A block
+// whose branch fails stateful validation is rejected and the previous
+// head restored.
+func (l *Ledger) AddBlock(fb *FullBlock) error {
+	if err := l.checkStateless(fb); err != nil {
+		return err
+	}
+	id := fb.Header.ID()
+	if err := l.store.Add(fb.Header); err != nil {
+		return err
+	}
+	l.blocks[id] = fb
+	if fb.Header.Height <= l.head.Height {
+		return nil // side branch, not longer: stored only
+	}
+	if l.params.AcceptBranch != nil && !l.params.AcceptBranch(l.store.Path(id)) {
+		return nil // longer but not acceptable under this node's rules
+	}
+
+	// Find the paths to disconnect and connect.
+	forkPoint, err := l.store.ForkPoint(l.head.ID(), id)
+	if err != nil {
+		return err
+	}
+	var toDisconnect []*chain.Block
+	for b := l.head; b.ID() != forkPoint.ID(); b = l.store.Get(b.Parent) {
+		toDisconnect = append(toDisconnect, b)
+	}
+	var toConnect []*FullBlock
+	for b := fb.Header; b.ID() != forkPoint.ID(); b = l.store.Get(b.Parent) {
+		toConnect = append([]*FullBlock{l.blocks[b.ID()]}, toConnect...)
+	}
+
+	for _, b := range toDisconnect {
+		if err := l.disconnect(b.ID()); err != nil {
+			return err
+		}
+	}
+	for i, nb := range toConnect {
+		if nb == nil {
+			err = fmt.Errorf("ledger: missing block body on new branch")
+		} else {
+			err = l.connect(nb)
+		}
+		if err != nil {
+			// Roll the reorg back: disconnect what we connected, then
+			// reconnect the old chain (undo data restores it exactly).
+			for j := i - 1; j >= 0; j-- {
+				if derr := l.disconnect(toConnect[j].Header.ID()); derr != nil {
+					return fmt.Errorf("ledger: rollback failed: %v (after %w)", derr, err)
+				}
+			}
+			for k := len(toDisconnect) - 1; k >= 0; k-- {
+				ob := l.blocks[toDisconnect[k].ID()]
+				if cerr := l.connect(ob); cerr != nil {
+					return fmt.Errorf("ledger: restore failed: %v (after %w)", cerr, err)
+				}
+			}
+			// Undo the double-count of disconnections during rollback.
+			return fmt.Errorf("ledger: rejecting branch at %v: %w", nb.Header.ID(), err)
+		}
+	}
+	if len(toDisconnect) > 0 {
+		l.Reorgs++
+		for _, b := range toDisconnect {
+			l.DisconnectedTxs += len(l.blocks[b.ID()].Txs) - 1
+		}
+	}
+	l.head = fb.Header
+	return nil
+}
+
+// Confirmations reports how deep a transaction is in the active chain
+// (1 = in the head block), or 0 if it is not on the active chain.
+func (l *Ledger) Confirmations(txid tx.ID) int {
+	for b := l.head; ; b = l.store.Get(b.Parent) {
+		if fb := l.blocks[b.ID()]; fb != nil {
+			for _, txn := range fb.Txs {
+				if txn.TxID() == txid {
+					return l.head.Height - b.Height + 1
+				}
+			}
+		}
+		if b.Height == 0 {
+			return 0
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"buanalysis/internal/tx"
+)
+
+func keypair(b byte) tx.Keypair {
+	var s [32]byte
+	s[0] = b
+	return tx.NewKeypair(s)
+}
+
+// coinbaseTx mints value to kp with a distinguishing payload.
+func coinbaseTx(kp tx.Keypair, value int64, tag byte) *tx.Transaction {
+	return &tx.Transaction{
+		Outputs: []tx.Output{{Value: value, PubKey: kp.Pub}},
+		Payload: []byte{tag},
+	}
+}
+
+// pay spends prev (worth inValue, owned by src) to dst, with change back
+// to src and the given fee.
+func pay(t *testing.T, src tx.Keypair, prev tx.Outpoint, inValue, amount, fee int64, dst tx.Keypair) *tx.Transaction {
+	t.Helper()
+	txn := &tx.Transaction{
+		Inputs: []tx.Input{{Previous: prev}},
+		Outputs: []tx.Output{
+			{Value: amount, PubKey: dst.Pub},
+			{Value: inValue - amount - fee, PubKey: src.Pub},
+		},
+	}
+	if err := txn.Sign(0, src.Priv); err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+const subsidy = 50
+
+func TestMerkleRoot(t *testing.T) {
+	if MerkleRoot(nil) != [32]byte{} {
+		t.Error("empty root should be zero")
+	}
+	kp := keypair(1)
+	txs := []*tx.Transaction{
+		coinbaseTx(kp, 50, 0),
+		coinbaseTx(kp, 50, 1),
+		coinbaseTx(kp, 50, 2),
+	}
+	root3 := MerkleRoot(txs)
+	root2 := MerkleRoot(txs[:2])
+	root1 := MerkleRoot(txs[:1])
+	if root3 == root2 || root2 == root1 || root3 == root1 {
+		t.Error("roots of different sets should differ")
+	}
+	if root1 != txs[0].TxID() {
+		t.Error("single-transaction root should be its id")
+	}
+	// Order matters.
+	swapped := []*tx.Transaction{txs[1], txs[0]}
+	if MerkleRoot(swapped) == root2 {
+		t.Error("root should depend on order")
+	}
+}
+
+func TestMerkleProofs(t *testing.T) {
+	kp := keypair(1)
+	var txs []*tx.Transaction
+	for i := 0; i < 7; i++ { // odd count exercises self-pairing
+		txs = append(txs, coinbaseTx(kp, int64(50+i), byte(i)))
+	}
+	root := MerkleRoot(txs)
+	for i, txn := range txs {
+		proof, ok := Prove(txs, i)
+		if !ok {
+			t.Fatalf("Prove(%d) failed", i)
+		}
+		if !proof.Verify(txn.TxID(), root) {
+			t.Errorf("proof %d does not verify", i)
+		}
+		// A proof must not verify a different transaction.
+		other := txs[(i+1)%len(txs)]
+		if proof.Verify(other.TxID(), root) {
+			t.Errorf("proof %d verifies the wrong transaction", i)
+		}
+	}
+	if _, ok := Prove(txs, -1); ok {
+		t.Error("Prove accepted negative index")
+	}
+	if _, ok := Prove(txs, len(txs)); ok {
+		t.Error("Prove accepted out-of-range index")
+	}
+}
+
+// mine assembles and adds a block of the given transactions on the
+// current head.
+func mine(t *testing.T, l *Ledger, miner string, txs ...*tx.Transaction) *FullBlock {
+	t.Helper()
+	fb := Assemble(l.Head(), txs, miner, 0)
+	if err := l.AddBlock(fb); err != nil {
+		t.Fatalf("AddBlock: %v", err)
+	}
+	return fb
+}
+
+func TestBasicChainGrowth(t *testing.T) {
+	alice, bob := keypair(1), keypair(2)
+	l := New(Params{Subsidy: subsidy})
+
+	cb1 := coinbaseTx(alice, subsidy, 1)
+	mine(t, l, "alice", cb1)
+	if l.Head().Height != 1 {
+		t.Fatalf("head height = %d", l.Head().Height)
+	}
+
+	// Spend the coinbase with a fee; the next coinbase may claim it.
+	prev := tx.Outpoint{TxID: cb1.TxID(), Index: 0}
+	spend := pay(t, alice, prev, subsidy, 30, 2, bob)
+	cb2 := coinbaseTx(alice, subsidy+2, 2)
+	mine(t, l, "alice", cb2, spend)
+
+	if got := l.Confirmations(spend.TxID()); got != 1 {
+		t.Errorf("confirmations = %d, want 1", got)
+	}
+	if got := l.Confirmations(cb1.TxID()); got != 2 {
+		t.Errorf("coinbase confirmations = %d, want 2", got)
+	}
+	if _, ok := l.UTXO().Lookup(prev); ok {
+		t.Error("spent coinbase still unspent")
+	}
+}
+
+func TestStatelessRejections(t *testing.T) {
+	alice := keypair(1)
+	l := New(Params{Subsidy: subsidy, MaxBlockSize: 200})
+
+	// No coinbase.
+	fb := Assemble(l.Head(), nil, "alice", 0)
+	if err := l.AddBlock(fb); !errors.Is(err, ErrNoCoinbase) {
+		t.Errorf("no coinbase: %v", err)
+	}
+	// Second coinbase.
+	fb = Assemble(l.Head(), []*tx.Transaction{
+		coinbaseTx(alice, subsidy, 1), coinbaseTx(alice, subsidy, 2),
+	}, "alice", 0)
+	if err := l.AddBlock(fb); !errors.Is(err, ErrExtraCoinbase) {
+		t.Errorf("extra coinbase: %v", err)
+	}
+	// Tampered TxRoot.
+	fb = Assemble(l.Head(), []*tx.Transaction{coinbaseTx(alice, subsidy, 1)}, "alice", 0)
+	fb.Header.TxRoot[0] ^= 1
+	if err := l.AddBlock(fb); !errors.Is(err, ErrBadTxRoot) {
+		t.Errorf("bad txroot: %v", err)
+	}
+	// Tampered size.
+	fb = Assemble(l.Head(), []*tx.Transaction{coinbaseTx(alice, subsidy, 1)}, "alice", 0)
+	fb.Header.Size++
+	if err := l.AddBlock(fb); !errors.Is(err, ErrBadSize) {
+		t.Errorf("bad size: %v", err)
+	}
+	// Oversize.
+	big := coinbaseTx(alice, subsidy, 1)
+	big.Payload = make([]byte, 300)
+	fb = Assemble(l.Head(), []*tx.Transaction{big}, "alice", 0)
+	if err := l.AddBlock(fb); !errors.Is(err, ErrOversize) {
+		t.Errorf("oversize: %v", err)
+	}
+}
+
+func TestProofOfWorkRequired(t *testing.T) {
+	alice := keypair(1)
+	l := New(Params{Subsidy: subsidy, PoWBits: 8})
+	fb := Assemble(l.Head(), []*tx.Transaction{coinbaseTx(alice, subsidy, 1)}, "alice", 0)
+	if err := l.AddBlock(fb); !errors.Is(err, ErrPoW) && fb.Header.MeetsDifficulty(8) == false {
+		if err == nil {
+			t.Fatal("accepted unsealed block")
+		}
+	}
+	if err := fb.Header.Seal(8, 1<<22); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddBlock(fb); err != nil {
+		t.Fatalf("sealed block rejected: %v", err)
+	}
+}
+
+func TestGreedyCoinbaseRejected(t *testing.T) {
+	alice := keypair(1)
+	l := New(Params{Subsidy: subsidy})
+	fb := Assemble(l.Head(), []*tx.Transaction{coinbaseTx(alice, subsidy+1, 1)}, "alice", 0)
+	if err := l.AddBlock(fb); err == nil {
+		t.Error("accepted coinbase above subsidy+fees")
+	}
+	if l.Head().Height != 0 {
+		t.Error("invalid block advanced the head")
+	}
+}
+
+// TestDoubleSpendReorg is the paper's attack made concrete: a merchant
+// sees a payment confirmed, a longer branch carrying a conflicting
+// payment arrives, and the ledger reverses the original transaction.
+func TestDoubleSpendReorg(t *testing.T) {
+	attacker, merchant, accomplice := keypair(1), keypair(2), keypair(3)
+	l := New(Params{Subsidy: subsidy})
+
+	// Fund the attacker.
+	cb := coinbaseTx(attacker, subsidy, 1)
+	fund := mine(t, l, "m", cb)
+	prev := tx.Outpoint{TxID: cb.TxID(), Index: 0}
+
+	// Branch A: pay the merchant; confirmed by one more block.
+	payment := pay(t, attacker, prev, subsidy, 40, 0, merchant)
+	mine(t, l, "m", coinbaseTx(merchant, subsidy, 2), payment)
+	mine(t, l, "m", coinbaseTx(merchant, subsidy, 3))
+	if got := l.Confirmations(payment.TxID()); got != 2 {
+		t.Fatalf("merchant sees %d confirmations, want 2", got)
+	}
+
+	// Branch B (secret): the same output pays the accomplice instead.
+	double := pay(t, attacker, prev, subsidy, 40, 0, accomplice)
+	b1 := Assemble(fund.Header, []*tx.Transaction{coinbaseTx(attacker, subsidy, 4), double}, "a", 0)
+	if err := l.AddBlock(b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := Assemble(b1.Header, []*tx.Transaction{coinbaseTx(attacker, subsidy, 5)}, "a", 0)
+	if err := l.AddBlock(b2); err != nil {
+		t.Fatal(err)
+	}
+	// Still on branch A (equal length does not reorg).
+	if l.Confirmations(payment.TxID()) == 0 {
+		t.Fatal("reorged on an equal-length branch")
+	}
+	b3 := Assemble(b2.Header, []*tx.Transaction{coinbaseTx(attacker, subsidy, 6)}, "a", 0)
+	if err := l.AddBlock(b3); err != nil {
+		t.Fatal(err)
+	}
+
+	// The longer branch wins: the merchant's payment is reversed.
+	if l.Head().ID() != b3.Header.ID() {
+		t.Fatal("head did not switch to the longer branch")
+	}
+	if got := l.Confirmations(payment.TxID()); got != 0 {
+		t.Errorf("reversed payment still has %d confirmations", got)
+	}
+	if got := l.Confirmations(double.TxID()); got != 3 {
+		t.Errorf("double spend has %d confirmations, want 3", got)
+	}
+	if l.Reorgs != 1 {
+		t.Errorf("reorgs = %d, want 1", l.Reorgs)
+	}
+	if l.DisconnectedTxs != 1 {
+		t.Errorf("disconnected txs = %d, want 1 (the merchant's payment)", l.DisconnectedTxs)
+	}
+	// The merchant's output is gone; the accomplice's exists.
+	if _, ok := l.UTXO().Lookup(tx.Outpoint{TxID: payment.TxID(), Index: 0}); ok {
+		t.Error("merchant output survived the reorg")
+	}
+	if _, ok := l.UTXO().Lookup(tx.Outpoint{TxID: double.TxID(), Index: 0}); !ok {
+		t.Error("accomplice output missing after the reorg")
+	}
+}
+
+// TestInvalidBranchRollsBack: a longer branch with an invalid block must
+// not corrupt the ledger; the old chain stays active.
+func TestInvalidBranchRollsBack(t *testing.T) {
+	alice, eve := keypair(1), keypair(2)
+	l := New(Params{Subsidy: subsidy})
+
+	cb := coinbaseTx(alice, subsidy, 1)
+	fund := mine(t, l, "m", cb)
+	mine(t, l, "m", coinbaseTx(alice, subsidy, 2))
+	headBefore := l.Head().ID()
+	utxoBefore := l.UTXO().Len()
+
+	// Branch with a forged spend inside (eve signs alice's coin).
+	forged := &tx.Transaction{
+		Inputs:  []tx.Input{{Previous: tx.Outpoint{TxID: cb.TxID(), Index: 0}}},
+		Outputs: []tx.Output{{Value: subsidy, PubKey: eve.Pub}},
+	}
+	if err := forged.Sign(0, eve.Priv); err != nil {
+		t.Fatal(err)
+	}
+	b1 := Assemble(fund.Header, []*tx.Transaction{coinbaseTx(eve, subsidy, 3), forged}, "e", 0)
+	if err := l.AddBlock(b1); err != nil {
+		t.Fatal(err) // side branch, stored without stateful validation
+	}
+	b2 := Assemble(b1.Header, []*tx.Transaction{coinbaseTx(eve, subsidy, 4)}, "e", 0)
+	if err := l.AddBlock(b2); err == nil {
+		t.Fatal("branch with forged transaction accepted")
+	}
+	if l.Head().ID() != headBefore {
+		t.Error("head moved onto an invalid branch")
+	}
+	if l.UTXO().Len() != utxoBefore {
+		t.Errorf("UTXO set changed: %d -> %d", utxoBefore, l.UTXO().Len())
+	}
+	// The ledger still works afterwards.
+	mine(t, l, "m", coinbaseTx(alice, subsidy, 5))
+	if l.Head().Height != 3 {
+		t.Errorf("head height = %d, want 3", l.Head().Height)
+	}
+}
+
+// TestMerkleRootCollisionResistance is a property test: different
+// transaction payloads never produce the same root (within the sample).
+func TestMerkleRootDistinct(t *testing.T) {
+	kp := keypair(9)
+	seen := make(map[[32]byte]bool)
+	prop := func(tags []byte) bool {
+		if len(tags) == 0 || len(tags) > 12 {
+			return true
+		}
+		var txs []*tx.Transaction
+		for i, tag := range tags {
+			txs = append(txs, &tx.Transaction{
+				Outputs: []tx.Output{{Value: int64(i), PubKey: kp.Pub}},
+				Payload: []byte{tag, byte(i)},
+			})
+		}
+		root := MerkleRoot(txs)
+		if seen[root] {
+			return false
+		}
+		seen[root] = true
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

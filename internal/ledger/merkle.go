@@ -1,0 +1,104 @@
+// Package ledger assembles the full-node substrate: blocks carrying real
+// transactions committed by a Merkle root, validated against the UTXO
+// set with proof-of-work and size-limit checks, with reorganization
+// support (undo records) so that chain switches replay cleanly. It is
+// the machinery that makes the paper's double-spending attacks concrete:
+// a transaction "reversed" by a reorg is literally removed from the
+// ledger here, and its conflicting twin confirmed.
+package ledger
+
+import (
+	"crypto/sha256"
+
+	"buanalysis/internal/tx"
+)
+
+// MerkleRoot computes the Bitcoin-style Merkle root of a transaction
+// list: leaves are transaction ids, interior nodes hash concatenated
+// children, and an odd node is paired with itself. An empty list has the
+// zero root.
+func MerkleRoot(txs []*tx.Transaction) [32]byte {
+	if len(txs) == 0 {
+		return [32]byte{}
+	}
+	level := make([][32]byte, len(txs))
+	for i, t := range txs {
+		level[i] = t.TxID()
+	}
+	for len(level) > 1 {
+		var next [][32]byte
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i // odd node pairs with itself
+			}
+			var buf [64]byte
+			copy(buf[:32], level[i][:])
+			copy(buf[32:], level[j][:])
+			next = append(next, sha256.Sum256(buf[:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof is an inclusion proof for one transaction.
+type MerkleProof struct {
+	// Index is the transaction's position in the block.
+	Index int
+	// Path lists sibling hashes from leaf to root.
+	Path [][32]byte
+}
+
+// Prove builds an inclusion proof for the transaction at index i.
+func Prove(txs []*tx.Transaction, i int) (MerkleProof, bool) {
+	if i < 0 || i >= len(txs) {
+		return MerkleProof{}, false
+	}
+	proof := MerkleProof{Index: i}
+	level := make([][32]byte, len(txs))
+	for k, t := range txs {
+		level[k] = t.TxID()
+	}
+	pos := i
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib >= len(level) {
+			sib = pos
+		}
+		proof.Path = append(proof.Path, level[sib])
+		var next [][32]byte
+		for k := 0; k < len(level); k += 2 {
+			j := k + 1
+			if j == len(level) {
+				j = k
+			}
+			var buf [64]byte
+			copy(buf[:32], level[k][:])
+			copy(buf[32:], level[j][:])
+			next = append(next, sha256.Sum256(buf[:]))
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, true
+}
+
+// Verify checks an inclusion proof against a root.
+func (p MerkleProof) Verify(txid [32]byte, root [32]byte) bool {
+	h := txid
+	pos := p.Index
+	for _, sib := range p.Path {
+		var buf [64]byte
+		if pos%2 == 0 {
+			copy(buf[:32], h[:])
+			copy(buf[32:], sib[:])
+		} else {
+			copy(buf[:32], sib[:])
+			copy(buf[32:], h[:])
+		}
+		h = sha256.Sum256(buf[:])
+		pos /= 2
+	}
+	return h == root
+}

@@ -1,0 +1,454 @@
+package mdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tableBuilder is a Builder backed by explicit maps, for tests.
+type tableBuilder struct {
+	n     int
+	acts  map[int][]int
+	trans map[[2]int][]Transition
+}
+
+func (b tableBuilder) NumStates() int      { return b.n }
+func (b tableBuilder) Actions(s int) []int { return b.acts[s] }
+func (b tableBuilder) Transitions(s, a int) []Transition {
+	return b.trans[[2]int{s, a}]
+}
+
+func mustCompile(t *testing.T, b Builder) *Model {
+	t.Helper()
+	m, err := Compile(b)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return m
+}
+
+func TestCompileValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		b    tableBuilder
+	}{
+		{"no states", tableBuilder{n: 0}},
+		{"no actions", tableBuilder{n: 1, acts: map[int][]int{0: nil}}},
+		{"no transitions", tableBuilder{
+			n: 1, acts: map[int][]int{0: {0}},
+			trans: map[[2]int][]Transition{},
+		}},
+		{"bad probability sum", tableBuilder{
+			n: 1, acts: map[int][]int{0: {0}},
+			trans: map[[2]int][]Transition{{0, 0}: {{To: 0, Prob: 0.5}}},
+		}},
+		{"negative probability", tableBuilder{
+			n: 1, acts: map[int][]int{0: {0}},
+			trans: map[[2]int][]Transition{{0, 0}: {{To: 0, Prob: -1}, {To: 0, Prob: 2}}},
+		}},
+		{"destination out of range", tableBuilder{
+			n: 1, acts: map[int][]int{0: {0}},
+			trans: map[[2]int][]Transition{{0, 0}: {{To: 3, Prob: 1}}},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile(tc.b); err == nil {
+				t.Fatalf("Compile accepted an invalid builder")
+			}
+		})
+	}
+}
+
+func TestCompileLayout(t *testing.T) {
+	b := tableBuilder{
+		n:    2,
+		acts: map[int][]int{0: {0, 7}, 1: {2}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1, Num: 1}},
+			{0, 7}: {{To: 1, Prob: 0.25}, {To: 0, Prob: 0.75, Num: 2}},
+			{1, 2}: {{To: 0, Prob: 1, Den: 3}},
+		},
+	}
+	m := mustCompile(t, b)
+	if got := m.NumStates(); got != 2 {
+		t.Errorf("NumStates = %d, want 2", got)
+	}
+	if got := m.NumStateActions(); got != 3 {
+		t.Errorf("NumStateActions = %d, want 3", got)
+	}
+	if got := m.NumTransitions(); got != 4 {
+		t.Errorf("NumTransitions = %d, want 4", got)
+	}
+	if got := m.Actions(0); len(got) != 2 || got[0] != 0 || got[1] != 7 {
+		t.Errorf("Actions(0) = %v, want [0 7]", got)
+	}
+	if got := m.ActionSlot(0, 7); got != 1 {
+		t.Errorf("ActionSlot(0,7) = %d, want 1", got)
+	}
+	if got := m.ActionSlot(1, 7); got != -1 {
+		t.Errorf("ActionSlot(1,7) = %d, want -1", got)
+	}
+	trs := m.Transitions(0, 1)
+	if len(trs) != 2 || trs[0].To != 1 || trs[1].Num != 2 {
+		t.Errorf("Transitions(0,1) = %v", trs)
+	}
+}
+
+// twoArmBuilder offers, in a single state, a self-loop paying `stay` and a
+// two-step cycle through a second state paying `far` on the return leg.
+// Optimal average reward is max(stay, far/2).
+func twoArmBuilder(stay, far float64) tableBuilder {
+	return tableBuilder{
+		n:    2,
+		acts: map[int][]int{0: {0, 1}, 1: {0}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1, Num: stay, Den: 1}},
+			{0, 1}: {{To: 1, Prob: 1, Den: 1}},
+			{1, 0}: {{To: 0, Prob: 1, Num: far, Den: 1}},
+		},
+	}
+}
+
+func TestAverageRewardTwoArm(t *testing.T) {
+	cases := []struct {
+		stay, far, want float64
+	}{
+		{1, 3, 1.5},
+		{2, 3, 2},
+		{0, 0, 0},
+		{-1, 1, 0.5},
+	}
+	for _, tc := range cases {
+		m := mustCompile(t, twoArmBuilder(tc.stay, tc.far))
+		res, err := m.AverageReward(Options{})
+		if err != nil {
+			t.Fatalf("AverageReward(%v): %v", tc, err)
+		}
+		if math.Abs(res.Gain-tc.want) > 1e-6 {
+			t.Errorf("gain(stay=%g far=%g) = %g, want %g", tc.stay, tc.far, res.Gain, tc.want)
+		}
+		if !res.Converged {
+			t.Errorf("did not converge for %+v", tc)
+		}
+	}
+}
+
+func TestEvaluatePolicyMatchesArm(t *testing.T) {
+	m := mustCompile(t, twoArmBuilder(1, 3))
+	// Policy slot 0 in state 0 = self loop (reward 1).
+	res, err := m.EvaluatePolicy(Policy{0, 0}, Options{})
+	if err != nil {
+		t.Fatalf("EvaluatePolicy: %v", err)
+	}
+	if math.Abs(res.Gain-1) > 1e-6 {
+		t.Errorf("self-loop gain = %g, want 1", res.Gain)
+	}
+	// Policy slot 1 in state 0 = cycle (average 1.5).
+	res, err = m.EvaluatePolicy(Policy{1, 0}, Options{})
+	if err != nil {
+		t.Fatalf("EvaluatePolicy: %v", err)
+	}
+	if math.Abs(res.Gain-1.5) > 1e-6 {
+		t.Errorf("cycle gain = %g, want 1.5", res.Gain)
+	}
+}
+
+func TestPolicyIterationAgreesWithValueIteration(t *testing.T) {
+	m := mustCompile(t, twoArmBuilder(1.2, 3))
+	vi, err := m.AverageReward(Options{})
+	if err != nil {
+		t.Fatalf("AverageReward: %v", err)
+	}
+	pi, err := m.PolicyIteration(Options{})
+	if err != nil {
+		t.Fatalf("PolicyIteration: %v", err)
+	}
+	if math.Abs(vi.Gain-pi.Gain) > 1e-6 {
+		t.Errorf("gains differ: RVI %g, PI %g", vi.Gain, pi.Gain)
+	}
+}
+
+func TestValueIterationGeometric(t *testing.T) {
+	// Single state, self-loop reward 1, discount 0.9: value = 10.
+	b := tableBuilder{
+		n:    1,
+		acts: map[int][]int{0: {0}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1, Num: 1}},
+		},
+	}
+	m := mustCompile(t, b)
+	v, _, err := m.ValueIteration(0.9, Options{Epsilon: 1e-9})
+	if err != nil {
+		t.Fatalf("ValueIteration: %v", err)
+	}
+	if math.Abs(v[0]-10) > 1e-6 {
+		t.Errorf("discounted value = %g, want 10", v[0])
+	}
+}
+
+func TestValueIterationRejectsBadDiscount(t *testing.T) {
+	m := mustCompile(t, twoArmBuilder(1, 2))
+	for _, d := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := m.ValueIteration(d, Options{}); err == nil {
+			t.Errorf("ValueIteration accepted discount %g", d)
+		}
+	}
+}
+
+func TestSolveRatioBernoulli(t *testing.T) {
+	// One state, two actions: action 0 accrues Num=0.3 Den=1, action 1
+	// Num=0.7 Den=1. Optimal ratio 0.7.
+	b := tableBuilder{
+		n:    1,
+		acts: map[int][]int{0: {0, 1}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1, Num: 0.3, Den: 1}},
+			{0, 1}: {{To: 0, Prob: 1, Num: 0.7, Den: 1}},
+		},
+	}
+	m := mustCompile(t, b)
+	res, err := m.SolveRatio(RatioOptions{})
+	if err != nil {
+		t.Fatalf("SolveRatio: %v", err)
+	}
+	if math.Abs(res.Value-0.7) > 1e-4 {
+		t.Errorf("ratio = %g, want 0.7", res.Value)
+	}
+}
+
+func TestSolveRatioDegenerateIdlePolicy(t *testing.T) {
+	// Action 0 is an idle self-loop accruing nothing (0/0 policy);
+	// action 1 accrues Num=1 Den=2. The idle policy must not confuse the
+	// bisection: the optimum is 0.5.
+	b := tableBuilder{
+		n:    1,
+		acts: map[int][]int{0: {0, 1}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1}},
+			{0, 1}: {{To: 0, Prob: 1, Num: 1, Den: 2}},
+		},
+	}
+	m := mustCompile(t, b)
+	res, err := m.SolveRatio(RatioOptions{})
+	if err != nil {
+		t.Fatalf("SolveRatio: %v", err)
+	}
+	if math.Abs(res.Value-0.5) > 1e-4 {
+		t.Errorf("ratio = %g, want 0.5", res.Value)
+	}
+}
+
+func TestSolveRatioExpandsBracket(t *testing.T) {
+	// Optimal ratio 3 lies outside the default [0,1] bracket.
+	b := tableBuilder{
+		n:    1,
+		acts: map[int][]int{0: {0}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1, Num: 3, Den: 1}},
+		},
+	}
+	m := mustCompile(t, b)
+	res, err := m.SolveRatio(RatioOptions{})
+	if err != nil {
+		t.Fatalf("SolveRatio: %v", err)
+	}
+	if math.Abs(res.Value-3) > 1e-4 {
+		t.Errorf("ratio = %g, want 3", res.Value)
+	}
+}
+
+func TestStationaryDistributionTwoState(t *testing.T) {
+	// 0 -> 1 w.p. 0.5 (else stay), 1 -> 0 w.p. 0.25 (else stay).
+	// Stationary: pi0 = 1/3, pi1 = 2/3.
+	b := tableBuilder{
+		n:    2,
+		acts: map[int][]int{0: {0}, 1: {0}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 1, Prob: 0.5}, {To: 0, Prob: 0.5}},
+			{1, 0}: {{To: 0, Prob: 0.25}, {To: 1, Prob: 0.75}},
+		},
+	}
+	m := mustCompile(t, b)
+	pi, err := m.StationaryDistribution(Policy{0, 0}, Options{})
+	if err != nil {
+		t.Fatalf("StationaryDistribution: %v", err)
+	}
+	if math.Abs(pi[0]-1.0/3) > 1e-6 || math.Abs(pi[1]-2.0/3) > 1e-6 {
+		t.Errorf("pi = %v, want [1/3 2/3]", pi)
+	}
+}
+
+func TestPolicyRatioMatchesSolveRatio(t *testing.T) {
+	b := tableBuilder{
+		n:    2,
+		acts: map[int][]int{0: {0, 1}, 1: {0}},
+		trans: map[[2]int][]Transition{
+			{0, 0}: {{To: 0, Prob: 1, Num: 0.2, Den: 1}},
+			{0, 1}: {{To: 1, Prob: 1, Den: 1}},
+			{1, 0}: {{To: 0, Prob: 1, Num: 1, Den: 1}},
+		},
+	}
+	m := mustCompile(t, b)
+	res, err := m.SolveRatio(RatioOptions{})
+	if err != nil {
+		t.Fatalf("SolveRatio: %v", err)
+	}
+	got, err := m.PolicyRatio(res.Policy, Options{})
+	if err != nil {
+		t.Fatalf("PolicyRatio: %v", err)
+	}
+	if math.Abs(got-res.Value) > 1e-4 {
+		t.Errorf("PolicyRatio = %g, SolveRatio = %g", got, res.Value)
+	}
+	if math.Abs(res.Value-0.5) > 1e-4 {
+		t.Errorf("optimal ratio = %g, want 0.5 (two-step cycle)", res.Value)
+	}
+}
+
+func TestStateVisitRate(t *testing.T) {
+	m := mustCompile(t, twoArmBuilder(0, 1))
+	// Cycle policy alternates states 0 and 1 equally.
+	rate, err := m.StateVisitRate(Policy{1, 0}, func(s int) bool { return s == 1 }, Options{})
+	if err != nil {
+		t.Fatalf("StateVisitRate: %v", err)
+	}
+	if math.Abs(rate-0.5) > 1e-6 {
+		t.Errorf("visit rate = %g, want 0.5", rate)
+	}
+}
+
+// randomBuilder generates a random strongly-regenerating MDP: every
+// (state, action) pair has a positive-probability edge back to state 0, so
+// every policy is unichain.
+func randomBuilder(rng *rand.Rand, n, maxActs int) tableBuilder {
+	b := tableBuilder{
+		n:     n,
+		acts:  make(map[int][]int),
+		trans: make(map[[2]int][]Transition),
+	}
+	for s := 0; s < n; s++ {
+		na := 1 + rng.Intn(maxActs)
+		for a := 0; a < na; a++ {
+			b.acts[s] = append(b.acts[s], a)
+			// Two destinations: a random state and a regeneration edge to 0.
+			p := 0.2 + 0.6*rng.Float64()
+			trs := []Transition{
+				{To: rng.Intn(n), Prob: p, Num: rng.Float64(), Den: 1},
+				{To: 0, Prob: 1 - p, Num: rng.Float64(), Den: 1},
+			}
+			b.trans[[2]int{s, a}] = trs
+		}
+	}
+	return b
+}
+
+// TestAverageRewardDominatesRandomPolicies is a property test: the optimal
+// gain must weakly dominate the gain of arbitrary policies on random models.
+func TestAverageRewardDominatesRandomPolicies(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m, err := Compile(randomBuilder(rng, n, 3))
+		if err != nil {
+			t.Logf("Compile: %v", err)
+			return false
+		}
+		opt, err := m.AverageReward(Options{Epsilon: 1e-10})
+		if err != nil {
+			t.Logf("AverageReward: %v", err)
+			return false
+		}
+		for trial := 0; trial < 5; trial++ {
+			pol := make(Policy, n)
+			for s := 0; s < n; s++ {
+				pol[s] = rng.Intn(len(m.Actions(s)))
+			}
+			ev, err := m.EvaluatePolicy(pol, Options{Epsilon: 1e-10})
+			if err != nil {
+				t.Logf("EvaluatePolicy: %v", err)
+				return false
+			}
+			if ev.Gain > opt.Gain+1e-6 {
+				t.Logf("policy gain %g exceeds optimal %g (seed %d)", ev.Gain, opt.Gain, seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPolicyIterationAgreesOnRandomModels cross-checks the two
+// average-reward solvers on random models.
+func TestPolicyIterationAgreesOnRandomModels(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m, err := Compile(randomBuilder(rng, n, 3))
+		if err != nil {
+			return false
+		}
+		vi, err1 := m.AverageReward(Options{Epsilon: 1e-10})
+		pi, err2 := m.PolicyIteration(Options{Epsilon: 1e-10})
+		if err1 != nil || err2 != nil {
+			t.Logf("solver error: %v %v", err1, err2)
+			return false
+		}
+		if math.Abs(vi.Gain-pi.Gain) > 1e-6 {
+			t.Logf("seed %d: RVI %g vs PI %g", seed, vi.Gain, pi.Gain)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRatioMonotoneInRho verifies the structural property the bisection
+// relies on: the auxiliary gain is non-increasing in rho.
+func TestRatioMonotoneInRho(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := Compile(randomBuilder(rng, 2+rng.Intn(6), 3))
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, rho := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			res, err := m.AverageReward(Options{Rho: rho})
+			if err != nil {
+				return false
+			}
+			if res.Gain > prev+1e-7 {
+				t.Logf("seed %d: gain increased from %g to %g at rho=%g", seed, prev, res.Gain, rho)
+				return false
+			}
+			prev = res.Gain
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAverageRewardRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := Compile(randomBuilder(rng, 200, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.AverageReward(Options{Epsilon: 1e-8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package mdp implements finite Markov decision processes with the solvers
+// needed by the Bitcoin Unlimited security analysis: undiscounted
+// average-reward optimization (relative value iteration and policy
+// iteration) and ratio-of-expectations objectives solved with the
+// transformation of Sapirshtein et al. (Optimal Selfish Mining Strategies
+// in Bitcoin, FC 2016).
+//
+// Every transition carries two reward streams, Num and Den. The plain
+// average-reward solvers maximize the long-run average of Num per step.
+// The ratio solver maximizes lim Num_t/Den_t, which covers the paper's
+// relative-revenue and orphan-rate utilities; setting Den to 1 per step
+// recovers the absolute-reward (per-block) utility.
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transition is one probabilistic outcome of taking an action in a state.
+type Transition struct {
+	To   int     // destination state index
+	Prob float64 // probability of this outcome; outcomes of one (state, action) sum to 1
+	Num  float64 // numerator reward accrued on this transition
+	Den  float64 // denominator reward accrued on this transition
+}
+
+// Builder enumerates a finite MDP. Compile walks every state once and
+// freezes the result into a Model; Builder implementations may generate
+// transitions lazily.
+type Builder interface {
+	// NumStates reports the number of states, indexed 0..NumStates()-1.
+	NumStates() int
+	// Actions lists the actions available in state s. It must return at
+	// least one action for every state. Action identifiers are small
+	// non-negative integers chosen by the builder; they need not be dense.
+	Actions(s int) []int
+	// Transitions lists the outcomes of taking action a in state s.
+	Transitions(s, a int) []Transition
+}
+
+// Model is a compiled, immutable MDP stored in flat arrays for fast
+// iteration. Build one with Compile.
+type Model struct {
+	numStates int
+	// stateOff[s]..stateOff[s+1] index the (state, action) slots of s in
+	// actionID and saOff.
+	stateOff []int32
+	actionID []int32
+	// saOff[k]..saOff[k+1] index the transitions of slot k in trans.
+	saOff []int32
+	trans []Transition
+}
+
+// probTolerance is the largest deviation from 1 tolerated for the total
+// probability mass of a (state, action) pair.
+const probTolerance = 1e-9
+
+// Compile freezes a Builder into a Model, validating that probabilities
+// are non-negative and sum to one, destinations are in range, and every
+// state has at least one action.
+func Compile(b Builder) (*Model, error) {
+	n := b.NumStates()
+	if n <= 0 {
+		return nil, errors.New("mdp: builder has no states")
+	}
+	m := &Model{
+		numStates: n,
+		stateOff:  make([]int32, n+1),
+	}
+	for s := 0; s < n; s++ {
+		acts := b.Actions(s)
+		if len(acts) == 0 {
+			return nil, fmt.Errorf("mdp: state %d has no actions", s)
+		}
+		for _, a := range acts {
+			trs := b.Transitions(s, a)
+			if len(trs) == 0 {
+				return nil, fmt.Errorf("mdp: state %d action %d has no transitions", s, a)
+			}
+			total := 0.0
+			for _, tr := range trs {
+				if tr.To < 0 || tr.To >= n {
+					return nil, fmt.Errorf("mdp: state %d action %d: destination %d out of range [0,%d)", s, a, tr.To, n)
+				}
+				if tr.Prob < 0 {
+					return nil, fmt.Errorf("mdp: state %d action %d: negative probability %g", s, a, tr.Prob)
+				}
+				total += tr.Prob
+			}
+			if math.Abs(total-1) > probTolerance {
+				return nil, fmt.Errorf("mdp: state %d action %d: probabilities sum to %g, want 1", s, a, total)
+			}
+			m.actionID = append(m.actionID, int32(a))
+			m.saOff = append(m.saOff, int32(len(m.trans)))
+			m.trans = append(m.trans, trs...)
+		}
+		m.stateOff[s+1] = int32(len(m.actionID))
+	}
+	m.saOff = append(m.saOff, int32(len(m.trans)))
+	return m, nil
+}
+
+// NumStates reports the number of states in the model.
+func (m *Model) NumStates() int { return m.numStates }
+
+// NumStateActions reports the total number of (state, action) pairs.
+func (m *Model) NumStateActions() int { return len(m.actionID) }
+
+// NumTransitions reports the total number of stored transitions.
+func (m *Model) NumTransitions() int { return len(m.trans) }
+
+// Actions returns the action identifiers available in state s.
+// The returned slice is owned by the model and must not be modified.
+func (m *Model) Actions(s int) []int32 {
+	return m.actionID[m.stateOff[s]:m.stateOff[s+1]]
+}
+
+// Transitions returns the outcomes of the i-th action slot of state s
+// (i indexes into Actions(s), not action identifiers). The returned slice
+// is owned by the model and must not be modified.
+func (m *Model) Transitions(s, i int) []Transition {
+	k := m.stateOff[s] + int32(i)
+	return m.trans[m.saOff[k]:m.saOff[k+1]]
+}
+
+// ActionSlot returns the slot index of action a within state s, or -1 if
+// the action is not available there.
+func (m *Model) ActionSlot(s, a int) int {
+	for i, id := range m.Actions(s) {
+		if int(id) == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Policy maps each state to the slot index of the chosen action
+// (an index into Model.Actions(s)).
+type Policy []int
+
+// ActionAt resolves the action identifier a policy selects in state s.
+func (p Policy) ActionAt(m *Model, s int) int {
+	return int(m.Actions(s)[p[s]])
+}
+
+// Uniform returns a policy selecting the first listed action everywhere.
+func Uniform(m *Model) Policy {
+	return make(Policy, m.NumStates())
+}

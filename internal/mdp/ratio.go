@@ -1,0 +1,145 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RatioOptions configure SolveRatio.
+type RatioOptions struct {
+	// Lo and Hi bracket the optimal ratio. Hi must satisfy gain(Hi) <= 0;
+	// SolveRatio expands Hi automatically (doubling, up to 2^20 times the
+	// initial bracket) if it does not.
+	Lo, Hi float64
+	// Tolerance is the bisection stopping width on the ratio. Default 1e-5
+	// (the paper reports 1e-4).
+	Tolerance float64
+	// GainSlack treats |gain| below this threshold as zero when deciding
+	// the bisection direction; it must exceed the inner solver's Epsilon.
+	// Default 1e-8.
+	GainSlack float64
+	// Inner configures the average-reward solves performed at each probe.
+	Inner Options
+}
+
+func (o RatioOptions) withDefaults() RatioOptions {
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-5
+	}
+	if o.GainSlack == 0 {
+		o.GainSlack = 1e-8
+	}
+	if o.Hi == 0 {
+		o.Hi = 1
+	}
+	return o
+}
+
+// RatioResult reports the outcome of a ratio-objective solve.
+type RatioResult struct {
+	// Value is the optimal ratio lim Num_t / Den_t.
+	Value float64
+	// Policy attains the value.
+	Policy Policy
+	// Probes is the number of average-reward solves performed.
+	Probes int
+}
+
+// SolveRatio maximizes the long-run ratio of accumulated Num to accumulated
+// Den over all stationary policies, using the transformation of Sapirshtein
+// et al.: for a candidate ratio rho the auxiliary MDP with per-transition
+// reward Num - rho*Den has optimal gain g(rho) that is non-increasing in rho
+// and crosses zero exactly at the optimal ratio. The crossing is found by
+// bisection.
+//
+// Den must accrue at a positive long-run rate under every policy whose ratio
+// competes for the optimum; policies with zero Den rate (for example an
+// attacker that never mines) have auxiliary gain exactly zero and are handled
+// by the GainSlack threshold.
+func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
+	opts = opts.withDefaults()
+	lo, hi := opts.Lo, opts.Hi
+	if hi <= lo {
+		return RatioResult{}, fmt.Errorf("mdp: ratio bracket [%g, %g] is empty", lo, hi)
+	}
+
+	probes := 0
+	var warm []float64
+	gainAt := func(rho float64) (Result, error) {
+		probes++
+		inner := opts.Inner
+		inner.Rho = rho
+		inner.Warm = warm
+		res, err := m.AverageReward(inner)
+		if err == nil {
+			warm = res.Bias
+		}
+		return res, err
+	}
+
+	// Ensure the upper end of the bracket has non-positive gain.
+	width := hi - lo
+	for i := 0; ; i++ {
+		r, err := gainAt(hi)
+		if err != nil {
+			return RatioResult{}, err
+		}
+		if r.Gain <= opts.GainSlack {
+			break
+		}
+		if i >= 20 {
+			return RatioResult{}, errors.New("mdp: could not bracket the optimal ratio; gain stays positive")
+		}
+		lo = hi
+		hi += width
+		width *= 2
+	}
+
+	var pol Policy
+	for hi-lo > opts.Tolerance {
+		mid := (lo + hi) / 2
+		r, err := gainAt(mid)
+		if err != nil {
+			return RatioResult{}, err
+		}
+		if r.Gain > opts.GainSlack {
+			lo = mid
+			pol = r.Policy
+		} else {
+			hi = mid
+		}
+	}
+	value := (lo + hi) / 2
+	if pol == nil {
+		// The optimum is at or below the initial Lo; recover a policy there.
+		r, err := gainAt(lo)
+		if err != nil {
+			return RatioResult{}, err
+		}
+		pol = r.Policy
+		value = lo
+	}
+	return RatioResult{Value: value, Policy: pol, Probes: probes}, nil
+}
+
+// PolicyRatio computes the long-run ratio Num/Den attained by a fixed
+// policy, via the long-run rates of the two reward streams under the
+// policy's stationary distribution. The policy's chain must be unichain
+// with positive long-run Den rate.
+func (m *Model) PolicyRatio(pol Policy, opts Options) (float64, error) {
+	pi, err := m.StationaryDistribution(pol, opts)
+	if err != nil {
+		return 0, err
+	}
+	num, den := 0.0, 0.0
+	for s := 0; s < m.numStates; s++ {
+		for _, tr := range m.Transitions(s, pol[s]) {
+			num += pi[s] * tr.Prob * tr.Num
+			den += pi[s] * tr.Prob * tr.Den
+		}
+	}
+	if den <= 0 {
+		return 0, errors.New("mdp: policy accrues no denominator reward")
+	}
+	return num / den, nil
+}

@@ -1,0 +1,262 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options configure the iterative solvers. The zero value selects
+// defaults suitable for the models in this repository.
+type Options struct {
+	// Epsilon is the span-seminorm stopping tolerance for relative value
+	// iteration. Default 1e-9.
+	Epsilon float64
+	// MaxIterations bounds the number of sweeps. Default 1_000_000.
+	MaxIterations int
+	// Aperiodicity is the self-loop weight tau of the aperiodicity
+	// transformation P' = tau*I + (1-tau)*P applied inside the sweeps.
+	// The transformation leaves stationary distributions (and therefore
+	// optimal policies) unchanged and scales the gain by exactly (1-tau);
+	// solvers report the corrected gain. Default 0.05. Set to a negative
+	// value to disable (tau = 0).
+	Aperiodicity float64
+	// Rho shifts the per-transition reward to Num - Rho*Den. The plain
+	// average-reward solvers use Rho as given (default 0).
+	Rho float64
+	// Warm, if non-nil, seeds the bias vector (length NumStates). Reusing
+	// the bias of a nearby solve (for example the previous bisection
+	// probe) cuts iteration counts substantially. The slice is copied.
+	Warm []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-9
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 1_000_000
+	}
+	switch {
+	case o.Aperiodicity < 0:
+		o.Aperiodicity = 0
+	case o.Aperiodicity == 0:
+		o.Aperiodicity = 0.05
+	}
+	return o
+}
+
+// Result reports the outcome of an average-reward solve.
+type Result struct {
+	// Gain is the optimal long-run average reward per step.
+	Gain float64
+	// Policy attains the gain.
+	Policy Policy
+	// Bias is the relative value function h (defined up to a constant).
+	Bias []float64
+	// Iterations is the number of value-iteration sweeps performed.
+	Iterations int
+	// Converged reports whether the span criterion was met within
+	// MaxIterations.
+	Converged bool
+}
+
+// AverageReward maximizes the long-run average of Num - Rho*Den per step
+// using relative value iteration with an aperiodicity transformation.
+// The model must be weakly communicating under some policy reaching a
+// single recurrent class; the models in this repository regenerate
+// through a base state and satisfy this.
+func (m *Model) AverageReward(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	n := m.numStates
+	h := make([]float64, n)
+	if len(opts.Warm) == n {
+		copy(h, opts.Warm)
+	}
+	next := make([]float64, n)
+	pol := make(Policy, n)
+	tau := opts.Aperiodicity
+	keep := 1 - tau
+
+	res := Result{}
+	for it := 1; it <= opts.MaxIterations; it++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for s := 0; s < n; s++ {
+			best := math.Inf(-1)
+			bestSlot := 0
+			nSlots := int(m.stateOff[s+1] - m.stateOff[s])
+			for i := 0; i < nSlots; i++ {
+				q := 0.0
+				for _, tr := range m.Transitions(s, i) {
+					q += tr.Prob * (tr.Num - opts.Rho*tr.Den + h[tr.To])
+				}
+				if q > best {
+					best = q
+					bestSlot = i
+				}
+			}
+			v := keep*best + tau*h[s]
+			next[s] = v
+			pol[s] = bestSlot
+			d := v - h[s]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		// Re-center on state 0 to keep the bias bounded.
+		ref := next[0]
+		for s := range next {
+			next[s] -= ref
+		}
+		h, next = next, h
+		if hi-lo < opts.Epsilon {
+			res = Result{
+				Gain:       (lo + hi) / 2 / keep,
+				Policy:     pol,
+				Bias:       h,
+				Iterations: it,
+				Converged:  true,
+			}
+			return res, nil
+		}
+	}
+	return Result{Policy: pol, Bias: h, Iterations: opts.MaxIterations}, errors.New("mdp: relative value iteration did not converge")
+}
+
+// EvaluatePolicy computes the long-run average of Num - Rho*Den per step
+// under a fixed policy, by relative value iteration restricted to that
+// policy. The policy's chain must be unichain.
+func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
+	if len(pol) != m.numStates {
+		return Result{}, fmt.Errorf("mdp: policy has %d entries, want %d", len(pol), m.numStates)
+	}
+	opts = opts.withDefaults()
+	n := m.numStates
+	h := make([]float64, n)
+	next := make([]float64, n)
+	tau := opts.Aperiodicity
+	keep := 1 - tau
+
+	for it := 1; it <= opts.MaxIterations; it++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for s := 0; s < n; s++ {
+			q := 0.0
+			for _, tr := range m.Transitions(s, pol[s]) {
+				q += tr.Prob * (tr.Num - opts.Rho*tr.Den + h[tr.To])
+			}
+			v := keep*q + tau*h[s]
+			next[s] = v
+			d := v - h[s]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		ref := next[0]
+		for s := range next {
+			next[s] -= ref
+		}
+		h, next = next, h
+		if hi-lo < opts.Epsilon {
+			return Result{
+				Gain:       (lo + hi) / 2 / keep,
+				Policy:     pol,
+				Bias:       h,
+				Iterations: it,
+				Converged:  true,
+			}, nil
+		}
+	}
+	return Result{Policy: pol, Bias: h, Iterations: opts.MaxIterations}, errors.New("mdp: policy evaluation did not converge")
+}
+
+// PolicyIteration solves the average-reward problem by Howard's policy
+// iteration, using iterative policy evaluation. It returns the same gain
+// as AverageReward and serves as an independent cross-check.
+func (m *Model) PolicyIteration(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	pol := Uniform(m)
+	var last Result
+	for round := 0; round < 1000; round++ {
+		ev, err := m.EvaluatePolicy(pol, opts)
+		if err != nil {
+			return ev, err
+		}
+		last = ev
+		improved := false
+		for s := 0; s < m.numStates; s++ {
+			bestSlot := pol[s]
+			best := math.Inf(-1)
+			nSlots := int(m.stateOff[s+1] - m.stateOff[s])
+			for i := 0; i < nSlots; i++ {
+				q := 0.0
+				for _, tr := range m.Transitions(s, i) {
+					q += tr.Prob * (tr.Num - opts.Rho*tr.Den + ev.Bias[tr.To])
+				}
+				if q > best+1e-12 {
+					best = q
+					bestSlot = i
+				}
+			}
+			if bestSlot != pol[s] {
+				pol[s] = bestSlot
+				improved = true
+			}
+		}
+		if !improved {
+			last.Policy = pol
+			return last, nil
+		}
+	}
+	return last, errors.New("mdp: policy iteration did not converge")
+}
+
+// ValueIteration solves the discounted problem max E[sum gamma^t (Num - Rho*Den)]
+// and is provided for testing and for finite-horizon-style analyses.
+// discount must be in (0, 1).
+func (m *Model) ValueIteration(discount float64, opts Options) ([]float64, Policy, error) {
+	if discount <= 0 || discount >= 1 {
+		return nil, nil, fmt.Errorf("mdp: discount %g out of range (0,1)", discount)
+	}
+	opts = opts.withDefaults()
+	n := m.numStates
+	v := make([]float64, n)
+	next := make([]float64, n)
+	pol := make(Policy, n)
+	// Standard Bellman contraction: stop when the sup-norm update is below
+	// Epsilon*(1-discount)/(2*discount), guaranteeing an Epsilon-optimal value.
+	stop := opts.Epsilon * (1 - discount) / (2 * discount)
+	for it := 0; it < opts.MaxIterations; it++ {
+		worst := 0.0
+		for s := 0; s < n; s++ {
+			best := math.Inf(-1)
+			bestSlot := 0
+			nSlots := int(m.stateOff[s+1] - m.stateOff[s])
+			for i := 0; i < nSlots; i++ {
+				q := 0.0
+				for _, tr := range m.Transitions(s, i) {
+					q += tr.Prob * (tr.Num - opts.Rho*tr.Den + discount*v[tr.To])
+				}
+				if q > best {
+					best = q
+					bestSlot = i
+				}
+			}
+			next[s] = best
+			pol[s] = bestSlot
+			if d := math.Abs(best - v[s]); d > worst {
+				worst = d
+			}
+		}
+		v, next = next, v
+		if worst < stop {
+			return v, pol, nil
+		}
+	}
+	return v, pol, errors.New("mdp: value iteration did not converge")
+}

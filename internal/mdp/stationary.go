@@ -1,0 +1,86 @@
+package mdp
+
+import (
+	"errors"
+	"math"
+)
+
+// StationaryDistribution computes the stationary distribution of the Markov
+// chain induced by a fixed policy, by power iteration with an aperiodicity
+// transformation. The chain must be unichain (a single recurrent class plus
+// possibly transient states); all chains in this repository regenerate
+// through a base state and qualify.
+func (m *Model) StationaryDistribution(pol Policy, opts Options) ([]float64, error) {
+	if len(pol) != m.numStates {
+		return nil, errors.New("mdp: policy length mismatch")
+	}
+	opts = opts.withDefaults()
+	n := m.numStates
+	pi := make([]float64, n)
+	next := make([]float64, n)
+	for s := range pi {
+		pi[s] = 1 / float64(n)
+	}
+	tau := opts.Aperiodicity
+	if tau == 0 {
+		tau = 0.05
+	}
+	keep := 1 - tau
+	for it := 0; it < opts.MaxIterations; it++ {
+		for s := range next {
+			next[s] = 0
+		}
+		for s := 0; s < n; s++ {
+			w := pi[s]
+			if w == 0 {
+				continue
+			}
+			next[s] += tau * w
+			for _, tr := range m.Transitions(s, pol[s]) {
+				next[tr.To] += keep * w * tr.Prob
+			}
+		}
+		diff := 0.0
+		for s := range next {
+			diff += math.Abs(next[s] - pi[s])
+		}
+		pi, next = next, pi
+		if diff < opts.Epsilon {
+			return pi, nil
+		}
+	}
+	return nil, errors.New("mdp: stationary distribution power iteration did not converge")
+}
+
+// Rates reports the long-run per-step rates of the Num and Den reward
+// streams under a fixed policy.
+func (m *Model) Rates(pol Policy, opts Options) (num, den float64, err error) {
+	pi, err := m.StationaryDistribution(pol, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	for s := 0; s < m.numStates; s++ {
+		for _, tr := range m.Transitions(s, pol[s]) {
+			num += pi[s] * tr.Prob * tr.Num
+			den += pi[s] * tr.Prob * tr.Den
+		}
+	}
+	return num, den, nil
+}
+
+// StateVisitRate reports the long-run fraction of steps spent in states for
+// which keep returns true, under a fixed policy. It is used for diagnostics
+// such as the fraction of time the blockchain is forked.
+func (m *Model) StateVisitRate(pol Policy, keep func(s int) bool, opts Options) (float64, error) {
+	pi, err := m.StationaryDistribution(pol, opts)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for s, p := range pi {
+		if keep(s) {
+			total += p
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,193 @@
+// Package mempool implements the transaction pool and block assembly:
+// pending transactions ordered by fee rate, and greedy fee-maximizing
+// selection under a block size limit. It is the substrate behind the
+// paper's fee reasoning — Section 2.1's transaction fees, Section 2.3's
+// fee/orphan-rate trade-off (Rizun's fee market), and Section 6.4's
+// observation that lower fees shift the mix toward many small
+// transactions.
+package mempool
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"buanalysis/internal/tx"
+)
+
+// Entry is a pooled transaction with its validated fee.
+type Entry struct {
+	Tx   *tx.Transaction
+	Fee  int64
+	Size int64
+}
+
+// FeeRate is the entry's fee per byte.
+func (e Entry) FeeRate() float64 {
+	if e.Size == 0 {
+		return 0
+	}
+	return float64(e.Fee) / float64(e.Size)
+}
+
+// entryHeap is a max-heap by fee rate (ties: smaller size first, then
+// insertion order for determinism).
+type entryHeap []*heapItem
+
+type heapItem struct {
+	Entry
+	seq int
+}
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	ri, rj := h[i].FeeRate(), h[j].FeeRate()
+	if ri != rj {
+		return ri > rj
+	}
+	if h[i].Size != h[j].Size {
+		return h[i].Size < h[j].Size
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(*heapItem)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Pool is a validating mempool bound to a UTXO view.
+type Pool struct {
+	utxo *tx.UTXOSet
+	byID map[tx.ID]*heapItem
+	heap entryHeap
+	seq  int
+	// TotalSize is the summed size of pooled transactions.
+	TotalSize int64
+}
+
+// New creates a pool validating against the given UTXO view. The view is
+// not mutated by Add; it represents the confirmed chain state.
+func New(utxo *tx.UTXOSet) *Pool {
+	return &Pool{utxo: utxo, byID: make(map[tx.ID]*heapItem)}
+}
+
+// Len reports the number of pooled transactions.
+func (p *Pool) Len() int { return len(p.byID) }
+
+// Add validates a transaction against the pool's UTXO view and admits
+// it. Conflicting spends of the same output are first-come-first-served.
+func (p *Pool) Add(t *tx.Transaction) error {
+	id := t.TxID()
+	if _, ok := p.byID[id]; ok {
+		return fmt.Errorf("mempool: duplicate transaction %v", id)
+	}
+	fee, err := p.utxo.ValidateTransaction(t)
+	if err != nil {
+		return fmt.Errorf("mempool: rejecting %v: %w", id, err)
+	}
+	// Reject conflicts with already-pooled spends.
+	for _, in := range t.Inputs {
+		for _, it := range p.byID {
+			for _, pin := range it.Tx.Inputs {
+				if pin.Previous == in.Previous {
+					return fmt.Errorf("mempool: %v conflicts with pooled %v on %v",
+						id, it.Tx.TxID(), in.Previous)
+				}
+			}
+		}
+	}
+	it := &heapItem{Entry: Entry{Tx: t, Fee: fee, Size: t.Size()}, seq: p.seq}
+	p.seq++
+	p.byID[id] = it
+	heap.Push(&p.heap, it)
+	p.TotalSize += it.Size
+	return nil
+}
+
+// Assembly is the result of block template construction.
+type Assembly struct {
+	Transactions []*tx.Transaction
+	TotalFees    int64
+	TotalSize    int64
+}
+
+// Assemble greedily selects pooled transactions by fee rate under the
+// size limit, without removing them from the pool. Greedy-by-rate is the
+// standard approximation used by Bitcoin Core's block assembler.
+func (p *Pool) Assemble(sizeLimit int64) (Assembly, error) {
+	if sizeLimit <= 0 {
+		return Assembly{}, errors.New("mempool: non-positive size limit")
+	}
+	// Copy the heap so assembly does not disturb the pool.
+	tmp := make(entryHeap, len(p.heap))
+	copy(tmp, p.heap)
+	heap.Init(&tmp)
+	var out Assembly
+	for tmp.Len() > 0 {
+		it := heap.Pop(&tmp).(*heapItem)
+		if out.TotalSize+it.Size > sizeLimit {
+			continue // try smaller, lower-rate transactions
+		}
+		out.Transactions = append(out.Transactions, it.Tx)
+		out.TotalFees += it.Fee
+		out.TotalSize += it.Size
+	}
+	return out, nil
+}
+
+// Confirm removes transactions included in a block and applies them to
+// the pool's UTXO view, returning the total fees collected.
+func (p *Pool) Confirm(txs []*tx.Transaction) (int64, error) {
+	var fees int64
+	for _, t := range txs {
+		fee, err := p.utxo.Apply(t)
+		if err != nil {
+			return fees, fmt.Errorf("mempool: confirming %v: %w", t.TxID(), err)
+		}
+		fees += fee
+		if it, ok := p.byID[t.TxID()]; ok {
+			p.TotalSize -= it.Size
+			delete(p.byID, t.TxID())
+		}
+	}
+	p.Prune()
+	return fees, nil
+}
+
+// Prune drops every pooled transaction that no longer validates against
+// the UTXO view (because a block — possibly from a reorg — spent its
+// inputs or confirmed it) and rebuilds the heap. Use it after the UTXO
+// view changed by means other than Confirm, e.g. a ledger reorg.
+func (p *Pool) Prune() {
+	p.heap = p.heap[:0]
+	for id, it := range p.byID {
+		if _, err := p.utxo.ValidateTransaction(it.Tx); err != nil {
+			p.TotalSize -= it.Size
+			delete(p.byID, id)
+			continue
+		}
+		p.heap = append(p.heap, it)
+	}
+	heap.Init(&p.heap)
+}
+
+// Drop removes a transaction by id if pooled (used when a block
+// containing it connects through the ledger rather than Confirm).
+func (p *Pool) Drop(id tx.ID) {
+	it, ok := p.byID[id]
+	if !ok {
+		return
+	}
+	p.TotalSize -= it.Size
+	delete(p.byID, id)
+	p.heap = p.heap[:0]
+	for _, rest := range p.byID {
+		p.heap = append(p.heap, rest)
+	}
+	heap.Init(&p.heap)
+}

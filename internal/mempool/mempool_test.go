@@ -1,0 +1,190 @@
+package mempool
+
+import (
+	"testing"
+
+	"buanalysis/internal/tx"
+)
+
+// wallet funds n independent outputs of `value` for key kp and returns
+// the UTXO set and the outpoints.
+func wallet(t *testing.T, kp tx.Keypair, n int, value int64) (*tx.UTXOSet, []tx.Outpoint) {
+	t.Helper()
+	u := tx.NewUTXOSet()
+	var ops []tx.Outpoint
+	for i := 0; i < n; i++ {
+		cb := &tx.Transaction{
+			Outputs: []tx.Output{{Value: value, PubKey: kp.Pub}},
+			Payload: []byte{byte(i)}, // distinct ids
+		}
+		if err := u.ApplyCoinbase(cb, value); err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, tx.Outpoint{TxID: cb.TxID(), Index: 0})
+	}
+	return u, ops
+}
+
+func keypair(b byte) tx.Keypair {
+	var s [32]byte
+	s[0] = b
+	return tx.NewKeypair(s)
+}
+
+// payment builds a signed transaction spending op with the given fee and
+// payload padding.
+func payment(t *testing.T, kp tx.Keypair, op tx.Outpoint, value, fee int64, pad int) *tx.Transaction {
+	t.Helper()
+	txn := &tx.Transaction{
+		Inputs:  []tx.Input{{Previous: op}},
+		Outputs: []tx.Output{{Value: value - fee, PubKey: kp.Pub}},
+		Payload: make([]byte, pad),
+	}
+	if err := txn.Sign(0, kp.Priv); err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+func TestAddValidatesAndRejects(t *testing.T) {
+	kp := keypair(1)
+	u, ops := wallet(t, kp, 2, 100)
+	p := New(u)
+
+	good := payment(t, kp, ops[0], 100, 10, 0)
+	if err := p.Add(good); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := p.Add(good); err == nil {
+		t.Error("accepted duplicate")
+	}
+	// Conflicting spend of the same outpoint.
+	conflict := payment(t, kp, ops[0], 100, 20, 0)
+	if err := p.Add(conflict); err == nil {
+		t.Error("accepted conflicting spend")
+	}
+	// Invalid transaction (spends unknown output).
+	bogus := payment(t, kp, tx.Outpoint{Index: 9}, 100, 1, 0)
+	if err := p.Add(bogus); err == nil {
+		t.Error("accepted invalid transaction")
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool size = %d, want 1", p.Len())
+	}
+}
+
+func TestAssembleMaximizesFeeRate(t *testing.T) {
+	kp := keypair(1)
+	u, ops := wallet(t, kp, 3, 1000)
+	p := New(u)
+
+	// Three transactions with descending fee rates; the padded one is big.
+	small := payment(t, kp, ops[0], 1000, 100, 0) // high rate
+	big := payment(t, kp, ops[1], 1000, 150, 600) // big but lower rate
+	tiny := payment(t, kp, ops[2], 1000, 1, 0)    // lowest rate
+	for _, txn := range []*tx.Transaction{tiny, big, small} {
+		if err := p.Add(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Limit that fits everything.
+	all, err := p.Assemble(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Transactions) != 3 {
+		t.Fatalf("assembled %d txs, want 3", len(all.Transactions))
+	}
+	if all.Transactions[0].TxID() != small.TxID() {
+		t.Errorf("highest fee rate not first")
+	}
+	if all.TotalFees != 251 {
+		t.Errorf("total fees = %d, want 251", all.TotalFees)
+	}
+
+	// Limit that excludes the big transaction: greedy skips it and still
+	// takes the tiny one.
+	limited, err := p.Assemble(small.Size() + tiny.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Transactions) != 2 || limited.TotalFees != 101 {
+		t.Errorf("limited assembly = %d txs, fees %d; want 2 txs, fees 101",
+			len(limited.Transactions), limited.TotalFees)
+	}
+
+	if _, err := p.Assemble(0); err == nil {
+		t.Error("accepted zero size limit")
+	}
+	// Assembly must not consume the pool.
+	if p.Len() != 3 {
+		t.Errorf("assembly consumed the pool: %d left", p.Len())
+	}
+}
+
+func TestConfirmRemovesAndRevalidates(t *testing.T) {
+	kp := keypair(1)
+	u, ops := wallet(t, kp, 2, 1000)
+	p := New(u)
+
+	a := payment(t, kp, ops[0], 1000, 10, 0)
+	b := payment(t, kp, ops[1], 1000, 20, 0)
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(b); err != nil {
+		t.Fatal(err)
+	}
+
+	fees, err := p.Confirm([]*tx.Transaction{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fees != 10 {
+		t.Errorf("fees = %d, want 10", fees)
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool size = %d, want 1", p.Len())
+	}
+	// Confirming a conflicting block (an external tx spending b's input)
+	// drops b from the pool.
+	ext := payment(t, kp, ops[1], 1000, 30, 1)
+	fees, err = p.Confirm([]*tx.Transaction{ext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fees != 30 {
+		t.Errorf("fees = %d, want 30", fees)
+	}
+	if p.Len() != 0 {
+		t.Errorf("conflicted transaction still pooled")
+	}
+	// Confirming an invalid transaction errors.
+	if _, err := p.Confirm([]*tx.Transaction{a}); err == nil {
+		t.Error("confirmed an already-spent transaction")
+	}
+}
+
+func TestTotalSizeTracking(t *testing.T) {
+	kp := keypair(1)
+	u, ops := wallet(t, kp, 2, 1000)
+	p := New(u)
+	a := payment(t, kp, ops[0], 1000, 10, 100)
+	b := payment(t, kp, ops[1], 1000, 10, 200)
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalSize != a.Size()+b.Size() {
+		t.Errorf("TotalSize = %d, want %d", p.TotalSize, a.Size()+b.Size())
+	}
+	if _, err := p.Confirm([]*tx.Transaction{a}); err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalSize != b.Size() {
+		t.Errorf("TotalSize after confirm = %d, want %d", p.TotalSize, b.Size())
+	}
+}

@@ -1,0 +1,70 @@
+// Package netsim is a discrete-event simulator of a proof-of-work mining
+// network with per-node block validity rules. Mining is a Poisson
+// process (the winner of each block drawn proportionally to hash power),
+// blocks propagate over links with configurable delay, and every node
+// maintains its own view of which chain is valid under its protocol
+// rules — which is exactly the degree of freedom Bitcoin Unlimited
+// introduces and the paper attacks.
+//
+// The simulator reproduces the paper's fork dynamics natively: give Bob
+// and Carol BU rules with different EBs, let Alice mine a block of size
+// EB_C, and the network splits with no further scripting, because Bob's
+// AcceptableDepth cuts the chain below the excessive block while Carol's
+// does not.
+package netsim
+
+import "container/heap"
+
+// event is a scheduled callback. Events at equal times run in schedule
+// order (seq), which makes runs deterministic.
+type event struct {
+	time float64
+	seq  int64
+	run  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// scheduler is a deterministic discrete-event queue.
+type scheduler struct {
+	heap eventHeap
+	now  float64
+	seq  int64
+}
+
+// at schedules fn at absolute time t (>= now).
+func (s *scheduler) at(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	heap.Push(&s.heap, event{time: t, seq: s.seq, run: fn})
+	s.seq++
+}
+
+// step runs the earliest event; it reports false when the queue is empty.
+func (s *scheduler) step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.heap).(event)
+	s.now = e.time
+	e.run()
+	return true
+}

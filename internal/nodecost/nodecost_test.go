@@ -1,0 +1,197 @@
+package nodecost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const mb = 1 << 20
+
+func TestProfileForFeeLevel(t *testing.T) {
+	low := ProfileForFeeLevel(0)
+	high := ProfileForFeeLevel(1)
+	if low.MeanSize >= high.MeanSize {
+		t.Errorf("low fees should mean smaller transactions: %g vs %g", low.MeanSize, high.MeanSize)
+	}
+	sigLow, utxoLow := low.PerByteCosts()
+	sigHigh, utxoHigh := high.PerByteCosts()
+	if sigLow <= sigHigh {
+		t.Errorf("small transactions should cost more signatures per byte: %g vs %g", sigLow, sigHigh)
+	}
+	if utxoLow <= utxoHigh {
+		t.Errorf("small transactions should grow the UTXO set faster per byte: %g vs %g", utxoLow, utxoHigh)
+	}
+	neg := ProfileForFeeLevel(-5)
+	if neg != ProfileForFeeLevel(0) {
+		t.Errorf("negative fee level should clamp to zero")
+	}
+	var zero TxProfile
+	if a, b := zero.PerByteCosts(); a != 0 || b != 0 {
+		t.Errorf("zero profile costs = %g, %g", a, b)
+	}
+}
+
+func TestBlockCostsScaleLinearly(t *testing.T) {
+	prof := ProfileForFeeLevel(1e-6)
+	c1, err := BlockCosts(mb, prof, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := BlockCosts(4*mb, prof, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{
+		{c1.BandwidthPerSec, c4.BandwidthPerSec},
+		{c1.SigOpsPerBlock, c4.SigOpsPerBlock},
+		{c1.UTXOGrowthPerBlock, c4.UTXOGrowthPerBlock},
+	} {
+		if pair[1] < 3.9*pair[0] || pair[1] > 4.1*pair[0] {
+			t.Errorf("cost did not scale linearly: %g -> %g", pair[0], pair[1])
+		}
+	}
+	if _, err := BlockCosts(0, prof, 600); err == nil {
+		t.Error("accepted zero block size")
+	}
+	if _, err := BlockCosts(mb, prof, 0); err == nil {
+		t.Error("accepted zero interval")
+	}
+}
+
+func TestCanSustainBoundaries(t *testing.T) {
+	prof := ProfileForFeeLevel(1e-6)
+	costs, err := BlockCosts(4*mb, prof, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong := Node{Bandwidth: 1e6, SigVerifyRate: 1e5, MemoryBudget: 1 << 40}
+	if !strong.CanSustain(costs, 600, 52560, 1e9) {
+		t.Error("strong node should sustain 4MB blocks")
+	}
+	slowNet := strong
+	slowNet.Bandwidth = 1e3
+	if slowNet.CanSustain(costs, 600, 52560, 1e9) {
+		t.Error("1 kB/s node cannot relay 4MB blocks")
+	}
+	slowCPU := strong
+	slowCPU.SigVerifyRate = 1
+	if slowCPU.CanSustain(costs, 600, 52560, 1e9) {
+		t.Error("1 sig/s node cannot verify 4MB blocks in half an interval")
+	}
+	lowMem := strong
+	lowMem.MemoryBudget = 1 << 20
+	if lowMem.CanSustain(costs, 600, 52560, 1e9) {
+		t.Error("node with 1MB memory cannot hold the UTXO set")
+	}
+	noCPU := strong
+	noCPU.SigVerifyRate = 0
+	if noCPU.CanSustain(costs, 600, 1, 0) {
+		t.Error("zero verification rate must fail")
+	}
+}
+
+// TestCromanOperatingPoint: the synthetic population is calibrated to
+// Croman et al.'s finding the paper cites — ~90% of public nodes sustain
+// 4 MB blocks, and materially fewer sustain 32 MB (the sticky-gate
+// release size).
+func TestCromanOperatingPoint(t *testing.T) {
+	pop := SyntheticPopulation(1000)
+	prof := ProfileForFeeLevel(1e-6)
+	const month = 4320
+	at := func(size int64) float64 {
+		f, err := pop.OnlineFraction(size, prof, 600, month, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f4 := at(4 * mb)
+	if f4 < 0.85 || f4 > 0.95 {
+		t.Errorf("online fraction at 4MB = %.3f, want ~0.90", f4)
+	}
+	f1 := at(1 * mb)
+	f32 := at(32 * mb)
+	if !(f1 > f4 && f4 > f32) {
+		t.Errorf("online fractions not decreasing: 1MB %.3f, 4MB %.3f, 32MB %.3f", f1, f4, f32)
+	}
+	if f32 > 0.80 {
+		t.Errorf("online fraction at 32MB = %.3f; the sticky-gate release size should shed nodes", f32)
+	}
+}
+
+func TestSupportedSize(t *testing.T) {
+	pop := SyntheticPopulation(500)
+	prof := ProfileForFeeLevel(1e-6)
+	size, err := pop.SupportedSize(0.90, prof, 600, 4320, 1e9, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size < 2*mb || size > 8*mb {
+		t.Errorf("90%% supported size = %.2f MB, want ~4MB", float64(size)/mb)
+	}
+	// A lower availability target supports bigger blocks.
+	size50, err := pop.SupportedSize(0.50, prof, 600, 4320, 1e9, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size50 <= size {
+		t.Errorf("50%% target (%d) should support more than 90%% target (%d)", size50, size)
+	}
+	if _, err := pop.SupportedSize(0, prof, 600, 1, 0, mb); err == nil {
+		t.Error("accepted zero fraction")
+	}
+	if _, err := (Population{}).OnlineFraction(mb, prof, 600, 1, 0); err == nil {
+		t.Error("accepted empty population")
+	}
+}
+
+// TestLowerFeesShrinkCapacity reproduces the Section 6.4 chain of
+// reasoning end to end: lower fees -> smaller transactions -> higher
+// per-byte cost -> fewer nodes sustain a given block size.
+func TestLowerFeesShrinkCapacity(t *testing.T) {
+	pop := SyntheticPopulation(500)
+	lowFee := ProfileForFeeLevel(1e-8)
+	highFee := ProfileForFeeLevel(1e-5)
+	const month = 4320
+	fLow, err := pop.OnlineFraction(32*mb, lowFee, 600, month, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fHigh, err := pop.OnlineFraction(32*mb, highFee, 600, month, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fLow >= fHigh {
+		t.Errorf("low-fee mix must shed strictly more nodes at 32MB: %.3f vs %.3f", fLow, fHigh)
+	}
+}
+
+// TestOnlineFractionMonotone is a property test: more block size never
+// brings nodes back online.
+func TestOnlineFractionMonotone(t *testing.T) {
+	pop := SyntheticPopulation(200)
+	prof := ProfileForFeeLevel(1e-6)
+	prop := func(raw uint16) bool {
+		a := int64(raw%64+1) * mb / 4
+		b := a * 2
+		fa, err1 := pop.OnlineFraction(a, prof, 600, 1000, 1e9)
+		fb, err2 := pop.OnlineFraction(b, prof, 600, 1000, 1e9)
+		return err1 == nil && err2 == nil && fb <= fa
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	pop := Population{
+		{Bandwidth: 3}, {Bandwidth: 1}, {Bandwidth: 2},
+	}
+	s := pop.Sorted()
+	if s[0].Bandwidth != 1 || s[2].Bandwidth != 3 {
+		t.Errorf("not sorted: %+v", s)
+	}
+	if pop[0].Bandwidth != 3 {
+		t.Errorf("Sorted mutated the receiver")
+	}
+}

@@ -1,0 +1,320 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/protocol"
+)
+
+// Signal is a peer's announced BU configuration (from its hello).
+type Signal struct {
+	Name string
+	EB   int64
+	AD   int
+}
+
+// Config configures a Node.
+type Config struct {
+	// Name identifies the node in hellos and mined blocks.
+	Name string
+	// Rules are the node's validity rules.
+	Rules protocol.Rules
+	// Signal is announced to peers (the node's EB/AD; zero values are
+	// fine for Bitcoin-rule nodes).
+	Signal Signal
+}
+
+// Node is a block-relay node: it accepts connections, gossips blocks via
+// inv/getdata, maintains a local chain view under its own validity
+// rules, and tracks the tip it would mine on.
+type Node struct {
+	cfg Config
+
+	mu      sync.Mutex
+	store   *chain.Store
+	pending map[chain.ID][]*chain.Block
+	target  *chain.Block
+	peers   map[*peer]struct{}
+	signals map[string]Signal
+	closed  bool
+
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	// TipChanged, if non-nil, receives the new mining target height each
+	// time it changes (non-blocking sends; buffer generously in tests).
+	TipChanged chan int
+}
+
+// NewNode creates a node rooted at the standard genesis block.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("p2p: node needs a name")
+	}
+	if cfg.Rules == nil {
+		return nil, errors.New("p2p: node needs validity rules")
+	}
+	if cfg.Signal.Name == "" {
+		cfg.Signal.Name = cfg.Name
+	}
+	g := chain.Genesis()
+	return &Node{
+		cfg:     cfg,
+		store:   chain.NewStore(g),
+		pending: make(map[chain.ID][]*chain.Block),
+		target:  g,
+		peers:   make(map[*peer]struct{}),
+		signals: make(map[string]Signal),
+	}, nil
+}
+
+// Listen starts accepting connections on the given address (e.g.
+// "127.0.0.1:0") and returns the bound address.
+func (n *Node) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen: %w", err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("p2p: node closed")
+	}
+	n.listener = ln
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n.AddConn(conn)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Dial connects to a remote node.
+func (n *Node) Dial(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("p2p: dial %s: %w", addr, err)
+	}
+	n.AddConn(conn)
+	return nil
+}
+
+// AddConn attaches an established connection (TCP or an in-memory pipe).
+func (n *Node) AddConn(conn net.Conn) {
+	p := newPeer(conn)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.peers[p] = struct{}{}
+	// Greet and advertise our current inventory so late joiners sync.
+	ids := n.inventoryLocked()
+	n.mu.Unlock()
+
+	p.send(&Message{
+		Type: MsgHello,
+		Name: n.cfg.Signal.Name,
+		EB:   n.cfg.Signal.EB,
+		AD:   int32(n.cfg.Signal.AD),
+	})
+	if len(ids) > 0 {
+		p.send(&Message{Type: MsgInv, IDs: ids})
+	}
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		p.run(func(m *Message) { n.handle(p, m) })
+		n.mu.Lock()
+		delete(n.peers, p)
+		n.mu.Unlock()
+	}()
+}
+
+// inventoryLocked lists all non-genesis block ids; callers hold n.mu.
+func (n *Node) inventoryLocked() []chain.ID {
+	var ids []chain.ID
+	for _, tip := range n.store.Tips() {
+		for _, b := range n.store.Path(tip.ID()) {
+			if b.Height > 0 {
+				ids = append(ids, b.ID())
+			}
+		}
+	}
+	return ids
+}
+
+// handle dispatches an incoming message.
+func (n *Node) handle(from *peer, m *Message) {
+	switch m.Type {
+	case MsgHello:
+		n.mu.Lock()
+		n.signals[m.Name] = Signal{Name: m.Name, EB: m.EB, AD: int(m.AD)}
+		n.mu.Unlock()
+	case MsgInv:
+		var want []chain.ID
+		n.mu.Lock()
+		for _, id := range m.IDs {
+			if !n.store.Has(id) {
+				want = append(want, id)
+			}
+		}
+		n.mu.Unlock()
+		if len(want) > 0 {
+			from.send(&Message{Type: MsgGetData, IDs: want})
+		}
+	case MsgGetData:
+		n.mu.Lock()
+		var blocks []*chain.Block
+		for _, id := range m.IDs {
+			if b := n.store.Get(id); b != nil {
+				blocks = append(blocks, b)
+			}
+		}
+		n.mu.Unlock()
+		for _, b := range blocks {
+			from.send(&Message{Type: MsgBlock, Block: b})
+		}
+	case MsgBlock:
+		n.SubmitBlock(m.Block)
+	}
+}
+
+// SubmitBlock ingests a block (from the network or mined locally),
+// updates the mining target, and gossips new inventory to peers.
+func (n *Node) SubmitBlock(b *chain.Block) {
+	n.mu.Lock()
+	if n.store.Has(b.ID()) {
+		n.mu.Unlock()
+		return
+	}
+	accepted := n.ingestLocked(b)
+	var peers []*peer
+	for p := range n.peers {
+		peers = append(peers, p)
+	}
+	tip := n.target.Height
+	ch := n.TipChanged
+	n.mu.Unlock()
+
+	if len(accepted) > 0 {
+		inv := &Message{Type: MsgInv}
+		for _, blk := range accepted {
+			inv.IDs = append(inv.IDs, blk.ID())
+		}
+		for _, p := range peers {
+			p.send(inv)
+		}
+		if ch != nil {
+			select {
+			case ch <- tip:
+			default:
+			}
+		}
+	}
+}
+
+// ingestLocked stores a block (buffering on unknown parents) and
+// re-evaluates the target; it returns the blocks newly added.
+func (n *Node) ingestLocked(b *chain.Block) []*chain.Block {
+	if !n.store.Has(b.Parent) {
+		n.pending[b.Parent] = append(n.pending[b.Parent], b)
+		return nil
+	}
+	var added []*chain.Block
+	queue := []*chain.Block{b}
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if err := n.store.Add(blk); err != nil {
+			continue
+		}
+		added = append(added, blk)
+		path := n.store.Path(blk.ID())
+		depth := n.cfg.Rules.AcceptableDepth(path)
+		if cand := path[depth]; cand.Height > n.target.Height {
+			n.target = cand
+		}
+		queue = append(queue, n.pending[blk.ID()]...)
+		delete(n.pending, blk.ID())
+	}
+	return added
+}
+
+// Target returns the node's current mining target.
+func (n *Node) Target() *chain.Block {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.target
+}
+
+// KnownBlocks reports how many blocks the node has stored (including
+// genesis).
+func (n *Node) KnownBlocks() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Len()
+}
+
+// PeerSignals returns the BU signals received from peers.
+func (n *Node) PeerSignals() []Signal {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Signal, 0, len(n.signals))
+	for _, s := range n.signals {
+		out = append(out, s)
+	}
+	return out
+}
+
+// MineOn builds a block of the given size on the node's target, submits
+// it locally and gossips it. It returns the block.
+func (n *Node) MineOn(size int64) *chain.Block {
+	parent := n.Target()
+	b := &chain.Block{
+		Parent: parent.ID(),
+		Height: parent.Height + 1,
+		Size:   size,
+		Miner:  n.cfg.Name,
+	}
+	n.SubmitBlock(b)
+	return b
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	ln := n.listener
+	var peers []*peer
+	for p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, p := range peers {
+		p.close()
+	}
+	n.wg.Wait()
+	return nil
+}

@@ -1,0 +1,297 @@
+package p2p
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/protocol"
+)
+
+const mb = 1 << 20
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func newTestNode(t *testing.T, name string, rules protocol.Rules) *Node {
+	t.Helper()
+	n, err := NewNode(Config{Name: name, Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// listen starts a listener on a random localhost port.
+func listen(t *testing.T, n *Node) net.Addr {
+	t.Helper()
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	g := chain.Genesis()
+	blk := &chain.Block{Parent: g.ID(), Height: 1, Size: 8 * mb, Miner: "alice", Time: 2.5, Nonce: 99}
+	msgs := []*Message{
+		{Type: MsgHello, Name: "bob", EB: mb, AD: 6},
+		{Type: MsgInv, IDs: []chain.ID{g.ID(), blk.ID()}},
+		{Type: MsgGetData, IDs: []chain.ID{blk.ID()}},
+		{Type: MsgBlock, Block: blk},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := Encode(&buf, m); err != nil {
+			t.Fatalf("Encode(%v): %v", m.Type, err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", m.Type, err)
+		}
+		if got.Type != m.Type {
+			t.Errorf("type = %v, want %v", got.Type, m.Type)
+		}
+		switch m.Type {
+		case MsgHello:
+			if got.Name != m.Name || got.EB != m.EB || got.AD != m.AD {
+				t.Errorf("hello round trip: %+v", got)
+			}
+		case MsgInv, MsgGetData:
+			if len(got.IDs) != len(m.IDs) || got.IDs[0] != m.IDs[0] {
+				t.Errorf("inventory round trip: %+v", got)
+			}
+		case MsgBlock:
+			if got.Block.ID() != blk.ID() {
+				t.Errorf("block round trip changed identity")
+			}
+		}
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := Decode(&buf); err == nil {
+		t.Error("accepted oversized message")
+	}
+	// Unknown type.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 1, 0x7f})
+	if _, err := Decode(&buf); err == nil {
+		t.Error("accepted unknown type")
+	}
+	// Truncated body.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 5, byte(MsgInv), 1, 2})
+	if _, err := Decode(&buf); err == nil {
+		t.Error("accepted truncated message")
+	}
+	// Trailing bytes.
+	var ok bytes.Buffer
+	if err := Encode(&ok, &Message{Type: MsgHello, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw := ok.Bytes()
+	raw[3]++ // lengthen the prefix
+	buf.Reset()
+	buf.Write(raw)
+	buf.WriteByte(0)
+	if _, err := Decode(&buf); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+	// Nil block.
+	if err := Encode(&bytes.Buffer{}, &Message{Type: MsgBlock}); err == nil {
+		t.Error("encoded nil block")
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{Rules: protocol.Bitcoin{MaxBlockSize: mb}}); err == nil {
+		t.Error("accepted empty name")
+	}
+	if _, err := NewNode(Config{Name: "x"}); err == nil {
+		t.Error("accepted nil rules")
+	}
+}
+
+// TestGossipPropagation: blocks mined at one end of a line topology
+// reach the other end via inv/getdata relay over real TCP sockets.
+func TestGossipPropagation(t *testing.T) {
+	rules := protocol.Bitcoin{MaxBlockSize: mb}
+	a := newTestNode(t, "a", rules)
+	b := newTestNode(t, "b", rules)
+	c := newTestNode(t, "c", rules)
+
+	addrB := listen(t, b)
+	addrC := listen(t, c)
+	if err := a.Dial(addrB.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dial(addrC.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	var tip *chain.Block
+	for i := 0; i < 5; i++ {
+		tip = a.MineOn(mb / 2)
+	}
+	waitFor(t, "c to sync 5 blocks", func() bool { return c.KnownBlocks() == 6 })
+	if c.Target().ID() != tip.ID() {
+		t.Errorf("c target %v, want %v", c.Target().ID(), tip.ID())
+	}
+	if b.Target().Height != 5 {
+		t.Errorf("relay node height = %d, want 5", b.Target().Height)
+	}
+}
+
+// TestLateJoinerSyncs: a node connecting after blocks exist receives the
+// full inventory on its first handshake.
+func TestLateJoinerSyncs(t *testing.T) {
+	rules := protocol.Bitcoin{MaxBlockSize: mb}
+	a := newTestNode(t, "a", rules)
+	addrA := listen(t, a)
+	for i := 0; i < 4; i++ {
+		a.MineOn(mb / 2)
+	}
+	late := newTestNode(t, "late", rules)
+	if err := late.Dial(addrA.String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "late joiner to sync", func() bool { return late.KnownBlocks() == 5 })
+}
+
+// TestSignals: the hello handshake carries the BU parameters, as BU
+// nodes signal EB/AD.
+func TestSignals(t *testing.T) {
+	bob, err := NewNode(Config{
+		Name:   "bob",
+		Rules:  protocol.BU{EB: mb, AD: 6},
+		Signal: Signal{EB: mb, AD: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bob.Close()
+	carol, err := NewNode(Config{
+		Name:   "carol",
+		Rules:  protocol.BU{EB: 16 * mb, AD: 12},
+		Signal: Signal{EB: 16 * mb, AD: 12},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer carol.Close()
+
+	addr := listen(t, bob)
+	if err := carol.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "signal exchange", func() bool {
+		return len(bob.PeerSignals()) == 1 && len(carol.PeerSignals()) == 1
+	})
+	got := bob.PeerSignals()[0]
+	if got.Name != "carol" || got.EB != 16*mb || got.AD != 12 {
+		t.Errorf("bob sees signal %+v", got)
+	}
+}
+
+// TestBUSplitOverSockets reproduces the paper's phase-1 split over real
+// connections: the same wire-level network, two incompatible ledgers.
+func TestBUSplitOverSockets(t *testing.T) {
+	bob := newTestNode(t, "bob", protocol.BU{EB: mb, AD: 3})
+	carol := newTestNode(t, "carol", protocol.BU{EB: 8 * mb, AD: 3})
+	alice := newTestNode(t, "alice", protocol.BU{EB: 8 * mb, AD: 3})
+
+	addrB := listen(t, bob)
+	addrC := listen(t, carol)
+	if err := alice.Dial(addrB.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Dial(addrC.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Dial(addrC.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Common prefix.
+	alice.MineOn(mb / 2)
+	waitFor(t, "prefix propagation", func() bool {
+		return bob.KnownBlocks() == 2 && carol.KnownBlocks() == 2
+	})
+
+	// The splitting block: size exactly EB_C.
+	split := alice.MineOn(8 * mb)
+	waitFor(t, "split propagation", func() bool {
+		return bob.KnownBlocks() == 3 && carol.KnownBlocks() == 3
+	})
+	if carol.Target().ID() != split.ID() {
+		t.Errorf("carol should mine on the splitting block")
+	}
+	if bob.Target().Height != 1 {
+		t.Errorf("bob should stay on the prefix, at height 1; got %d", bob.Target().Height)
+	}
+
+	// Carol buries it AD deep; bob capitulates.
+	carol.MineOn(mb / 2)
+	tip := carol.MineOn(mb / 2)
+	waitFor(t, "bob capitulation", func() bool {
+		return bob.Target().ID() == tip.ID()
+	})
+}
+
+// TestDuplicateAndUnknownParent: re-submitting blocks is idempotent and
+// out-of-order arrival is buffered.
+func TestDuplicateAndUnknownParent(t *testing.T) {
+	a := newTestNode(t, "a", protocol.Bitcoin{MaxBlockSize: mb})
+	g := chain.Genesis()
+	b1 := &chain.Block{Parent: g.ID(), Height: 1, Size: 1, Miner: "m"}
+	b2 := &chain.Block{Parent: b1.ID(), Height: 2, Size: 1, Miner: "m"}
+	a.SubmitBlock(b2) // parent unknown: buffered
+	if a.KnownBlocks() != 1 {
+		t.Errorf("buffered block counted as known")
+	}
+	a.SubmitBlock(b1)
+	if a.KnownBlocks() != 3 {
+		t.Errorf("known = %d, want 3 after parent arrives", a.KnownBlocks())
+	}
+	a.SubmitBlock(b1) // duplicate
+	if a.KnownBlocks() != 3 || a.Target().Height != 2 {
+		t.Errorf("duplicate handling broken: %d blocks, target %d", a.KnownBlocks(), a.Target().Height)
+	}
+}
+
+// TestCloseIsIdempotentAndUnblocks: closing twice is fine and dialing a
+// closed node fails cleanly.
+func TestCloseLifecycle(t *testing.T) {
+	a := newTestNode(t, "a", protocol.Bitcoin{MaxBlockSize: mb})
+	addr := listen(t, a)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b := newTestNode(t, "b", protocol.Bitcoin{MaxBlockSize: mb})
+	if err := b.Dial(addr.String()); err == nil {
+		// The dial may succeed at TCP level before the listener closed;
+		// either way the peer must drop quickly and not wedge Close.
+		b.Close()
+	}
+}

@@ -1,0 +1,73 @@
+package p2p
+
+import (
+	"net"
+	"sync"
+)
+
+// peer wraps one connection with a serialized writer and a reader loop.
+type peer struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	sendCh chan *Message
+	closed bool
+	once   sync.Once
+	wg     sync.WaitGroup
+}
+
+func newPeer(conn net.Conn) *peer {
+	p := &peer{conn: conn, sendCh: make(chan *Message, 256)}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for m := range p.sendCh {
+			if err := Encode(p.conn, m); err != nil {
+				p.close()
+				// Drain remaining messages so senders never block.
+				for range p.sendCh {
+				}
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// send enqueues a message; it drops the message rather than block when
+// the peer is saturated or closed (gossip is resent via inv exchange).
+func (p *peer) send(m *Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	select {
+	case p.sendCh <- m:
+	default:
+	}
+}
+
+// run reads messages until the connection fails, dispatching each to
+// handle. It closes the peer on exit.
+func (p *peer) run(handle func(*Message)) {
+	defer p.close()
+	for {
+		m, err := Decode(p.conn)
+		if err != nil {
+			return
+		}
+		handle(m)
+	}
+}
+
+// close shuts the connection down once.
+func (p *peer) close() {
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		close(p.sendCh)
+		p.mu.Unlock()
+		p.conn.Close()
+	})
+}

@@ -1,0 +1,294 @@
+// Package p2p implements a miniature peer-to-peer block relay network
+// over real net.Conn transports: length-prefixed messages, inventory
+// gossip (inv/getdata/block, as in Bitcoin's relay protocol), and BU
+// parameter signaling. Nodes validate chains with their own
+// protocol.Rules, so running two peers with different EBs demonstrates
+// the paper's central hazard — the same wire-level network, two
+// incompatible ledgers — over actual sockets.
+package p2p
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"buanalysis/internal/chain"
+)
+
+// MsgType identifies a wire message.
+type MsgType uint8
+
+// Wire message types.
+const (
+	MsgHello   MsgType = iota + 1 // node name + BU signal (EB, AD)
+	MsgInv                        // block ids the sender has
+	MsgGetData                    // block ids the receiver wants
+	MsgBlock                      // a block header, optionally with transactions
+	MsgTx                         // a serialized transaction
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgInv:
+		return "inv"
+	case MsgGetData:
+		return "getdata"
+	case MsgBlock:
+		return "block"
+	case MsgTx:
+		return "tx"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is the decoded form of any wire message; exactly the fields
+// for its Type are meaningful.
+type Message struct {
+	Type MsgType
+
+	// Hello fields.
+	Name string
+	EB   int64
+	AD   int32
+
+	// Inv / GetData fields.
+	IDs []chain.ID
+
+	// Block field. TxData optionally carries the block's serialized
+	// transactions (full-node relay); header-level nodes leave it empty.
+	Block  *chain.Block
+	TxData [][]byte
+}
+
+// MaxMessageSize caps a single wire message (64 MiB, twice the BU
+// network message limit, leaving room for framing).
+const MaxMessageSize = 64 << 20
+
+// maxInvIDs bounds inventory lists.
+const maxInvIDs = 50_000
+
+// Encode writes the message with a 4-byte big-endian length prefix.
+func Encode(w io.Writer, m *Message) error {
+	body, err := marshal(m)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("p2p: message of %d bytes exceeds limit", len(body))
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// Decode reads one length-prefixed message.
+func Decode(r io.Reader) (*Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxMessageSize {
+		return nil, fmt.Errorf("p2p: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return unmarshal(body)
+}
+
+func marshal(m *Message) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(m.Type))
+	w := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	switch m.Type {
+	case MsgHello:
+		if len(m.Name) > 255 {
+			return nil, errors.New("p2p: node name too long")
+		}
+		buf.WriteByte(byte(len(m.Name)))
+		buf.WriteString(m.Name)
+		w(uint64(m.EB))
+		w(uint64(m.AD))
+	case MsgInv, MsgGetData:
+		if len(m.IDs) > maxInvIDs {
+			return nil, errors.New("p2p: inventory too large")
+		}
+		w(uint64(len(m.IDs)))
+		for _, id := range m.IDs {
+			buf.Write(id[:])
+		}
+	case MsgBlock:
+		if m.Block == nil {
+			return nil, errors.New("p2p: nil block")
+		}
+		b := m.Block
+		buf.Write(b.Parent[:])
+		buf.Write(b.TxRoot[:])
+		w(uint64(b.Height))
+		w(uint64(b.Size))
+		w(math.Float64bits(b.Time))
+		w(b.Nonce)
+		if len(b.Miner) > 255 {
+			return nil, errors.New("p2p: miner name too long")
+		}
+		buf.WriteByte(byte(len(b.Miner)))
+		buf.WriteString(b.Miner)
+		w(uint64(len(m.TxData)))
+		for _, td := range m.TxData {
+			w(uint64(len(td)))
+			buf.Write(td)
+		}
+	case MsgTx:
+		if len(m.TxData) != 1 {
+			return nil, errors.New("p2p: MsgTx carries exactly one transaction")
+		}
+		w(uint64(len(m.TxData[0])))
+		buf.Write(m.TxData[0])
+	default:
+		return nil, fmt.Errorf("p2p: marshaling unknown type %v", m.Type)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshal(body []byte) (*Message, error) {
+	if len(body) == 0 {
+		return nil, errors.New("p2p: empty message")
+	}
+	r := bytes.NewReader(body)
+	typ, _ := r.ReadByte()
+	m := &Message{Type: MsgType(typ)}
+	readU64 := func() (uint64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.BigEndian.Uint64(b[:]), nil
+	}
+	readStr := func() (string, error) {
+		n, err := r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	switch m.Type {
+	case MsgHello:
+		var err error
+		if m.Name, err = readStr(); err != nil {
+			return nil, fmt.Errorf("p2p: hello name: %w", err)
+		}
+		eb, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("p2p: hello EB: %w", err)
+		}
+		m.EB = int64(eb)
+		ad, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("p2p: hello AD: %w", err)
+		}
+		m.AD = int32(ad)
+	case MsgInv, MsgGetData:
+		n, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("p2p: inventory count: %w", err)
+		}
+		if n > maxInvIDs {
+			return nil, errors.New("p2p: inventory too large")
+		}
+		m.IDs = make([]chain.ID, n)
+		for i := range m.IDs {
+			if _, err := io.ReadFull(r, m.IDs[i][:]); err != nil {
+				return nil, fmt.Errorf("p2p: inventory id %d: %w", i, err)
+			}
+		}
+	case MsgBlock:
+		var b chain.Block
+		if _, err := io.ReadFull(r, b.Parent[:]); err != nil {
+			return nil, fmt.Errorf("p2p: block parent: %w", err)
+		}
+		if _, err := io.ReadFull(r, b.TxRoot[:]); err != nil {
+			return nil, fmt.Errorf("p2p: block txroot: %w", err)
+		}
+		h, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		b.Height = int(h)
+		sz, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		b.Size = int64(sz)
+		tbits, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		b.Time = math.Float64frombits(tbits)
+		if b.Nonce, err = readU64(); err != nil {
+			return nil, err
+		}
+		if b.Miner, err = readStr(); err != nil {
+			return nil, fmt.Errorf("p2p: block miner: %w", err)
+		}
+		n, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("p2p: block tx count: %w", err)
+		}
+		if n > maxInvIDs {
+			return nil, errors.New("p2p: implausible tx count")
+		}
+		for i := uint64(0); i < n; i++ {
+			ln, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("p2p: tx %d length: %w", i, err)
+			}
+			if ln > uint64(r.Len()) {
+				return nil, errors.New("p2p: truncated tx data")
+			}
+			td := make([]byte, ln)
+			if _, err := io.ReadFull(r, td); err != nil {
+				return nil, fmt.Errorf("p2p: tx %d data: %w", i, err)
+			}
+			m.TxData = append(m.TxData, td)
+		}
+		m.Block = &b
+	case MsgTx:
+		ln, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("p2p: tx length: %w", err)
+		}
+		if ln > uint64(r.Len()) {
+			return nil, errors.New("p2p: truncated tx data")
+		}
+		td := make([]byte, ln)
+		if _, err := io.ReadFull(r, td); err != nil {
+			return nil, fmt.Errorf("p2p: tx data: %w", err)
+		}
+		m.TxData = [][]byte{td}
+	default:
+		return nil, fmt.Errorf("p2p: unknown message type %d", typ)
+	}
+	if r.Len() != 0 {
+		return nil, errors.New("p2p: trailing bytes")
+	}
+	return m, nil
+}

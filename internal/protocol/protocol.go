@@ -1,0 +1,261 @@
+// Package protocol implements the block validity rules analyzed by the
+// paper: Bitcoin's prescribed block validity consensus (BVC), and Bitcoin
+// Unlimited's node-local EB/AD rules with the sticky ("excessive-block")
+// gate. Two BU variants are provided: the behaviour described by BU's
+// Chief Scientist Rizun, which the paper models, and the behaviour of the
+// March 2017 BU source code, which the paper identifies as buggy
+// (Section 2.2).
+//
+// Validity in BU is a property of a whole chain as seen by one node, not
+// of a single block, so the central operation is AcceptableDepth: given
+// the path from genesis to a tip, how deep into the path does this node
+// accept the chain as valid to mine on?
+package protocol
+
+import (
+	"fmt"
+
+	"buanalysis/internal/chain"
+)
+
+// DefaultMaxMessage is the Bitcoin network message size limit (32 MB),
+// which caps block sizes while a sticky gate is open.
+const DefaultMaxMessage = 32 << 20
+
+// DefaultGateWindow is the number of consecutive non-excessive blocks
+// after which an open sticky gate closes (roughly one day of blocks).
+const DefaultGateWindow = 144
+
+// Rules decides, for one node, how much of a candidate chain is
+// acceptable.
+type Rules interface {
+	// Name identifies the rule set, for logs and error messages.
+	Name() string
+	// AcceptableDepth reports the largest index i such that path[:i+1] is
+	// a chain this node accepts as valid to mine on. path[0] must be the
+	// genesis block, which is always acceptable, so the result is >= 0.
+	AcceptableDepth(path []*chain.Block) int
+}
+
+// AcceptsTip reports whether the rules accept the full path as valid.
+func AcceptsTip(r Rules, path []*chain.Block) bool {
+	return r.AcceptableDepth(path) == len(path)-1
+}
+
+// Bitcoin is the prescribed block validity consensus: a block is valid
+// if and only if its size is at most MaxBlockSize. Every node running
+// the same parameter agrees on every block, which is what makes the BVC
+// prescribed.
+type Bitcoin struct {
+	MaxBlockSize int64 // bytes; Bitcoin's 2017 value is 1 MB
+}
+
+// Name implements Rules.
+func (b Bitcoin) Name() string { return fmt.Sprintf("bitcoin(limit=%d)", b.MaxBlockSize) }
+
+// AcceptableDepth implements Rules: the chain is acceptable up to the
+// block before the first oversized block.
+func (b Bitcoin) AcceptableDepth(path []*chain.Block) int {
+	for i := 1; i < len(path); i++ {
+		if path[i].Size > b.MaxBlockSize {
+			return i - 1
+		}
+	}
+	return len(path) - 1
+}
+
+// BUVariant selects between the two documented behaviours of BU's
+// acceptance rule.
+type BUVariant int
+
+const (
+	// Rizun models the excessive-block gate as described by Rizun: an
+	// excessive block is invalid until AD blocks (including itself) are
+	// built on it; acceptance opens a sticky gate that lifts the limit to
+	// the network message size until GateWindow consecutive non-excessive
+	// blocks appear. The paper analyzes this variant.
+	Rizun BUVariant = iota
+	// SourceCode models the March 2017 BU client: a chain with tip height
+	// h is valid iff the latest AD blocks are all non-excessive, or some
+	// excessive block sits at a height in [h-AD-GateWindow+1, h-AD+1].
+	// This reproduces the counter-intuitive edge case the paper reports.
+	SourceCode
+)
+
+// BU is one node's Bitcoin Unlimited configuration.
+type BU struct {
+	EB         int64 // excessive block size: largest size accepted outright
+	AD         int   // excessive acceptance depth (>= 1)
+	MG         int64 // maximum generation size (what this node's miner produces)
+	MaxMessage int64 // network message limit; 0 means DefaultMaxMessage
+	GateWindow int   // sticky gate length; 0 means DefaultGateWindow
+	Variant    BUVariant
+	// NoGate disables the sticky gate (the BUIP038 proposal, and the
+	// paper's setting 1): every excessive block must independently be
+	// buried AD deep, and the limit never releases to MaxMessage.
+	NoGate bool
+}
+
+// Name implements Rules.
+func (bu BU) Name() string {
+	return fmt.Sprintf("bu(EB=%d,AD=%d,variant=%d)", bu.EB, bu.AD, bu.Variant)
+}
+
+func (bu BU) maxMessage() int64 {
+	if bu.MaxMessage == 0 {
+		return DefaultMaxMessage
+	}
+	return bu.MaxMessage
+}
+
+func (bu BU) gateWindow() int {
+	if bu.GateWindow == 0 {
+		return DefaultGateWindow
+	}
+	return bu.GateWindow
+}
+
+// AcceptableDepth implements Rules.
+func (bu BU) AcceptableDepth(path []*chain.Block) int {
+	switch bu.Variant {
+	case SourceCode:
+		return bu.acceptableDepthSourceCode(path)
+	default:
+		return bu.acceptableDepthRizun(path)
+	}
+}
+
+// acceptableDepthRizun walks the chain reconstructing the node's gate
+// state. Burial of an unaccepted excessive block is measured against the
+// chain's tip: the node has seen the whole path, and the excessive block
+// becomes acceptable the moment AD blocks (itself included) stand on it.
+func (bu BU) acceptableDepthRizun(path []*chain.Block) int {
+	tip := len(path) - 1
+	gateOpen := false
+	quiet := 0 // consecutive non-excessive blocks while the gate is open
+	for i := 1; i < len(path); i++ {
+		b := path[i]
+		if b.Size > bu.maxMessage() {
+			// Larger than a network message: never relayed, never valid.
+			return i - 1
+		}
+		excessive := b.Size > bu.EB
+		switch {
+		case excessive && !gateOpen:
+			if tip-i+1 < bu.AD {
+				// Not yet buried AD deep: invalid for now, and so is
+				// everything above it.
+				return i - 1
+			}
+			if !bu.NoGate {
+				gateOpen = true
+				quiet = 0
+			}
+		case excessive && gateOpen:
+			// Tolerated by the open gate; resets the closing countdown.
+			quiet = 0
+		case gateOpen:
+			quiet++
+			if quiet >= bu.gateWindow() {
+				gateOpen = false
+				quiet = 0
+			}
+		}
+	}
+	return tip
+}
+
+// acceptableDepthSourceCode evaluates the paper's reading of the BU
+// client: validity of the chain ending at each prefix tip is re-derived
+// from scratch, so acceptability is not monotone in chain length — adding
+// a block can invalidate a previously valid chain, which is exactly the
+// edge case the paper calls out.
+func (bu BU) acceptableDepthSourceCode(path []*chain.Block) int {
+	best := 0
+	for i := 1; i < len(path); i++ {
+		if path[i].Size > bu.maxMessage() {
+			break
+		}
+		if bu.sourceCodeValidTip(path[:i+1]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// sourceCodeValidTip reports whether the full chain is valid under the
+// source-code rule: either the latest AD blocks are all non-excessive, or
+// some excessive block has height within [h-AD-GateWindow+1, h-AD+1].
+func (bu BU) sourceCodeValidTip(path []*chain.Block) bool {
+	h := len(path) - 1
+	recentClean := true
+	for i := h; i > h-bu.AD && i >= 1; i-- {
+		if path[i].Size > bu.EB {
+			recentClean = false
+			break
+		}
+	}
+	if recentClean {
+		return true
+	}
+	lo := h - bu.AD - bu.gateWindow() + 1
+	hi := h - bu.AD + 1
+	for i := max(1, lo); i <= hi && i <= h; i++ {
+		if path[i].Size > bu.EB {
+			return true
+		}
+	}
+	return false
+}
+
+// GateState describes a node's sticky gate after processing a chain.
+type GateState struct {
+	Open bool
+	// Quiet is the number of consecutive non-excessive blocks seen since
+	// the gate opened (meaningful only while Open).
+	Quiet int
+	// EffectiveLimit is the size limit the node applies to the next block
+	// on this chain.
+	EffectiveLimit int64
+}
+
+// Gate reconstructs the sticky gate state at the tip of an acceptable
+// chain under the Rizun variant. It is primarily a diagnostic for tests,
+// figures and the simulator.
+func (bu BU) Gate(path []*chain.Block) GateState {
+	gateOpen := false
+	quiet := 0
+	tip := len(path) - 1
+	for i := 1; i < len(path); i++ {
+		b := path[i]
+		excessive := b.Size > bu.EB
+		switch {
+		case excessive && !gateOpen:
+			if tip-i+1 < bu.AD {
+				// The walk in acceptableDepthRizun would have stopped; the
+				// gate state below the failure point is what matters.
+				return GateState{Open: gateOpen, Quiet: quiet, EffectiveLimit: bu.limit(gateOpen)}
+			}
+			if !bu.NoGate {
+				gateOpen = true
+				quiet = 0
+			}
+		case excessive && gateOpen:
+			quiet = 0
+		case gateOpen:
+			quiet++
+			if quiet >= bu.gateWindow() {
+				gateOpen = false
+				quiet = 0
+			}
+		}
+	}
+	return GateState{Open: gateOpen, Quiet: quiet, EffectiveLimit: bu.limit(gateOpen)}
+}
+
+func (bu BU) limit(gateOpen bool) int64 {
+	if gateOpen {
+		return bu.maxMessage()
+	}
+	return bu.EB
+}

@@ -1,0 +1,333 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"buanalysis/internal/chain"
+)
+
+const mb = 1 << 20
+
+// mkPath builds a genesis-rooted path with the given block sizes.
+func mkPath(sizes ...int64) []*chain.Block {
+	path := make([]*chain.Block, 0, len(sizes)+1)
+	g := chain.Genesis()
+	path = append(path, g)
+	parent := g
+	for _, sz := range sizes {
+		b := &chain.Block{Parent: parent.ID(), Height: parent.Height + 1, Size: sz, Miner: "m"}
+		path = append(path, b)
+		parent = b
+	}
+	return path
+}
+
+// repeat returns n copies of size.
+func repeat(size int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+func TestBitcoinAcceptableDepth(t *testing.T) {
+	rules := Bitcoin{MaxBlockSize: mb}
+	cases := []struct {
+		name  string
+		sizes []int64
+		want  int
+	}{
+		{"all small", []int64{mb, mb / 2, mb}, 3},
+		{"first too big", []int64{mb + 1, mb}, 0},
+		{"middle too big", []int64{mb, 2 * mb, mb}, 1},
+		{"exact limit is valid", []int64{mb, mb}, 2},
+		{"empty chain", nil, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := mkPath(tc.sizes...)
+			if got := rules.AcceptableDepth(path); got != tc.want {
+				t.Errorf("AcceptableDepth = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBURizunBasicAcceptance(t *testing.T) {
+	bu := BU{EB: mb, AD: 3}
+	cases := []struct {
+		name  string
+		sizes []int64
+		want  int
+	}{
+		{"all within EB", []int64{mb, mb, mb}, 3},
+		{"excessive tip rejected", []int64{mb, 2 * mb}, 1},
+		{"excessive one deep rejected", []int64{mb, 2 * mb, mb}, 1},
+		{"excessive buried AD deep accepted", []int64{mb, 2 * mb, mb, mb}, 4},
+		{"deeper burial stays accepted", []int64{mb, 2 * mb, mb, mb, mb}, 5},
+		{"oversize message never valid", []int64{mb, 64 * mb, mb, mb, mb}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := mkPath(tc.sizes...)
+			if got := bu.AcceptableDepth(path); got != tc.want {
+				t.Errorf("AcceptableDepth = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFigure1 reproduces the three panels of Figure 1 (AD = 3): an
+// excessive block is first rejected; after two more blocks the chain is
+// accepted and the sticky gate releases the limit to 32 MB; after 144
+// consecutive non-excessive blocks the gate closes again.
+func TestFigure1(t *testing.T) {
+	bu := BU{EB: mb, AD: 3}
+
+	// Upper panel: the excessive block is rejected, the node mines on its
+	// predecessor.
+	upper := mkPath(mb, mb, 8*mb)
+	if got := bu.AcceptableDepth(upper); got != 2 {
+		t.Errorf("upper panel: AcceptableDepth = %d, want 2", got)
+	}
+	gate := bu.Gate(upper[:3])
+	if gate.Open || gate.EffectiveLimit != mb {
+		t.Errorf("upper panel: gate = %+v, want closed with EB limit", gate)
+	}
+
+	// Middle panel: two blocks mined after the excessive block; the chain
+	// (of AD = 3 blocks starting at the excessive one) is accepted and the
+	// sticky gate opens, releasing the limit to 32 MB.
+	middle := mkPath(mb, mb, 8*mb, mb, mb)
+	if got := bu.AcceptableDepth(middle); got != 5 {
+		t.Errorf("middle panel: AcceptableDepth = %d, want 5", got)
+	}
+	gate = bu.Gate(middle)
+	if !gate.Open || gate.EffectiveLimit != DefaultMaxMessage {
+		t.Errorf("middle panel: gate = %+v, want open with 32MB limit", gate)
+	}
+
+	// With the gate open, a block larger than EB (but within 32 MB) is
+	// accepted immediately, with no AD wait.
+	withBig := mkPath(mb, mb, 8*mb, mb, mb, 16*mb)
+	if got := bu.AcceptableDepth(withBig); got != 6 {
+		t.Errorf("open gate: AcceptableDepth = %d, want 6", got)
+	}
+
+	// Lower panel: after 144 consecutive non-excessive blocks the gate
+	// closes and the limit returns to EB.
+	sizes := []int64{mb, mb, 8 * mb}
+	sizes = append(sizes, repeat(mb, DefaultGateWindow)...)
+	lower := mkPath(sizes...)
+	gate = bu.Gate(lower)
+	if gate.Open || gate.EffectiveLimit != mb {
+		t.Errorf("lower panel: gate = %+v, want closed after %d quiet blocks", gate, DefaultGateWindow)
+	}
+	// One block fewer and the gate is still open.
+	almost := mkPath(sizes[:len(sizes)-1]...)
+	if gate := bu.Gate(almost); !gate.Open {
+		t.Errorf("gate closed one block early")
+	}
+}
+
+func TestBUGateResetByExcessiveBlock(t *testing.T) {
+	bu := BU{EB: mb, AD: 2, GateWindow: 3}
+	// Excessive block buried, gate opens; two quiet blocks; another big
+	// block under the gate resets the countdown.
+	sizes := []int64{2 * mb, mb, mb, 4 * mb, mb, mb}
+	gate := bu.Gate(mkPath(sizes...))
+	if !gate.Open || gate.Quiet != 2 {
+		t.Errorf("gate = %+v, want open with quiet=2 after reset", gate)
+	}
+	// One more quiet block closes it (3 consecutive).
+	sizes = append(sizes, mb)
+	gate = bu.Gate(mkPath(sizes...))
+	if gate.Open {
+		t.Errorf("gate = %+v, want closed", gate)
+	}
+}
+
+// TestBUNonMonotoneInEB captures the essence of the paper's phase-2
+// attack: a node with a larger EB can reject a chain that a node with a
+// smaller EB accepts, because the small-EB node's sticky gate is open.
+func TestBUNonMonotoneInEB(t *testing.T) {
+	small := BU{EB: 1 * mb, AD: 3} // Bob
+	large := BU{EB: 8 * mb, AD: 3} // Carol
+
+	// A 2 MB block (excessive for Bob only) gets buried, opening Bob's
+	// gate; then a 16 MB block (> both EBs) appears.
+	sizes := []int64{2 * mb, mb, mb, 16 * mb}
+	path := mkPath(sizes...)
+
+	if got := small.AcceptableDepth(path); got != 4 {
+		t.Errorf("small-EB node: AcceptableDepth = %d, want 4 (gate open accepts 16MB)", got)
+	}
+	if got := large.AcceptableDepth(path); got != 3 {
+		t.Errorf("large-EB node: AcceptableDepth = %d, want 3 (16MB unburied)", got)
+	}
+}
+
+func TestSourceCodeVariantRecentClean(t *testing.T) {
+	bu := BU{EB: mb, AD: 3, Variant: SourceCode}
+	// Excessive block followed by AD non-excessive blocks: latest AD
+	// blocks clean, chain valid.
+	path := mkPath(4*mb, mb, mb, mb)
+	if !AcceptsTip(bu, path) {
+		t.Errorf("chain with AD clean recent blocks should be valid")
+	}
+	// Excessive block within the last AD blocks and no window block:
+	// invalid.
+	path = mkPath(mb, 4*mb, mb)
+	if AcceptsTip(bu, path) {
+		t.Errorf("chain with recent excessive block should be invalid")
+	}
+}
+
+// TestSourceCodeVariantEdgeCase reproduces the paper's Section 2.2 edge
+// case: a chain containing only two excessive blocks, at heights h and
+// h-AD-143, is valid — but adding one more block invalidates it.
+func TestSourceCodeVariantEdgeCase(t *testing.T) {
+	ad := 6
+	bu := BU{EB: mb, AD: ad, Variant: SourceCode}
+	h := 150 // so that h-AD-143 = 1
+
+	sizes := repeat(mb, h)
+	sizes[0] = 4 * mb   // height 1 == h-AD-143
+	sizes[h-1] = 4 * mb // height h
+	path := mkPath(sizes...)
+	if !AcceptsTip(bu, path) {
+		t.Fatalf("edge-case chain should be valid at height %d", h)
+	}
+
+	// Append one non-excessive block: now invalid.
+	longer := mkPath(append(append([]int64{}, sizes...), mb)...)
+	if AcceptsTip(bu, longer) {
+		t.Errorf("edge-case chain should be invalidated by one more block")
+	}
+	// The acceptable prefix is the old tip.
+	if got := bu.AcceptableDepth(longer); got != h {
+		t.Errorf("AcceptableDepth = %d, want %d", got, h)
+	}
+
+	// The Rizun variant has no such non-monotonicity here: the same chain
+	// is simply cut at the unburied excessive tip.
+	rizun := BU{EB: mb, AD: ad}
+	if got := rizun.AcceptableDepth(path); got != h-1 {
+		t.Errorf("rizun AcceptableDepth = %d, want %d", got, h-1)
+	}
+}
+
+func TestRulesNames(t *testing.T) {
+	if (Bitcoin{MaxBlockSize: mb}).Name() == "" {
+		t.Error("Bitcoin name empty")
+	}
+	if (BU{EB: mb, AD: 6}).Name() == "" {
+		t.Error("BU name empty")
+	}
+}
+
+// TestAcceptableDepthBounds is a property test: for arbitrary size
+// sequences, AcceptableDepth stays within [0, len(path)-1] for all rule
+// variants, and an all-small chain is fully accepted.
+func TestAcceptableDepthBounds(t *testing.T) {
+	rules := []Rules{
+		Bitcoin{MaxBlockSize: mb},
+		BU{EB: mb, AD: 3},
+		BU{EB: mb, AD: 3, Variant: SourceCode},
+		BU{EB: mb, AD: 1},
+	}
+	prop := func(raw []uint32) bool {
+		sizes := make([]int64, len(raw))
+		for i, r := range raw {
+			sizes[i] = int64(r % (40 * mb))
+		}
+		path := mkPath(sizes...)
+		for _, r := range rules {
+			d := r.AcceptableDepth(path)
+			if d < 0 || d > len(path)-1 {
+				t.Logf("%s: depth %d out of bounds for %v", r.Name(), d, sizes)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+
+	clean := mkPath(repeat(mb/2, 50)...)
+	for _, r := range rules {
+		if !AcceptsTip(r, clean) {
+			t.Errorf("%s rejects an all-small chain", r.Name())
+		}
+	}
+}
+
+// TestBitcoinIsPrescribedBVC checks the defining property of a prescribed
+// BVC: any two Bitcoin nodes with the same parameter agree on every
+// chain, whereas two BU nodes with different EBs can disagree.
+func TestBitcoinIsPrescribedBVC(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		sizes := make([]int64, len(raw))
+		for i, r := range raw {
+			sizes[i] = int64(r % (4 * mb))
+		}
+		path := mkPath(sizes...)
+		a := Bitcoin{MaxBlockSize: mb}
+		b := Bitcoin{MaxBlockSize: mb}
+		return a.AcceptableDepth(path) == b.AcceptableDepth(path)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+
+	// BU divergence witness.
+	path := mkPath(2 * mb)
+	bob := BU{EB: mb, AD: 6}
+	carol := BU{EB: 2 * mb, AD: 6}
+	if bob.AcceptableDepth(path) == carol.AcceptableDepth(path) {
+		t.Errorf("BU nodes with different EBs should disagree on a 2MB block")
+	}
+}
+
+func TestCustomGateWindowAndMessageLimit(t *testing.T) {
+	bu := BU{EB: mb, AD: 2, GateWindow: 5, MaxMessage: 4 * mb}
+	// A 3MB block is excessive but within the custom message limit; a 5MB
+	// block exceeds it and is never valid.
+	path := mkPath(3*mb, mb, mb)
+	if got := bu.AcceptableDepth(path); got != 3 {
+		t.Errorf("AcceptableDepth = %d, want 3 (buried at custom AD=2)", got)
+	}
+	over := mkPath(5*mb, mb, mb)
+	if got := bu.AcceptableDepth(over); got != 0 {
+		t.Errorf("AcceptableDepth = %d, want 0 (beyond custom message limit)", got)
+	}
+	// The custom 5-block gate window closes after 5 quiet blocks.
+	sizes := []int64{3 * mb, mb, mb, mb, mb, mb}
+	gate := bu.Gate(mkPath(sizes...))
+	if gate.Open {
+		t.Errorf("gate still open after %d quiet blocks (window 5)", 5)
+	}
+	gate = bu.Gate(mkPath(sizes[:len(sizes)-1]...))
+	if !gate.Open {
+		t.Errorf("gate closed one block early with window 5")
+	}
+}
+
+func TestNoGateRequiresBurialEachTime(t *testing.T) {
+	bu := BU{EB: mb, AD: 2, NoGate: true}
+	// First excessive block buried: accepted without opening a gate.
+	path := mkPath(2*mb, mb, 2*mb)
+	// The second excessive block at the tip is unburied: cut there.
+	if got := bu.AcceptableDepth(path); got != 2 {
+		t.Errorf("AcceptableDepth = %d, want 2 (second excessive block needs its own burial)", got)
+	}
+	// With the gate, the same chain is fully acceptable... once the first
+	// block opened it.
+	withGate := BU{EB: mb, AD: 2}
+	if got := withGate.AcceptableDepth(path); got != 3 {
+		t.Errorf("gated AcceptableDepth = %d, want 3", got)
+	}
+}

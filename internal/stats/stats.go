@@ -1,0 +1,71 @@
+// Package stats provides the small statistical helpers the simulators
+// use: summaries, confidence intervals, and batch means for correlated
+// series.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	// Std is the sample standard deviation (Bessel-corrected).
+	Std float64
+	// SE is the standard error of the mean.
+	SE float64
+}
+
+// Summarize computes a summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean}, nil
+	}
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(n-1))
+	return Summary{N: n, Mean: mean, Std: std, SE: std / math.Sqrt(float64(n))}, nil
+}
+
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean.
+func (s Summary) CI95() (lo, hi float64) {
+	const z = 1.959963984540054
+	return s.Mean - z*s.SE, s.Mean + z*s.SE
+}
+
+// BatchMeans splits a (possibly autocorrelated) series into `batches`
+// contiguous batches and summarizes the batch means, the standard way to
+// get honest error bars from a single long simulation run.
+func BatchMeans(xs []float64, batches int) (Summary, error) {
+	if batches < 2 {
+		return Summary{}, errors.New("stats: need at least 2 batches")
+	}
+	if len(xs) < batches {
+		return Summary{}, errors.New("stats: fewer samples than batches")
+	}
+	size := len(xs) / batches
+	means := make([]float64, batches)
+	for b := 0; b < batches; b++ {
+		sum := 0.0
+		for _, x := range xs[b*size : (b+1)*size] {
+			sum += x
+		}
+		means[b] = sum / float64(size)
+	}
+	return Summarize(means)
+}

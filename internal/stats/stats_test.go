@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Errorf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Errorf("std = %g, want %g", s.Std, wantStd)
+	}
+	if math.Abs(s.SE-wantStd/2) > 1e-12 {
+		t.Errorf("se = %g, want %g", s.SE, wantStd/2)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("accepted empty sample")
+	}
+	s, err := Summarize([]float64{7})
+	if err != nil || s.Mean != 7 || s.Std != 0 {
+		t.Errorf("single sample: %+v, %v", s, err)
+	}
+}
+
+func TestCI95CoversMean(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi := s.CI95()
+		return lo <= s.Mean && s.Mean <= hi && hi-lo > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	xs := make([]float64, 1000)
+	rng := rand.New(rand.NewSource(5))
+	for i := range xs {
+		xs[i] = 3 + rng.NormFloat64()
+	}
+	s, err := BatchMeans(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || math.Abs(s.Mean-3) > 0.2 {
+		t.Errorf("batch means = %+v", s)
+	}
+	if _, err := BatchMeans(xs, 1); err == nil {
+		t.Error("accepted single batch")
+	}
+	if _, err := BatchMeans(xs[:5], 10); err == nil {
+		t.Error("accepted fewer samples than batches")
+	}
+}

@@ -1,0 +1,288 @@
+package tx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func seed(b byte) [32]byte {
+	var s [32]byte
+	s[0] = b
+	return s
+}
+
+// mint creates a funded UTXO set: one coinbase paying `value` to kp.
+func mint(t *testing.T, kp Keypair, value int64) (*UTXOSet, Outpoint) {
+	t.Helper()
+	u := NewUTXOSet()
+	cb := &Transaction{Outputs: []Output{{Value: value, PubKey: kp.Pub}}}
+	if err := u.ApplyCoinbase(cb, value); err != nil {
+		t.Fatal(err)
+	}
+	return u, Outpoint{TxID: cb.TxID(), Index: 0}
+}
+
+// spend builds a signed transaction consuming `from` and paying `value`
+// to dst, returning change to src.
+func spend(t *testing.T, src Keypair, from Outpoint, inValue, value, fee int64, dst Keypair) *Transaction {
+	t.Helper()
+	txn := &Transaction{
+		Inputs: []Input{{Previous: from}},
+		Outputs: []Output{
+			{Value: value, PubKey: dst.Pub},
+			{Value: inValue - value - fee, PubKey: src.Pub},
+		},
+	}
+	if err := txn.Sign(0, src.Priv); err != nil {
+		t.Fatal(err)
+	}
+	return txn
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	alice, bob := NewKeypair(seed(1)), NewKeypair(seed(2))
+	u, op := mint(t, alice, 100)
+	txn := spend(t, alice, op, 100, 60, 5, bob)
+
+	data := txn.Serialize()
+	back, err := Deserialize(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Serialize(), data) {
+		t.Errorf("round trip changed encoding")
+	}
+	if back.TxID() != txn.TxID() {
+		t.Errorf("round trip changed id")
+	}
+	if _, err := u.Apply(back); err != nil {
+		t.Errorf("deserialized transaction failed validation: %v", err)
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0xff}, 16), // implausible counts
+	}
+	for i, data := range cases {
+		if _, err := Deserialize(data); err == nil {
+			t.Errorf("case %d: accepted garbage", i)
+		}
+	}
+	// Trailing bytes are rejected.
+	alice := NewKeypair(seed(1))
+	txn := &Transaction{Outputs: []Output{{Value: 1, PubKey: alice.Pub}}}
+	data := append(txn.Serialize(), 0)
+	if _, err := Deserialize(data); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+}
+
+func TestValidSpend(t *testing.T) {
+	alice, bob := NewKeypair(seed(1)), NewKeypair(seed(2))
+	u, op := mint(t, alice, 100)
+	txn := spend(t, alice, op, 100, 60, 5, bob)
+	fee, err := u.Apply(txn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fee != 5 {
+		t.Errorf("fee = %d, want 5", fee)
+	}
+	if u.Len() != 2 {
+		t.Errorf("utxo count = %d, want 2", u.Len())
+	}
+	// The spent output is gone.
+	if _, ok := u.Lookup(op); ok {
+		t.Errorf("spent output still present")
+	}
+	// Re-spending fails.
+	if _, err := u.Apply(txn); !errors.Is(err, ErrMissingInput) {
+		t.Errorf("double spend: err = %v, want ErrMissingInput", err)
+	}
+}
+
+func TestRejectForgedSignature(t *testing.T) {
+	alice, bob, eve := NewKeypair(seed(1)), NewKeypair(seed(2)), NewKeypair(seed(3))
+	u, op := mint(t, alice, 100)
+	// Eve signs with her own key.
+	txn := &Transaction{
+		Inputs:  []Input{{Previous: op}},
+		Outputs: []Output{{Value: 100, PubKey: bob.Pub}},
+	}
+	if err := txn.Sign(0, eve.Priv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Apply(txn); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged signature: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRejectTamperedOutputs(t *testing.T) {
+	alice, bob := NewKeypair(seed(1)), NewKeypair(seed(2))
+	u, op := mint(t, alice, 100)
+	txn := spend(t, alice, op, 100, 60, 5, bob)
+	// Tamper after signing: signature must no longer verify.
+	txn.Outputs[0].Value = 99
+	if _, err := u.Apply(txn); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered output: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRejectOverspend(t *testing.T) {
+	alice, bob := NewKeypair(seed(1)), NewKeypair(seed(2))
+	u, op := mint(t, alice, 100)
+	txn := &Transaction{
+		Inputs:  []Input{{Previous: op}},
+		Outputs: []Output{{Value: 150, PubKey: bob.Pub}},
+	}
+	if err := txn.Sign(0, alice.Priv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Apply(txn); !errors.Is(err, ErrValueImbalance) {
+		t.Errorf("overspend: err = %v, want ErrValueImbalance", err)
+	}
+}
+
+func TestRejectInternalDoubleSpend(t *testing.T) {
+	alice := NewKeypair(seed(1))
+	u, op := mint(t, alice, 100)
+	txn := &Transaction{
+		Inputs:  []Input{{Previous: op}, {Previous: op}},
+		Outputs: []Output{{Value: 150, PubKey: alice.Pub}},
+	}
+	_ = txn.Sign(0, alice.Priv)
+	_ = txn.Sign(1, alice.Priv)
+	if _, err := u.Apply(txn); !errors.Is(err, ErrDoubleSpend) {
+		t.Errorf("internal double spend: err = %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestRejectNegativeOutput(t *testing.T) {
+	alice := NewKeypair(seed(1))
+	u, op := mint(t, alice, 100)
+	txn := &Transaction{
+		Inputs:  []Input{{Previous: op}},
+		Outputs: []Output{{Value: -5, PubKey: alice.Pub}},
+	}
+	_ = txn.Sign(0, alice.Priv)
+	if _, err := u.Apply(txn); !errors.Is(err, ErrNegativeValue) {
+		t.Errorf("negative output: err = %v, want ErrNegativeValue", err)
+	}
+}
+
+func TestCoinbaseRules(t *testing.T) {
+	alice := NewKeypair(seed(1))
+	u := NewUTXOSet()
+	cb := &Transaction{Outputs: []Output{{Value: 50, PubKey: alice.Pub}}}
+	if err := u.ApplyCoinbase(cb, 49); err == nil {
+		t.Error("coinbase minted more than allowed")
+	}
+	if err := u.ApplyCoinbase(cb, 50); err != nil {
+		t.Errorf("valid coinbase rejected: %v", err)
+	}
+	spendTx := &Transaction{
+		Inputs:  []Input{{Previous: Outpoint{TxID: cb.TxID(), Index: 0}}},
+		Outputs: []Output{{Value: 50, PubKey: alice.Pub}},
+	}
+	if err := u.ApplyCoinbase(spendTx, 100); err == nil {
+		t.Error("non-coinbase accepted by ApplyCoinbase")
+	}
+	if _, err := u.ValidateTransaction(cb); err == nil {
+		t.Error("coinbase accepted by ValidateTransaction")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	alice, bob := NewKeypair(seed(1)), NewKeypair(seed(2))
+	u, op := mint(t, alice, 100)
+	c := u.Clone()
+	txn := spend(t, alice, op, 100, 60, 0, bob)
+	if _, err := c.Apply(txn); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.Lookup(op); !ok {
+		t.Errorf("applying to a clone mutated the original")
+	}
+}
+
+func TestMemoryFootprintAndVerifications(t *testing.T) {
+	alice, bob := NewKeypair(seed(1)), NewKeypair(seed(2))
+	u, op := mint(t, alice, 100)
+	if got := u.MemoryFootprint(); got != 76 {
+		t.Errorf("footprint = %d, want 76", got)
+	}
+	txn := spend(t, alice, op, 100, 60, 0, bob)
+	if _, err := u.Apply(txn); err != nil {
+		t.Fatal(err)
+	}
+	if u.Verifications != 1 {
+		t.Errorf("verifications = %d, want 1", u.Verifications)
+	}
+	if got := u.MemoryFootprint(); got != 2*76 {
+		t.Errorf("footprint = %d, want %d", got, 2*76)
+	}
+}
+
+// TestChainOfSpendsConservesValue is a property test: random spend
+// chains never create money.
+func TestChainOfSpendsConservesValue(t *testing.T) {
+	prop := func(splits []uint8) bool {
+		alice := NewKeypair(seed(1))
+		u := NewUTXOSet()
+		const initial = int64(1 << 20)
+		cb := &Transaction{Outputs: []Output{{Value: initial, PubKey: alice.Pub}}}
+		if err := u.ApplyCoinbase(cb, initial); err != nil {
+			return false
+		}
+		op := Outpoint{TxID: cb.TxID(), Index: 0}
+		val := initial
+		totalFees := int64(0)
+		for i, s := range splits {
+			if i >= 8 || val < 4 {
+				break
+			}
+			fee := int64(s % 4)
+			pay := (val - fee) / 2
+			txn := &Transaction{
+				Inputs: []Input{{Previous: op}},
+				Outputs: []Output{
+					{Value: pay, PubKey: alice.Pub},
+					{Value: val - pay - fee, PubKey: alice.Pub},
+				},
+			}
+			if err := txn.Sign(0, alice.Priv); err != nil {
+				return false
+			}
+			gotFee, err := u.Apply(txn)
+			if err != nil || gotFee != fee {
+				return false
+			}
+			totalFees += fee
+			op = Outpoint{TxID: txn.TxID(), Index: 0}
+			val = pay
+		}
+		// Sum all remaining UTXO values: must equal initial - fees.
+		var sum int64
+		for o := range u.entries {
+			out, _ := u.Lookup(o)
+			sum += out.Value
+		}
+		return sum == initial-totalFees
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignBounds(t *testing.T) {
+	alice := NewKeypair(seed(1))
+	txn := &Transaction{}
+	if err := txn.Sign(0, alice.Priv); err == nil {
+		t.Error("signed nonexistent input")
+	}
+}
