@@ -1,0 +1,27 @@
+# Development targets. `make ci` is the full gate scripts/ci.sh runs;
+# `make ci-short` keeps the race pass to a few minutes on one core.
+
+GO ?= go
+
+.PHONY: build test vet race bench ci ci-short
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/
+
+bench:
+	$(GO) test -bench 'Table|Solver|GridSweep|Compile' -benchtime 2s .
+
+ci:
+	sh scripts/ci.sh
+
+ci-short:
+	sh scripts/ci.sh -short

@@ -14,6 +14,7 @@ import (
 	"buanalysis/internal/bitcoin"
 	"buanalysis/internal/bumdp"
 	"buanalysis/internal/chain"
+	"buanalysis/internal/core"
 	"buanalysis/internal/countermeasure"
 	"buanalysis/internal/difficulty"
 	"buanalysis/internal/games"
@@ -335,6 +336,68 @@ func BenchmarkSolverRelativeValueIteration(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolverParallelism isolates the Parallelism knob on the
+// setting-2 relative-value-iteration solve: serial, two workers, and
+// the automatic setting all compute bit-identical results.
+func BenchmarkSolverParallelism(b *testing.B) {
+	a, err := bumdp.New(bumdp.Params{
+		Alpha: 0.10, Beta: 0.45, Gamma: 0.45,
+		Setting: bumdp.Setting2, Model: bumdp.NonCompliant,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"two", 2}, {"auto", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Model.AverageReward(mdp.Options{Epsilon: 1e-8, Parallelism: bc.par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileSetting2 measures the parallel model compiler on the
+// largest state space in the evaluation (setting 2, 144-block window).
+func BenchmarkCompileSetting2(b *testing.B) {
+	var a *bumdp.Analysis
+	var err error
+	for i := 0; i < b.N; i++ {
+		a, err = bumdp.New(bumdp.Params{
+			Alpha: 0.10, Beta: 0.45, Gamma: 0.45,
+			Setting: bumdp.Setting2, Model: bumdp.NonCompliant,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(a.Model.NumStates()), "states")
+}
+
+// BenchmarkGridSweepTable4 runs the grid-sweep runner over Table 4's
+// setting-1 row (nine ratios at alpha=1%), the workload the cell-level
+// parallelism targets.
+func BenchmarkGridSweepTable4(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		cells := core.Sweep(bumdp.NonProfit, core.SweepConfig{
+			Alphas:   []float64{0.01},
+			Settings: []bumdp.Setting{bumdp.Setting1},
+		})
+		for _, c := range cells {
+			if c.Err != nil {
+				b.Fatal(c.Err)
+			}
+			last = c.Value
+		}
+	}
+	b.ReportMetric(last, "utility")
 }
 
 // --- Substrate benchmarks -------------------------------------------------

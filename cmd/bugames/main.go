@@ -25,6 +25,7 @@ func main() {
 		powersFlag = flag.String("powers", "0.1,0.2,0.3,0.4", "comma-separated mining power shares")
 		eb         = flag.Bool("eb", false, "analyze the EB choosing game instead of the block size game")
 		choices    = flag.Int("choices", 2, "number of candidate EB values (EB game)")
+		workers    = flag.Int("workers", 0, "equilibrium-search worker count (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -38,13 +39,13 @@ func main() {
 	}
 
 	if *eb {
-		ebGame(powers, *choices)
+		ebGame(powers, *choices, *workers)
 		return
 	}
 	blockSizeGame(powers)
 }
 
-func ebGame(powers []float64, choices int) {
+func ebGame(powers []float64, choices, workers int) {
 	g, err := games.NewEBChoosingGame(powers, choices)
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +58,7 @@ func ebGame(powers []float64, choices int) {
 		}
 		fmt.Printf("  all miners choose EB%d: Nash equilibrium = %v\n", c, ok)
 	}
-	eqs, err := g.PureNashEquilibria()
+	eqs, err := g.PureNashEquilibriaWorkers(workers)
 	if err != nil {
 		fmt.Printf("  full enumeration skipped: %v\n", err)
 		return

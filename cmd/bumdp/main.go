@@ -5,6 +5,12 @@
 //	bumdp -alpha 0.25 -beta 0.375 -gamma 0.375 -model compliant -setting 1
 //	bumdp -alpha 0.10 -ratio 1:2 -model noncompliant -setting 2
 //	bumdp -bitcoin -alpha 0.25 -tie 0.5
+//	bumdp -sweep -model compliant -setting 1 -workers 4
+//
+// -par sets the Bellman-sweep worker count inside the solver (0 = auto,
+// 1 = serial; the result is bit-identical either way). -sweep solves
+// the paper's whole (alpha, ratio) grid for the chosen model instead of
+// a single instance, with -workers cells in flight at once.
 package main
 
 import (
@@ -13,9 +19,11 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"buanalysis/internal/bitcoin"
 	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
 )
 
 func main() {
@@ -33,6 +41,9 @@ func main() {
 		policy  = flag.Bool("policy", false, "print the optimal policy (phase-1 states)")
 		btc     = flag.Bool("bitcoin", false, "solve the Bitcoin baseline instead of BU")
 		tie     = flag.Float64("tie", 0.5, "Bitcoin baseline: P(win a tie)")
+		par     = flag.Int("par", 0, "Bellman-sweep workers inside the solver (0 = auto; results identical)")
+		sweep   = flag.Bool("sweep", false, "solve the paper's whole (alpha, ratio) grid instead of one instance")
+		workers = flag.Int("workers", 0, "grid cells solved concurrently with -sweep (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -69,6 +80,11 @@ func main() {
 		log.Fatalf("unknown model %q", *model)
 	}
 
+	if *sweep {
+		sweepGrid(m, bumdp.Setting(*setting), *ad, *workers, *par)
+		return
+	}
+
 	a, err := bumdp.New(bumdp.Params{
 		Alpha: *alpha, Beta: b, Gamma: g,
 		AD: *ad, Setting: bumdp.Setting(*setting), Model: m,
@@ -77,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.Solve()
+	res, err := a.SolveWith(bumdp.SolveOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,10 +101,39 @@ func main() {
 	fmt.Printf("alpha=%.4f beta=%.4f gamma=%.4f (states: %d)\n", *alpha, b, g, len(a.States))
 	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", res.Utility, a.HonestUtility())
 	fmt.Printf("fork rate under optimal policy: %.3f; solver probes: %d\n", res.ForkRate, res.Probes)
+	fmt.Printf("solver stats: %d sweeps, residual %.2e, %d worker(s), %s\n",
+		res.Stats.Iterations, res.Stats.Residual, res.Stats.Workers, res.Stats.Duration.Round(time.Microsecond))
 	if *policy {
 		fmt.Println("optimal policy (phase-1 states, (l1,l2,a1,a2,r) -> action):")
 		fmt.Print(a.DescribePolicy(res.Policy, true))
 	}
+}
+
+// sweepGrid solves the paper's (alpha, ratio) grid for one incentive
+// model through the shared grid-sweep runner and prints the table plus
+// aggregate solver statistics.
+func sweepGrid(m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par int) {
+	cfg := core.SweepConfig{
+		Settings:         []bumdp.Setting{setting},
+		AD:               ad,
+		Workers:          workers,
+		InnerParallelism: par,
+	}
+	start := time.Now()
+	cells := core.Sweep(m, cfg)
+	elapsed := time.Since(start)
+	fmt.Print(core.FormatTable(cells, m == bumdp.Compliant))
+	solved, probes, sweeps := 0, 0, 0
+	for _, c := range cells {
+		if c.Skipped || c.Err != nil {
+			continue
+		}
+		solved++
+		probes += c.Stats.Probes
+		sweeps += c.Stats.Iterations
+	}
+	fmt.Printf("solved %d cells in %s (%d probes, %d Bellman sweeps)\n",
+		solved, elapsed.Round(time.Millisecond), probes, sweeps)
 }
 
 func solveBitcoin(alpha, tie float64, model string, rds float64) {

@@ -47,11 +47,13 @@ func main() {
 		fast    = flag.Bool("fast", false, "lower solver tolerances (same values at print precision)")
 		setting = flag.Int("setting", 0, "restrict tables to setting 1 or 2 (default both)")
 		full    = flag.Bool("full", false, "sweep the full grid in setting 2 as well (some cells take minutes)")
+		workers = flag.Int("workers", 0, "table cells solved concurrently (0 = all cores)")
+		par     = flag.Int("par", 0, "Bellman-sweep workers inside each solve (0 = auto; results identical)")
 	)
 	flag.Parse()
 	fullGrid = *full
 
-	cfg := core.SweepConfig{}
+	cfg := core.SweepConfig{Workers: *workers, InnerParallelism: *par}
 	if *fast {
 		cfg.RatioTol, cfg.Epsilon = 1e-4, 1e-8
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"buanalysis/internal/mdp"
 )
@@ -80,6 +81,22 @@ func (p Params) rewards(d Delta) (num, den float64) {
 	panic(fmt.Sprintf("bumdp: unknown model %d", p.Model))
 }
 
+// SolveStats instruments a solve: probe and sweep counts, the final
+// residual, wall-clock time and the solver worker count.
+type SolveStats struct {
+	// Probes is the number of inner average-reward solves (1 for the
+	// non-compliant model, the bisection count otherwise).
+	Probes int
+	// Iterations is the total number of Bellman sweeps across probes.
+	Iterations int
+	// Residual is the final solve's stopping residual.
+	Residual float64
+	// Duration is the wall-clock time of the whole solve.
+	Duration time.Duration
+	// Workers is the Bellman-sweep worker count used.
+	Workers int
+}
+
 // Result reports a solved instance.
 type Result struct {
 	// Utility is the optimal value of the configured utility function:
@@ -93,19 +110,53 @@ type Result struct {
 	// Probes is the number of inner average-reward solves (1 for the
 	// non-compliant model, the bisection count otherwise).
 	Probes int
+	// Stats carries per-solve instrumentation.
+	Stats SolveStats
+}
+
+// SolveOptions configure SolveWith. The zero value reproduces Solve:
+// the paper's tolerances and automatic parallelism.
+type SolveOptions struct {
+	// RatioTol is the bisection stopping width on ratio objectives
+	// (default 1e-5).
+	RatioTol float64
+	// Epsilon is the inner relative-value-iteration span criterion
+	// (default 1e-9).
+	Epsilon float64
+	// Parallelism is the Bellman-sweep worker count: 0 selects
+	// GOMAXPROCS (with the solver's small-model serial fallback), 1 the
+	// serial path. Every setting returns bit-identical results.
+	Parallelism int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.RatioTol == 0 {
+		o.RatioTol = 1e-5
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-9
+	}
+	return o
 }
 
 // Solve computes the optimal utility with the paper's tolerances
 // (bisection to 1e-5; inner solves to 1e-9).
 func (a *Analysis) Solve() (Result, error) {
-	return a.SolveTol(1e-5, 1e-9)
+	return a.SolveWith(SolveOptions{})
 }
 
 // SolveTol computes the optimal utility with explicit tolerances:
 // ratioTol for the bisection on ratio objectives, epsilon for the inner
 // relative-value-iteration span criterion.
 func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
-	inner := mdp.Options{Epsilon: epsilon}
+	return a.SolveWith(SolveOptions{RatioTol: ratioTol, Epsilon: epsilon})
+}
+
+// SolveWith computes the optimal utility under explicit solver options.
+func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	inner := mdp.Options{Epsilon: opts.Epsilon, Parallelism: opts.Parallelism}
 	var res Result
 	switch a.Params.Model {
 	case NonCompliant:
@@ -113,7 +164,12 @@ func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		res = Result{Utility: r.Gain, Policy: r.Policy, Probes: 1}
+		res = Result{Utility: r.Gain, Policy: r.Policy, Probes: 1, Stats: SolveStats{
+			Probes:     1,
+			Iterations: r.Stats.Iterations,
+			Residual:   r.Stats.Residual,
+			Workers:    r.Stats.Workers,
+		}}
 	default:
 		hi := 1.0
 		lo := 0.0
@@ -122,12 +178,17 @@ func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
 			lo = a.Params.Alpha * 0.999
 		}
 		r, err := a.Model.SolveRatio(mdp.RatioOptions{
-			Lo: lo, Hi: hi, Tolerance: ratioTol, Inner: inner,
+			Lo: lo, Hi: hi, Tolerance: opts.RatioTol, Inner: inner,
 		})
 		if err != nil {
 			return Result{}, err
 		}
-		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes}
+		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes, Stats: SolveStats{
+			Probes:     r.Stats.Probes,
+			Iterations: r.Stats.Iterations,
+			Residual:   r.Stats.Residual,
+			Workers:    r.Stats.Workers,
+		}}
 	}
 	fork, err := a.Model.StateVisitRate(res.Policy, func(s int) bool {
 		return !a.States[s].Base()
@@ -135,6 +196,7 @@ func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
 	if err == nil {
 		res.ForkRate = fork
 	}
+	res.Stats.Duration = time.Since(start)
 	return res, nil
 }
 

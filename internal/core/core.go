@@ -8,11 +8,10 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"buanalysis/internal/bitcoin"
 	"buanalysis/internal/bumdp"
+	"buanalysis/internal/par"
 )
 
 // Ratio is a Bob:Carol mining power split.
@@ -51,6 +50,9 @@ type Cell struct {
 	Ratio   string
 	Setting bumdp.Setting
 	Model   bumdp.IncentiveModel
+	// AD is the acceptance depth the cell was solved at (0 means the
+	// model default).
+	AD int
 	// Skipped marks cells outside the paper's constraint.
 	Skipped bool
 	// Value is the optimal utility; Honest is the no-attack baseline.
@@ -58,7 +60,9 @@ type Cell struct {
 	// ForkRate is the long-run fraction of steps spent forked under the
 	// optimal policy.
 	ForkRate float64
-	Err      error
+	// Stats carries the solver instrumentation of the cell's solve.
+	Stats bumdp.SolveStats
+	Err   error
 }
 
 // Key renders a short cell identifier for logs.
@@ -73,12 +77,24 @@ type SweepConfig struct {
 	Settings []bumdp.Setting
 	// AD overrides the acceptance depth (default 6).
 	AD int
+	// ADs sweeps several acceptance depths; when set it takes
+	// precedence over AD and the result carries one full grid per
+	// entry, in order. This is how Table 4's AD axis is generated.
+	ADs []int
 	// RatioTol and Epsilon are the solver tolerances (defaults 1e-5,
 	// 1e-9; the full setting-2 sweeps are substantially faster at 1e-4,
 	// 1e-8 with no visible change at the paper's print precision).
 	RatioTol, Epsilon float64
-	// Workers bounds solver parallelism (default: GOMAXPROCS).
+	// Workers bounds how many cells are solved concurrently (default:
+	// GOMAXPROCS).
 	Workers int
+	// InnerParallelism is the Bellman-sweep worker count inside each
+	// cell's solver. 0 picks a heuristic: serial sweeps when several
+	// cells already run concurrently (cell-level parallelism scales
+	// better and avoids oversubscription), automatic sweep parallelism
+	// when Workers is 1. Explicit values are passed through. Cell
+	// values are bit-identical for every setting.
+	InnerParallelism int
 }
 
 func (c SweepConfig) withDefaults(model bumdp.IncentiveModel) SweepConfig {
@@ -98,44 +114,44 @@ func (c SweepConfig) withDefaults(model bumdp.IncentiveModel) SweepConfig {
 		c.Epsilon = 1e-9
 	}
 	if c.Workers == 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = par.Workers(0, 1<<30)
+	}
+	if c.InnerParallelism == 0 && c.Workers > 1 {
+		c.InnerParallelism = 1
+	}
+	if c.ADs == nil {
+		c.ADs = []int{c.AD}
 	}
 	_ = model
 	return c
 }
 
 // Sweep solves the BU MDP over the configured grid for one incentive
-// model, in parallel. Cells violating the paper's admissibility
-// constraint are returned with Skipped set. The result is ordered by
-// (setting, alpha, ratio).
+// model. Independent cells are solved concurrently on cfg.Workers
+// goroutines; each cell's result is identical to a serial run. Cells
+// violating the paper's admissibility constraint are returned with
+// Skipped set. The result is ordered by (ad, setting, alpha, ratio).
 func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 	cfg = cfg.withDefaults(model)
 	var cells []Cell
-	for _, setting := range cfg.Settings {
-		for _, alpha := range cfg.Alphas {
-			for _, ratio := range cfg.Ratios {
-				cells = append(cells, Cell{
-					Alpha: alpha, Ratio: ratio.Name, Setting: setting, Model: model,
-					Skipped: !ratioByName(cfg.Ratios, ratio.Name).Admissible(alpha),
-				})
+	for _, ad := range cfg.ADs {
+		for _, setting := range cfg.Settings {
+			for _, alpha := range cfg.Alphas {
+				for _, ratio := range cfg.Ratios {
+					cells = append(cells, Cell{
+						Alpha: alpha, Ratio: ratio.Name, Setting: setting, Model: model, AD: ad,
+						Skipped: !ratioByName(cfg.Ratios, ratio.Name).Admissible(alpha),
+					})
+				}
 			}
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for i := range cells {
+	par.For(len(cells), cfg.Workers, func(i int) {
 		if cells[i].Skipped {
-			continue
+			return
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c *Cell) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			*c = solveCell(*c, cfg)
-		}(&cells[i])
-	}
-	wg.Wait()
+		cells[i] = solveCell(cells[i], cfg)
+	})
 	return cells
 }
 
@@ -153,13 +169,16 @@ func solveCell(c Cell, cfg SweepConfig) Cell {
 	beta, gamma := ratio.Split(c.Alpha)
 	a, err := bumdp.New(bumdp.Params{
 		Alpha: c.Alpha, Beta: beta, Gamma: gamma,
-		AD: cfg.AD, Setting: c.Setting, Model: c.Model,
+		AD: c.AD, Setting: c.Setting, Model: c.Model,
 	})
 	if err != nil {
 		c.Err = err
 		return c
 	}
-	res, err := a.SolveTol(cfg.RatioTol, cfg.Epsilon)
+	res, err := a.SolveWith(bumdp.SolveOptions{
+		RatioTol: cfg.RatioTol, Epsilon: cfg.Epsilon,
+		Parallelism: cfg.InnerParallelism,
+	})
 	if err != nil {
 		c.Err = err
 		return c
@@ -167,6 +186,7 @@ func solveCell(c Cell, cfg SweepConfig) Cell {
 	c.Value = res.Utility
 	c.Honest = a.HonestUtility()
 	c.ForkRate = res.ForkRate
+	c.Stats = res.Stats
 	return c
 }
 
@@ -186,39 +206,28 @@ func BitcoinBaseline(alphas, ties []float64, workers int) []BitcoinBaselineCell 
 	if ties == nil {
 		ties = []float64{0.5, 1.0}
 	}
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	var cells []BitcoinBaselineCell
 	for _, tie := range ties {
 		for _, alpha := range alphas {
 			cells = append(cells, BitcoinBaselineCell{Alpha: alpha, TieWinProb: tie})
 		}
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range cells {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(c *BitcoinBaselineCell) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			an, err := bitcoin.New(bitcoin.Params{
-				Alpha: c.Alpha, TieWinProb: c.TieWinProb,
-				Objective: bitcoin.AbsoluteReward,
-			})
-			if err != nil {
-				c.Err = err
-				return
-			}
-			res, err := an.Solve()
-			if err != nil {
-				c.Err = err
-				return
-			}
-			c.Value = res.Utility
-		}(&cells[i])
-	}
-	wg.Wait()
+	par.For(len(cells), workers, func(i int) {
+		c := &cells[i]
+		an, err := bitcoin.New(bitcoin.Params{
+			Alpha: c.Alpha, TieWinProb: c.TieWinProb,
+			Objective: bitcoin.AbsoluteReward,
+		})
+		if err != nil {
+			c.Err = err
+			return
+		}
+		res, err := an.Solve()
+		if err != nil {
+			c.Err = err
+			return
+		}
+		c.Value = res.Utility
+	})
 	return cells
 }

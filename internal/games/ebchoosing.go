@@ -10,7 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"buanalysis/internal/par"
 )
+
+// chunkMinProfiles is the smallest per-worker profile count worth a
+// goroutine in the equilibrium search; smaller spaces run serially.
+const chunkMinProfiles = 4096
 
 // powersValid checks a power distribution: positive entries summing to 1.
 func powersValid(m []float64) error {
@@ -175,6 +181,15 @@ func (g *EBChoosingGame) IsNashEquilibrium(prof Profile) (bool, error) {
 // PureNashEquilibria enumerates all pure-strategy Nash equilibria.
 // The search is exponential (Choices^n); it requires Choices^n <= 1<<20.
 func (g *EBChoosingGame) PureNashEquilibria() ([]Profile, error) {
+	return g.PureNashEquilibriaWorkers(0)
+}
+
+// PureNashEquilibriaWorkers is PureNashEquilibria with an explicit
+// worker count (0 selects GOMAXPROCS, 1 is serial). Profiles are
+// checked in index chunks and per-chunk hits concatenated in chunk
+// order, so the equilibrium list — sorted by profile index — is
+// identical for every worker count.
+func (g *EBChoosingGame) PureNashEquilibriaWorkers(workers int) ([]Profile, error) {
 	n := len(g.Powers)
 	total := 1
 	for i := 0; i < n; i++ {
@@ -183,23 +198,35 @@ func (g *EBChoosingGame) PureNashEquilibria() ([]Profile, error) {
 			return nil, errors.New("games: profile space too large to enumerate")
 		}
 	}
+	w := par.Workers(workers, (total+chunkMinProfiles-1)/chunkMinProfiles)
+	found := make([][]Profile, w)
+	errs := make([]error, w)
+	par.ForChunks(total, w, func(cw, lo, hi int) {
+		prof := make(Profile, n)
+		for idx := lo; idx < hi; idx++ {
+			x := idx
+			for i := 0; i < n; i++ {
+				prof[i] = x % g.Choices
+				x /= g.Choices
+			}
+			ok, err := g.IsNashEquilibrium(prof)
+			if err != nil {
+				errs[cw] = err
+				return
+			}
+			if ok {
+				eq := make(Profile, n)
+				copy(eq, prof)
+				found[cw] = append(found[cw], eq)
+			}
+		}
+	})
 	var out []Profile
-	prof := make(Profile, n)
-	for idx := 0; idx < total; idx++ {
-		x := idx
-		for i := 0; i < n; i++ {
-			prof[i] = x % g.Choices
-			x /= g.Choices
+	for i := 0; i < w; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		ok, err := g.IsNashEquilibrium(prof)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			eq := make(Profile, n)
-			copy(eq, prof)
-			out = append(out, eq)
-		}
+		out = append(out, found[i]...)
 	}
 	return out, nil
 }

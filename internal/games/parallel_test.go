@@ -1,0 +1,60 @@
+package games
+
+// Determinism tests for the parallel equilibrium search.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPureNashEquilibriaWorkersDeterministic: the parallel enumeration
+// returns the same equilibria, in the same (profile-index) order, for
+// every worker count.
+func TestPureNashEquilibriaWorkersDeterministic(t *testing.T) {
+	powers := []float64{0.05, 0.10, 0.10, 0.15, 0.15, 0.20, 0.25}
+	g, err := NewEBChoosingGame(powers, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := g.PureNashEquilibriaWorkers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 {
+		t.Fatal("no equilibria found; the determinism check would be vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := g.PureNashEquilibriaWorkers(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d returned %d equilibria in a different set/order than serial's %d",
+				workers, len(got), len(serial))
+		}
+	}
+}
+
+// TestPureNashEquilibriaWorkersTooLarge: the size guard fires for every
+// worker count.
+func TestPureNashEquilibriaWorkersTooLarge(t *testing.T) {
+	powers := make([]float64, 21)
+	for i := range powers {
+		powers[i] = 1.0 / 21
+	}
+	// Normalize exactly.
+	sum := 0.0
+	for _, p := range powers[:20] {
+		sum += p
+	}
+	powers[20] = 1 - sum
+	g, err := NewEBChoosingGame(powers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := g.PureNashEquilibriaWorkers(workers); err == nil {
+			t.Errorf("workers=%d: accepted a 2^21 profile space", workers)
+		}
+	}
+}

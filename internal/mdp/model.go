@@ -10,12 +10,18 @@
 // The ratio solver maximizes lim Num_t/Den_t, which covers the paper's
 // relative-revenue and orphan-rate utilities; setting Den to 1 per step
 // recovers the absolute-reward (per-block) utility.
+//
+// The solvers are parallel: Bellman sweeps are partitioned over worker
+// goroutines (Options.Parallelism) with order-independent residual
+// reductions, so parallel and serial solves return bit-identical
+// results. See parallel.go for the execution machinery.
 package mdp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Transition is one probabilistic outcome of taking an action in a state.
@@ -29,6 +35,14 @@ type Transition struct {
 // Builder enumerates a finite MDP. Compile walks every state once and
 // freezes the result into a Model; Builder implementations may generate
 // transitions lazily.
+//
+// Compile enumerates states from multiple goroutines concurrently (each
+// state is visited exactly once, by one goroutine), so NumStates,
+// Actions and Transitions must be safe for concurrent calls. Builders
+// that derive transitions purely from immutable inputs — every builder
+// in this repository — qualify as written; a builder that memoizes or
+// otherwise mutates shared state must either synchronize internally or
+// be compiled with CompileWorkers(b, 1).
 type Builder interface {
 	// NumStates reports the number of states, indexed 0..NumStates()-1.
 	NumStates() int
@@ -42,6 +56,12 @@ type Builder interface {
 
 // Model is a compiled, immutable MDP stored in flat arrays for fast
 // iteration. Build one with Compile.
+//
+// Alongside the transition records themselves, the model keeps
+// structure-of-arrays mirrors of the hot fields (probability and
+// destination per transition) and per-(state, action) expected rewards,
+// so the Bellman inner loop is a compact sparse dot product instead of a
+// walk over 32-byte structs.
 type Model struct {
 	numStates int
 	// stateOff[s]..stateOff[s+1] index the (state, action) slots of s in
@@ -51,6 +71,12 @@ type Model struct {
 	// saOff[k]..saOff[k+1] index the transitions of slot k in trans.
 	saOff []int32
 	trans []Transition
+	// tprob/tto mirror trans[j].Prob and trans[j].To for the sweep kernels.
+	tprob []float64
+	tto   []int32
+	// eNum/eDen are the expected Num and Den rewards of each (state,
+	// action) slot: eNum[k] = sum_j trans[j].Prob * trans[j].Num.
+	eNum, eDen []float64
 }
 
 // probTolerance is the largest deviation from 1 tolerated for the total
@@ -59,47 +85,153 @@ const probTolerance = 1e-9
 
 // Compile freezes a Builder into a Model, validating that probabilities
 // are non-negative and sum to one, destinations are in range, and every
-// state has at least one action.
-func Compile(b Builder) (*Model, error) {
+// state has at least one action. State enumeration runs on GOMAXPROCS
+// goroutines (see Builder's concurrency contract); the compiled model is
+// identical for every worker count.
+func Compile(b Builder) (*Model, error) { return CompileWorkers(b, 0) }
+
+// compileChunk accumulates the compiled form of a contiguous state range.
+type compileChunk struct {
+	// stateSlots[i] is the number of action slots of state lo+i.
+	stateSlots []int32
+	actionID   []int32
+	// slotTrans[k] is the number of transitions of the chunk's k-th slot.
+	slotTrans []int32
+	trans     []Transition
+	err       error
+}
+
+// CompileWorkers is Compile with an explicit worker count: 0 selects
+// GOMAXPROCS (capped for small models), 1 compiles serially and never
+// calls the builder concurrently.
+func CompileWorkers(b Builder, workers int) (*Model, error) {
 	n := b.NumStates()
 	if n <= 0 {
 		return nil, errors.New("mdp: builder has no states")
 	}
+	w := effectiveWorkers(workers, n, minAutoStatesPerCompileWorker)
+	bounds := splitRange(n, w, 1)
+	chunks := make([]compileChunk, w)
+	if w == 1 {
+		compileRange(b, n, 0, n, &chunks[0])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func(i int) {
+				defer wg.Done()
+				compileRange(b, n, bounds[i], bounds[i+1], &chunks[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	// Chunks are merged in state order, so the compiled arrays — and any
+	// validation error reported (the lowest-state one) — are independent
+	// of the worker count.
+	totalSlots, totalTrans := 0, 0
+	for i := range chunks {
+		if chunks[i].err != nil {
+			return nil, chunks[i].err
+		}
+		totalSlots += len(chunks[i].actionID)
+		totalTrans += len(chunks[i].trans)
+	}
 	m := &Model{
 		numStates: n,
 		stateOff:  make([]int32, n+1),
+		actionID:  make([]int32, 0, totalSlots),
+		saOff:     make([]int32, 1, totalSlots+1),
+		trans:     make([]Transition, 0, totalTrans),
 	}
-	for s := 0; s < n; s++ {
+	s := 0
+	for i := range chunks {
+		c := &chunks[i]
+		for _, slots := range c.stateSlots {
+			m.stateOff[s+1] = m.stateOff[s] + slots
+			s++
+		}
+		m.actionID = append(m.actionID, c.actionID...)
+		for _, cnt := range c.slotTrans {
+			m.saOff = append(m.saOff, m.saOff[len(m.saOff)-1]+cnt)
+		}
+		m.trans = append(m.trans, c.trans...)
+	}
+	m.buildHotArrays()
+	return m, nil
+}
+
+// compileRange enumerates and validates states [lo, hi) into c.
+func compileRange(b Builder, n, lo, hi int, c *compileChunk) {
+	for s := lo; s < hi; s++ {
 		acts := b.Actions(s)
 		if len(acts) == 0 {
-			return nil, fmt.Errorf("mdp: state %d has no actions", s)
+			c.err = fmt.Errorf("mdp: state %d has no actions", s)
+			return
 		}
 		for _, a := range acts {
 			trs := b.Transitions(s, a)
 			if len(trs) == 0 {
-				return nil, fmt.Errorf("mdp: state %d action %d has no transitions", s, a)
+				c.err = fmt.Errorf("mdp: state %d action %d has no transitions", s, a)
+				return
 			}
 			total := 0.0
 			for _, tr := range trs {
 				if tr.To < 0 || tr.To >= n {
-					return nil, fmt.Errorf("mdp: state %d action %d: destination %d out of range [0,%d)", s, a, tr.To, n)
+					c.err = fmt.Errorf("mdp: state %d action %d: destination %d out of range [0,%d)", s, a, tr.To, n)
+					return
 				}
 				if tr.Prob < 0 {
-					return nil, fmt.Errorf("mdp: state %d action %d: negative probability %g", s, a, tr.Prob)
+					c.err = fmt.Errorf("mdp: state %d action %d: negative probability %g", s, a, tr.Prob)
+					return
 				}
 				total += tr.Prob
 			}
 			if math.Abs(total-1) > probTolerance {
-				return nil, fmt.Errorf("mdp: state %d action %d: probabilities sum to %g, want 1", s, a, total)
+				c.err = fmt.Errorf("mdp: state %d action %d: probabilities sum to %g, want 1", s, a, total)
+				return
 			}
-			m.actionID = append(m.actionID, int32(a))
-			m.saOff = append(m.saOff, int32(len(m.trans)))
-			m.trans = append(m.trans, trs...)
+			c.actionID = append(c.actionID, int32(a))
+			c.slotTrans = append(c.slotTrans, int32(len(trs)))
+			c.trans = append(c.trans, trs...)
 		}
-		m.stateOff[s+1] = int32(len(m.actionID))
+		c.stateSlots = append(c.stateSlots, int32(len(acts)))
 	}
-	m.saOff = append(m.saOff, int32(len(m.trans)))
-	return m, nil
+}
+
+// buildHotArrays derives the structure-of-arrays mirrors and per-slot
+// expected rewards from the frozen transition records.
+func (m *Model) buildHotArrays() {
+	m.tprob = make([]float64, len(m.trans))
+	m.tto = make([]int32, len(m.trans))
+	for j, tr := range m.trans {
+		m.tprob[j] = tr.Prob
+		m.tto[j] = int32(tr.To)
+	}
+	m.eNum = make([]float64, len(m.actionID))
+	m.eDen = make([]float64, len(m.actionID))
+	for k := range m.actionID {
+		var en, ed float64
+		for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
+			en += m.trans[j].Prob * m.trans[j].Num
+			ed += m.trans[j].Prob * m.trans[j].Den
+		}
+		m.eNum[k] = en
+		m.eDen[k] = ed
+	}
+}
+
+// shiftedRewards returns the per-slot expected reward of the auxiliary
+// objective Num - rho*Den, the only reward view the sweep kernels need.
+func (m *Model) shiftedRewards(rho float64) []float64 {
+	shift := make([]float64, len(m.eNum))
+	if rho == 0 {
+		copy(shift, m.eNum)
+		return shift
+	}
+	for k := range shift {
+		shift[k] = m.eNum[k] - rho*m.eDen[k]
+	}
+	return shift
 }
 
 // NumStates reports the number of states in the model.

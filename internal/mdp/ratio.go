@@ -3,6 +3,7 @@ package mdp
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // RatioOptions configure SolveRatio.
@@ -20,6 +21,11 @@ type RatioOptions struct {
 	GainSlack float64
 	// Inner configures the average-reward solves performed at each probe.
 	Inner Options
+	// Parallelism is the worker count for the inner average-reward
+	// solves; it is used when Inner.Parallelism is unset. 0 selects
+	// GOMAXPROCS (with the small-model serial fallback), 1 the serial
+	// path; all settings are bit-identical (see Options.Parallelism).
+	Parallelism int
 }
 
 func (o RatioOptions) withDefaults() RatioOptions {
@@ -32,7 +38,24 @@ func (o RatioOptions) withDefaults() RatioOptions {
 	if o.Hi == 0 {
 		o.Hi = 1
 	}
+	if o.Inner.Parallelism == 0 {
+		o.Inner.Parallelism = o.Parallelism
+	}
 	return o
+}
+
+// RatioStats instruments a ratio solve.
+type RatioStats struct {
+	// Probes is the number of inner average-reward solves performed.
+	Probes int
+	// Iterations is the total number of Bellman sweeps across probes.
+	Iterations int
+	// Residual is the final inner solve's residual.
+	Residual float64
+	// Duration is the wall-clock time of the whole bisection.
+	Duration time.Duration
+	// Workers is the worker count used by the inner solves.
+	Workers int
 }
 
 // RatioResult reports the outcome of a ratio-objective solve.
@@ -43,6 +66,9 @@ type RatioResult struct {
 	Policy Policy
 	// Probes is the number of average-reward solves performed.
 	Probes int
+	// Stats carries per-solve instrumentation aggregated over the
+	// bisection probes.
+	Stats RatioStats
 }
 
 // SolveRatio maximizes the long-run ratio of accumulated Num to accumulated
@@ -58,23 +84,31 @@ type RatioResult struct {
 // by the GainSlack threshold.
 func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 	opts = opts.withDefaults()
+	start := time.Now()
 	lo, hi := opts.Lo, opts.Hi
 	if hi <= lo {
 		return RatioResult{}, fmt.Errorf("mdp: ratio bracket [%g, %g] is empty", lo, hi)
 	}
 
-	probes := 0
+	stats := RatioStats{}
 	var warm []float64
 	gainAt := func(rho float64) (Result, error) {
-		probes++
+		stats.Probes++
 		inner := opts.Inner
 		inner.Rho = rho
 		inner.Warm = warm
 		res, err := m.AverageReward(inner)
+		stats.Iterations += res.Stats.Iterations
+		stats.Residual = res.Stats.Residual
+		stats.Workers = res.Stats.Workers
 		if err == nil {
 			warm = res.Bias
 		}
 		return res, err
+	}
+	finish := func(value float64, pol Policy) RatioResult {
+		stats.Duration = time.Since(start)
+		return RatioResult{Value: value, Policy: pol, Probes: stats.Probes, Stats: stats}
 	}
 
 	// Ensure the upper end of the bracket has non-positive gain.
@@ -119,7 +153,7 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 		pol = r.Policy
 		value = lo
 	}
-	return RatioResult{Value: value, Policy: pol, Probes: probes}, nil
+	return finish(value, pol), nil
 }
 
 // PolicyRatio computes the long-run ratio Num/Den attained by a fixed
@@ -127,16 +161,9 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 // policy's stationary distribution. The policy's chain must be unichain
 // with positive long-run Den rate.
 func (m *Model) PolicyRatio(pol Policy, opts Options) (float64, error) {
-	pi, err := m.StationaryDistribution(pol, opts)
+	num, den, err := m.Rates(pol, opts)
 	if err != nil {
 		return 0, err
-	}
-	num, den := 0.0, 0.0
-	for s := 0; s < m.numStates; s++ {
-		for _, tr := range m.Transitions(s, pol[s]) {
-			num += pi[s] * tr.Prob * tr.Num
-			den += pi[s] * tr.Prob * tr.Den
-		}
 	}
 	if den <= 0 {
 		return 0, errors.New("mdp: policy accrues no denominator reward")

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Options configure the iterative solvers. The zero value selects
@@ -28,6 +29,14 @@ type Options struct {
 	// the bias of a nearby solve (for example the previous bisection
 	// probe) cuts iteration counts substantially. The slice is copied.
 	Warm []float64
+	// Parallelism is the number of worker goroutines the Bellman sweeps
+	// run on. 0 (the default) selects GOMAXPROCS, falling back to the
+	// serial path for models too small to amortize the per-sweep
+	// synchronization; 1 forces the serial path. Any value yields
+	// bit-identical results — values, policies, and iteration counts —
+	// because every state update uses the same arithmetic and the
+	// residual reductions are order-independent.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +55,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Stats instruments a single solve.
+type Stats struct {
+	// Iterations is the number of Bellman sweeps performed.
+	Iterations int
+	// Residual is the final convergence measure: the span seminorm of
+	// the last update for the average-reward solvers, the sup-norm
+	// update for discounted value iteration.
+	Residual float64
+	// Duration is the wall-clock time of the solve.
+	Duration time.Duration
+	// Workers is the number of sweep workers used (1 = serial path).
+	Workers int
+}
+
 // Result reports the outcome of an average-reward solve.
 type Result struct {
 	// Gain is the optimal long-run average reward per step.
@@ -59,6 +82,106 @@ type Result struct {
 	// Converged reports whether the span criterion was met within
 	// MaxIterations.
 	Converged bool
+	// Stats carries per-solve instrumentation (iterations, final
+	// residual, wall time, worker count).
+	Stats Stats
+}
+
+// recenterParallelMin is the model size above which the re-centering
+// pass is worth a second pool barrier; below it the caller subtracts
+// serially. Either way the arithmetic is elementwise and identical.
+const recenterParallelMin = 1 << 14
+
+// bellmanChunk performs one optimizing Bellman backup for states
+// [lo, hi): next[s] and pol[s] are written, and the chunk's span of the
+// update d = next[s] - h[s] is returned for the caller's min/max
+// reduction.
+func (m *Model) bellmanChunk(h, next []float64, pol Policy, shift []float64, tau float64, lo, hi int) (slo, shi float64) {
+	slo, shi = math.Inf(1), math.Inf(-1)
+	keep := 1 - tau
+	stateOff, saOff := m.stateOff, m.saOff
+	tprob, tto := m.tprob, m.tto
+	for s := lo; s < hi; s++ {
+		best := math.Inf(-1)
+		bestSlot := 0
+		k0, k1 := stateOff[s], stateOff[s+1]
+		for k := k0; k < k1; k++ {
+			q := shift[k]
+			for j := saOff[k]; j < saOff[k+1]; j++ {
+				q += tprob[j] * h[tto[j]]
+			}
+			if q > best {
+				best = q
+				bestSlot = int(k - k0)
+			}
+		}
+		v := keep*best + tau*h[s]
+		next[s] = v
+		pol[s] = bestSlot
+		d := v - h[s]
+		if d < slo {
+			slo = d
+		}
+		if d > shi {
+			shi = d
+		}
+	}
+	return slo, shi
+}
+
+// policyChunk is bellmanChunk restricted to a fixed policy.
+func (m *Model) policyChunk(h, next []float64, pol Policy, shift []float64, tau float64, lo, hi int) (slo, shi float64) {
+	slo, shi = math.Inf(1), math.Inf(-1)
+	keep := 1 - tau
+	stateOff, saOff := m.stateOff, m.saOff
+	tprob, tto := m.tprob, m.tto
+	for s := lo; s < hi; s++ {
+		k := stateOff[s] + int32(pol[s])
+		q := shift[k]
+		for j := saOff[k]; j < saOff[k+1]; j++ {
+			q += tprob[j] * h[tto[j]]
+		}
+		v := keep*q + tau*h[s]
+		next[s] = v
+		d := v - h[s]
+		if d < slo {
+			slo = d
+		}
+		if d > shi {
+			shi = d
+		}
+	}
+	return slo, shi
+}
+
+// reduceSpans folds per-worker spans with exact min/max, which no
+// worker-count or completion-order change can perturb.
+func reduceSpans(spans []wspan) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i := range spans {
+		if spans[i].lo < lo {
+			lo = spans[i].lo
+		}
+		if spans[i].hi > hi {
+			hi = spans[i].hi
+		}
+	}
+	return lo, hi
+}
+
+// recenter subtracts ref from next, in parallel for large models.
+func recenter(pool *sweepPool, next []float64, ref float64) {
+	if pool.workers() > 1 && len(next) >= recenterParallelMin {
+		pool.run(func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				next[s] -= ref
+			}
+		})
+		return
+	}
+	for s := range next {
+		next[s] -= ref
+	}
 }
 
 // AverageReward maximizes the long-run average of Num - Rho*Den per step
@@ -68,6 +191,7 @@ type Result struct {
 // through a base state and satisfy this.
 func (m *Model) AverageReward(opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	start := time.Now()
 	n := m.numStates
 	h := make([]float64, n)
 	if len(opts.Warm) == n {
@@ -77,53 +201,35 @@ func (m *Model) AverageReward(opts Options) (Result, error) {
 	pol := make(Policy, n)
 	tau := opts.Aperiodicity
 	keep := 1 - tau
+	shift := m.shiftedRewards(opts.Rho)
 
-	res := Result{}
+	pool := newSweepPool(n, effectiveWorkers(opts.Parallelism, n, minAutoStatesPerWorker), 1)
+	defer pool.close()
+	spans := make([]wspan, pool.workers())
+
 	for it := 1; it <= opts.MaxIterations; it++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for s := 0; s < n; s++ {
-			best := math.Inf(-1)
-			bestSlot := 0
-			nSlots := int(m.stateOff[s+1] - m.stateOff[s])
-			for i := 0; i < nSlots; i++ {
-				q := 0.0
-				for _, tr := range m.Transitions(s, i) {
-					q += tr.Prob * (tr.Num - opts.Rho*tr.Den + h[tr.To])
-				}
-				if q > best {
-					best = q
-					bestSlot = i
-				}
-			}
-			v := keep*best + tau*h[s]
-			next[s] = v
-			pol[s] = bestSlot
-			d := v - h[s]
-			if d < lo {
-				lo = d
-			}
-			if d > hi {
-				hi = d
-			}
-		}
+		pool.run(func(w, lo, hi int) {
+			spans[w].lo, spans[w].hi = m.bellmanChunk(h, next, pol, shift, tau, lo, hi)
+		})
+		lo, hi := reduceSpans(spans)
 		// Re-center on state 0 to keep the bias bounded.
-		ref := next[0]
-		for s := range next {
-			next[s] -= ref
-		}
+		recenter(pool, next, next[0])
 		h, next = next, h
 		if hi-lo < opts.Epsilon {
-			res = Result{
+			return Result{
 				Gain:       (lo + hi) / 2 / keep,
 				Policy:     pol,
 				Bias:       h,
 				Iterations: it,
 				Converged:  true,
-			}
-			return res, nil
+				Stats:      Stats{Iterations: it, Residual: hi - lo, Duration: time.Since(start), Workers: pool.workers()},
+			}, nil
 		}
 	}
-	return Result{Policy: pol, Bias: h, Iterations: opts.MaxIterations}, errors.New("mdp: relative value iteration did not converge")
+	return Result{
+		Policy: pol, Bias: h, Iterations: opts.MaxIterations,
+		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: pool.workers()},
+	}, errors.New("mdp: relative value iteration did not converge")
 }
 
 // EvaluatePolicy computes the long-run average of Num - Rho*Den per step
@@ -134,33 +240,27 @@ func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 		return Result{}, fmt.Errorf("mdp: policy has %d entries, want %d", len(pol), m.numStates)
 	}
 	opts = opts.withDefaults()
+	start := time.Now()
 	n := m.numStates
 	h := make([]float64, n)
+	if len(opts.Warm) == n {
+		copy(h, opts.Warm)
+	}
 	next := make([]float64, n)
 	tau := opts.Aperiodicity
 	keep := 1 - tau
+	shift := m.shiftedRewards(opts.Rho)
+
+	pool := newSweepPool(n, effectiveWorkers(opts.Parallelism, n, minAutoStatesPerWorker), 1)
+	defer pool.close()
+	spans := make([]wspan, pool.workers())
 
 	for it := 1; it <= opts.MaxIterations; it++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for s := 0; s < n; s++ {
-			q := 0.0
-			for _, tr := range m.Transitions(s, pol[s]) {
-				q += tr.Prob * (tr.Num - opts.Rho*tr.Den + h[tr.To])
-			}
-			v := keep*q + tau*h[s]
-			next[s] = v
-			d := v - h[s]
-			if d < lo {
-				lo = d
-			}
-			if d > hi {
-				hi = d
-			}
-		}
-		ref := next[0]
-		for s := range next {
-			next[s] -= ref
-		}
+		pool.run(func(w, lo, hi int) {
+			spans[w].lo, spans[w].hi = m.policyChunk(h, next, pol, shift, tau, lo, hi)
+		})
+		lo, hi := reduceSpans(spans)
+		recenter(pool, next, next[0])
 		h, next = next, h
 		if hi-lo < opts.Epsilon {
 			return Result{
@@ -169,10 +269,14 @@ func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 				Bias:       h,
 				Iterations: it,
 				Converged:  true,
+				Stats:      Stats{Iterations: it, Residual: hi - lo, Duration: time.Since(start), Workers: pool.workers()},
 			}, nil
 		}
 	}
-	return Result{Policy: pol, Bias: h, Iterations: opts.MaxIterations}, errors.New("mdp: policy evaluation did not converge")
+	return Result{
+		Policy: pol, Bias: h, Iterations: opts.MaxIterations,
+		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: pool.workers()},
+	}, errors.New("mdp: policy evaluation did not converge")
 }
 
 // PolicyIteration solves the average-reward problem by Howard's policy
@@ -180,27 +284,31 @@ func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 // as AverageReward and serves as an independent cross-check.
 func (m *Model) PolicyIteration(opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	start := time.Now()
 	pol := Uniform(m)
+	shift := m.shiftedRewards(opts.Rho)
 	var last Result
+	sweeps := 0
 	for round := 0; round < 1000; round++ {
 		ev, err := m.EvaluatePolicy(pol, opts)
 		if err != nil {
 			return ev, err
 		}
+		sweeps += ev.Stats.Iterations
 		last = ev
 		improved := false
 		for s := 0; s < m.numStates; s++ {
 			bestSlot := pol[s]
 			best := math.Inf(-1)
-			nSlots := int(m.stateOff[s+1] - m.stateOff[s])
-			for i := 0; i < nSlots; i++ {
-				q := 0.0
-				for _, tr := range m.Transitions(s, i) {
-					q += tr.Prob * (tr.Num - opts.Rho*tr.Den + ev.Bias[tr.To])
+			k0, k1 := m.stateOff[s], m.stateOff[s+1]
+			for k := k0; k < k1; k++ {
+				q := shift[k]
+				for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
+					q += m.tprob[j] * ev.Bias[m.tto[j]]
 				}
 				if q > best+1e-12 {
 					best = q
-					bestSlot = i
+					bestSlot = int(k - k0)
 				}
 			}
 			if bestSlot != pol[s] {
@@ -210,6 +318,8 @@ func (m *Model) PolicyIteration(opts Options) (Result, error) {
 		}
 		if !improved {
 			last.Policy = pol
+			last.Stats.Iterations = sweeps
+			last.Stats.Duration = time.Since(start)
 			return last, nil
 		}
 	}
@@ -228,29 +338,23 @@ func (m *Model) ValueIteration(discount float64, opts Options) ([]float64, Polic
 	v := make([]float64, n)
 	next := make([]float64, n)
 	pol := make(Policy, n)
+	shift := m.shiftedRewards(opts.Rho)
 	// Standard Bellman contraction: stop when the sup-norm update is below
 	// Epsilon*(1-discount)/(2*discount), guaranteeing an Epsilon-optimal value.
 	stop := opts.Epsilon * (1 - discount) / (2 * discount)
+
+	pool := newSweepPool(n, effectiveWorkers(opts.Parallelism, n, minAutoStatesPerWorker), 1)
+	defer pool.close()
+	worsts := make([]wspan, pool.workers())
+
 	for it := 0; it < opts.MaxIterations; it++ {
+		pool.run(func(w, lo, hi int) {
+			worsts[w].hi = m.discountedChunk(v, next, pol, shift, discount, lo, hi)
+		})
 		worst := 0.0
-		for s := 0; s < n; s++ {
-			best := math.Inf(-1)
-			bestSlot := 0
-			nSlots := int(m.stateOff[s+1] - m.stateOff[s])
-			for i := 0; i < nSlots; i++ {
-				q := 0.0
-				for _, tr := range m.Transitions(s, i) {
-					q += tr.Prob * (tr.Num - opts.Rho*tr.Den + discount*v[tr.To])
-				}
-				if q > best {
-					best = q
-					bestSlot = i
-				}
-			}
-			next[s] = best
-			pol[s] = bestSlot
-			if d := math.Abs(best - v[s]); d > worst {
-				worst = d
+		for i := range worsts {
+			if worsts[i].hi > worst {
+				worst = worsts[i].hi
 			}
 		}
 		v, next = next, v
@@ -259,4 +363,33 @@ func (m *Model) ValueIteration(discount float64, opts Options) ([]float64, Polic
 		}
 	}
 	return v, pol, errors.New("mdp: value iteration did not converge")
+}
+
+// discountedChunk performs one discounted Bellman backup for states
+// [lo, hi) and returns the chunk's sup-norm update.
+func (m *Model) discountedChunk(v, next []float64, pol Policy, shift []float64, discount float64, lo, hi int) (worst float64) {
+	stateOff, saOff := m.stateOff, m.saOff
+	tprob, tto := m.tprob, m.tto
+	for s := lo; s < hi; s++ {
+		best := math.Inf(-1)
+		bestSlot := 0
+		k0, k1 := stateOff[s], stateOff[s+1]
+		for k := k0; k < k1; k++ {
+			dot := 0.0
+			for j := saOff[k]; j < saOff[k+1]; j++ {
+				dot += tprob[j] * v[tto[j]]
+			}
+			q := shift[k] + discount*dot
+			if q > best {
+				best = q
+				bestSlot = int(k - k0)
+			}
+		}
+		next[s] = best
+		pol[s] = bestSlot
+		if d := math.Abs(best - v[s]); d > worst {
+			worst = d
+		}
+	}
+	return worst
 }

@@ -5,6 +5,58 @@ import (
 	"math"
 )
 
+// diffBlock is the fixed state-block size over which the power
+// iteration's L1 residual is partially summed. Chunk boundaries are
+// aligned to it, and the block partial sums are folded in block order,
+// so the residual — a sum, the one reduction that is not
+// order-independent in floating point — is bit-identical for every
+// worker count.
+const diffBlock = 4096
+
+// policyChain is the Markov chain induced by a fixed policy, stored
+// transposed (incoming edges per state) so the power iteration is a
+// gather: next[s] depends only on pi, making the sweep trivially
+// parallel with deterministic per-state accumulation order.
+type policyChain struct {
+	inOff  []int32
+	inSrc  []int32
+	inProb []float64
+}
+
+// transpose builds the incoming-edge arrays of the policy's chain.
+// Edges are emitted in source-state order, which fixes the per-state
+// summation order independent of the worker count.
+func (m *Model) transpose(pol Policy) policyChain {
+	n := m.numStates
+	c := policyChain{inOff: make([]int32, n+1)}
+	slot := func(s int) int32 { return m.stateOff[s] + int32(pol[s]) }
+	total := 0
+	for s := 0; s < n; s++ {
+		k := slot(s)
+		for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
+			c.inOff[m.tto[j]+1]++
+			total++
+		}
+	}
+	for s := 0; s < n; s++ {
+		c.inOff[s+1] += c.inOff[s]
+	}
+	c.inSrc = make([]int32, total)
+	c.inProb = make([]float64, total)
+	pos := make([]int32, n)
+	copy(pos, c.inOff[:n])
+	for s := 0; s < n; s++ {
+		k := slot(s)
+		for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
+			d := m.tto[j]
+			c.inSrc[pos[d]] = int32(s)
+			c.inProb[pos[d]] = m.tprob[j]
+			pos[d]++
+		}
+	}
+	return c
+}
+
 // StationaryDistribution computes the stationary distribution of the Markov
 // chain induced by a fixed policy, by power iteration with an aperiodicity
 // transformation. The chain must be unichain (a single recurrent class plus
@@ -16,6 +68,7 @@ func (m *Model) StationaryDistribution(pol Policy, opts Options) ([]float64, err
 	}
 	opts = opts.withDefaults()
 	n := m.numStates
+	chain := m.transpose(pol)
 	pi := make([]float64, n)
 	next := make([]float64, n)
 	for s := range pi {
@@ -26,23 +79,35 @@ func (m *Model) StationaryDistribution(pol Policy, opts Options) ([]float64, err
 		tau = 0.05
 	}
 	keep := 1 - tau
+
+	pool := newSweepPool(n, effectiveWorkers(opts.Parallelism, n, minAutoStatesPerWorker), diffBlock)
+	defer pool.close()
+	blockSums := make([]float64, (n+diffBlock-1)/diffBlock)
+
 	for it := 0; it < opts.MaxIterations; it++ {
-		for s := range next {
-			next[s] = 0
-		}
-		for s := 0; s < n; s++ {
-			w := pi[s]
-			if w == 0 {
-				continue
+		pool.run(func(_, lo, hi int) {
+			inOff, inSrc, inProb := chain.inOff, chain.inSrc, chain.inProb
+			for b := lo; b < hi; b += diffBlock {
+				end := b + diffBlock
+				if end > hi {
+					end = hi
+				}
+				bsum := 0.0
+				for s := b; s < end; s++ {
+					sum := 0.0
+					for j := inOff[s]; j < inOff[s+1]; j++ {
+						sum += inProb[j] * pi[inSrc[j]]
+					}
+					v := tau*pi[s] + keep*sum
+					next[s] = v
+					bsum += math.Abs(v - pi[s])
+				}
+				blockSums[b/diffBlock] = bsum
 			}
-			next[s] += tau * w
-			for _, tr := range m.Transitions(s, pol[s]) {
-				next[tr.To] += keep * w * tr.Prob
-			}
-		}
+		})
 		diff := 0.0
-		for s := range next {
-			diff += math.Abs(next[s] - pi[s])
+		for _, bs := range blockSums {
+			diff += bs
 		}
 		pi, next = next, pi
 		if diff < opts.Epsilon {
@@ -60,10 +125,9 @@ func (m *Model) Rates(pol Policy, opts Options) (num, den float64, err error) {
 		return 0, 0, err
 	}
 	for s := 0; s < m.numStates; s++ {
-		for _, tr := range m.Transitions(s, pol[s]) {
-			num += pi[s] * tr.Prob * tr.Num
-			den += pi[s] * tr.Prob * tr.Den
-		}
+		k := m.stateOff[s] + int32(pol[s])
+		num += pi[s] * m.eNum[k]
+		den += pi[s] * m.eDen[k]
 	}
 	return num, den, nil
 }

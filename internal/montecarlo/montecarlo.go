@@ -12,6 +12,7 @@ import (
 
 	"buanalysis/internal/bumdp"
 	"buanalysis/internal/mdp"
+	"buanalysis/internal/par"
 	"buanalysis/internal/stats"
 )
 
@@ -142,18 +143,33 @@ func AlwaysSplitStrategy(bumdp.State) int { return bumdp.OnChain2 }
 
 // CrossValidate replays a policy in `batches` independent runs of
 // `steps` steps each and summarizes the utility estimates, for
-// comparison against an MDP value.
+// comparison against an MDP value. Batches run concurrently on
+// GOMAXPROCS goroutines; batch b always uses seed+b, so the summary is
+// identical for every worker count.
 func CrossValidate(a *bumdp.Analysis, pol mdp.Policy, steps, batches int, seed int64) (stats.Summary, error) {
+	return CrossValidateWorkers(a, pol, steps, batches, seed, 0)
+}
+
+// CrossValidateWorkers is CrossValidate with an explicit worker count
+// (0 selects GOMAXPROCS, 1 is serial).
+func CrossValidateWorkers(a *bumdp.Analysis, pol mdp.Policy, steps, batches int, seed int64, workers int) (stats.Summary, error) {
 	if batches < 2 {
 		return stats.Summary{}, errors.New("montecarlo: need at least 2 batches")
 	}
 	vals := make([]float64, batches)
-	for b := 0; b < batches; b++ {
+	errs := make([]error, batches)
+	par.For(batches, workers, func(b int) {
 		t, err := Run(a, pol, steps, seed+int64(b))
+		if err != nil {
+			errs[b] = err
+			return
+		}
+		vals[b] = t.Utility(a.Params.Model)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return stats.Summary{}, err
 		}
-		vals[b] = t.Utility(a.Params.Model)
 	}
 	return stats.Summarize(vals)
 }

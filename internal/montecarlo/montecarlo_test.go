@@ -107,6 +107,73 @@ func TestCrossValidateNonProfit(t *testing.T) {
 	}
 }
 
+// TestCrossValidate3Sigma replays the MDP-optimal compliant policy for
+// two (alpha, gamma) parameter settings and requires the simulated
+// relative revenue to land within 3 standard errors of the solved MDP
+// value — the statistical contract between the dynamic-programming and
+// sampling paths. A small absolute slack covers the solver's own
+// bisection tolerance (1e-5) and finite-run bias.
+func TestCrossValidate3Sigma(t *testing.T) {
+	cases := []struct {
+		name string
+		p    bumdp.Params
+	}{
+		{"alpha=25% 1:1", bumdp.Params{
+			Alpha: 0.25, Beta: 0.375, Gamma: 0.375, Model: bumdp.Compliant,
+		}},
+		{"alpha=20% 2:3", bumdp.Params{
+			Alpha: 0.20, Beta: 0.8 * 2 / 5, Gamma: 0.8 * 3 / 5, Model: bumdp.Compliant,
+		}},
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := mustAnalysis(t, tc.p)
+			res, err := a.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := 200000
+			if testing.Short() {
+				steps = 50000
+			}
+			sum, err := CrossValidate(a, res.Policy, steps, 10, 100+int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(sum.Mean - res.Utility); diff > 3*sum.SE+1e-4 {
+				t.Errorf("simulated mean %.5f vs MDP value %.5f: |diff| %.2e exceeds 3*SE %.2e",
+					sum.Mean, res.Utility, diff, 3*sum.SE)
+			}
+		})
+	}
+}
+
+// TestCrossValidateWorkersDeterministic: the parallel batch runner
+// returns the exact summary of the serial one — batch b always uses
+// seed+b regardless of which goroutine runs it.
+func TestCrossValidateWorkersDeterministic(t *testing.T) {
+	a := mustAnalysis(t, bumdp.Params{
+		Alpha: 0.25, Beta: 0.375, Gamma: 0.375, Model: bumdp.Compliant,
+	})
+	res, err := a.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := CrossValidateWorkers(a, res.Policy, 20000, 6, 11, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := CrossValidateWorkers(a, res.Policy, 20000, 6, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != serial {
+			t.Errorf("workers=%d summary %+v differs from serial %+v", workers, got, serial)
+		}
+	}
+}
+
 // TestOptimalBeatsNaiveSplit: the solved policy weakly dominates the
 // always-split heuristic in simulation.
 func TestOptimalBeatsNaiveSplit(t *testing.T) {

@@ -1,0 +1,88 @@
+// Package par provides small deterministic parallel-for helpers shared
+// by the grid-sweep runners (internal/core), the game-theoretic search
+// (internal/games) and the Monte Carlo batches (internal/montecarlo).
+//
+// The helpers only schedule: each index (or chunk) is processed exactly
+// once and results are written to caller-owned, index-addressed storage,
+// so the output of a parallel run is identical to a serial one as long
+// as the body is a pure function of its index.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS;
+// the result is capped at n and floored at 1.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs body(i) for every i in [0, n) on up to workers goroutines
+// (<= 0 selects GOMAXPROCS). Indices are claimed one at a time from an
+// atomic counter, which balances heterogeneous per-index costs — table
+// cells whose MDPs differ by three orders of magnitude in size, say —
+// without any ordering guarantee; the body must write only to
+// index-addressed storage. With one worker the body runs inline, in
+// index order, with no goroutines.
+func For(n, workers int, body func(i int)) {
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunks runs body(k, lo, hi) over a partition of [0, n) into w
+// near-equal contiguous chunks, one per worker; k is the chunk index
+// in [0, w). It returns the number of chunks used, so callers can
+// pre-size per-chunk result storage with Workers. Use it when
+// per-index work is uniform and cheap enough that per-index claiming
+// would dominate.
+func ForChunks(n, workers int, body func(k, lo, hi int)) int {
+	w := Workers(workers, n)
+	if w == 1 {
+		body(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		k, lo, hi := k, k*n/w, (k+1)*n/w
+		go func() {
+			defer wg.Done()
+			body(k, lo, hi)
+		}()
+	}
+	wg.Wait()
+	return w
+}

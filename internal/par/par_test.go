@@ -1,0 +1,75 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		workers, n, wantMin, wantMax int
+	}{
+		{1, 100, 1, 1},
+		{4, 100, 4, 4},
+		{4, 2, 2, 2},
+		{0, 0, 1, 1},
+		{-1, 1 << 20, 1, 1 << 20}, // GOMAXPROCS-dependent, but in range
+	}
+	for _, tc := range cases {
+		got := Workers(tc.workers, tc.n)
+		if got < tc.wantMin || got > tc.wantMax {
+			t.Errorf("Workers(%d, %d) = %d, want in [%d, %d]",
+				tc.workers, tc.n, got, tc.wantMin, tc.wantMax)
+		}
+	}
+}
+
+// TestForCoversEveryIndexOnce: each index is visited exactly once, for
+// serial and parallel worker counts.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	for _, workers := range []int{1, 2, 7} {
+		counts := make([]int32, n)
+		For(n, workers, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForChunksPartitions: chunks tile [0, n) without gaps or overlaps
+// and carry consistent chunk indices.
+func TestForChunksPartitions(t *testing.T) {
+	const n = 997
+	for _, workers := range []int{1, 2, 5, 16} {
+		covered := make([]int32, n)
+		w := ForChunks(n, workers, func(k, lo, hi int) {
+			if k < 0 || lo > hi || hi > n {
+				t.Errorf("workers=%d: bad chunk (%d, %d, %d)", workers, k, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		if w < 1 {
+			t.Errorf("workers=%d: ForChunks reported %d chunks", workers, w)
+		}
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	ran := false
+	For(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("For(0, ...) ran the body")
+	}
+}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Continuous-integration gate for the repository.
+#
+#   scripts/ci.sh          vet + build + full test suite + race pass
+#   scripts/ci.sh -short   the same with -short everywhere (a few minutes
+#                          on one core; the race pass stays bounded)
+#
+# The race pass covers the three packages with real concurrency in their
+# hot paths: the parallel MDP solver engine, the BU analysis that drives
+# it, and the Monte Carlo batch runner.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SHORT=""
+if [ "${1:-}" = "-short" ]; then
+	SHORT="-short"
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test ${SHORT} =="
+go test ${SHORT} ./...
+
+echo "== go test -race ${SHORT} (mdp, bumdp, montecarlo) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/
+
+echo "CI: all checks passed"
