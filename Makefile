@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench ci ci-short
+.PHONY: build test vet race bench bench-store ci ci-short
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/
+	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/
 
 bench:
 	$(GO) test -bench 'Table|Solver|GridSweep|Compile' -benchtime 2s .
+
+bench-store:
+	sh scripts/bench.sh
 
 ci:
 	sh scripts/ci.sh

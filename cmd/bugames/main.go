@@ -12,9 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"strconv"
-	"strings"
 
+	"buanalysis/internal/cliflag"
 	"buanalysis/internal/games"
 )
 
@@ -25,17 +24,13 @@ func main() {
 		powersFlag = flag.String("powers", "0.1,0.2,0.3,0.4", "comma-separated mining power shares")
 		eb         = flag.Bool("eb", false, "analyze the EB choosing game instead of the block size game")
 		choices    = flag.Int("choices", 2, "number of candidate EB values (EB game)")
-		workers    = flag.Int("workers", 0, "equilibrium-search worker count (0 = all cores)")
+		workers    = cliflag.WorkersFlag(flag.CommandLine, "equilibrium-search worker count")
 	)
 	flag.Parse()
 
-	var powers []float64
-	for _, s := range strings.Split(*powersFlag, ",") {
-		p, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			log.Fatalf("bad power %q: %v", s, err)
-		}
-		powers = append(powers, p)
+	powers, err := cliflag.ParsePowers(*powersFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *eb {

@@ -11,61 +11,69 @@
 // 1 = serial; the result is bit-identical either way). -sweep solves
 // the paper's whole (alpha, ratio) grid for the chosen model instead of
 // a single instance, with -workers cells in flight at once.
+//
+// -cache-dir answers repeat solves from the experiment store instead of
+// recomputing: every solved artifact is written there once and any
+// later bumdp, butables or buserve run over the same directory reuses
+// it. -json emits the store's own serialization, so machine-readable
+// output and cached blobs can never drift.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"strconv"
-	"strings"
+	"os"
 	"time"
 
 	"buanalysis/internal/bitcoin"
 	"buanalysis/internal/bumdp"
+	"buanalysis/internal/cliflag"
 	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+	"buanalysis/internal/stats"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bumdp: ")
 	var (
-		alpha   = flag.Float64("alpha", 0.25, "attacker mining power share")
-		beta    = flag.Float64("beta", 0, "Bob's share (small EB); 0 = derive from -ratio")
-		gamma   = flag.Float64("gamma", 0, "Carol's share (large EB); 0 = derive from -ratio")
-		ratio   = flag.String("ratio", "1:1", "Bob:Carol split when -beta/-gamma are not given")
-		model   = flag.String("model", "compliant", "compliant | noncompliant | nonprofit")
-		setting = flag.Int("setting", 1, "1 = no sticky gate, 2 = both phases")
-		ad      = flag.Int("ad", 6, "excessive acceptance depth")
-		rds     = flag.Float64("rds", 10, "double-spending reward in block rewards")
-		policy  = flag.Bool("policy", false, "print the optimal policy (phase-1 states)")
-		btc     = flag.Bool("bitcoin", false, "solve the Bitcoin baseline instead of BU")
-		tie     = flag.Float64("tie", 0.5, "Bitcoin baseline: P(win a tie)")
-		par     = flag.Int("par", 0, "Bellman-sweep workers inside the solver (0 = auto; results identical)")
-		sweep   = flag.Bool("sweep", false, "solve the paper's whole (alpha, ratio) grid instead of one instance")
-		workers = flag.Int("workers", 0, "grid cells solved concurrently with -sweep (0 = all cores)")
+		alpha    = flag.Float64("alpha", 0.25, "attacker mining power share")
+		beta     = flag.Float64("beta", 0, "Bob's share (small EB); 0 = derive from -ratio")
+		gamma    = flag.Float64("gamma", 0, "Carol's share (large EB); 0 = derive from -ratio")
+		ratio    = flag.String("ratio", "1:1", "Bob:Carol split when -beta/-gamma are not given")
+		model    = flag.String("model", "compliant", "compliant | noncompliant | nonprofit")
+		setting  = flag.Int("setting", 1, "1 = no sticky gate, 2 = both phases")
+		ad       = flag.Int("ad", 6, "excessive acceptance depth")
+		rds      = flag.Float64("rds", 10, "double-spending reward in block rewards")
+		policy   = flag.Bool("policy", false, "print the optimal policy (phase-1 states)")
+		btc      = flag.Bool("bitcoin", false, "solve the Bitcoin baseline instead of BU")
+		tie      = flag.Float64("tie", 0.5, "Bitcoin baseline: P(win a tie)")
+		par      = cliflag.ParFlag(flag.CommandLine)
+		sweep    = flag.Bool("sweep", false, "solve the paper's whole (alpha, ratio) grid instead of one instance")
+		workers  = cliflag.WorkersFlag(flag.CommandLine, "grid cells solved concurrently with -sweep")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (the experiment-store encoding)")
+		cacheDir = flag.String("cache-dir", "", "experiment store directory; repeat solves answer from cache")
 	)
 	flag.Parse()
 
+	store, err := expstore.Open(expstore.Config{Dir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *btc {
-		solveBitcoin(*alpha, *tie, *model, *rds)
+		solveBitcoin(store, *alpha, *tie, *model, *rds, *jsonOut)
 		return
 	}
 
 	b, g := *beta, *gamma
 	if b == 0 || g == 0 {
-		parts := strings.SplitN(*ratio, ":", 2)
-		if len(parts) != 2 {
-			log.Fatalf("bad -ratio %q", *ratio)
+		b, g, err = cliflag.SplitRatio(*alpha, *ratio)
+		if err != nil {
+			log.Fatalf("bad -ratio: %v", err)
 		}
-		rb, err1 := strconv.ParseFloat(parts[0], 64)
-		rg, err2 := strconv.ParseFloat(parts[1], 64)
-		if err1 != nil || err2 != nil || rb <= 0 || rg <= 0 {
-			log.Fatalf("bad -ratio %q", *ratio)
-		}
-		rest := 1 - *alpha
-		b = rest * rb / (rb + rg)
-		g = rest - b
 	}
 
 	var m bumdp.IncentiveModel
@@ -81,38 +89,62 @@ func main() {
 	}
 
 	if *sweep {
-		sweepGrid(m, bumdp.Setting(*setting), *ad, *workers, *par)
+		sweepGrid(store, m, bumdp.Setting(*setting), *ad, *workers, *par, *jsonOut)
 		return
 	}
 
-	a, err := bumdp.New(bumdp.Params{
+	params := bumdp.Params{
 		Alpha: *alpha, Beta: b, Gamma: g,
 		AD: *ad, Setting: bumdp.Setting(*setting), Model: m,
 		DoubleSpendReward: *rds,
-	})
+	}
+	if *policy {
+		// The store keeps utility-level records, not policies; a policy
+		// request always solves directly.
+		solveWithPolicy(params, *par)
+		return
+	}
+	rec, blob, _, err := expstore.SolveBU(store, params, bumdp.SolveOptions{Parallelism: *par})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.SolveWith(bumdp.SolveOptions{Parallelism: *par})
-	if err != nil {
-		log.Fatal(err)
+	if *jsonOut {
+		os.Stdout.Write(append(blob, '\n'))
+		return
 	}
 	fmt.Printf("model: %v, setting %d, AD=%d\n", m, *setting, *ad)
-	fmt.Printf("alpha=%.4f beta=%.4f gamma=%.4f (states: %d)\n", *alpha, b, g, len(a.States))
+	fmt.Printf("alpha=%.4f beta=%.4f gamma=%.4f (states: %d)\n", *alpha, b, g, rec.States)
+	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", rec.Utility, rec.Honest)
+	fmt.Printf("fork rate under optimal policy: %.3f; solver probes: %d\n", rec.ForkRate, rec.Probes)
+	fmt.Printf("solver stats: %d sweeps, residual %.2e, %d worker(s), %s\n",
+		rec.Stats.Iterations, rec.Stats.Residual, rec.Stats.Workers, rec.Stats.Duration.Round(time.Microsecond))
+}
+
+// solveWithPolicy is the direct (uncached) solve path for -policy runs.
+func solveWithPolicy(params bumdp.Params, par int) {
+	a, err := bumdp.New(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.SolveWith(bumdp.SolveOptions{Parallelism: par})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %v, setting %d, AD=%d\n", params.Model, params.Setting, params.AD)
+	fmt.Printf("alpha=%.4f beta=%.4f gamma=%.4f (states: %d)\n", params.Alpha, params.Beta, params.Gamma, len(a.States))
 	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", res.Utility, a.HonestUtility())
 	fmt.Printf("fork rate under optimal policy: %.3f; solver probes: %d\n", res.ForkRate, res.Probes)
 	fmt.Printf("solver stats: %d sweeps, residual %.2e, %d worker(s), %s\n",
 		res.Stats.Iterations, res.Stats.Residual, res.Stats.Workers, res.Stats.Duration.Round(time.Microsecond))
-	if *policy {
-		fmt.Println("optimal policy (phase-1 states, (l1,l2,a1,a2,r) -> action):")
-		fmt.Print(a.DescribePolicy(res.Policy, true))
-	}
+	fmt.Println("optimal policy (phase-1 states, (l1,l2,a1,a2,r) -> action):")
+	fmt.Print(a.DescribePolicy(res.Policy, true))
 }
 
 // sweepGrid solves the paper's (alpha, ratio) grid for one incentive
-// model through the shared grid-sweep runner and prints the table plus
-// aggregate solver statistics.
-func sweepGrid(m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par int) {
+// model through the experiment store and prints the table plus
+// aggregate solver statistics (or, with -json, the store's sweep
+// serialization).
+func sweepGrid(store *expstore.Store, m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par int, jsonOut bool) {
 	cfg := core.SweepConfig{
 		Settings:         []bumdp.Setting{setting},
 		AD:               ad,
@@ -120,10 +152,19 @@ func sweepGrid(m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par i
 		InnerParallelism: par,
 	}
 	start := time.Now()
-	cells := core.Sweep(m, cfg)
+	cells := expstore.Sweep(store, m, cfg)
 	elapsed := time.Since(start)
+	if jsonOut {
+		blob, err := json.MarshalIndent(expstore.NewSweepRecord(m, cells), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(blob, '\n'))
+		return
+	}
 	fmt.Print(core.FormatTable(cells, m == bumdp.Compliant))
 	solved, probes, sweeps := 0, 0, 0
+	var durations []float64
 	for _, c := range cells {
 		if c.Skipped || c.Err != nil {
 			continue
@@ -131,12 +172,25 @@ func sweepGrid(m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par i
 		solved++
 		probes += c.Stats.Probes
 		sweeps += c.Stats.Iterations
+		durations = append(durations, c.Stats.Duration.Seconds())
 	}
 	fmt.Printf("solved %d cells in %s (%d probes, %d Bellman sweeps)\n",
 		solved, elapsed.Round(time.Millisecond), probes, sweeps)
+	if qs, err := stats.Quantiles(durations, 0.5, 0.95, 1); err == nil {
+		fmt.Printf("per-cell solve time: p50 %s, p95 %s, max %s\n",
+			secs(qs[0]), secs(qs[1]), secs(qs[2]))
+	}
+	st := store.Stats()
+	if st.Hits > 0 {
+		fmt.Printf("experiment store: %d hits, %d solves\n", st.Hits, st.Solves)
+	}
 }
 
-func solveBitcoin(alpha, tie float64, model string, rds float64) {
+func secs(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond)
+}
+
+func solveBitcoin(store *expstore.Store, alpha, tie float64, model string, rds float64, jsonOut bool) {
 	var obj bitcoin.Objective
 	switch model {
 	case "compliant":
@@ -148,17 +202,17 @@ func solveBitcoin(alpha, tie float64, model string, rds float64) {
 	default:
 		log.Fatalf("unknown model %q", model)
 	}
-	a, err := bitcoin.New(bitcoin.Params{
+	rec, blob, _, err := expstore.SolveBitcoin(store, bitcoin.Params{
 		Alpha: alpha, TieWinProb: tie, Objective: obj, DoubleSpendReward: rds,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.Solve()
-	if err != nil {
-		log.Fatal(err)
+	if jsonOut {
+		os.Stdout.Write(append(blob, '\n'))
+		return
 	}
 	fmt.Printf("bitcoin baseline: alpha=%.4f tie=%.2f objective=%d (states: %d)\n",
-		alpha, tie, obj, len(a.States))
-	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", res.Utility, a.HonestUtility())
+		alpha, tie, obj, rec.States)
+	fmt.Printf("optimal utility: %.5f (honest baseline: %.5f)\n", rec.Utility, rec.Honest)
 }

@@ -1,0 +1,70 @@
+// Command buserve is the experiment query daemon: a stdlib HTTP server
+// over the experiment result store. Every endpoint answers from cache
+// when the artifact exists and solves-on-miss (deduplicated and bounded
+// by -max-solves) when it does not, so repeated queries for one
+// parameterization cost one solve total — across /solve, /sweep,
+// /tables, and any CLI run sharing the same -cache-dir.
+//
+//	buserve -addr :8344 -cache-dir /var/cache/bu
+//
+//	GET /healthz                 liveness probe
+//	GET /statsz                  store + per-endpoint metrics (JSON)
+//	GET /solve?alpha=0.25&ratio=1:1&model=compliant&setting=1
+//	GET /solve?model=bitcoin&alpha=0.25&tie=0.5
+//	GET /sweep?model=noncompliant&setting=2&format=table
+//	GET /tables/3?format=json
+//
+// Solve and sweep responses carry an X-Cache: hit|miss header; the body
+// of a hit is byte-identical to the body the original miss returned.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+
+	"buanalysis/internal/cliflag"
+	"buanalysis/internal/expstore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("buserve: ")
+	var (
+		addr       = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+		cacheDir   = flag.String("cache-dir", "", "experiment store directory (empty = in-memory only)")
+		memEntries = flag.Int("mem", 0, "in-memory LRU capacity in artifacts (0 = default, negative = disabled)")
+		maxSolves  = flag.Int("max-solves", runtime.NumCPU(), "max solves running at once across all requests (0 = unbounded)")
+		workers    = cliflag.WorkersFlag(flag.CommandLine, "sweep cells dispatched concurrently per request")
+		par        = cliflag.ParFlag(flag.CommandLine)
+		portFile   = flag.String("portfile", "", "write the actual listen address to this file once serving")
+	)
+	flag.Parse()
+
+	store, err := expstore.Open(expstore.Config{
+		Dir:                 *cacheDir,
+		MemEntries:          *memEntries,
+		MaxConcurrentSolves: *maxSolves,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (cache dir %q, solve budget %d)", ln.Addr(), *cacheDir, *maxSolves)
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%s\n", ln.Addr())), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := newServer(store, *workers, *par)
+	log.Fatal(http.Serve(ln, srv))
+}

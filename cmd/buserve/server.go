@@ -1,0 +1,490 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"buanalysis/internal/bitcoin"
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/cliflag"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+	"buanalysis/internal/stats"
+)
+
+// server is the buserve HTTP daemon: every query endpoint answers from
+// the experiment store, solving and filling on a miss with the PR 1
+// parallel engine under the store's bounded solve budget.
+type server struct {
+	store *expstore.Store
+	// workers bounds how many sweep cells are dispatched concurrently
+	// per request; the store's solve budget bounds the solves
+	// themselves across all requests.
+	workers int
+	// par is the Bellman-sweep worker count inside each miss-path solve.
+	par     int
+	started time.Time
+	mux     *http.ServeMux
+	metrics map[string]*endpointMetrics
+}
+
+// newServer builds the handler tree. workers and par follow the CLI
+// conventions (0 = auto).
+func newServer(store *expstore.Store, workers, par int) *server {
+	s := &server{
+		store:   store,
+		workers: workers,
+		par:     par,
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+		metrics: make(map[string]*endpointMetrics),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /statsz", s.handleStatsz)
+	s.route("GET /solve", s.handleSolve)
+	s.route("GET /sweep", s.handleSweep)
+	s.route("GET /tables/{n}", s.handleTable)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// cacheOutcome classifies a request for the hit/miss accounting.
+type cacheOutcome int
+
+const (
+	outcomeNone cacheOutcome = iota // endpoint has no cache semantics
+	outcomeHit                      // answered entirely from the store
+	outcomeMiss                     // at least one solve was needed
+)
+
+// handlerFunc is an endpoint body: it reports the cache outcome and any
+// error it already rendered a status for.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (cacheOutcome, error)
+
+// route registers a pattern and wraps its handler with the per-endpoint
+// metrics: request count, hit/miss, in-flight gauge, latency samples.
+func (s *server) route(pattern string, h handlerFunc) {
+	m := newEndpointMetrics()
+	s.metrics[pattern] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		outcome, err := h(w, r)
+		m.observe(time.Since(start), outcome, err)
+	})
+}
+
+// endpointMetrics instruments one endpoint. Latencies go to a fixed
+// ring buffer; /statsz reports exact quantiles over the retained
+// window.
+type endpointMetrics struct {
+	count, errors, hits, misses atomic.Int64
+	inFlight                    atomic.Int64
+
+	mu      sync.Mutex
+	lat     []float64 // seconds, ring buffer
+	pos     int
+	wrapped bool
+}
+
+// latWindow is the per-endpoint latency sample retention.
+const latWindow = 2048
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{lat: make([]float64, latWindow)}
+}
+
+func (m *endpointMetrics) observe(d time.Duration, outcome cacheOutcome, err error) {
+	m.count.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+	}
+	switch outcome {
+	case outcomeHit:
+		m.hits.Add(1)
+	case outcomeMiss:
+		m.misses.Add(1)
+	}
+	m.mu.Lock()
+	m.lat[m.pos] = d.Seconds()
+	m.pos++
+	if m.pos == len(m.lat) {
+		m.pos = 0
+		m.wrapped = true
+	}
+	m.mu.Unlock()
+}
+
+// latencyStats is the quantile block of one endpoint's /statsz entry.
+type latencyStats struct {
+	Samples int     `json:"samples"`
+	P50ms   float64 `json:"p50_ms"`
+	P95ms   float64 `json:"p95_ms"`
+	P99ms   float64 `json:"p99_ms"`
+}
+
+// endpointStats is one endpoint's /statsz entry.
+type endpointStats struct {
+	Count    int64        `json:"count"`
+	Errors   int64        `json:"errors"`
+	Hits     int64        `json:"hits"`
+	Misses   int64        `json:"misses"`
+	HitRatio float64      `json:"hit_ratio"`
+	InFlight int64        `json:"in_flight"`
+	Latency  latencyStats `json:"latency"`
+}
+
+func (m *endpointMetrics) snapshot() endpointStats {
+	m.mu.Lock()
+	n := m.pos
+	if m.wrapped {
+		n = len(m.lat)
+	}
+	samples := append([]float64(nil), m.lat[:n]...)
+	m.mu.Unlock()
+
+	st := endpointStats{
+		Count:    m.count.Load(),
+		Errors:   m.errors.Load(),
+		Hits:     m.hits.Load(),
+		Misses:   m.misses.Load(),
+		InFlight: m.inFlight.Load(),
+	}
+	if tot := st.Hits + st.Misses; tot > 0 {
+		st.HitRatio = float64(st.Hits) / float64(tot)
+	}
+	if qs, err := stats.Quantiles(samples, 0.50, 0.95, 0.99); err == nil {
+		st.Latency = latencyStats{
+			Samples: len(samples),
+			P50ms:   qs[0] * 1e3,
+			P95ms:   qs[1] * 1e3,
+			P99ms:   qs[2] * 1e3,
+		}
+	}
+	return st
+}
+
+// --- endpoints ---
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) (cacheOutcome, error) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+	return outcomeNone, nil
+}
+
+// statszResponse is the /statsz document.
+type statszResponse struct {
+	UptimeSeconds float64                  `json:"uptime_s"`
+	Store         expstore.Stats           `json:"store"`
+	Endpoints     map[string]endpointStats `json:"endpoints"`
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, _ *http.Request) (cacheOutcome, error) {
+	resp := statszResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Store:         s.store.Stats(),
+		Endpoints:     make(map[string]endpointStats, len(s.metrics)),
+	}
+	for pattern, m := range s.metrics {
+		resp.Endpoints[pattern] = m.snapshot()
+	}
+	return outcomeNone, writeJSON(w, resp)
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) (cacheOutcome, error) {
+	q := r.URL.Query()
+	if q.Get("model") == "bitcoin" || q.Get("bitcoin") == "true" || q.Get("bitcoin") == "1" {
+		return s.solveBitcoin(w, r)
+	}
+	alpha, err := floatParam(q.Get("alpha"), 0.25)
+	if err != nil {
+		return outcomeNone, badRequest(w, "alpha: %v", err)
+	}
+	beta, err := floatParam(q.Get("beta"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "beta: %v", err)
+	}
+	gamma, err := floatParam(q.Get("gamma"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "gamma: %v", err)
+	}
+	if beta == 0 || gamma == 0 {
+		ratio := q.Get("ratio")
+		if ratio == "" {
+			ratio = "1:1"
+		}
+		beta, gamma, err = cliflag.SplitRatio(alpha, ratio)
+		if err != nil {
+			return outcomeNone, badRequest(w, "ratio: %v", err)
+		}
+	}
+	model, err := modelParam(q.Get("model"))
+	if err != nil {
+		return outcomeNone, badRequest(w, "%v", err)
+	}
+	setting, err := intParam(q.Get("setting"), 1)
+	if err != nil {
+		return outcomeNone, badRequest(w, "setting: %v", err)
+	}
+	ad, err := intParam(q.Get("ad"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "ad: %v", err)
+	}
+	rds, err := floatParam(q.Get("rds"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "rds: %v", err)
+	}
+	ratioTol, err := floatParam(q.Get("ratio_tol"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "ratio_tol: %v", err)
+	}
+	epsilon, err := floatParam(q.Get("epsilon"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "epsilon: %v", err)
+	}
+	params := bumdp.Params{
+		Alpha: alpha, Beta: beta, Gamma: gamma,
+		AD: ad, Setting: bumdp.Setting(setting), Model: model,
+		DoubleSpendReward: rds,
+	}
+	opts := bumdp.SolveOptions{RatioTol: ratioTol, Epsilon: epsilon, Parallelism: s.par}
+	_, blob, hit, err := expstore.SolveBU(s.store, params, opts)
+	if err != nil {
+		return outcomeNone, badRequest(w, "%v", err)
+	}
+	return hitOutcome(hit), writeBlob(w, blob, hit)
+}
+
+func (s *server) solveBitcoin(w http.ResponseWriter, r *http.Request) (cacheOutcome, error) {
+	q := r.URL.Query()
+	alpha, err := floatParam(q.Get("alpha"), 0.25)
+	if err != nil {
+		return outcomeNone, badRequest(w, "alpha: %v", err)
+	}
+	tie, err := floatParam(q.Get("tie"), 0.5)
+	if err != nil {
+		return outcomeNone, badRequest(w, "tie: %v", err)
+	}
+	rds, err := floatParam(q.Get("rds"), 0)
+	if err != nil {
+		return outcomeNone, badRequest(w, "rds: %v", err)
+	}
+	var obj bitcoin.Objective
+	switch q.Get("objective") {
+	case "", "absolute":
+		obj = bitcoin.AbsoluteReward
+	case "relative":
+		obj = bitcoin.RelativeRevenue
+	case "orphan":
+		obj = bitcoin.OrphanRate
+	default:
+		return outcomeNone, badRequest(w, "unknown objective %q", q.Get("objective"))
+	}
+	_, blob, hit, err := expstore.SolveBitcoin(s.store, bitcoin.Params{
+		Alpha: alpha, TieWinProb: tie, Objective: obj, DoubleSpendReward: rds,
+	})
+	if err != nil {
+		return outcomeNone, badRequest(w, "%v", err)
+	}
+	return hitOutcome(hit), writeBlob(w, blob, hit)
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) (cacheOutcome, error) {
+	q := r.URL.Query()
+	model, err := modelParam(q.Get("model"))
+	if err != nil {
+		return outcomeNone, badRequest(w, "%v", err)
+	}
+	cfg, err := s.sweepConfig(q)
+	if err != nil {
+		return outcomeNone, badRequest(w, "%v", err)
+	}
+	cells, _, misses := expstore.SweepStats(s.store, model, cfg)
+	outcome := outcomeHit
+	if misses > 0 {
+		outcome = outcomeMiss
+	}
+	if q.Get("format") == "table" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		setCacheHeader(w, outcome == outcomeHit)
+		fmt.Fprint(w, core.FormatTable(cells, model == bumdp.Compliant))
+		return outcome, nil
+	}
+	setCacheHeader(w, outcome == outcomeHit)
+	return outcome, writeJSON(w, expstore.NewSweepRecord(model, cells))
+}
+
+// tableResponse is the JSON form of a /tables/{n} reproduction; it
+// reuses the experiment store's record encoding.
+type tableResponse struct {
+	Table           int                       `json:"table"`
+	Title           string                    `json:"title"`
+	Sweeps          []expstore.SweepRecord    `json:"sweeps"`
+	BitcoinBaseline []expstore.BaselineRecord `json:"bitcoin_baseline,omitempty"`
+}
+
+func (s *server) handleTable(w http.ResponseWriter, r *http.Request) (cacheOutcome, error) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil {
+		return outcomeNone, badRequest(w, "bad table number %q", r.PathValue("n"))
+	}
+	q := r.URL.Query()
+	cfg, err := s.sweepConfig(q)
+	if err != nil {
+		return outcomeNone, badRequest(w, "%v", err)
+	}
+	full := q.Get("full") == "true" || q.Get("full") == "1"
+	t, err := core.PaperTable(n, cfg, full)
+	if err != nil {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, err)
+		return outcomeNone, err
+	}
+	var cells []core.Cell
+	var sweeps []expstore.SweepRecord
+	misses := 0
+	for _, job := range t.Jobs {
+		cs, _, m := expstore.SweepStats(s.store, job.Model, job.Cfg)
+		misses += m
+		cells = append(cells, cs...)
+		sweeps = append(sweeps, expstore.NewSweepRecord(job.Model, cs))
+	}
+	var baseline []core.BitcoinBaselineCell
+	if t.Bitcoin {
+		pre := s.store.Stats().Solves
+		baseline = expstore.CachedBitcoinBaseline(s.store, nil, nil)
+		misses += int(s.store.Stats().Solves - pre)
+	}
+	outcome := outcomeHit
+	if misses > 0 {
+		outcome = outcomeMiss
+	}
+	setCacheHeader(w, outcome == outcomeHit)
+	if q.Get("format") == "json" {
+		resp := tableResponse{Table: t.N, Title: t.Title, Sweeps: sweeps}
+		if t.Bitcoin {
+			resp.BitcoinBaseline = expstore.NewBaselineRecords(baseline)
+		}
+		return outcome, writeJSON(w, resp)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "=== %s ===\n", t.Title)
+	fmt.Fprint(w, core.FormatTable(cells, t.Percent))
+	if t.Bitcoin {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, core.FormatBitcoinBaseline(baseline))
+	}
+	return outcome, nil
+}
+
+// sweepConfig builds the sweep configuration shared by /sweep and
+// /tables from query params: setting (0 = both), ad, and fast (the
+// lowered tolerances of butables -fast).
+func (s *server) sweepConfig(q map[string][]string) (core.SweepConfig, error) {
+	get := func(k string) string {
+		if v, ok := q[k]; ok && len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	cfg := core.SweepConfig{Workers: s.workers, InnerParallelism: s.par}
+	setting, err := intParam(get("setting"), 0)
+	if err != nil {
+		return cfg, fmt.Errorf("setting: %v", err)
+	}
+	switch setting {
+	case 0:
+	case 1:
+		cfg.Settings = []bumdp.Setting{bumdp.Setting1}
+	case 2:
+		cfg.Settings = []bumdp.Setting{bumdp.Setting2}
+	default:
+		return cfg, fmt.Errorf("unknown setting %d", setting)
+	}
+	ad, err := intParam(get("ad"), 0)
+	if err != nil {
+		return cfg, fmt.Errorf("ad: %v", err)
+	}
+	cfg.AD = ad
+	if v := get("fast"); v == "true" || v == "1" {
+		cfg.RatioTol, cfg.Epsilon = 1e-4, 1e-8
+	}
+	return cfg, nil
+}
+
+// --- small helpers ---
+
+func hitOutcome(hit bool) cacheOutcome {
+	if hit {
+		return outcomeHit
+	}
+	return outcomeMiss
+}
+
+func setCacheHeader(w http.ResponseWriter, hit bool) {
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+}
+
+// writeBlob serves a stored artifact verbatim: the body is the exact
+// cached encoding, so hit and miss responses for one key are
+// byte-identical.
+func writeBlob(w http.ResponseWriter, blob []byte, hit bool) error {
+	w.Header().Set("Content-Type", "application/json")
+	setCacheHeader(w, hit)
+	_, err := w.Write(append(blob, '\n'))
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	blob, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	http.Error(w, err.Error(), http.StatusBadRequest)
+	return err
+}
+
+func floatParam(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func modelParam(s string) (bumdp.IncentiveModel, error) {
+	switch s {
+	case "", "compliant":
+		return bumdp.Compliant, nil
+	case "noncompliant":
+		return bumdp.NonCompliant, nil
+	case "nonprofit":
+		return bumdp.NonProfit, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", s)
+}

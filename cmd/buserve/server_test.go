@@ -1,0 +1,328 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+)
+
+// fastSolve is a /solve query with lowered tolerances so tests stay
+// quick; the cache semantics under test are tolerance-independent.
+const fastSolve = "/solve?alpha=0.25&ratio=1:1&model=compliant&setting=1&ratio_tol=1e-4&epsilon=1e-8"
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	store, err := expstore.Open(expstore.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(store, 2, 1)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if string(body) != "ok\n" {
+		t.Fatalf("body = %q, want %q", body, "ok\n")
+	}
+}
+
+// TestSolveMissThenHit proves the acceptance criterion that a cache-hit
+// response is byte-identical to the original solve-on-miss response.
+func TestSolveMissThenHit(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	resp1, body1 := get(t, ts.URL+fastSolve)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first status = %d, body %s", resp1.StatusCode, body1)
+	}
+	if h := resp1.Header.Get("X-Cache"); h != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", h)
+	}
+
+	resp2, body2 := get(t, ts.URL+fastSolve)
+	if h := resp2.Header.Get("X-Cache"); h != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", h)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("hit body differs from miss body:\nmiss: %s\nhit:  %s", body1, body2)
+	}
+
+	var rec expstore.BUSolveRecord
+	if err := json.Unmarshal(body1, &rec); err != nil {
+		t.Fatalf("response is not a BUSolveRecord: %v", err)
+	}
+	if rec.Utility <= 0 || rec.States == 0 {
+		t.Fatalf("implausible record: %+v", rec)
+	}
+	if st := srv.store.Stats(); st.Solves != 1 {
+		t.Fatalf("store solves = %d, want 1", st.Solves)
+	}
+}
+
+// TestSolveSingleflight proves that N concurrent identical requests
+// trigger exactly one solve.
+func TestSolveSingleflight(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	const n = 16
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + fastSolve)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	if st := srv.store.Stats(); st.Solves != 1 {
+		t.Fatalf("store solves = %d after %d concurrent requests, want 1", st.Solves, n)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+}
+
+func TestSolveBitcoin(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, body := get(t, ts.URL+"/solve?model=bitcoin&alpha=0.25&tie=0.5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var rec expstore.BitcoinSolveRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Params.Alpha != 0.25 || rec.Utility <= 0 {
+		t.Fatalf("implausible baseline record: %+v", rec)
+	}
+	resp2, _ := get(t, ts.URL+"/solve?model=bitcoin&alpha=0.25&tie=0.5")
+	if h := resp2.Header.Get("X-Cache"); h != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", h)
+	}
+}
+
+func TestSolveBadParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{
+		"/solve?alpha=bogus",
+		"/solve?alpha=0.25&ratio=nonsense",
+		"/solve?model=unknown",
+		"/solve?alpha=0.25&beta=0.5&gamma=0.5", // shares sum past 1
+		"/solve?setting=7",
+		"/sweep?model=unknown",
+		"/sweep?setting=9",
+	} {
+		resp, body := get(t, ts.URL+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", q, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestSweepTableMatchesDirect proves the served table equals the
+// formatting of a direct core sweep, and that the warm pass is a hit.
+func TestSweepTableMatchesDirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep solve in -short mode")
+	}
+	srv, ts := newTestServer(t)
+
+	const q = "/sweep?model=compliant&setting=1&fast=1&format=table"
+	resp1, body1 := get(t, ts.URL+q)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp1.StatusCode, body1)
+	}
+	if h := resp1.Header.Get("X-Cache"); h != "miss" {
+		t.Fatalf("cold X-Cache = %q, want miss", h)
+	}
+
+	cfg := core.SweepConfig{
+		Settings: []bumdp.Setting{bumdp.Setting1},
+		RatioTol: 1e-4, Epsilon: 1e-8,
+		Workers: 2, InnerParallelism: 1,
+	}
+	want := core.FormatTable(core.Sweep(bumdp.Compliant, cfg), true)
+	if string(body1) != want {
+		t.Fatalf("served table differs from direct sweep:\nserved:\n%s\ndirect:\n%s", body1, want)
+	}
+
+	solves := srv.store.Stats().Solves
+	resp2, body2 := get(t, ts.URL+q)
+	if h := resp2.Header.Get("X-Cache"); h != "hit" {
+		t.Fatalf("warm X-Cache = %q, want hit", h)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("warm sweep table differs from cold sweep table")
+	}
+	if got := srv.store.Stats().Solves; got != solves {
+		t.Fatalf("warm sweep ran %d extra solves", got-solves)
+	}
+
+	// The JSON form of the same sweep is also fully cached.
+	resp3, body3 := get(t, ts.URL+"/sweep?model=compliant&setting=1&fast=1")
+	if h := resp3.Header.Get("X-Cache"); h != "hit" {
+		t.Fatalf("json sweep X-Cache = %q, want hit", h)
+	}
+	var rec expstore.SweepRecord
+	if err := json.Unmarshal(body3, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.ModelName != bumdp.Compliant.String() || len(rec.Cells) == 0 {
+		t.Fatalf("implausible sweep record: model %q, %d cells", rec.ModelName, len(rec.Cells))
+	}
+}
+
+func TestTableEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table solve in -short mode")
+	}
+	_, ts := newTestServer(t)
+
+	resp, body := get(t, ts.URL+"/tables/4?fast=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "Table 4") {
+		t.Fatalf("table body missing title:\n%s", body)
+	}
+
+	resp2, body2 := get(t, ts.URL+"/tables/4?fast=1&format=json")
+	if h := resp2.Header.Get("X-Cache"); h != "hit" {
+		t.Fatalf("warm table X-Cache = %q, want hit", h)
+	}
+	var tr tableResponse
+	if err := json.Unmarshal(body2, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Table != 4 || len(tr.Sweeps) == 0 {
+		t.Fatalf("implausible table response: %+v", tr)
+	}
+
+	resp3, _ := get(t, ts.URL+"/tables/99")
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown table status = %d, want 404", resp3.StatusCode)
+	}
+	resp4, _ := get(t, ts.URL+"/tables/bogus")
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-numeric table status = %d, want 400", resp4.StatusCode)
+	}
+}
+
+// TestStatsz proves /statsz reports request counts, hit/miss ratios,
+// in-flight gauges and latency quantiles per endpoint.
+func TestStatsz(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	get(t, ts.URL+fastSolve)
+	get(t, ts.URL+fastSolve)
+	get(t, ts.URL+fastSolve)
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/solve?alpha=bogus")
+
+	resp, body := get(t, ts.URL+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st statszResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statsz not JSON: %v\n%s", err, body)
+	}
+
+	solve, ok := st.Endpoints["GET /solve"]
+	if !ok {
+		t.Fatalf("statsz missing GET /solve endpoint: %s", body)
+	}
+	if solve.Count != 4 {
+		t.Errorf("solve count = %d, want 4", solve.Count)
+	}
+	if solve.Errors != 1 {
+		t.Errorf("solve errors = %d, want 1", solve.Errors)
+	}
+	if solve.Hits != 2 || solve.Misses != 1 {
+		t.Errorf("solve hits/misses = %d/%d, want 2/1", solve.Hits, solve.Misses)
+	}
+	if want := 2.0 / 3.0; solve.HitRatio != want {
+		t.Errorf("solve hit ratio = %v, want %v", solve.HitRatio, want)
+	}
+	if solve.InFlight != 0 {
+		t.Errorf("solve in-flight = %d, want 0", solve.InFlight)
+	}
+	if solve.Latency.Samples != 4 {
+		t.Errorf("solve latency samples = %d, want 4", solve.Latency.Samples)
+	}
+	if solve.Latency.P50ms < 0 || solve.Latency.P95ms < solve.Latency.P50ms || solve.Latency.P99ms < solve.Latency.P95ms {
+		t.Errorf("latency quantiles not ordered: %+v", solve.Latency)
+	}
+
+	if hz := st.Endpoints["GET /healthz"]; hz.Count != 1 {
+		t.Errorf("healthz count = %d, want 1", hz.Count)
+	}
+	if st.Store.Solves != 1 {
+		t.Errorf("store solves = %d, want 1", st.Store.Solves)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v, want > 0", st.UptimeSeconds)
+	}
+}
+
+// TestServedBlobMatchesCLI proves a served /solve body equals the blob
+// the expstore API (and thus bumdp -json) produces for the same params.
+func TestServedBlobMatchesCLI(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	_, body := get(t, ts.URL+fastSolve)
+
+	params := bumdp.Params{Alpha: 0.25, Beta: 0.375, Gamma: 0.375, Model: bumdp.Compliant}
+	opts := bumdp.SolveOptions{RatioTol: 1e-4, Epsilon: 1e-8}
+	_, blob, hit, err := expstore.SolveBU(srv.store, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("direct SolveBU after served solve was not a hit — key mismatch between server and store API")
+	}
+	if want := fmt.Sprintf("%s\n", blob); string(body) != want {
+		t.Fatalf("served body != store blob:\nserved: %s\nstore:  %s", body, want)
+	}
+}

@@ -14,9 +14,14 @@
 // -fast lowers the solver tolerances (1e-4/1e-8 instead of 1e-5/1e-9),
 // which is indistinguishable at the paper's print precision and several
 // times faster; -setting restricts Tables 2-4 to one setting.
+//
+// -cache-dir answers repeat table cells from the experiment store
+// shared with cmd/bumdp and cmd/buserve; -json emits Tables 2-4 in the
+// store's serialization instead of text (figures are text-only).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -25,8 +30,10 @@ import (
 
 	"buanalysis/internal/bumdp"
 	"buanalysis/internal/chain"
+	"buanalysis/internal/cliflag"
 	"buanalysis/internal/core"
 	"buanalysis/internal/countermeasure"
+	"buanalysis/internal/expstore"
 	"buanalysis/internal/games"
 	"buanalysis/internal/netsim"
 	"buanalysis/internal/nodecost"
@@ -39,19 +46,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("butables: ")
 	var (
-		table   = flag.Int("table", 0, "reproduce table 2, 3 or 4")
-		figure  = flag.Int("figure", 0, "reproduce figure 1, 2, 3 or 4")
-		counter = flag.Bool("counter", false, "run the Section 6.3 countermeasure simulation")
-		ncost   = flag.Bool("nodecost", false, "print the Section 6.4 node-cost curve")
-		all     = flag.Bool("all", false, "reproduce everything")
-		fast    = flag.Bool("fast", false, "lower solver tolerances (same values at print precision)")
-		setting = flag.Int("setting", 0, "restrict tables to setting 1 or 2 (default both)")
-		full    = flag.Bool("full", false, "sweep the full grid in setting 2 as well (some cells take minutes)")
-		workers = flag.Int("workers", 0, "table cells solved concurrently (0 = all cores)")
-		par     = flag.Int("par", 0, "Bellman-sweep workers inside each solve (0 = auto; results identical)")
+		table    = flag.Int("table", 0, "reproduce table 2, 3 or 4")
+		figure   = flag.Int("figure", 0, "reproduce figure 1, 2, 3 or 4")
+		counter  = flag.Bool("counter", false, "run the Section 6.3 countermeasure simulation")
+		ncost    = flag.Bool("nodecost", false, "print the Section 6.4 node-cost curve")
+		all      = flag.Bool("all", false, "reproduce everything")
+		fast     = flag.Bool("fast", false, "lower solver tolerances (same values at print precision)")
+		setting  = flag.Int("setting", 0, "restrict tables to setting 1 or 2 (default both)")
+		full     = flag.Bool("full", false, "sweep the full grid in setting 2 as well (some cells take minutes)")
+		workers  = cliflag.WorkersFlag(flag.CommandLine, "table cells solved concurrently")
+		par      = cliflag.ParFlag(flag.CommandLine)
+		jsonOut  = flag.Bool("json", false, "emit Tables 2-4 as JSON (the experiment-store encoding; figures stay text)")
+		cacheDir = flag.String("cache-dir", "", "experiment store directory; repeat cells answer from cache")
 	)
 	flag.Parse()
 	fullGrid = *full
+	jsonTables = *jsonOut
+
+	var err error
+	store, err = expstore.Open(expstore.Config{Dir: *cacheDir})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := core.SweepConfig{Workers: *workers, InnerParallelism: *par}
 	if *fast {
@@ -113,55 +129,73 @@ func main() {
 // fullGrid widens the setting-2 sweeps beyond the paper's printed cells.
 var fullGrid bool
 
-func table2(cfg core.SweepConfig) {
-	fmt.Println("=== Table 2: Alice's expected relative revenue (compliant and profit-driven) ===")
-	// The paper prints alpha in {10,15,20,25}% for Table 2; smaller
-	// alphas all solve to exactly alpha.
-	cfg.Alphas = []float64{0.10, 0.15, 0.20, 0.25}
-	cfg1 := cfg
-	cfg1.Settings = []bumdp.Setting{bumdp.Setting1}
-	both := len(cfg.Settings) != 1
-	if !both && cfg.Settings[0] == bumdp.Setting2 {
-		cfg1.Settings = nil
+// jsonTables switches Tables 2-4 to the experiment-store JSON encoding.
+var jsonTables bool
+
+// store is the experiment result store every table cell is answered
+// from (memory-only unless -cache-dir is given).
+var store *expstore.Store
+
+// paperNotes are the reference values printed under each table.
+var paperNotes = map[int]string{
+	2: "(paper: cells not shown equal alpha; e.g. set1 25% 1:1 = 26.24%, 2:3 = 27.39%)",
+	3: "(paper set2: 0.16 0.27 0.31 0.27 0.16 at alpha=10%; Bitcoin: 0.1/0.15/0.2/0.38 and 0.11/0.18/0.30/0.52)",
+	4: "(paper: 0.61 0.83 1.22 1.50 1.76 1.77 1.62 1.30 1.06 for setting 1)",
+}
+
+// tableJSON is the -json form of one reproduced table, built from the
+// experiment store's record types.
+type tableJSON struct {
+	Table           int                       `json:"table"`
+	Title           string                    `json:"title"`
+	Sweeps          []expstore.SweepRecord    `json:"sweeps"`
+	BitcoinBaseline []expstore.BaselineRecord `json:"bitcoin_baseline,omitempty"`
+}
+
+// runTable reproduces paper table n through the experiment store.
+func runTable(n int, cfg core.SweepConfig) {
+	t, err := core.PaperTable(n, cfg, fullGrid)
+	if err != nil {
+		log.Fatal(err)
 	}
 	var cells []core.Cell
-	if cfg1.Settings != nil {
-		cells = core.Sweep(bumdp.Compliant, cfg1)
+	var sweeps []expstore.SweepRecord
+	for _, job := range t.Jobs {
+		cs := expstore.Sweep(store, job.Model, job.Cfg)
+		cells = append(cells, cs...)
+		sweeps = append(sweeps, expstore.NewSweepRecord(job.Model, cs))
 	}
-	if both || cfg.Settings[0] == bumdp.Setting2 {
-		// The paper's setting-2 column covers alpha = 25% only; the full
-		// grid takes minutes per low-alpha cell (long gate transients).
-		cfg2 := cfg
-		cfg2.Settings = []bumdp.Setting{bumdp.Setting2}
-		if !fullGrid {
-			cfg2.Alphas = []float64{0.25}
+	var baseline []core.BitcoinBaselineCell
+	if t.Bitcoin {
+		baseline = expstore.CachedBitcoinBaseline(store, nil, nil)
+	}
+	if jsonTables {
+		out := tableJSON{Table: t.N, Title: t.Title, Sweeps: sweeps}
+		if t.Bitcoin {
+			out.BitcoinBaseline = expstore.NewBaselineRecords(baseline)
 		}
-		cells = append(cells, core.Sweep(bumdp.Compliant, cfg2)...)
+		blob, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(append(blob, '\n'))
+		return
 	}
-	fmt.Print(core.FormatTable(cells, true))
-	fmt.Println("(paper: cells not shown equal alpha; e.g. set1 25% 1:1 = 26.24%, 2:3 = 27.39%)")
+	fmt.Printf("=== %s ===\n", t.Title)
+	fmt.Print(core.FormatTable(cells, t.Percent))
+	if t.Bitcoin {
+		fmt.Println()
+		fmt.Print(core.FormatBitcoinBaseline(baseline))
+	}
+	fmt.Println(paperNotes[n])
 	fmt.Println()
 }
 
-func table3(cfg core.SweepConfig) {
-	fmt.Println("=== Table 3: Alice's expected absolute revenue (non-compliant and profit-driven) ===")
-	cells := core.Sweep(bumdp.NonCompliant, cfg)
-	fmt.Print(core.FormatTable(cells, false))
-	fmt.Println()
-	baseline := core.BitcoinBaseline(nil, nil, 0)
-	fmt.Print(core.FormatBitcoinBaseline(baseline))
-	fmt.Println("(paper set2: 0.16 0.27 0.31 0.27 0.16 at alpha=10%; Bitcoin: 0.1/0.15/0.2/0.38 and 0.11/0.18/0.30/0.52)")
-	fmt.Println()
-}
+func table2(cfg core.SweepConfig) { runTable(2, cfg) }
 
-func table4(cfg core.SweepConfig) {
-	fmt.Println("=== Table 4: blocks orphaned per attacker block (non-profit-driven, alpha=1%) ===")
-	cfg.Alphas = []float64{0.01}
-	cells := core.Sweep(bumdp.NonProfit, cfg)
-	fmt.Print(core.FormatTable(cells, false))
-	fmt.Println("(paper: 0.61 0.83 1.22 1.50 1.76 1.77 1.62 1.30 1.06 for setting 1)")
-	fmt.Println()
-}
+func table3(cfg core.SweepConfig) { runTable(3, cfg) }
+
+func table4(cfg core.SweepConfig) { runTable(4, cfg) }
 
 // figure1 walks the three panels of Figure 1 through the protocol rules.
 func figure1() {

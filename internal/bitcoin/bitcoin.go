@@ -100,6 +100,11 @@ type Params struct {
 	DSLag int
 }
 
+// Normalized returns the params with every default applied, after
+// validation — the canonical form persistent cache keys are derived
+// from.
+func (p Params) Normalized() (Params, error) { return p.withDefaults() }
+
 func (p Params) withDefaults() (Params, error) {
 	if p.MaxLead == 0 {
 		p.MaxLead = 60

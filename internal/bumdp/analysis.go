@@ -129,6 +129,16 @@ type SolveOptions struct {
 	Parallelism int
 }
 
+// Normalized returns the options with defaults applied and the
+// result-neutral Parallelism knob zeroed: every Parallelism setting is
+// bit-identical, so the normalized form identifies the solved artifact
+// and is what cache keys must be derived from.
+func (o SolveOptions) Normalized() SolveOptions {
+	o = o.withDefaults()
+	o.Parallelism = 0
+	return o
+}
+
 func (o SolveOptions) withDefaults() SolveOptions {
 	if o.RatioTol == 0 {
 		o.RatioTol = 1e-5

@@ -76,6 +76,14 @@ const (
 )
 
 // withDefaults fills zero fields and validates.
+// Normalized returns the params with every default applied (AD, setting,
+// gate window, double-spend reward and lag, per-miner depths), after
+// validation. It is the canonical form of an instance: two Params that
+// describe the same MDP normalize to identical structs, so persistent
+// cache keys are derived from the normalized encoding, never the raw
+// user-supplied one.
+func (p Params) Normalized() (Params, error) { return p.withDefaults() }
+
 func (p Params) withDefaults() (Params, error) {
 	if p.AD == 0 {
 		p.AD = 6

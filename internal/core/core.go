@@ -95,6 +95,20 @@ type SweepConfig struct {
 	// when Workers is 1. Explicit values are passed through. Cell
 	// values are bit-identical for every setting.
 	InnerParallelism int
+	// SolveCell, when non-nil, overrides how each non-skipped cell is
+	// solved; the built-in solver is SolveOne. The experiment store uses
+	// it to answer cells from cache and fill misses, without the sweep
+	// grid, ordering, or formatting changing at all.
+	SolveCell func(Cell) Cell `json:"-"`
+}
+
+// Normalized returns the config with every default applied for the
+// given model — the exact grid and tolerances Sweep runs. It is
+// idempotent, and the normalized form (minus the concurrency knobs,
+// which never change values) is what cache keys for sweep artifacts are
+// derived from.
+func (c SweepConfig) Normalized(model bumdp.IncentiveModel) SweepConfig {
+	return c.withDefaults(model)
 }
 
 func (c SweepConfig) withDefaults(model bumdp.IncentiveModel) SweepConfig {
@@ -140,22 +154,28 @@ func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 				for _, ratio := range cfg.Ratios {
 					cells = append(cells, Cell{
 						Alpha: alpha, Ratio: ratio.Name, Setting: setting, Model: model, AD: ad,
-						Skipped: !ratioByName(cfg.Ratios, ratio.Name).Admissible(alpha),
+						Skipped: !RatioByName(cfg.Ratios, ratio.Name).Admissible(alpha),
 					})
 				}
 			}
 		}
 	}
+	solve := cfg.SolveOne
+	if cfg.SolveCell != nil {
+		solve = cfg.SolveCell
+	}
 	par.For(len(cells), cfg.Workers, func(i int) {
 		if cells[i].Skipped {
 			return
 		}
-		cells[i] = solveCell(cells[i], cfg)
+		cells[i] = solve(cells[i])
 	})
 	return cells
 }
 
-func ratioByName(ratios []Ratio, name string) Ratio {
+// RatioByName finds a ratio in ratios by its display name, falling back
+// to 1:1.
+func RatioByName(ratios []Ratio, name string) Ratio {
 	for _, r := range ratios {
 		if r.Name == name {
 			return r
@@ -164,21 +184,34 @@ func ratioByName(ratios []Ratio, name string) Ratio {
 	return Ratio{Name: name, B: 1, G: 1}
 }
 
-func solveCell(c Cell, cfg SweepConfig) Cell {
-	ratio := ratioByName(cfg.Ratios, c.Ratio)
-	beta, gamma := ratio.Split(c.Alpha)
-	a, err := bumdp.New(bumdp.Params{
-		Alpha: c.Alpha, Beta: beta, Gamma: gamma,
-		AD: c.AD, Setting: c.Setting, Model: c.Model,
-	})
+// CellParams reconstructs the exact solver inputs of one grid cell
+// under this config: the full MDP parameter set (beta and gamma derived
+// from the cell's ratio) and the solve options. The config should be
+// Normalized first; Sweep always is.
+func (c SweepConfig) CellParams(cell Cell) (bumdp.Params, bumdp.SolveOptions) {
+	ratio := RatioByName(c.Ratios, cell.Ratio)
+	beta, gamma := ratio.Split(cell.Alpha)
+	p := bumdp.Params{
+		Alpha: cell.Alpha, Beta: beta, Gamma: gamma,
+		AD: cell.AD, Setting: cell.Setting, Model: cell.Model,
+	}
+	o := bumdp.SolveOptions{
+		RatioTol: c.RatioTol, Epsilon: c.Epsilon,
+		Parallelism: c.InnerParallelism,
+	}
+	return p, o
+}
+
+// SolveOne solves one grid cell directly (no cache). It is the built-in
+// cell solver Sweep uses when no SolveCell override is installed.
+func (cfg SweepConfig) SolveOne(c Cell) Cell {
+	params, opts := cfg.CellParams(c)
+	a, err := bumdp.New(params)
 	if err != nil {
 		c.Err = err
 		return c
 	}
-	res, err := a.SolveWith(bumdp.SolveOptions{
-		RatioTol: cfg.RatioTol, Epsilon: cfg.Epsilon,
-		Parallelism: cfg.InnerParallelism,
-	})
+	res, err := a.SolveWith(opts)
 	if err != nil {
 		c.Err = err
 		return c

@@ -29,7 +29,7 @@ func TestAdmissible(t *testing.T) {
 		{"1:3", 0.25, false},
 	}
 	for _, tc := range cases {
-		r := ratioByName(PaperRatios, tc.ratio)
+		r := RatioByName(PaperRatios, tc.ratio)
 		if got := r.Admissible(tc.alpha); got != tc.want {
 			t.Errorf("Admissible(%s, %g) = %v, want %v", tc.ratio, tc.alpha, got, tc.want)
 		}

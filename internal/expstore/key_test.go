@@ -1,0 +1,122 @@
+package expstore
+
+import (
+	"testing"
+
+	"buanalysis/internal/bumdp"
+)
+
+func TestKeyFieldOrderIndependent(t *testing.T) {
+	// Two struct types carrying the same fields in different declaration
+	// order must produce the same canonical key.
+	type ab struct {
+		Alpha float64 `json:"alpha"`
+		Beta  float64 `json:"beta"`
+	}
+	type ba struct {
+		Beta  float64 `json:"beta"`
+		Alpha float64 `json:"alpha"`
+	}
+	k1, err := Key("busolve", ab{Alpha: 0.25, Beta: 0.375})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := Key("busolve", ba{Beta: 0.375, Alpha: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("field order changed the key: %s vs %s", k1, k2)
+	}
+}
+
+func TestKeyZeroValueDefaults(t *testing.T) {
+	// Elided defaults and explicitly spelled-out defaults are the same
+	// artifact: the normalized params must collide on one key.
+	implicit := bumdp.Params{Alpha: 0.25, Beta: 0.375, Gamma: 0.375}
+	explicit := bumdp.Params{
+		Alpha: 0.25, Beta: 0.375, Gamma: 0.375,
+		AD: 6, ADBob: 6, ADCarol: 6, Setting: bumdp.Setting1,
+		GateWindow: 144, DoubleSpendReward: 10, DSLag: 3,
+	}
+	k1, err := BUSolveKey(implicit, bumdp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := BUSolveKey(explicit, bumdp.SolveOptions{RatioTol: 1e-5, Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("explicit defaults changed the key: %s vs %s", k1, k2)
+	}
+}
+
+func TestKeyParallelismNeutral(t *testing.T) {
+	p := bumdp.Params{Alpha: 0.25, Beta: 0.375, Gamma: 0.375}
+	k1, err := BUSolveKey(p, bumdp.SolveOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := BUSolveKey(p, bumdp.SolveOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Errorf("parallelism split the cache: %s vs %s", k1, k2)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := bumdp.Params{Alpha: 0.25, Beta: 0.375, Gamma: 0.375}
+	k0, err := BUSolveKey(base, bumdp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt := base
+	alt.AD = 7
+	k1, err := BUSolveKey(alt, bumdp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k1 {
+		t.Error("different AD produced the same key")
+	}
+	k2, err := BUSolveKey(base, bumdp.SolveOptions{RatioTol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k2 {
+		t.Error("different tolerance produced the same key")
+	}
+	k3, err := Key(KindBitcoinSolve, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k3 {
+		t.Error("different kind produced the same key")
+	}
+}
+
+func TestKeyVersionBumpInvalidates(t *testing.T) {
+	p := map[string]float64{"alpha": 0.25}
+	k1, err := keyAt("busolve", Version, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := keyAt("busolve", Version+1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Error("version bump did not change the key")
+	}
+}
+
+func TestKeyRejectsBadKinds(t *testing.T) {
+	for _, kind := range []string{"", "a/b", "a b", "a.b", "a\nb"} {
+		if _, err := Key(kind, 1); err == nil {
+			t.Errorf("accepted kind %q", kind)
+		}
+	}
+}

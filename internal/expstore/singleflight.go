@@ -1,0 +1,48 @@
+package expstore
+
+import "sync"
+
+// group collapses concurrent calls with the same key into one
+// execution: the first caller runs fn, every caller that arrives while
+// it is in flight blocks and receives the same result. It is the
+// standard singleflight pattern (x/sync/singleflight), reimplemented on
+// the stdlib so the repository stays dependency-free.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// call is one in-flight (or completed) execution.
+type call struct {
+	wg     sync.WaitGroup
+	val    []byte
+	err    error
+	shared bool // a second caller joined while in flight
+}
+
+// Do runs fn for key, deduplicating concurrent callers. shared reports
+// whether the result was delivered to more than one caller.
+func (g *group) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		c.shared = true
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, c.shared
+}

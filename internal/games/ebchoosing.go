@@ -61,6 +61,20 @@ func NewEBChoosingGame(powers []float64, choices int) (*EBChoosingGame, error) {
 	return &EBChoosingGame{Powers: powers, Choices: choices}, nil
 }
 
+// Spec is the canonical, serializable description of an EB choosing
+// game instance: the full parameter set that determines every
+// equilibrium result. It is what persistent cache keys for game
+// artifacts are derived from.
+type Spec struct {
+	Powers  []float64 `json:"powers"`
+	Choices int       `json:"choices"`
+}
+
+// Spec returns the game's canonical parameter description.
+func (g *EBChoosingGame) Spec() Spec {
+	return Spec{Powers: append([]float64(nil), g.Powers...), Choices: g.Choices}
+}
+
 // Profile assigns each miner a choice in [0, Choices).
 type Profile []int
 

@@ -39,6 +39,18 @@ type Options struct {
 	Parallelism int
 }
 
+// Normalized returns the options with every default applied, the exact
+// configuration the solvers run under. Two Options values that solve
+// identically normalize to the same struct (Warm and Parallelism do not
+// affect results and are zeroed), which makes the normalized form a
+// stable basis for cache keys.
+func (o Options) Normalized() Options {
+	o = o.withDefaults()
+	o.Warm = nil
+	o.Parallelism = 0
+	return o
+}
+
 func (o Options) withDefaults() Options {
 	if o.Epsilon == 0 {
 		o.Epsilon = 1e-9

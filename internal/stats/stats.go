@@ -6,6 +6,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"sort"
 )
 
 // Summary describes a sample.
@@ -46,6 +47,48 @@ func Summarize(xs []float64) (Summary, error) {
 func (s Summary) CI95() (lo, hi float64) {
 	const z = 1.959963984540054
 	return s.Mean - z*s.SE, s.Mean + z*s.SE
+}
+
+// Quantile returns the exact empirical p-quantile of xs, computed on a
+// sorted copy with linear interpolation between order statistics (the
+// same convention as numpy's default). p must lie in [0, 1]; p = 0 is
+// the minimum, p = 1 the maximum.
+func Quantile(xs []float64, p float64) (float64, error) {
+	qs, err := Quantiles(xs, p)
+	if err != nil {
+		return 0, err
+	}
+	return qs[0], nil
+}
+
+// Quantiles returns the exact empirical quantiles of xs at each
+// probability in ps. The input is copied and sorted once, so asking for
+// several quantiles costs one O(n log n) sort; xs is not modified.
+func Quantiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: empty sample")
+	}
+	for _, p := range ps {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return nil, errors.New("stats: quantile probability out of [0, 1]")
+		}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	qs := make([]float64, len(ps))
+	for i, p := range ps {
+		pos := p * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			qs[i] = sorted[lo]
+			continue
+		}
+		frac := pos - float64(lo)
+		qs[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return qs, nil
 }
 
 // BatchMeans splits a (possibly autocorrelated) series into `batches`

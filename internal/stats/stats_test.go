@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -50,6 +51,73 @@ func TestCI95CoversMean(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	qs, err := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5, 7, 9}
+	for i := range want {
+		if math.Abs(qs[i]-want[i]) > 1e-12 {
+			t.Errorf("q[%d] = %g, want %g", i, qs[i], want[i])
+		}
+	}
+	if xs[0] != 9 {
+		t.Error("input was mutated")
+	}
+}
+
+func TestQuantilesInterpolation(t *testing.T) {
+	xs := []float64{0, 10} // p=0.95 interpolates between the two order stats
+	q, err := Quantile(xs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-9.5) > 1e-12 {
+		t.Errorf("p95 of {0,10} = %g, want 9.5", q)
+	}
+	q, err = Quantile([]float64{42}, 0.5)
+	if err != nil || q != 42 {
+		t.Errorf("single sample median = %g, %v", q, err)
+	}
+}
+
+func TestQuantilesErrors(t *testing.T) {
+	if _, err := Quantiles(nil, 0.5); err == nil {
+		t.Error("accepted empty sample")
+	}
+	if _, err := Quantiles([]float64{1}, -0.1); err == nil {
+		t.Error("accepted p < 0")
+	}
+	if _, err := Quantiles([]float64{1}, 1.1); err == nil {
+		t.Error("accepted p > 1")
+	}
+	if _, err := Quantiles([]float64{1}, math.NaN()); err == nil {
+		t.Error("accepted NaN probability")
+	}
+}
+
+func TestQuantilesAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	// With n = 101, p = k/100 lands exactly on order statistic k.
+	qs, err := Quantiles(xs, 0.50, 0.95, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, k := range []int{50, 95, 99} {
+		if qs[i] != sorted[k] {
+			t.Errorf("quantile %d = %g, want order stat %g", k, qs[i], sorted[k])
+		}
 	}
 }
 

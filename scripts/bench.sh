@@ -1,0 +1,21 @@
+#!/bin/sh
+# Benchmark the experiment result store and emit BENCH_expstore.json:
+# cold solve latency, warm hit latency (memory and disk layers), and
+# hit-path throughput.
+#
+#   scripts/bench.sh [output.json]     default output: BENCH_expstore.json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_expstore.json}"
+case "$OUT" in
+/*) ;;
+*) OUT="$(pwd)/$OUT" ;;
+esac
+
+EXPSTORE_BENCH_OUT="$OUT" go test ./internal/expstore/ -run TestBenchEmit -count 1 -v |
+	grep -v '^=== RUN\|^--- PASS\|^PASS\|^ok ' || true
+
+echo "wrote $OUT:"
+cat "$OUT"

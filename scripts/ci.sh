@@ -1,13 +1,14 @@
 #!/bin/sh
 # Continuous-integration gate for the repository.
 #
-#   scripts/ci.sh          vet + build + full test suite + race pass
+#   scripts/ci.sh          vet + build + full test suite + race pass + smoke
 #   scripts/ci.sh -short   the same with -short everywhere (a few minutes
 #                          on one core; the race pass stays bounded)
 #
-# The race pass covers the three packages with real concurrency in their
-# hot paths: the parallel MDP solver engine, the BU analysis that drives
-# it, and the Monte Carlo batch runner.
+# The race pass covers the packages with real concurrency in their hot
+# paths: the parallel MDP solver engine, the BU analysis that drives it,
+# the Monte Carlo batch runner, and the experiment store (singleflight,
+# LRU, solve budget).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,7 +27,38 @@ go build ./...
 echo "== go test ${SHORT} =="
 go test ${SHORT} ./...
 
-echo "== go test -race ${SHORT} (mdp, bumdp, montecarlo) =="
-go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/
+echo "== go test -race ${SHORT} (mdp, bumdp, montecarlo, expstore) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/
+
+echo "== buserve smoke test =="
+SMOKE="$(mktemp -d)"
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+
+go build -o "$SMOKE/buserve" ./cmd/buserve
+"$SMOKE/buserve" -addr 127.0.0.1:0 -cache-dir "$SMOKE/cache" -portfile "$SMOKE/port" &
+SERVE_PID=$!
+
+# Wait for the portfile to appear (the server writes it once listening).
+i=0
+while [ ! -s "$SMOKE/port" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "buserve did not start" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+ADDR="$(cat "$SMOKE/port")"
+
+[ "$(curl -fsS "http://$ADDR/healthz")" = "ok" ]
+
+Q="http://$ADDR/solve?alpha=0.25&ratio=1:1&model=compliant&setting=1&ratio_tol=1e-4&epsilon=1e-8"
+curl -fsS -D "$SMOKE/h1" -o "$SMOKE/b1" "$Q"
+curl -fsS -D "$SMOKE/h2" -o "$SMOKE/b2" "$Q"
+grep -qi '^x-cache: miss' "$SMOKE/h1"
+grep -qi '^x-cache: hit' "$SMOKE/h2"
+# A hit body must be byte-identical to the body the miss produced.
+cmp "$SMOKE/b1" "$SMOKE/b2"
+curl -fsS "http://$ADDR/statsz" | grep -q '"solves":1'
 
 echo "CI: all checks passed"
