@@ -15,7 +15,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/
+	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/
 
 bench:
 	$(GO) test -bench 'Table|Solver|GridSweep|Compile' -benchtime 2s .

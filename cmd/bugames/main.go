@@ -6,6 +6,10 @@
 //
 // Powers are listed per miner group in increasing order of maximum
 // profitable block size.
+//
+// -trace writes game progress (game.round votes, game.equilibrium
+// profiles) as JSONL; -metrics-dump prints the run's metrics registry
+// as JSON to stderr on exit.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/games"
+	"buanalysis/internal/obs"
+	parpkg "buanalysis/internal/par"
 )
 
 func main() {
@@ -25,6 +31,8 @@ func main() {
 		eb         = flag.Bool("eb", false, "analyze the EB choosing game instead of the block size game")
 		choices    = flag.Int("choices", 2, "number of candidate EB values (EB game)")
 		workers    = cliflag.WorkersFlag(flag.CommandLine, "equilibrium-search worker count")
+		trace      = cliflag.TraceFlag(flag.CommandLine)
+		mdump      = cliflag.MetricsDumpFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -32,15 +40,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tracer, closeTrace, err := cliflag.OpenTrace(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	if *mdump {
+		reg := obs.NewRegistry()
+		parpkg.Observe(reg)
+		defer cliflag.DumpMetrics(reg)
+	}
 
 	if *eb {
-		ebGame(powers, *choices, *workers)
+		ebGame(powers, *choices, *workers, tracer)
 		return
 	}
-	blockSizeGame(powers)
+	blockSizeGame(powers, tracer)
 }
 
-func ebGame(powers []float64, choices, workers int) {
+func ebGame(powers []float64, choices, workers int, tracer obs.Tracer) {
 	g, err := games.NewEBChoosingGame(powers, choices)
 	if err != nil {
 		log.Fatal(err)
@@ -62,10 +84,17 @@ func ebGame(powers []float64, choices, workers int) {
 	for _, eq := range eqs {
 		u, _ := g.Utilities(eq)
 		fmt.Printf("    profile %v utilities %v\n", eq, u)
+		if tracer != nil {
+			var sum float64
+			for _, v := range u {
+				sum += v
+			}
+			tracer.Emit(obs.Event{Kind: "game.equilibrium", Value: sum, Detail: fmt.Sprint(eq)})
+		}
 	}
 }
 
-func blockSizeGame(powers []float64) {
+func blockSizeGame(powers []float64, tracer obs.Tracer) {
 	g, err := games.NewBlockSizeGame(powers, nil)
 	if err != nil {
 		log.Fatal(err)
@@ -76,9 +105,26 @@ func blockSizeGame(powers []float64) {
 	for i, r := range res.Rounds {
 		fmt.Printf("round %d: raise past group %d's MPB: yes=%.1f%% no=%.1f%% passed=%v\n",
 			i+1, r.Lowest+1, r.YesPower*100, r.NoPower*100, r.Passed)
+		if tracer != nil {
+			detail := "failed"
+			if r.Passed {
+				detail = "passed"
+			}
+			tracer.Emit(obs.Event{Kind: "game.round", Step: i + 1, Value: r.YesPower, Detail: detail})
+		}
 	}
 	fmt.Printf("survivors: groups %d..%d of %d\n", res.Survivors+1, len(powers), len(powers))
 	fmt.Printf("terminal utilities: %v\n", res.Utilities)
+	if tracer != nil {
+		var sum float64
+		for _, v := range res.Utilities {
+			sum += v
+		}
+		tracer.Emit(obs.Event{
+			Kind: "game.equilibrium", Step: len(res.Rounds), Value: sum,
+			Detail: fmt.Sprintf("survivors %d..%d", res.Survivors+1, len(powers)),
+		})
+	}
 	eliminated := res.Survivors
 	if eliminated > 0 {
 		fmt.Printf("=> %d group(s) forced out of business (Analytical Result 5)\n", eliminated)

@@ -17,6 +17,13 @@
 // later bumdp, butables or buserve run over the same directory reuses
 // it. -json emits the store's own serialization, so machine-readable
 // output and cached blobs can never drift.
+//
+// -trace writes the solver's convergence events (one JSON object per
+// line: per-iteration Bellman residual and span bounds, policy-change
+// counts, and the ratio search's probes and brackets) to a file;
+// results are bit-identical with and without it. -metrics-dump prints
+// the run's metrics registry (solve/sweep counters, scheduler
+// utilization, store hits and misses) as JSON to stderr on exit.
 package main
 
 import (
@@ -32,6 +39,9 @@ import (
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/core"
 	"buanalysis/internal/expstore"
+	"buanalysis/internal/mdp"
+	"buanalysis/internal/obs"
+	parpkg "buanalysis/internal/par"
 	"buanalysis/internal/stats"
 )
 
@@ -55,12 +65,30 @@ func main() {
 		workers  = cliflag.WorkersFlag(flag.CommandLine, "grid cells solved concurrently with -sweep")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (the experiment-store encoding)")
 		cacheDir = flag.String("cache-dir", "", "experiment store directory; repeat solves answer from cache")
+		trace    = cliflag.TraceFlag(flag.CommandLine)
+		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
 	)
 	flag.Parse()
 
 	store, err := expstore.Open(expstore.Config{Dir: *cacheDir})
 	if err != nil {
 		log.Fatal(err)
+	}
+	tracer, closeTrace, err := cliflag.OpenTrace(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	if *mdump {
+		reg := obs.NewRegistry()
+		store.RegisterMetrics(reg)
+		mdp.Observe(reg)
+		parpkg.Observe(reg)
+		defer cliflag.DumpMetrics(reg)
 	}
 
 	if *btc {
@@ -89,7 +117,7 @@ func main() {
 	}
 
 	if *sweep {
-		sweepGrid(store, m, bumdp.Setting(*setting), *ad, *workers, *par, *jsonOut)
+		sweepGrid(store, m, bumdp.Setting(*setting), *ad, *workers, *par, *jsonOut, tracer)
 		return
 	}
 
@@ -101,10 +129,10 @@ func main() {
 	if *policy {
 		// The store keeps utility-level records, not policies; a policy
 		// request always solves directly.
-		solveWithPolicy(params, *par)
+		solveWithPolicy(params, *par, tracer)
 		return
 	}
-	rec, blob, _, err := expstore.SolveBU(store, params, bumdp.SolveOptions{Parallelism: *par})
+	rec, blob, _, err := expstore.SolveBU(store, params, bumdp.SolveOptions{Parallelism: *par, Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,12 +149,12 @@ func main() {
 }
 
 // solveWithPolicy is the direct (uncached) solve path for -policy runs.
-func solveWithPolicy(params bumdp.Params, par int) {
+func solveWithPolicy(params bumdp.Params, par int, tracer obs.Tracer) {
 	a, err := bumdp.New(params)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := a.SolveWith(bumdp.SolveOptions{Parallelism: par})
+	res, err := a.SolveWith(bumdp.SolveOptions{Parallelism: par, Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,12 +172,13 @@ func solveWithPolicy(params bumdp.Params, par int) {
 // model through the experiment store and prints the table plus
 // aggregate solver statistics (or, with -json, the store's sweep
 // serialization).
-func sweepGrid(store *expstore.Store, m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par int, jsonOut bool) {
+func sweepGrid(store *expstore.Store, m bumdp.IncentiveModel, setting bumdp.Setting, ad, workers, par int, jsonOut bool, tracer obs.Tracer) {
 	cfg := core.SweepConfig{
 		Settings:         []bumdp.Setting{setting},
 		AD:               ad,
 		Workers:          workers,
 		InnerParallelism: par,
+		Tracer:           tracer,
 	}
 	start := time.Now()
 	cells := expstore.Sweep(store, m, cfg)
@@ -176,9 +205,11 @@ func sweepGrid(store *expstore.Store, m bumdp.IncentiveModel, setting bumdp.Sett
 	}
 	fmt.Printf("solved %d cells in %s (%d probes, %d Bellman sweeps)\n",
 		solved, elapsed.Round(time.Millisecond), probes, sweeps)
-	if qs, err := stats.Quantiles(durations, 0.5, 0.95, 1); err == nil {
-		fmt.Printf("per-cell solve time: p50 %s, p95 %s, max %s\n",
-			secs(qs[0]), secs(qs[1]), secs(qs[2]))
+	if len(durations) > 0 {
+		if qs, err := stats.Quantiles(durations, 0.5, 0.95, 1); err == nil {
+			fmt.Printf("per-cell solve time: p50 %s, p95 %s, max %s\n",
+				secs(qs[0]), secs(qs[1]), secs(qs[2]))
+		}
 	}
 	st := store.Stats()
 	if st.Hits > 0 {

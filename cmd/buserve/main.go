@@ -9,10 +9,15 @@
 //
 //	GET /healthz                 liveness probe
 //	GET /statsz                  store + per-endpoint metrics (JSON)
+//	GET /metrics                 Prometheus text exposition
+//	GET /debug/vars              metrics registry as JSON
 //	GET /solve?alpha=0.25&ratio=1:1&model=compliant&setting=1
 //	GET /solve?model=bitcoin&alpha=0.25&tie=0.5
 //	GET /sweep?model=noncompliant&setting=2&format=table
 //	GET /tables/3?format=json
+//
+// With -pprof the net/http/pprof profiling handlers are additionally
+// mounted under /debug/pprof/.
 //
 // Solve and sweep responses carry an X-Cache: hit|miss header; the body
 // of a hit is byte-identical to the body the original miss returned.
@@ -24,11 +29,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/expstore"
+	"buanalysis/internal/obs"
 )
 
 func main() {
@@ -42,6 +49,7 @@ func main() {
 		workers    = cliflag.WorkersFlag(flag.CommandLine, "sweep cells dispatched concurrently per request")
 		par        = cliflag.ParFlag(flag.CommandLine)
 		portFile   = flag.String("portfile", "", "write the actual listen address to this file once serving")
+		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -65,6 +73,19 @@ func main() {
 		}
 	}
 
-	srv := newServer(store, *workers, *par)
-	log.Fatal(http.Serve(ln, srv))
+	srv := newServer(store, *workers, *par, obs.NewRegistry())
+	var handler http.Handler = srv
+	if *withPprof {
+		// pprof stays opt-in: profiling endpoints expose internals and
+		// cost CPU when scraped, so production runs leave them off.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+	log.Fatal(http.Serve(ln, handler))
 }

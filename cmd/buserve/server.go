@@ -5,8 +5,6 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"buanalysis/internal/bitcoin"
@@ -14,6 +12,9 @@ import (
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/core"
 	"buanalysis/internal/expstore"
+	"buanalysis/internal/mdp"
+	"buanalysis/internal/obs"
+	"buanalysis/internal/par"
 	"buanalysis/internal/stats"
 )
 
@@ -30,22 +31,44 @@ type server struct {
 	par     int
 	started time.Time
 	mux     *http.ServeMux
-	metrics map[string]*endpointMetrics
+	// reg is the server's metrics registry: endpoint families plus the
+	// store, solver, and scheduler instruments, served by /metrics and
+	// /debug/vars.
+	reg *obs.Registry
+	// families are the per-endpoint metric vectors; metrics holds one
+	// child set per registered route (for /statsz).
+	families endpointFamilies
+	metrics  map[string]*endpointMetrics
 }
 
 // newServer builds the handler tree. workers and par follow the CLI
-// conventions (0 = auto).
-func newServer(store *expstore.Store, workers, par int) *server {
-	s := &server{
-		store:   store,
-		workers: workers,
-		par:     par,
-		started: time.Now(),
-		mux:     http.NewServeMux(),
-		metrics: make(map[string]*endpointMetrics),
+// conventions (0 = auto). reg is the metrics registry to expose; nil
+// creates a private one. The store's counters and the solver/scheduler
+// package instruments are registered on it.
+func newServer(store *expstore.Store, workers, parallelism int, reg *obs.Registry) *server {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	s := &server{
+		store:    store,
+		workers:  workers,
+		par:      parallelism,
+		started:  time.Now(),
+		mux:      http.NewServeMux(),
+		reg:      reg,
+		families: newEndpointFamilies(reg),
+		metrics:  make(map[string]*endpointMetrics),
+	}
+	store.RegisterMetrics(reg)
+	mdp.Observe(reg)
+	par.Observe(reg)
+	reg.GaugeFunc("buserve_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /statsz", s.handleStatsz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /debug/vars", s.handleVars)
 	s.route("GET /solve", s.handleSolve)
 	s.route("GET /sweep", s.handleSweep)
 	s.route("GET /tables/{n}", s.handleTable)
@@ -70,7 +93,7 @@ type handlerFunc func(w http.ResponseWriter, r *http.Request) (cacheOutcome, err
 // route registers a pattern and wraps its handler with the per-endpoint
 // metrics: request count, hit/miss, in-flight gauge, latency samples.
 func (s *server) route(pattern string, h handlerFunc) {
-	m := newEndpointMetrics()
+	m := s.families.endpoint(pattern)
 	s.metrics[pattern] = m
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -81,45 +104,67 @@ func (s *server) route(pattern string, h handlerFunc) {
 	})
 }
 
-// endpointMetrics instruments one endpoint. Latencies go to a fixed
-// ring buffer; /statsz reports exact quantiles over the retained
-// window.
-type endpointMetrics struct {
-	count, errors, hits, misses atomic.Int64
-	inFlight                    atomic.Int64
+// endpointFamilies are the labeled metric vectors shared by every
+// endpoint, registered once on the server's registry.
+type endpointFamilies struct {
+	requests, errors, hits, misses *obs.CounterVec
+	inFlight                       *obs.GaugeVec
+	latency                        *obs.HistogramVec
+}
 
-	mu      sync.Mutex
-	lat     []float64 // seconds, ring buffer
-	pos     int
-	wrapped bool
+func newEndpointFamilies(reg *obs.Registry) endpointFamilies {
+	return endpointFamilies{
+		requests: reg.CounterVec("buserve_requests_total", "HTTP requests served.", "endpoint"),
+		errors:   reg.CounterVec("buserve_errors_total", "HTTP requests that returned an error status.", "endpoint"),
+		hits:     reg.CounterVec("buserve_cache_hits_total", "Requests answered entirely from the experiment store.", "endpoint"),
+		misses:   reg.CounterVec("buserve_cache_misses_total", "Requests that needed at least one solve.", "endpoint"),
+		inFlight: reg.GaugeVec("buserve_in_flight_requests", "Requests currently being handled.", "endpoint"),
+		latency:  reg.HistogramVec("buserve_request_seconds", "Request latency in seconds.", obs.DefBuckets, "endpoint"),
+	}
+}
+
+// endpoint binds one route's children of the labeled families, plus an
+// exact-quantile latency window backing /statsz (the histogram serves
+// /metrics; the window preserves /statsz's exact percentiles).
+func (f endpointFamilies) endpoint(pattern string) *endpointMetrics {
+	return &endpointMetrics{
+		count:    f.requests.With(pattern),
+		errors:   f.errors.With(pattern),
+		hits:     f.hits.With(pattern),
+		misses:   f.misses.With(pattern),
+		inFlight: f.inFlight.With(pattern),
+		latency:  f.latency.With(pattern),
+		lat:      obs.NewSample(latWindow),
+	}
+}
+
+// endpointMetrics instruments one endpoint on obs instruments.
+// Latencies go both to the Prometheus histogram and to a fixed window;
+// /statsz reports exact quantiles over the retained window, exactly as
+// it did before the registry migration.
+type endpointMetrics struct {
+	count, errors, hits, misses *obs.Counter
+	inFlight                    *obs.Gauge
+	latency                     *obs.Histogram
+	lat                         *obs.Sample
 }
 
 // latWindow is the per-endpoint latency sample retention.
 const latWindow = 2048
 
-func newEndpointMetrics() *endpointMetrics {
-	return &endpointMetrics{lat: make([]float64, latWindow)}
-}
-
 func (m *endpointMetrics) observe(d time.Duration, outcome cacheOutcome, err error) {
-	m.count.Add(1)
+	m.count.Inc()
 	if err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
 	}
 	switch outcome {
 	case outcomeHit:
-		m.hits.Add(1)
+		m.hits.Inc()
 	case outcomeMiss:
-		m.misses.Add(1)
+		m.misses.Inc()
 	}
-	m.mu.Lock()
-	m.lat[m.pos] = d.Seconds()
-	m.pos++
-	if m.pos == len(m.lat) {
-		m.pos = 0
-		m.wrapped = true
-	}
-	m.mu.Unlock()
+	m.latency.Observe(d.Seconds())
+	m.lat.Observe(d.Seconds())
 }
 
 // latencyStats is the quantile block of one endpoint's /statsz entry.
@@ -142,20 +187,13 @@ type endpointStats struct {
 }
 
 func (m *endpointMetrics) snapshot() endpointStats {
-	m.mu.Lock()
-	n := m.pos
-	if m.wrapped {
-		n = len(m.lat)
-	}
-	samples := append([]float64(nil), m.lat[:n]...)
-	m.mu.Unlock()
-
+	samples := m.lat.Snapshot()
 	st := endpointStats{
-		Count:    m.count.Load(),
-		Errors:   m.errors.Load(),
-		Hits:     m.hits.Load(),
-		Misses:   m.misses.Load(),
-		InFlight: m.inFlight.Load(),
+		Count:    m.count.Value(),
+		Errors:   m.errors.Value(),
+		Hits:     m.hits.Value(),
+		Misses:   m.misses.Value(),
+		InFlight: m.inFlight.Value(),
 	}
 	if tot := st.Hits + st.Misses; tot > 0 {
 		st.HitRatio = float64(st.Hits) / float64(tot)
@@ -196,6 +234,19 @@ func (s *server) handleStatsz(w http.ResponseWriter, _ *http.Request) (cacheOutc
 		resp.Endpoints[pattern] = m.snapshot()
 	}
 	return outcomeNone, writeJSON(w, resp)
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) (cacheOutcome, error) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	return outcomeNone, s.reg.WritePrometheus(w)
+}
+
+// handleVars serves the registry as an expvar-style JSON dump.
+func (s *server) handleVars(w http.ResponseWriter, _ *http.Request) (cacheOutcome, error) {
+	w.Header().Set("Content-Type", "application/json")
+	return outcomeNone, s.reg.WriteJSON(w)
 }
 
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) (cacheOutcome, error) {

@@ -26,7 +26,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(store, 2, 1)
+	srv := newServer(store, 2, 1, nil)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -303,6 +303,109 @@ func TestStatsz(t *testing.T) {
 	}
 	if st.UptimeSeconds <= 0 {
 		t.Errorf("uptime = %v, want > 0", st.UptimeSeconds)
+	}
+}
+
+// TestMetricsEndpoint proves /metrics serves Prometheus text exposition
+// covering the store, the server's own endpoints, and the solver.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	get(t, ts.URL+fastSolve) // miss → one real solve behind the metrics
+	get(t, ts.URL+fastSolve) // hit
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE expstore_hits_total counter",
+		"expstore_hits_total 1",
+		"expstore_solves_total 1",
+		"# TYPE buserve_requests_total counter",
+		`buserve_requests_total{endpoint="GET /solve"} 2`,
+		`buserve_cache_hits_total{endpoint="GET /solve"} 1`,
+		"# TYPE buserve_request_seconds histogram",
+		`buserve_request_seconds_bucket{endpoint="GET /solve",le="+Inf"} 2`,
+		"# TYPE mdp_solves_total counter",
+		"buserve_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The solve above ran real solver sweeps, so mdp counters moved.
+	if strings.Contains(text, "mdp_solves_total 0\n") {
+		t.Error("mdp_solves_total still 0 after a served solve")
+	}
+}
+
+// TestDebugVars proves /debug/vars serves the registry as JSON.
+func TestDebugVars(t *testing.T) {
+	_, ts := newTestServer(t)
+	get(t, ts.URL+fastSolve)
+
+	resp, body := get(t, ts.URL+"/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"expstore_solves_total", "buserve_requests_total", "mdp_solves_total", "par_runs_total"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+}
+
+// TestStatszShapeStable pins the raw /statsz JSON shape: the migration
+// of its internals onto the metrics registry must not change a single
+// field name or nesting level that pre-registry clients depend on.
+func TestStatszShapeStable(t *testing.T) {
+	_, ts := newTestServer(t)
+	get(t, ts.URL+fastSolve)
+
+	_, body := get(t, ts.URL+"/statsz")
+	var raw struct {
+		Endpoints map[string]struct {
+			Count    *int64   `json:"count"`
+			Errors   *int64   `json:"errors"`
+			Hits     *int64   `json:"hits"`
+			Misses   *int64   `json:"misses"`
+			HitRatio *float64 `json:"hit_ratio"`
+			InFlight *int64   `json:"in_flight"`
+			Latency  *struct {
+				Samples *int     `json:"samples"`
+				P50     *float64 `json:"p50_ms"`
+				P95     *float64 `json:"p95_ms"`
+				P99     *float64 `json:"p99_ms"`
+			} `json:"latency"`
+		} `json:"endpoints"`
+		Store  *expstore.Stats `json:"store"`
+		Uptime *float64        `json:"uptime_s"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatalf("statsz not JSON: %v\n%s", err, body)
+	}
+	if raw.Store == nil || raw.Uptime == nil {
+		t.Fatalf("statsz missing top-level fields: %s", body)
+	}
+	ep, ok := raw.Endpoints["GET /solve"]
+	if !ok {
+		t.Fatalf("statsz missing GET /solve: %s", body)
+	}
+	if ep.Count == nil || ep.Errors == nil || ep.Hits == nil || ep.Misses == nil ||
+		ep.HitRatio == nil || ep.InFlight == nil || ep.Latency == nil {
+		t.Fatalf("GET /solve entry missing fields: %s", body)
+	}
+	if ep.Latency.Samples == nil || ep.Latency.P50 == nil || ep.Latency.P95 == nil || ep.Latency.P99 == nil {
+		t.Fatalf("latency entry missing fields: %s", body)
 	}
 }
 

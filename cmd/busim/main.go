@@ -6,6 +6,13 @@
 //
 //	busim -mode mc  -alpha 0.25 -ratio 1:1 -model compliant -steps 1000000
 //	busim -mode net -alpha 0.25 -ratio 1:1 -blocks 20000
+//
+// -trace writes the run's structured events as JSONL — the solve's
+// convergence iterations, then mc.split/mc.resolve/mc.done replay
+// events (mc mode) or sim.block/sim.relay/sim.accept/sim.reject/
+// sim.fork/sim.reorg network events (net mode). Tracing never changes
+// results. -metrics-dump prints the run's metrics registry as JSON to
+// stderr on exit.
 package main
 
 import (
@@ -16,8 +23,12 @@ import (
 	"strings"
 
 	"buanalysis/internal/bumdp"
+	"buanalysis/internal/cliflag"
+	"buanalysis/internal/mdp"
 	"buanalysis/internal/montecarlo"
 	"buanalysis/internal/netsim"
+	"buanalysis/internal/obs"
+	parpkg "buanalysis/internal/par"
 	"buanalysis/internal/protocol"
 )
 
@@ -36,8 +47,26 @@ func main() {
 		batches = flag.Int("batches", 8, "mc mode: independent batches")
 		blocks  = flag.Int("blocks", 20_000, "net mode: mining rounds")
 		seed    = flag.Int64("seed", 1, "random seed")
+		trace   = cliflag.TraceFlag(flag.CommandLine)
+		mdump   = cliflag.MetricsDumpFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	tracer, closeTrace, err := cliflag.OpenTrace(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	if *mdump {
+		reg := obs.NewRegistry()
+		mdp.Observe(reg)
+		parpkg.Observe(reg)
+		defer cliflag.DumpMetrics(reg)
+	}
 
 	beta, gamma := split(*alpha, *ratio)
 	m := parseModel(*model)
@@ -50,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("solving MDP (%d states)...\n", len(a.States))
-	res, err := a.Solve()
+	res, err := a.SolveWith(bumdp.SolveOptions{Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +87,7 @@ func main() {
 
 	switch *mode {
 	case "mc":
-		sum, err := montecarlo.CrossValidate(a, res.Policy, *steps, *batches, *seed)
+		sum, err := montecarlo.CrossValidateTraced(a, res.Policy, *steps, *batches, *seed, 0, tracer)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,7 +100,7 @@ func main() {
 			fmt.Println("MDP value outside the simulated confidence interval: INVESTIGATE")
 		}
 	case "net":
-		runNet(a, res.Policy, *alpha, beta, gamma, *blocks, *seed)
+		runNet(a, res.Policy, *alpha, beta, gamma, *blocks, *seed, tracer)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
@@ -105,7 +134,7 @@ func parseModel(s string) bumdp.IncentiveModel {
 	return 0
 }
 
-func runNet(a *bumdp.Analysis, policy []int, alpha, beta, gamma float64, blocks int, seed int64) {
+func runNet(a *bumdp.Analysis, policy []int, alpha, beta, gamma float64, blocks int, seed int64, tracer obs.Tracer) {
 	ad := a.Params.AD
 	bob := &netsim.Node{Name: "bob", Power: beta,
 		Rules: protocol.BU{EB: mb, AD: ad, NoGate: true}, MG: mb / 2}
@@ -117,7 +146,7 @@ func runNet(a *bumdp.Analysis, policy []int, alpha, beta, gamma float64, blocks 
 	}
 	alice := &netsim.Node{Name: "alice", Power: alpha,
 		Rules: protocol.BU{EB: 8 * mb, AD: ad, NoGate: true}, MG: mb / 2, Strategy: strat}
-	net, err := netsim.New(netsim.Config{Seed: seed}, []*netsim.Node{bob, carol, alice})
+	net, err := netsim.New(netsim.Config{Seed: seed, Tracer: tracer}, []*netsim.Node{bob, carol, alice})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,10 @@
 // -cache-dir answers repeat table cells from the experiment store
 // shared with cmd/bumdp and cmd/buserve; -json emits Tables 2-4 in the
 // store's serialization instead of text (figures are text-only).
+//
+// -trace writes every table cell's solver convergence events as JSONL
+// (cell values are bit-identical either way); -metrics-dump prints the
+// run's metrics registry as JSON to stderr on exit.
 package main
 
 import (
@@ -35,8 +39,11 @@ import (
 	"buanalysis/internal/countermeasure"
 	"buanalysis/internal/expstore"
 	"buanalysis/internal/games"
+	"buanalysis/internal/mdp"
 	"buanalysis/internal/netsim"
 	"buanalysis/internal/nodecost"
+	"buanalysis/internal/obs"
+	parpkg "buanalysis/internal/par"
 	"buanalysis/internal/protocol"
 )
 
@@ -58,6 +65,8 @@ func main() {
 		par      = cliflag.ParFlag(flag.CommandLine)
 		jsonOut  = flag.Bool("json", false, "emit Tables 2-4 as JSON (the experiment-store encoding; figures stay text)")
 		cacheDir = flag.String("cache-dir", "", "experiment store directory; repeat cells answer from cache")
+		trace    = cliflag.TraceFlag(flag.CommandLine)
+		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
 	)
 	flag.Parse()
 	fullGrid = *full
@@ -68,8 +77,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tracer, closeTrace, err := cliflag.OpenTrace(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := closeTrace(); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	if *mdump {
+		reg := obs.NewRegistry()
+		store.RegisterMetrics(reg)
+		mdp.Observe(reg)
+		parpkg.Observe(reg)
+		defer cliflag.DumpMetrics(reg)
+	}
 
-	cfg := core.SweepConfig{Workers: *workers, InnerParallelism: *par}
+	cfg := core.SweepConfig{Workers: *workers, InnerParallelism: *par, Tracer: tracer}
 	if *fast {
 		cfg.RatioTol, cfg.Epsilon = 1e-4, 1e-8
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"buanalysis/internal/mdp"
+	"buanalysis/internal/obs"
 )
 
 // Analysis is a compiled instance of the paper's MDP for one parameter
@@ -127,15 +128,21 @@ type SolveOptions struct {
 	// GOMAXPROCS (with the solver's small-model serial fallback), 1 the
 	// serial path. Every setting returns bit-identical results.
 	Parallelism int
+	// Tracer, if non-nil, receives the solve's convergence events:
+	// "ratio.probe"/"ratio.bracket"/"ratio.done" from the bisection and
+	// "solver.iter"/"solver.done" from every inner sweep (including the
+	// fork-rate policy evaluation). Tracing never changes results.
+	Tracer obs.Tracer
 }
 
 // Normalized returns the options with defaults applied and the
-// result-neutral Parallelism knob zeroed: every Parallelism setting is
-// bit-identical, so the normalized form identifies the solved artifact
-// and is what cache keys must be derived from.
+// result-neutral knobs (Parallelism, Tracer) zeroed: every setting of
+// those knobs is bit-identical, so the normalized form identifies the
+// solved artifact and is what cache keys must be derived from.
 func (o SolveOptions) Normalized() SolveOptions {
 	o = o.withDefaults()
 	o.Parallelism = 0
+	o.Tracer = nil
 	return o
 }
 
@@ -166,7 +173,7 @@ func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
 func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	inner := mdp.Options{Epsilon: opts.Epsilon, Parallelism: opts.Parallelism}
+	inner := mdp.Options{Epsilon: opts.Epsilon, Parallelism: opts.Parallelism, Tracer: opts.Tracer}
 	var res Result
 	switch a.Params.Model {
 	case NonCompliant:
@@ -188,7 +195,7 @@ func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
 			lo = a.Params.Alpha * 0.999
 		}
 		r, err := a.Model.SolveRatio(mdp.RatioOptions{
-			Lo: lo, Hi: hi, Tolerance: opts.RatioTol, Inner: inner,
+			Lo: lo, Hi: hi, Tolerance: opts.RatioTol, Inner: inner, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return Result{}, err

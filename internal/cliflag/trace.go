@@ -1,0 +1,47 @@
+package cliflag
+
+import (
+	"flag"
+	"os"
+
+	"buanalysis/internal/obs"
+)
+
+// TraceFlag registers the standard -trace flag: the path of a JSONL
+// event trace. Every CLI that solves or simulates writes its solver
+// convergence / simulation events there when the flag is set; an empty
+// value (the default) disables tracing entirely.
+func TraceFlag(fs *flag.FlagSet) *string {
+	return fs.String("trace", "", "write a JSONL event trace to this file (empty = tracing off)")
+}
+
+// MetricsDumpFlag registers the standard -metrics-dump flag: dump the
+// run's metrics registry as JSON to stderr on exit.
+func MetricsDumpFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("metrics-dump", false, "print the metrics registry as JSON to stderr on exit")
+}
+
+// OpenTrace resolves a -trace value into a tracer and its closer. An
+// empty path yields a true nil obs.Tracer (not a typed-nil interface),
+// so `opts.Tracer = tr` keeps the disabled hooks free, plus a no-op
+// closer. Callers must invoke close() before exiting or the tail of
+// the trace stays in the write buffer.
+func OpenTrace(path string) (tr obs.Tracer, close func() error, err error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	sink, err := obs.NewJSONLFileSink(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sink, sink.Close, nil
+}
+
+// DumpMetrics writes the registry as indented JSON to stderr; CLIs call
+// it on exit when -metrics-dump is set. A nil registry writes nothing.
+func DumpMetrics(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	return reg.WriteJSON(os.Stderr)
+}

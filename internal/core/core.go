@@ -11,6 +11,7 @@ import (
 
 	"buanalysis/internal/bitcoin"
 	"buanalysis/internal/bumdp"
+	"buanalysis/internal/obs"
 	"buanalysis/internal/par"
 )
 
@@ -100,6 +101,10 @@ type SweepConfig struct {
 	// it to answer cells from cache and fill misses, without the sweep
 	// grid, ordering, or formatting changing at all.
 	SolveCell func(Cell) Cell `json:"-"`
+	// Tracer receives every cell solver's convergence events. Like the
+	// concurrency knobs it never changes cell values and is excluded
+	// from cache keys.
+	Tracer obs.Tracer `json:"-"`
 }
 
 // Normalized returns the config with every default applied for the
@@ -198,6 +203,7 @@ func (c SweepConfig) CellParams(cell Cell) (bumdp.Params, bumdp.SolveOptions) {
 	o := bumdp.SolveOptions{
 		RatioTol: c.RatioTol, Epsilon: c.Epsilon,
 		Parallelism: c.InnerParallelism,
+		Tracer:      c.Tracer,
 	}
 	return p, o
 }

@@ -59,8 +59,9 @@ func BUSolveKey(p bumdp.Params, opts bumdp.SolveOptions) (string, error) {
 // SolveBU answers a BU attack MDP solve from the store, solving and
 // filling on a miss. blob is the exact stored encoding (byte-identical
 // for every request of the same key, hit or miss); hit reports whether
-// the store already had it. opts.Parallelism steers the miss-path
-// solver only — it does not affect the key or the result bytes.
+// the store already had it. opts.Parallelism and opts.Tracer steer and
+// observe the miss-path solver only — neither affects the key or the
+// result bytes (and a cache hit naturally emits no solver events).
 func SolveBU(st *Store, p bumdp.Params, opts bumdp.SolveOptions) (rec BUSolveRecord, blob []byte, hit bool, err error) {
 	np, err := p.Normalized()
 	if err != nil {
@@ -78,7 +79,7 @@ func SolveBU(st *Store, p bumdp.Params, opts bumdp.SolveOptions) (rec BUSolveRec
 		}
 		res, err := a.SolveWith(bumdp.SolveOptions{
 			RatioTol: no.RatioTol, Epsilon: no.Epsilon,
-			Parallelism: opts.Parallelism,
+			Parallelism: opts.Parallelism, Tracer: opts.Tracer,
 		})
 		if err != nil {
 			return nil, err

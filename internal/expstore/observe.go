@@ -1,0 +1,27 @@
+package expstore
+
+import "buanalysis/internal/obs"
+
+// RegisterMetrics exposes the store's counters on reg as lazily-read
+// instruments; the store keeps its atomics as the single source of
+// truth, so registration adds no cost to the store's own paths. A nil
+// registry is a no-op.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("expstore_hits_total", "Requests answered from cache (any layer).", s.hits.Load)
+	reg.CounterFunc("expstore_mem_hits_total", "Requests answered by the in-memory LRU.", s.memHits.Load)
+	reg.CounterFunc("expstore_disk_hits_total", "Requests answered by the on-disk backend.", s.diskHits.Load)
+	reg.CounterFunc("expstore_misses_total", "Requests whose compute actually ran.", s.misses.Load)
+	reg.CounterFunc("expstore_shared_total", "Requests deduplicated onto another caller's in-flight solve.", s.shared.Load)
+	reg.CounterFunc("expstore_corrupt_total", "On-disk blobs that failed validation and were re-solved.", s.corrupt.Load)
+	reg.CounterFunc("expstore_solves_total", "Computes executed.", s.solves.Load)
+	reg.CounterFunc("expstore_evictions_total", "Entries dropped by the memory LRU to stay within capacity.", s.evictions.Load)
+	reg.CounterFunc("expstore_budget_waits_total", "Solves that queued for an exhausted solve-budget slot.", s.budgetWaits.Load)
+	reg.GaugeFunc("expstore_in_flight_solves", "Computes executing right now.", func() float64 {
+		return float64(s.inFlight.Load())
+	})
+	reg.GaugeFunc("expstore_mem_entries", "Current in-memory LRU population.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.lru.Len())
+	})
+}

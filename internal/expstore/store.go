@@ -53,6 +53,12 @@ type Stats struct {
 	InFlight int64 `json:"in_flight"`
 	// MemEntries is the current LRU population.
 	MemEntries int64 `json:"mem_entries"`
+	// Evictions counts entries the memory LRU dropped to stay within
+	// capacity.
+	Evictions int64 `json:"evictions"`
+	// BudgetWaits counts solves that found the solve budget exhausted
+	// and had to queue for a slot.
+	BudgetWaits int64 `json:"budget_waits"`
 }
 
 // Store is a content-addressed cache for solved artifacts: an in-memory
@@ -69,6 +75,7 @@ type Store struct {
 	sem chan struct{} // nil when the budget is unbounded
 
 	hits, memHits, diskHits, misses, shared, corrupt, solves, inFlight atomic.Int64
+	evictions, budgetWaits                                             atomic.Int64
 }
 
 type memEntry struct {
@@ -109,9 +116,11 @@ func (s *Store) Stats() Stats {
 		Misses:     s.misses.Load(),
 		Shared:     s.shared.Load(),
 		Corrupt:    s.corrupt.Load(),
-		Solves:     s.solves.Load(),
-		InFlight:   s.inFlight.Load(),
-		MemEntries: n,
+		Solves:      s.solves.Load(),
+		InFlight:    s.inFlight.Load(),
+		MemEntries:  n,
+		Evictions:   s.evictions.Load(),
+		BudgetWaits: s.budgetWaits.Load(),
 	}
 }
 
@@ -179,7 +188,12 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 			return blob, nil
 		}
 		if s.sem != nil {
-			s.sem <- struct{}{}
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				s.budgetWaits.Add(1)
+				s.sem <- struct{}{}
+			}
 			defer func() { <-s.sem }()
 		}
 		s.inFlight.Add(1)
@@ -237,6 +251,7 @@ func (s *Store) memPut(key string, blob []byte) {
 		back := s.lru.Back()
 		s.lru.Remove(back)
 		delete(s.idx, back.Value.(*memEntry).key)
+		s.evictions.Add(1)
 	}
 }
 

@@ -1,0 +1,23 @@
+package mdp
+
+import "buanalysis/internal/obs"
+
+// Package-level instruments. They are nil until Observe installs them;
+// a nil *obs.Counter no-ops, so uninstrumented programs (and all tests
+// that never call Observe) pay nothing.
+var (
+	solvesTotal *obs.Counter
+	sweepsTotal *obs.Counter
+	probesTotal *obs.Counter
+)
+
+// Observe registers the solver package's metrics on reg: total solves
+// started, total Bellman sweeps performed, and total ratio-bisection
+// probes. Call it once at program start, before solving begins; the
+// counters are plain package state, not synchronized against in-flight
+// solves. A nil registry leaves the package uninstrumented.
+func Observe(reg *obs.Registry) {
+	solvesTotal = reg.Counter("mdp_solves_total", "Iterative solves started (RVI, policy evaluation, discounted VI).")
+	sweepsTotal = reg.Counter("mdp_sweeps_total", "Bellman sweeps performed across all solves.")
+	probesTotal = reg.Counter("mdp_probes_total", "Inner average-reward probes performed by ratio bisections.")
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"buanalysis/internal/obs"
 )
 
 // RatioOptions configure SolveRatio.
@@ -26,6 +28,13 @@ type RatioOptions struct {
 	// GOMAXPROCS (with the small-model serial fallback), 1 the serial
 	// path; all settings are bit-identical (see Options.Parallelism).
 	Parallelism int
+	// Tracer, if non-nil, receives "ratio.probe" events (one per inner
+	// solve, with the candidate rho and resulting gain), "ratio.bracket"
+	// events whenever the root-search bracket moves, and a final
+	// "ratio.done". It is also installed on the inner solves when
+	// Inner.Tracer is unset, so the stream interleaves bisection progress
+	// with each probe's convergence trace. Tracing never changes results.
+	Tracer obs.Tracer
 }
 
 func (o RatioOptions) withDefaults() RatioOptions {
@@ -40,6 +49,9 @@ func (o RatioOptions) withDefaults() RatioOptions {
 	}
 	if o.Inner.Parallelism == 0 {
 		o.Inner.Parallelism = o.Parallelism
+	}
+	if o.Inner.Tracer == nil {
+		o.Inner.Tracer = o.Tracer
 	}
 	return o
 }
@@ -91,9 +103,11 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 	}
 
 	stats := RatioStats{}
+	tr := opts.Tracer
 	var warm []float64
 	gainAt := func(rho float64) (Result, error) {
 		stats.Probes++
+		probesTotal.Inc()
 		inner := opts.Inner
 		inner.Rho = rho
 		inner.Warm = warm
@@ -104,10 +118,17 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 		if err == nil {
 			warm = res.Bias
 		}
+		if tr != nil && err == nil {
+			tr.Emit(obs.Event{Kind: "ratio.probe", Probe: stats.Probes, Rho: rho,
+				Gain: res.Gain, Iter: res.Stats.Iterations})
+		}
 		return res, err
 	}
 	finish := func(value float64, pol Policy) RatioResult {
 		stats.Duration = time.Since(start)
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: "ratio.done", Probe: stats.Probes, Rho: value})
+		}
 		return RatioResult{Value: value, Policy: pol, Probes: stats.Probes, Stats: stats}
 	}
 
@@ -127,6 +148,10 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 		lo = hi
 		hi += width
 		width *= 2
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: "ratio.bracket", Probe: stats.Probes,
+				BracketLo: lo, BracketHi: hi, Detail: "expand"})
+		}
 	}
 
 	var pol Policy
@@ -141,6 +166,10 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 			pol = r.Policy
 		} else {
 			hi = mid
+		}
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: "ratio.bracket", Probe: stats.Probes,
+				BracketLo: lo, BracketHi: hi, Detail: "bisect"})
 		}
 	}
 	value := (lo + hi) / 2

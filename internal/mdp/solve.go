@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"buanalysis/internal/obs"
 )
 
 // Options configure the iterative solvers. The zero value selects
@@ -37,17 +39,24 @@ type Options struct {
 	// because every state update uses the same arithmetic and the
 	// residual reductions are order-independent.
 	Parallelism int
+	// Tracer, if non-nil, receives one "solver.iter" event per Bellman
+	// sweep (residual, span bounds, greedy-policy change count) and a
+	// "solver.done" event on convergence. Tracing never changes results:
+	// the hooks read the same quantities the solver already computes, and
+	// a nil Tracer costs nothing.
+	Tracer obs.Tracer
 }
 
 // Normalized returns the options with every default applied, the exact
 // configuration the solvers run under. Two Options values that solve
-// identically normalize to the same struct (Warm and Parallelism do not
-// affect results and are zeroed), which makes the normalized form a
-// stable basis for cache keys.
+// identically normalize to the same struct (Warm, Parallelism, and
+// Tracer do not affect results and are zeroed), which makes the
+// normalized form a stable basis for cache keys.
 func (o Options) Normalized() Options {
 	o = o.withDefaults()
 	o.Warm = nil
 	o.Parallelism = 0
+	o.Tracer = nil
 	return o
 }
 
@@ -219,6 +228,16 @@ func (m *Model) AverageReward(opts Options) (Result, error) {
 	defer pool.close()
 	spans := make([]wspan, pool.workers())
 
+	solvesTotal.Inc()
+	tr := opts.Tracer
+	// prevPol backs the per-sweep policy-change count; it exists only
+	// when a tracer is installed, so the untraced path allocates nothing
+	// extra. The implicit initial policy is all-zeros, matching pol.
+	var prevPol Policy
+	if tr != nil {
+		prevPol = make(Policy, n)
+	}
+
 	for it := 1; it <= opts.MaxIterations; it++ {
 		pool.run(func(w, lo, hi int) {
 			spans[w].lo, spans[w].hi = m.bellmanChunk(h, next, pol, shift, tau, lo, hi)
@@ -227,7 +246,23 @@ func (m *Model) AverageReward(opts Options) (Result, error) {
 		// Re-center on state 0 to keep the bias bounded.
 		recenter(pool, next, next[0])
 		h, next = next, h
+		if tr != nil {
+			changes := 0
+			for s := range pol {
+				if pol[s] != prevPol[s] {
+					changes++
+					prevPol[s] = pol[s]
+				}
+			}
+			tr.Emit(obs.Event{Kind: "solver.iter", Solver: "rvi", Iter: it,
+				Residual: hi - lo, SpanLo: lo, SpanHi: hi, PolicyChanges: changes})
+		}
 		if hi-lo < opts.Epsilon {
+			sweepsTotal.Add(int64(it))
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "solver.done", Solver: "rvi", Iter: it,
+					Residual: hi - lo, Gain: (lo + hi) / 2 / keep})
+			}
 			return Result{
 				Gain:       (lo + hi) / 2 / keep,
 				Policy:     pol,
@@ -238,6 +273,7 @@ func (m *Model) AverageReward(opts Options) (Result, error) {
 			}, nil
 		}
 	}
+	sweepsTotal.Add(int64(opts.MaxIterations))
 	return Result{
 		Policy: pol, Bias: h, Iterations: opts.MaxIterations,
 		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: pool.workers()},
@@ -267,6 +303,9 @@ func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 	defer pool.close()
 	spans := make([]wspan, pool.workers())
 
+	solvesTotal.Inc()
+	tr := opts.Tracer
+
 	for it := 1; it <= opts.MaxIterations; it++ {
 		pool.run(func(w, lo, hi int) {
 			spans[w].lo, spans[w].hi = m.policyChunk(h, next, pol, shift, tau, lo, hi)
@@ -274,7 +313,16 @@ func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 		lo, hi := reduceSpans(spans)
 		recenter(pool, next, next[0])
 		h, next = next, h
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: "solver.iter", Solver: "policy-eval", Iter: it,
+				Residual: hi - lo, SpanLo: lo, SpanHi: hi})
+		}
 		if hi-lo < opts.Epsilon {
+			sweepsTotal.Add(int64(it))
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "solver.done", Solver: "policy-eval", Iter: it,
+					Residual: hi - lo, Gain: (lo + hi) / 2 / keep})
+			}
 			return Result{
 				Gain:       (lo + hi) / 2 / keep,
 				Policy:     pol,
@@ -285,6 +333,7 @@ func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 			}, nil
 		}
 	}
+	sweepsTotal.Add(int64(opts.MaxIterations))
 	return Result{
 		Policy: pol, Bias: h, Iterations: opts.MaxIterations,
 		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: pool.workers()},
@@ -359,6 +408,9 @@ func (m *Model) ValueIteration(discount float64, opts Options) ([]float64, Polic
 	defer pool.close()
 	worsts := make([]wspan, pool.workers())
 
+	solvesTotal.Inc()
+	tr := opts.Tracer
+
 	for it := 0; it < opts.MaxIterations; it++ {
 		pool.run(func(w, lo, hi int) {
 			worsts[w].hi = m.discountedChunk(v, next, pol, shift, discount, lo, hi)
@@ -370,10 +422,18 @@ func (m *Model) ValueIteration(discount float64, opts Options) ([]float64, Polic
 			}
 		}
 		v, next = next, v
+		if tr != nil {
+			tr.Emit(obs.Event{Kind: "solver.iter", Solver: "vi", Iter: it + 1, Residual: worst})
+		}
 		if worst < stop {
+			sweepsTotal.Add(int64(it + 1))
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "solver.done", Solver: "vi", Iter: it + 1, Residual: worst})
+			}
 			return v, pol, nil
 		}
 	}
+	sweepsTotal.Add(int64(opts.MaxIterations))
 	return v, pol, errors.New("mdp: value iteration did not converge")
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"buanalysis/internal/bumdp"
 	"buanalysis/internal/mdp"
+	"buanalysis/internal/obs"
 	"buanalysis/internal/par"
 	"buanalysis/internal/stats"
 )
@@ -71,6 +72,14 @@ func (t Tally) Utility(model bumdp.IncentiveModel) float64 {
 // Run replays a solved policy against the BU model dynamics for the
 // given number of steps.
 func Run(a *bumdp.Analysis, pol mdp.Policy, steps int, seed int64) (Tally, error) {
+	return RunTraced(a, pol, steps, seed, nil)
+}
+
+// RunTraced is Run with a trace stream: "mc.split" when a fork opens,
+// "mc.resolve" when it closes (Depth = steps it lasted), and a final
+// "mc.done" carrying the tally's utility. A nil tracer is free, and
+// tracing never changes the replay.
+func RunTraced(a *bumdp.Analysis, pol mdp.Policy, steps int, seed int64, tr obs.Tracer) (Tally, error) {
 	if len(pol) != len(a.States) {
 		return Tally{}, fmt.Errorf("montecarlo: policy has %d entries, want %d", len(pol), len(a.States))
 	}
@@ -78,19 +87,25 @@ func Run(a *bumdp.Analysis, pol mdp.Policy, steps int, seed int64) (Tally, error
 		i := a.Index[s]
 		return int(a.Model.Actions(i)[pol[i]])
 	}
-	return RunStrategy(a.Params, action, steps, seed)
+	return RunStrategyTraced(a.Params, action, steps, seed, tr)
 }
 
 // RunStrategy replays an arbitrary strategy (a map from model state to
 // action) against the model dynamics. The strategy may return any action
 // valid for the state under the params' incentive model.
 func RunStrategy(p bumdp.Params, action func(bumdp.State) int, steps int, seed int64) (Tally, error) {
+	return RunStrategyTraced(p, action, steps, seed, nil)
+}
+
+// RunStrategyTraced is RunStrategy with a trace stream (see RunTraced).
+func RunStrategyTraced(p bumdp.Params, action func(bumdp.State) int, steps int, seed int64, tr obs.Tracer) (Tally, error) {
 	if steps <= 0 {
 		return Tally{}, errors.New("montecarlo: steps must be positive")
 	}
 	rng := rand.New(rand.NewSource(seed))
 	var t Tally
 	s := bumdp.State{}
+	forkStart := 0
 	for i := 0; i < steps; i++ {
 		if !s.Base() {
 			t.ForkSteps++
@@ -102,10 +117,20 @@ func RunStrategy(p bumdp.Params, action func(bumdp.State) int, steps int, seed i
 		}
 		if s.Base() && !ev.Next.Base() {
 			t.Splits++
+			forkStart = i
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "mc.split", Step: i})
+			}
+		}
+		if tr != nil && !s.Base() && ev.Next.Base() {
+			tr.Emit(obs.Event{Kind: "mc.resolve", Step: i, Depth: i - forkStart})
 		}
 		t.Delta = addDelta(t.Delta, ev.Delta)
 		s = ev.Next
 		t.Steps++
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: "mc.done", Step: t.Steps, Value: t.Utility(p.Model)})
 	}
 	return t, nil
 }
@@ -153,13 +178,28 @@ func CrossValidate(a *bumdp.Analysis, pol mdp.Policy, steps, batches int, seed i
 // CrossValidateWorkers is CrossValidate with an explicit worker count
 // (0 selects GOMAXPROCS, 1 is serial).
 func CrossValidateWorkers(a *bumdp.Analysis, pol mdp.Policy, steps, batches int, seed int64, workers int) (stats.Summary, error) {
+	return CrossValidateTraced(a, pol, steps, batches, seed, workers, nil)
+}
+
+// CrossValidateTraced is CrossValidateWorkers with a trace stream: each
+// batch's events are stamped with its batch index before they reach tr
+// (which therefore must be safe for concurrent use, as all obs sinks
+// are). Tracing never changes the summary.
+func CrossValidateTraced(a *bumdp.Analysis, pol mdp.Policy, steps, batches int, seed int64, workers int, tr obs.Tracer) (stats.Summary, error) {
 	if batches < 2 {
 		return stats.Summary{}, errors.New("montecarlo: need at least 2 batches")
 	}
 	vals := make([]float64, batches)
 	errs := make([]error, batches)
 	par.For(batches, workers, func(b int) {
-		t, err := Run(a, pol, steps, seed+int64(b))
+		bt := tr
+		if tr != nil {
+			bt = obs.TracerFunc(func(e obs.Event) {
+				e.Batch = b + 1
+				tr.Emit(e)
+			})
+		}
+		t, err := RunTraced(a, pol, steps, seed+int64(b), bt)
 		if err != nil {
 			errs[b] = err
 			return

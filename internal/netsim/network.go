@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"buanalysis/internal/chain"
+	"buanalysis/internal/obs"
 )
 
 // Config parameterizes a simulation.
@@ -23,6 +24,14 @@ type Config struct {
 	BlockDelay func(b *chain.Block, from, to *Node) float64
 	// Seed drives the simulation's randomness.
 	Seed int64
+	// Tracer, if non-nil, receives structured simulation events: one
+	// "sim.block" per block found, "sim.relay" per delivery, "sim.accept"
+	// / "sim.reject" for each node's validity decision, "sim.fork" while
+	// targets diverge, and "sim.reorg" when a node abandons blocks it
+	// mined on. Events are stamped with the simulation clock. Tracing
+	// never changes the simulation: the random stream and every decision
+	// are independent of it.
+	Tracer obs.Tracer
 }
 
 // Network is a running simulation.
@@ -82,6 +91,19 @@ func New(cfg Config, nodes []*Node) (*Network, error) {
 		net.nodes = append(net.nodes, n)
 	}
 	return net, nil
+}
+
+// traced reports whether a tracer is installed; expensive event fields
+// (fork depths, reorg extents) are computed only when it returns true.
+func (net *Network) traced() bool { return net.cfg.Tracer != nil }
+
+// emit stamps e with the simulation clock and hands it to the tracer.
+func (net *Network) emit(e obs.Event) {
+	if net.cfg.Tracer == nil {
+		return
+	}
+	e.T = net.sched.now
+	net.cfg.Tracer.Emit(e)
 }
 
 // Nodes returns the simulation's nodes.
@@ -146,7 +168,13 @@ func (net *Network) mineOnce() {
 		return
 	}
 	net.BlocksMined++
+	net.emit(obs.Event{Kind: "sim.block", Miner: winner.Name, Height: b.Height, Size: b.Size})
 	winner.receive(b)
+	if net.traced() {
+		if d := net.ForkDepth(); d > 0 {
+			net.emit(obs.Event{Kind: "sim.fork", Miner: winner.Name, Height: b.Height, Depth: d})
+		}
+	}
 	for _, n := range net.nodes {
 		if n == winner {
 			continue
@@ -159,7 +187,10 @@ func (net *Network) mineOnce() {
 			delay = math.Max(0, net.cfg.Delay(winner, n))
 		}
 		to := n
-		net.sched.at(net.sched.now+delay, func() { to.receive(b) })
+		net.sched.at(net.sched.now+delay, func() {
+			net.emit(obs.Event{Kind: "sim.relay", Node: to.Name, Miner: b.Miner, Height: b.Height, Size: b.Size})
+			to.receive(b)
+		})
 	}
 }
 

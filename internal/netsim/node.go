@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"buanalysis/internal/chain"
+	"buanalysis/internal/obs"
 	"buanalysis/internal/protocol"
 )
 
@@ -85,13 +86,36 @@ func (n *Node) ingest(b *chain.Block) {
 // its tip if it is strictly higher than the current target (longest
 // valid chain, first received wins ties).
 func (n *Node) evaluate(b *chain.Block) {
+	traced := n.net != nil && n.net.traced()
 	path := n.store.Path(b.ID())
 	depth := n.Rules.AcceptableDepth(path)
 	if depth < len(path)-1 {
 		n.rejections++
+		if traced {
+			// The validity rules (the node's local EB/AD gate) cut the
+			// chain's suffix; Depth counts the blocks refused.
+			n.net.emit(obs.Event{Kind: "sim.reject", Node: n.Name, Miner: b.Miner,
+				Height: b.Height, Size: b.Size, Depth: len(path) - 1 - depth})
+		}
 	}
 	cand := path[depth]
 	if cand.Height > n.target.Height {
+		if traced {
+			// A reorg abandons blocks: the old target is not on the new
+			// chain. path is rooted at genesis, so the old target sits at
+			// its own height when (and only when) it is an ancestor.
+			old := n.target
+			if old.Height >= len(path) || path[old.Height].ID() != old.ID() {
+				dropped := old.Height
+				if fp, err := n.store.ForkPoint(old.ID(), cand.ID()); err == nil {
+					dropped = old.Height - fp.Height
+				}
+				n.net.emit(obs.Event{Kind: "sim.reorg", Node: n.Name, Miner: cand.Miner,
+					Height: cand.Height, Depth: dropped})
+			}
+			n.net.emit(obs.Event{Kind: "sim.accept", Node: n.Name, Miner: cand.Miner,
+				Height: cand.Height, Size: cand.Size})
+		}
 		n.target = cand
 	}
 }

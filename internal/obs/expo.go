@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): # HELP / # TYPE comments
+// followed by one sample line per child, histograms expanded into
+// cumulative _bucket/_sum/_count series. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", m.name, m.kind.promType())
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.gauge.Value())
+		case kindCounterFunc:
+			fmt.Fprintf(&sb, "%s %d\n", m.name, m.intFn())
+		case kindGaugeFunc:
+			fmt.Fprintf(&sb, "%s %s\n", m.name, formatFloat(m.floatFn()))
+		case kindHistogram:
+			writePromHistogram(&sb, m.name, "", m.hist.Snapshot())
+		case kindCounterVec:
+			for _, c := range m.vec.sorted() {
+				fmt.Fprintf(&sb, "%s{%s} %d\n", m.name, promLabels(m.vec.labels, c.values), c.counter.Value())
+			}
+		case kindGaugeVec:
+			for _, c := range m.vec.sorted() {
+				fmt.Fprintf(&sb, "%s{%s} %d\n", m.name, promLabels(m.vec.labels, c.values), c.gauge.Value())
+			}
+		case kindHistogramVec:
+			for _, c := range m.vec.sorted() {
+				writePromHistogram(&sb, m.name, promLabels(m.vec.labels, c.values), c.hist.Snapshot())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func writePromHistogram(sb *strings.Builder, name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	plain := "" // label block for the _sum/_count series
+	if labels != "" {
+		plain = "{" + labels + "}"
+	}
+	for i, b := range s.Bounds {
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), s.Cumulative[i])
+	}
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, plain, formatFloat(s.Sum))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, plain, s.Count)
+}
+
+// promLabels renders label pairs for one child.
+func promLabels(names, values []string) string {
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", n, escapeLabel(values[i]))
+	}
+	return sb.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// histogramJSON is the JSON form of one histogram in the vars dump.
+type histogramJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+func histJSON(s HistogramSnapshot) histogramJSON {
+	h := histogramJSON{Count: s.Count, Sum: s.Sum, Buckets: make(map[string]int64, len(s.Bounds)+1)}
+	for i, b := range s.Bounds {
+		h.Buckets["le="+formatFloat(b)] = s.Cumulative[i]
+	}
+	h.Buckets["le=+Inf"] = s.Count
+	return h
+}
+
+// Snapshot returns every family's current value as a JSON-marshalable
+// map: plain instruments map name -> value, labeled families map
+// name -> {"label=value,...": value}, histograms to
+// {count, sum, buckets}. A nil registry yields an empty map.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = m.counter.Value()
+		case kindGauge:
+			out[m.name] = m.gauge.Value()
+		case kindCounterFunc:
+			out[m.name] = m.intFn()
+		case kindGaugeFunc:
+			out[m.name] = m.floatFn()
+		case kindHistogram:
+			out[m.name] = histJSON(m.hist.Snapshot())
+		case kindCounterVec, kindGaugeVec, kindHistogramVec:
+			kids := make(map[string]any)
+			for _, c := range m.vec.sorted() {
+				key := childKey(m.vec.labels, c.values)
+				switch m.kind {
+				case kindCounterVec:
+					kids[key] = c.counter.Value()
+				case kindGaugeVec:
+					kids[key] = c.gauge.Value()
+				default:
+					kids[key] = histJSON(c.hist.Snapshot())
+				}
+			}
+			out[m.name] = kids
+		}
+	}
+	return out
+}
+
+func childKey(names, values []string) string {
+	var sb strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteByte('=')
+		sb.WriteString(values[i])
+	}
+	return sb.String()
+}
+
+// WriteJSON renders the Snapshot as indented JSON — the
+// /debug/vars-style dump served by buserve and printed by the CLIs'
+// -metrics-dump flag.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(blob, '\n'))
+	return err
+}

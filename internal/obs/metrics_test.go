@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	// Re-registration under the same kind is idempotent.
+	if r.Counter("test_total", "again") != c {
+		t.Error("re-registering a counter did not return the original")
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "a-b", "a b", "a{b}"} {
+		func() {
+			defer func() { recover() }()
+			r.Counter(bad, "")
+			t.Errorf("name %q accepted", bad)
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-12 {
+		t.Errorf("sum = %g, want 106", s.Sum)
+	}
+	// Cumulative: <=1: {0.5, 1} = 2; <=2: +1.5 = 3; <=4: +3 = 4; +Inf: 5.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+}
+
+func TestVecFamilies(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("req_total", "requests", "endpoint")
+	cv.With("a").Add(2)
+	cv.With("b").Inc()
+	cv.With("a").Inc()
+	if got := cv.With("a").Value(); got != 3 {
+		t.Errorf(`req_total{endpoint="a"} = %d, want 3`, got)
+	}
+	hv := r.HistogramVec("dur_seconds", "", []float64{1}, "endpoint")
+	hv.With("a").Observe(0.5)
+	if got := hv.With("a").Snapshot().Count; got != 1 {
+		t.Errorf("histogram child count = %d, want 1", got)
+	}
+	snap := r.Snapshot()
+	kids, ok := snap["req_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot req_total = %T, want map", snap["req_total"])
+	}
+	if kids["endpoint=a"] != int64(3) {
+		t.Errorf("snapshot child = %v, want 3", kids["endpoint=a"])
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := int64(41)
+	r.CounterFunc("fn_total", "", func() int64 { return n })
+	r.GaugeFunc("fn_gauge", "", func() float64 { return 2.5 })
+	n++
+	snap := r.Snapshot()
+	if snap["fn_total"] != int64(42) {
+		t.Errorf("fn_total = %v, want 42", snap["fn_total"])
+	}
+	if snap["fn_gauge"] != 2.5 {
+		t.Errorf("fn_gauge = %v, want 2.5", snap["fn_gauge"])
+	}
+}
+
+// promLine matches one valid Prometheus text-format sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\n]*")*\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+
+func TestWritePrometheusValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "plain counter").Add(3)
+	r.Gauge("g", "a gauge\nwith newline").Set(-2)
+	r.Histogram("h_seconds", "hist", []float64{0.1, 1}).Observe(0.5)
+	r.CounterVec("v_total", "vec", "endpoint").With(`GET /x`).Inc()
+	r.GaugeFunc("gf", "", func() float64 { return 1.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	seen := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line: %q", line)
+		}
+		seen[line[:strings.LastIndex(line, " ")]] = true
+	}
+	for _, want := range []string{
+		"c_total", "g", "gf",
+		`h_seconds_bucket{le="0.1"}`, `h_seconds_bucket{le="+Inf"}`,
+		"h_seconds_sum", "h_seconds_count",
+		`v_total{endpoint="GET /x"}`,
+	} {
+		if !seen[want] {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, "# TYPE h_seconds histogram") {
+		t.Error("missing histogram TYPE line")
+	}
+	if strings.Contains(text, "with newline") && !strings.Contains(text, `\n`) {
+		t.Error("help newline not escaped")
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	g := r.Gauge("y", "")
+	h := r.Histogram("z", "", nil)
+	cv := r.CounterVec("v", "", "l")
+	gv := r.GaugeVec("w", "", "l")
+	hv := r.HistogramVec("u", "", nil, "l")
+	var s *Sample
+	r.CounterFunc("f", "", nil)
+	r.GaugeFunc("f2", "", nil)
+
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	cv.With("a").Inc()
+	gv.With("a").Set(2)
+	hv.With("a").Observe(1)
+	s.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 || s.Snapshot() != nil {
+		t.Error("nil instruments reported nonzero state")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	if got := len(r.Snapshot()); got != 0 {
+		t.Errorf("nil registry snapshot has %d entries", got)
+	}
+}
+
+func TestSampleWindow(t *testing.T) {
+	s := NewSample(4)
+	for i := 1; i <= 6; i++ {
+		s.Observe(float64(i))
+	}
+	snap := s.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(snap))
+	}
+	sum := 0.0
+	for _, v := range snap {
+		sum += v
+	}
+	if sum != 3+4+5+6 {
+		t.Errorf("window sum = %g, want 18 (last four)", sum)
+	}
+}
+
+// TestConcurrentHammering drives every instrument kind from many
+// goroutines at once; under -race (scripts/ci.sh) this is the
+// registry's data-race gate, and the totals prove no increment is lost.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ham_total", "")
+	g := r.Gauge("ham_gauge", "")
+	h := r.Histogram("ham_seconds", "", nil)
+	cv := r.CounterVec("ham_vec_total", "", "worker")
+	sample := NewSample(128)
+	ring := NewRingSink(128)
+	sink := NewJSONLSink(&strings.Builder{})
+
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	labels := []string{"a", "b", "c"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%10) / 10)
+				cv.With(labels[i%len(labels)]).Inc()
+				sample.Observe(float64(i))
+				ring.Emit(Event{Kind: "ham", Iter: i})
+				if i%100 == 0 {
+					sink.Emit(Event{Kind: "ham", Iter: i})
+					_ = r.Snapshot() // concurrent reads while writing
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	total := int64(0)
+	for _, l := range labels {
+		total += cv.With(l).Value()
+	}
+	if total != workers*per {
+		t.Errorf("vec total = %d, want %d", total, workers*per)
+	}
+	if got := ring.Total(); got != workers*per {
+		t.Errorf("ring total = %d, want %d", got, workers*per)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Errorf("sink flush: %v", err)
+	}
+}

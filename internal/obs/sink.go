@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONLSink writes each event as one JSON object per line. It is safe
+// for concurrent emitters (a mutex serializes lines, so records never
+// interleave) and buffers writes; call Close (or Flush) to drain.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // nil when the sink does not own the writer
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+// NewJSONLSink wraps an io.Writer. The caller keeps ownership of the
+// writer; Close only flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// NewJSONLFileSink creates (truncating) path and writes events to it;
+// Close flushes and closes the file.
+func NewJSONLFileSink(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.c = f
+	return s, nil
+}
+
+// Emit implements Tracer. The first write error is retained and
+// surfaced by Close; later events are dropped.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(e); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Events reports how many events have been written.
+func (s *JSONLSink) Events() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Flush drains the buffer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Close flushes and, for file-backed sinks, closes the file. It
+// returns the first error seen by Emit, Flush, or Close.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ferr := s.w.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	if s.c != nil {
+		if cerr := s.c.Close(); s.err == nil {
+			s.err = cerr
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// RingSink retains the most recent events in a fixed-capacity ring,
+// the in-memory counterpart to JSONLSink: tests and the golden
+// convergence checks read traces back without touching disk.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	pos     int
+	wrapped bool
+	total   int64
+}
+
+// NewRingSink returns a ring retaining the last n events.
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (s *RingSink) Emit(e Event) {
+	s.mu.Lock()
+	s.buf[s.pos] = e
+	s.pos++
+	if s.pos == len(s.buf) {
+		s.pos = 0
+		s.wrapped = true
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.wrapped {
+		return append([]Event(nil), s.buf[:s.pos]...)
+	}
+	out := make([]Event, 0, len(s.buf))
+	out = append(out, s.buf[s.pos:]...)
+	out = append(out, s.buf[:s.pos]...)
+	return out
+}
+
+// Total reports how many events have ever been emitted (including ones
+// the ring has since evicted).
+func (s *RingSink) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

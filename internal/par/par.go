@@ -12,7 +12,27 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"buanalysis/internal/obs"
 )
+
+// Package-level instruments, nil (free) until Observe installs them.
+var (
+	runsTotal     *obs.Counter
+	tasksTotal    *obs.Counter
+	activeWorkers *obs.Gauge
+)
+
+// Observe registers the scheduler's metrics on reg: parallel runs
+// started, indices/chunks dispatched, and the number of currently live
+// workers (a utilization gauge: compare against GOMAXPROCS). Call it
+// once at program start; a nil registry leaves the package
+// uninstrumented.
+func Observe(reg *obs.Registry) {
+	runsTotal = reg.Counter("par_runs_total", "Parallel For/ForChunks invocations.")
+	tasksTotal = reg.Counter("par_tasks_total", "Indices and chunks dispatched to workers.")
+	activeWorkers = reg.Gauge("par_active_workers", "Worker goroutines currently running parallel bodies.")
+}
 
 // Workers resolves a worker-count knob: values <= 0 select GOMAXPROCS;
 // the result is capped at n and floored at 1.
@@ -38,10 +58,14 @@ func Workers(workers, n int) int {
 // index order, with no goroutines.
 func For(n, workers int, body func(i int)) {
 	w := Workers(workers, n)
+	runsTotal.Inc()
+	tasksTotal.Add(int64(n))
 	if w == 1 {
+		activeWorkers.Add(1)
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		activeWorkers.Add(-1)
 		return
 	}
 	var next atomic.Int64
@@ -50,6 +74,8 @@ func For(n, workers int, body func(i int)) {
 	for k := 0; k < w; k++ {
 		go func() {
 			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -70,8 +96,12 @@ func For(n, workers int, body func(i int)) {
 // would dominate.
 func ForChunks(n, workers int, body func(k, lo, hi int)) int {
 	w := Workers(workers, n)
+	runsTotal.Inc()
+	tasksTotal.Add(int64(w))
 	if w == 1 {
+		activeWorkers.Add(1)
 		body(0, 0, n)
+		activeWorkers.Add(-1)
 		return 1
 	}
 	var wg sync.WaitGroup
@@ -80,6 +110,8 @@ func ForChunks(n, workers int, body func(k, lo, hi int)) int {
 		k, lo, hi := k, k*n/w, (k+1)*n/w
 		go func() {
 			defer wg.Done()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
 			body(k, lo, hi)
 		}()
 	}

@@ -52,7 +52,8 @@ func (s Summary) CI95() (lo, hi float64) {
 // Quantile returns the exact empirical p-quantile of xs, computed on a
 // sorted copy with linear interpolation between order statistics (the
 // same convention as numpy's default). p must lie in [0, 1]; p = 0 is
-// the minimum, p = 1 the maximum.
+// the minimum, p = 1 the maximum. An empty sample yields 0 (never NaN),
+// and a single-element sample yields that element at every p.
 func Quantile(xs []float64, p float64) (float64, error) {
 	qs, err := Quantiles(xs, p)
 	if err != nil {
@@ -64,14 +65,20 @@ func Quantile(xs []float64, p float64) (float64, error) {
 // Quantiles returns the exact empirical quantiles of xs at each
 // probability in ps. The input is copied and sorted once, so asking for
 // several quantiles costs one O(n log n) sort; xs is not modified.
+//
+// Degenerate samples have defined, NaN-free values: an empty xs yields
+// a zero for every probability (so metrics snapshots taken before any
+// observation render as 0, not NaN), and a single-element xs yields
+// that element at every p. Out-of-range probabilities are still errors
+// regardless of the sample.
 func Quantiles(xs []float64, ps ...float64) ([]float64, error) {
-	if len(xs) == 0 {
-		return nil, errors.New("stats: empty sample")
-	}
 	for _, p := range ps {
 		if p < 0 || p > 1 || math.IsNaN(p) {
 			return nil, errors.New("stats: quantile probability out of [0, 1]")
 		}
+	}
+	if len(xs) == 0 {
+		return make([]float64, len(ps)), nil
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)

@@ -87,9 +87,6 @@ func TestQuantilesInterpolation(t *testing.T) {
 }
 
 func TestQuantilesErrors(t *testing.T) {
-	if _, err := Quantiles(nil, 0.5); err == nil {
-		t.Error("accepted empty sample")
-	}
 	if _, err := Quantiles([]float64{1}, -0.1); err == nil {
 		t.Error("accepted p < 0")
 	}
@@ -98,6 +95,49 @@ func TestQuantilesErrors(t *testing.T) {
 	}
 	if _, err := Quantiles([]float64{1}, math.NaN()); err == nil {
 		t.Error("accepted NaN probability")
+	}
+	// Probability validation applies even when the sample is empty.
+	if _, err := Quantiles(nil, 1.1); err == nil {
+		t.Error("empty sample bypassed probability validation")
+	}
+}
+
+// TestQuantilesDegenerate pins the documented NaN-free behaviour of
+// empty and single-element samples (the /statsz pre-traffic case).
+func TestQuantilesDegenerate(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		ps   []float64
+		want []float64
+	}{
+		{"empty nil", nil, []float64{0.5, 0.95, 0.99}, []float64{0, 0, 0}},
+		{"empty slice", []float64{}, []float64{0, 1}, []float64{0, 0}},
+		{"empty no probs", nil, nil, []float64{}},
+		{"single mid", []float64{42}, []float64{0.5}, []float64{42}},
+		{"single extremes", []float64{-3}, []float64{0, 0.25, 1}, []float64{-3, -3, -3}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			qs, err := Quantiles(tc.xs, tc.ps...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(qs) != len(tc.want) {
+				t.Fatalf("got %d quantiles, want %d", len(qs), len(tc.want))
+			}
+			for i := range qs {
+				if math.IsNaN(qs[i]) {
+					t.Fatalf("q[%d] is NaN", i)
+				}
+				if qs[i] != tc.want[i] {
+					t.Errorf("q[%d] = %g, want %g", i, qs[i], tc.want[i])
+				}
+			}
+		})
+	}
+	if q, err := Quantile(nil, 0.5); err != nil || q != 0 {
+		t.Errorf("Quantile(nil, 0.5) = %g, %v; want 0, nil", q, err)
 	}
 }
 

@@ -1,9 +1,13 @@
 #!/bin/sh
-# Benchmark the experiment result store and emit BENCH_expstore.json:
-# cold solve latency, warm hit latency (memory and disk layers), and
-# hit-path throughput.
+# Benchmark the experiment result store and the observability layer.
 #
-#   scripts/bench.sh [output.json]     default output: BENCH_expstore.json
+#   scripts/bench.sh [expstore.json [obs.json]]
+#
+# Emits BENCH_expstore.json (cold solve latency, warm hit latency for
+# the memory and disk layers, hit-path throughput) and BENCH_obs.json
+# (disabled-tracer hook overhead, counter and histogram throughput,
+# ring-sink emit cost, with allocation counts — the disabled path must
+# be 0 allocs/op).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,8 +18,20 @@ case "$OUT" in
 *) OUT="$(pwd)/$OUT" ;;
 esac
 
+OBS_OUT="${2:-BENCH_obs.json}"
+case "$OBS_OUT" in
+/*) ;;
+*) OBS_OUT="$(pwd)/$OBS_OUT" ;;
+esac
+
 EXPSTORE_BENCH_OUT="$OUT" go test ./internal/expstore/ -run TestBenchEmit -count 1 -v |
 	grep -v '^=== RUN\|^--- PASS\|^PASS\|^ok ' || true
 
 echo "wrote $OUT:"
 cat "$OUT"
+
+OBS_BENCH_OUT="$OBS_OUT" go test ./internal/obs/ -run TestBenchEmit -count 1 -v |
+	grep -v '^=== RUN\|^--- PASS\|^PASS\|^ok ' || true
+
+echo "wrote $OBS_OUT:"
+cat "$OBS_OUT"

@@ -7,8 +7,8 @@
 #
 # The race pass covers the packages with real concurrency in their hot
 # paths: the parallel MDP solver engine, the BU analysis that drives it,
-# the Monte Carlo batch runner, and the experiment store (singleflight,
-# LRU, solve budget).
+# the Monte Carlo batch runner, the experiment store (singleflight,
+# LRU, solve budget), and the observability layer (registry, sinks).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,8 +27,8 @@ go build ./...
 echo "== go test ${SHORT} =="
 go test ${SHORT} ./...
 
-echo "== go test -race ${SHORT} (mdp, bumdp, montecarlo, expstore) =="
-go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/
+echo "== go test -race ${SHORT} (mdp, bumdp, montecarlo, expstore, obs) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/
 
 echo "== buserve smoke test =="
 SMOKE="$(mktemp -d)"
@@ -60,5 +60,11 @@ grep -qi '^x-cache: hit' "$SMOKE/h2"
 # A hit body must be byte-identical to the body the miss produced.
 cmp "$SMOKE/b1" "$SMOKE/b2"
 curl -fsS "http://$ADDR/statsz" | grep -q '"solves":1'
+# The metrics endpoints cover the store, the server, and the solver.
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '^expstore_solves_total 1$'
+echo "$METRICS" | grep -q '^buserve_requests_total{endpoint="GET /solve"} 2$'
+echo "$METRICS" | grep -q '^# TYPE mdp_solves_total counter$'
+curl -fsS "http://$ADDR/debug/vars" | grep -q '"expstore_solves_total": 1'
 
 echo "CI: all checks passed"
