@@ -88,6 +88,10 @@ type SolveStats struct {
 	// Probes is the number of inner average-reward solves (1 for the
 	// non-compliant model, the bisection count otherwise).
 	Probes int
+	// WarmProbes is how many probes started from a warm bias. Direct
+	// (non-session) solves warm-chain only within their own bisection;
+	// session solves additionally chain across cells.
+	WarmProbes int `json:",omitempty"`
 	// Iterations is the total number of Bellman sweeps across probes.
 	Iterations int
 	// Residual is the final solve's stopping residual.
@@ -202,6 +206,7 @@ func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
 		}
 		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes, Stats: SolveStats{
 			Probes:     r.Stats.Probes,
+			WarmProbes: r.Stats.WarmProbes,
 			Iterations: r.Stats.Iterations,
 			Residual:   r.Stats.Residual,
 			Workers:    r.Stats.Workers,

@@ -1,0 +1,176 @@
+package bumdp
+
+import (
+	"time"
+
+	"buanalysis/internal/mdp"
+)
+
+// sameShape reports whether two parameter sets (both defaults-applied)
+// compile to the same MDP structure — the same state enumeration and
+// the same (state, action, destination) skeleton. Structure depends
+// only on the acceptance depths, the protocol setting, the gate window,
+// and the incentive model (which selects the reward streams but also
+// the action sets the dynamics expose); the mining-power shares and
+// double-spend parameters scale probabilities and rewards on a fixed
+// skeleton, because zero-probability events are still enumerated.
+func sameShape(a, b Params) bool {
+	return a.AD == b.AD &&
+		a.ADBob == b.ADBob &&
+		a.ADCarol == b.ADCarol &&
+		a.Setting == b.Setting &&
+		a.GateWindow == b.GateWindow &&
+		a.Model == b.Model
+}
+
+// Rebind compiles the analysis for a new parameter set that shares this
+// analysis's model shape, reusing the frozen state enumeration, index,
+// and transition structure: only probabilities and rewards are
+// recomputed (mdp.Model.Reparameterize), which skips state enumeration
+// and offset construction entirely. The product is bit-identical to
+// New(p) — the differential tests pin this — and the receiver is not
+// modified. If p compiles to a different shape (different acceptance
+// depths, setting, gate window, or incentive model), Rebind falls back
+// to a full New(p).
+func (a *Analysis) Rebind(p Params) (*Analysis, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if !sameShape(a.Params, p) {
+		return New(p)
+	}
+	na := &Analysis{Params: p, States: a.States, Index: a.Index}
+	model, err := a.Model.Reparameterize(builder{na})
+	if err != nil {
+		// The shape check is a fast pre-filter; the reparameterization
+		// itself revalidates every state and falls back on any deviation.
+		return New(p)
+	}
+	na.Model = model
+	return na, nil
+}
+
+// Session solves a sequence of related instances — typically one sweep
+// row, cells varying only in mining-power shares — with cross-solve
+// reuse: one mdp.Workspace (buffers and worker pool allocated once,
+// each solve's first probe warm-started from the previous cell's bias)
+// and, for the ratio objectives, a bisection bracket seeded from the
+// previous cell's converged value. Rebinding to a same-shape parameter
+// set reparameterizes the model in place of a full recompile.
+//
+// Warm starts never change what a solve converges to beyond its
+// tolerances: every inner solve still runs to Epsilon and the seeded
+// bracket is verified by its own probes. A Session is not safe for
+// concurrent use; Close releases the workspace's worker goroutines.
+type Session struct {
+	a    *Analysis
+	ws   *mdp.Workspace
+	opts SolveOptions
+
+	haveValue bool
+	lastValue float64
+}
+
+// NewSession creates a warm-chained solving session for a's model
+// shape. The options' Parallelism fixes the workspace's sweep worker
+// count for the session's lifetime.
+func NewSession(a *Analysis, opts SolveOptions) *Session {
+	return &Session{a: a, ws: a.Model.NewWorkspace(opts.Parallelism), opts: opts.withDefaults()}
+}
+
+// Close releases the session's solver workspace.
+func (s *Session) Close() { s.ws.Close() }
+
+// Analysis returns the session's current analysis.
+func (s *Session) Analysis() *Analysis { return s.a }
+
+// Reset discards the warm chain: the next solve starts cold, exactly
+// like a fresh session.
+func (s *Session) Reset() {
+	s.haveValue = false
+	s.ws.ResetBias()
+}
+
+// Rebind re-targets the session at a new parameter set. Same-shape
+// parameters keep the workspace, its warm bias, and the value chain
+// (Analysis.Rebind fast path); a shape change rebuilds the workspace
+// and restarts the chain cold.
+func (s *Session) Rebind(p Params) error {
+	na, err := s.a.Rebind(p)
+	if err != nil {
+		return err
+	}
+	if err := s.ws.Bind(na.Model); err != nil {
+		// Different shape: the old workspace's buffers do not fit.
+		s.ws.Close()
+		s.ws = na.Model.NewWorkspace(s.opts.Parallelism)
+		s.haveValue = false
+	}
+	s.a = na
+	return nil
+}
+
+// Solve computes the optimal utility of the session's current
+// parameters, warm-started from the previous solve in the chain. The
+// result matches SolveWith within the configured tolerances.
+func (s *Session) Solve() (Result, error) {
+	a, opts := s.a, s.opts
+	start := time.Now()
+	inner := mdp.Options{Epsilon: opts.Epsilon, Tracer: opts.Tracer}
+	var res Result
+	switch a.Params.Model {
+	case NonCompliant:
+		r, err := s.ws.AverageReward(inner)
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Utility: r.Gain, Probes: 1, Stats: SolveStats{
+			Probes:     1,
+			Iterations: r.Stats.Iterations,
+			Residual:   r.Stats.Residual,
+			Workers:    r.Stats.Workers,
+		}}
+		if r.Stats.Warm {
+			res.Stats.WarmProbes = 1
+		}
+		// The workspace's policy buffer is borrowed; Result keeps a copy.
+		res.Policy = append(mdp.Policy(nil), r.Policy...)
+	default:
+		hi := 1.0
+		lo := 0.0
+		if a.Params.Model == Compliant {
+			// Honest mining guarantees relative revenue alpha.
+			lo = a.Params.Alpha * 0.999
+		}
+		ro := mdp.RatioOptions{
+			Lo: lo, Hi: hi, Tolerance: opts.RatioTol, Inner: inner, Tracer: opts.Tracer,
+		}
+		if s.haveValue {
+			ro.WarmBracket = true
+			ro.WarmValue = s.lastValue
+		}
+		r, err := s.ws.SolveRatio(ro)
+		if err != nil {
+			return Result{}, err
+		}
+		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes, Stats: SolveStats{
+			Probes:     r.Stats.Probes,
+			WarmProbes: r.Stats.WarmProbes,
+			Iterations: r.Stats.Iterations,
+			Residual:   r.Stats.Residual,
+			Workers:    r.Stats.Workers,
+		}}
+		s.lastValue = r.Value
+		s.haveValue = true
+	}
+	forkOpts := mdp.Options{Epsilon: opts.Epsilon, Parallelism: opts.Parallelism, Tracer: opts.Tracer}
+	fork, err := a.Model.StateVisitRate(res.Policy, func(st int) bool {
+		return !a.States[st].Base()
+	}, forkOpts)
+	if err == nil {
+		res.ForkRate = fork
+	}
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/mdp"
+)
+
+// solverBenchGrid is one cold-vs-warm comparison of the solver
+// benchmark: a sweep grid solved once with NoChain (independent cold
+// cells, the pre-workspace behavior) and once on the warm-chained
+// default path.
+type solverBenchGrid struct {
+	Name       string  `json:"name"`
+	Cells      int     `json:"cells"`
+	ColdMillis float64 `json:"cold_ms"`
+	WarmMillis float64 `json:"warm_ms"`
+	ColdProbes int     `json:"cold_probes"`
+	WarmProbes int     `json:"warm_probes"`
+	ColdSweeps int64   `json:"cold_sweeps"`
+	WarmSweeps int64   `json:"warm_sweeps"`
+	Speedup    float64 `json:"speedup"`
+	MaxValDiff float64 `json:"max_value_diff"`
+}
+
+type solverBenchReport struct {
+	Benchmark      string            `json:"benchmark"`
+	RatioTol       float64           `json:"ratio_tol"`
+	Epsilon        float64           `json:"epsilon"`
+	Workers        int               `json:"workers"`
+	Grids          []solverBenchGrid `json:"grids"`
+	TotalColdMs    float64           `json:"total_cold_ms"`
+	TotalWarmMs    float64           `json:"total_warm_ms"`
+	Speedup        float64           `json:"speedup"`
+	AllocsPerProbe float64           `json:"workspace_allocs_per_probe"`
+}
+
+// TestBenchSolver measures the Table-2 sweep with and without the
+// workspace/warm-chain layer and writes the result as JSON to
+// $SOLVER_BENCH_OUT. scripts/bench.sh drives it; plain `go test` skips
+// it. The cold runs use NoChain, which solves every cell independently
+// exactly as the solver did before workspaces existed, so the ratio is
+// a like-for-like wall-clock comparison on identical grids.
+//
+// The setting-2 block is restricted to the splits that solve in ~1 s
+// each; the alpha = beta boundary cells (1:2 at alpha 25%) sit on a
+// long sticky-gate transient that takes minutes cold or warm (a known
+// property of the model, see PaperTable) and would only add noise.
+func TestBenchSolver(t *testing.T) {
+	out := os.Getenv("SOLVER_BENCH_OUT")
+	if out == "" {
+		t.Skip("set SOLVER_BENCH_OUT to run the solver benchmark")
+	}
+
+	base := SweepConfig{
+		RatioTol: 1e-4, Epsilon: 1e-8,
+		Workers: 1, InnerParallelism: 1,
+	}
+	report := solverBenchReport{
+		Benchmark: "table2_sweep_warm_vs_cold",
+		RatioTol:  base.RatioTol, Epsilon: base.Epsilon,
+		Workers: base.Workers,
+	}
+
+	grids := []struct {
+		name string
+		cfg  SweepConfig
+	}{
+		{"table2_setting1_full", func() SweepConfig {
+			c := base
+			c.Alphas = []float64{0.10, 0.15, 0.20, 0.25}
+			c.Settings = []bumdp.Setting{bumdp.Setting1}
+			return c
+		}()},
+		{"table2_setting2_row", func() SweepConfig {
+			c := base
+			c.Alphas = []float64{0.25}
+			c.Ratios = []Ratio{{"2:1", 2, 1}, {"3:2", 3, 2}, {"1:1", 1, 1}, {"2:3", 2, 3}}
+			c.Settings = []bumdp.Setting{bumdp.Setting2}
+			return c
+		}()},
+	}
+
+	for _, g := range grids {
+		cold := g.cfg
+		cold.NoChain = true
+		t0 := time.Now()
+		coldCells := Sweep(bumdp.Compliant, cold)
+		coldDur := time.Since(t0)
+
+		t0 = time.Now()
+		warmCells := Sweep(bumdp.Compliant, g.cfg)
+		warmDur := time.Since(t0)
+
+		row := solverBenchGrid{
+			Name:       g.name,
+			ColdMillis: float64(coldDur.Microseconds()) / 1e3,
+			WarmMillis: float64(warmDur.Microseconds()) / 1e3,
+			Speedup:    float64(coldDur) / float64(warmDur),
+		}
+		for i := range coldCells {
+			c, w := coldCells[i], warmCells[i]
+			if c.Skipped {
+				continue
+			}
+			if c.Err != nil || w.Err != nil {
+				t.Fatalf("%s %s: cold err %v warm err %v", g.name, c.Key(), c.Err, w.Err)
+			}
+			row.Cells++
+			row.ColdProbes += c.Stats.Probes
+			row.WarmProbes += w.Stats.Probes
+			row.ColdSweeps += int64(c.Stats.Iterations)
+			row.WarmSweeps += int64(w.Stats.Iterations)
+			if d := math.Abs(c.Value - w.Value); d > row.MaxValDiff {
+				row.MaxValDiff = d
+			}
+		}
+		if row.MaxValDiff > 1.5*base.RatioTol {
+			t.Fatalf("%s: warm values drifted %g beyond tolerance", g.name, row.MaxValDiff)
+		}
+		report.Grids = append(report.Grids, row)
+		report.TotalColdMs += row.ColdMillis
+		report.TotalWarmMs += row.WarmMillis
+		t.Logf("%s: cold %.1fms (%d probes %d sweeps) warm %.1fms (%d probes %d sweeps) speedup %.2f",
+			g.name, row.ColdMillis, row.ColdProbes, row.ColdSweeps,
+			row.WarmMillis, row.WarmProbes, row.WarmSweeps, row.Speedup)
+	}
+	report.Speedup = report.TotalColdMs / report.TotalWarmMs
+
+	// Steady-state allocation cost of one warm workspace probe on a
+	// real model (setting 1, 211 states). The mdp test suite pins this
+	// at zero; the benchmark records the measured value.
+	a, err := bumdp.New(bumdp.Params{Alpha: 0.2, Beta: 0.4, Gamma: 0.4, Model: bumdp.Compliant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := a.Model.NewWorkspace(1)
+	defer ws.Close()
+	if _, err := ws.AverageReward(mdp.Options{Epsilon: 1e-8}); err != nil {
+		t.Fatal(err)
+	}
+	report.AllocsPerProbe = testing.AllocsPerRun(10, func() {
+		if _, err := ws.AverageReward(mdp.Options{Epsilon: 1e-8}); err != nil {
+			panic(err)
+		}
+	})
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("total: cold %.1fms warm %.1fms speedup %.2f (allocs/probe %.1f)",
+		report.TotalColdMs, report.TotalWarmMs, report.Speedup, report.AllocsPerProbe)
+	if report.Speedup < 1.5 {
+		t.Errorf("warm-chained sweep speedup %.2f below the 1.5x target", report.Speedup)
+	}
+}

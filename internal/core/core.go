@@ -91,11 +91,20 @@ type SweepConfig struct {
 	Workers int
 	// InnerParallelism is the Bellman-sweep worker count inside each
 	// cell's solver. 0 picks a heuristic: serial sweeps when several
-	// cells already run concurrently (cell-level parallelism scales
-	// better and avoids oversubscription), automatic sweep parallelism
-	// when Workers is 1. Explicit values are passed through. Cell
-	// values are bit-identical for every setting.
+	// chains already run concurrently (chain-level parallelism scales
+	// better and avoids oversubscription; a chain is one warm-started
+	// row on the direct path, one cell when SolveCell is installed or
+	// chaining is off), automatic sweep parallelism otherwise. Explicit
+	// values are passed through. Cell values are identical for every
+	// setting.
 	InnerParallelism int
+	// NoChain disables warm-start chaining on the direct solve path:
+	// every cell is solved cold and independently, exactly as before
+	// chaining existed. Chained and cold cells agree within the solver
+	// tolerances (the golden-table tests pin both against the paper);
+	// cold solves are the reproducible-by-construction reference.
+	// Store-backed sweeps (SolveCell) never chain regardless.
+	NoChain bool
 	// SolveCell, when non-nil, overrides how each non-skipped cell is
 	// solved; the built-in solver is SolveOne. The experiment store uses
 	// it to answer cells from cache and fill misses, without the sweep
@@ -135,21 +144,40 @@ func (c SweepConfig) withDefaults(model bumdp.IncentiveModel) SweepConfig {
 	if c.Workers == 0 {
 		c.Workers = par.Workers(0, 1<<30)
 	}
-	if c.InnerParallelism == 0 && c.Workers > 1 {
-		c.InnerParallelism = 1
-	}
 	if c.ADs == nil {
 		c.ADs = []int{c.AD}
+	}
+	if c.InnerParallelism == 0 && c.Workers > 1 {
+		// Serialize the inner sweeps only when several chains actually
+		// run concurrently; a single-chain sweep keeps automatic inner
+		// parallelism because nothing competes with it.
+		chains := len(c.ADs) * len(c.Settings) * len(c.Alphas)
+		if c.SolveCell != nil || c.NoChain {
+			chains *= len(c.Ratios)
+		}
+		if chains > 1 {
+			c.InnerParallelism = 1
+		}
 	}
 	_ = model
 	return c
 }
 
 // Sweep solves the BU MDP over the configured grid for one incentive
-// model. Independent cells are solved concurrently on cfg.Workers
-// goroutines; each cell's result is identical to a serial run. Cells
-// violating the paper's admissibility constraint are returned with
-// Skipped set. The result is ordered by (ad, setting, alpha, ratio).
+// model. Cells violating the paper's admissibility constraint are
+// returned with Skipped set. The result is ordered by (ad, setting,
+// alpha, ratio).
+//
+// On the direct path each row — the cells sharing (ad, setting, alpha),
+// which differ only in the Bob:Carol split — is solved as one warm
+// chain on a shared bumdp.Session: one compiled model reparameterized
+// per cell, one solver workspace, each cell's bisection seeded with its
+// left neighbor's bias and value. Rows are solved concurrently on
+// cfg.Workers goroutines, and because a chain never crosses a row
+// boundary the results are identical at every worker count. NoChain
+// restores fully independent cold cells; an installed SolveCell (the
+// experiment store) always solves cells independently, so cached
+// artifacts are unaffected by chaining.
 func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 	cfg = cfg.withDefaults(model)
 	var cells []Cell
@@ -165,17 +193,65 @@ func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 			}
 		}
 	}
-	solve := cfg.SolveOne
-	if cfg.SolveCell != nil {
-		solve = cfg.SolveCell
-	}
-	par.For(len(cells), cfg.Workers, func(i int) {
-		if cells[i].Skipped {
-			return
+	if cfg.SolveCell != nil || cfg.NoChain {
+		solve := cfg.SolveOne
+		if cfg.SolveCell != nil {
+			solve = cfg.SolveCell
 		}
-		cells[i] = solve(cells[i])
+		par.For(len(cells), cfg.Workers, func(i int) {
+			if cells[i].Skipped {
+				return
+			}
+			cells[i] = solve(cells[i])
+		})
+		return cells
+	}
+	rowLen := len(cfg.Ratios)
+	par.For(len(cells)/rowLen, cfg.Workers, func(r int) {
+		cfg.solveRow(cells[r*rowLen : (r+1)*rowLen])
 	})
 	return cells
+}
+
+// solveRow solves one sweep row left to right on a shared warm-chained
+// session. Skipped cells stay skipped; the chain continues across them.
+// A cell whose solve fails records its error and the chain simply
+// retries session setup at the next cell.
+func (cfg SweepConfig) solveRow(row []Cell) {
+	var sess *bumdp.Session
+	defer func() {
+		if sess != nil {
+			sess.Close()
+		}
+	}()
+	for i := range row {
+		if row[i].Skipped {
+			continue
+		}
+		c := row[i]
+		params, opts := cfg.CellParams(c)
+		if sess == nil {
+			a, err := bumdp.New(params)
+			if err != nil {
+				row[i].Err = err
+				continue
+			}
+			sess = bumdp.NewSession(a, opts)
+		} else if err := sess.Rebind(params); err != nil {
+			row[i].Err = err
+			continue
+		}
+		res, err := sess.Solve()
+		if err != nil {
+			row[i].Err = err
+			continue
+		}
+		c.Value = res.Utility
+		c.Honest = sess.Analysis().HonestUtility()
+		c.ForkRate = res.ForkRate
+		c.Stats = res.Stats
+		row[i] = c
+	}
 }
 
 // RatioByName finds a ratio in ratios by its display name, falling back

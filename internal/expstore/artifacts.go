@@ -157,6 +157,12 @@ func Sweep(st *Store, model bumdp.IncentiveModel, cfg core.SweepConfig) []core.C
 // answered from the store and how many had to be solved.
 func SweepStats(st *Store, model bumdp.IncentiveModel, cfg core.SweepConfig) (cells []core.Cell, hits, misses int) {
 	cfg = cfg.Normalized(model)
+	// Store cells solve independently (one cell per chain, never warm),
+	// so apply the per-cell oversubscription heuristic that Normalized
+	// could not anticipate with SolveCell still uninstalled.
+	if cfg.InnerParallelism == 0 && cfg.Workers > 1 {
+		cfg.InnerParallelism = 1
+	}
 	base := cfg
 	var h, m atomic.Int64
 	cfg.SolveCell = func(c core.Cell) core.Cell {

@@ -126,13 +126,27 @@ func TestSweepMatchesUncachedSweep(t *testing.T) {
 	s := mustOpen(t, Config{})
 	cfg := sweepTestConfig()
 	cached := Sweep(s, bumdp.Compliant, cfg)
-	direct := core.Sweep(bumdp.Compliant, cfg)
-	if len(cached) != len(direct) {
-		t.Fatalf("grid sizes differ: %d vs %d", len(cached), len(direct))
+
+	// Store cells are always solved cold and independently, so they are
+	// bit-identical to a direct unchained sweep.
+	coldCfg := cfg
+	coldCfg.NoChain = true
+	cold := core.Sweep(bumdp.Compliant, coldCfg)
+	if len(cached) != len(cold) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(cached), len(cold))
 	}
-	for i := range direct {
-		if cached[i].Value != direct[i].Value {
-			t.Errorf("cell %d: cached %v direct %v", i, cached[i].Value, direct[i].Value)
+	for i := range cold {
+		if cached[i].Value != cold[i].Value {
+			t.Errorf("cell %d: cached %v cold direct %v", i, cached[i].Value, cold[i].Value)
+		}
+	}
+
+	// The default direct sweep warm-chains its rows: same cells within
+	// the bisection tolerance, not bit-identical.
+	chained := core.Sweep(bumdp.Compliant, cfg)
+	for i := range chained {
+		if d := math.Abs(cached[i].Value - chained[i].Value); d > 1.5*cfg.RatioTol {
+			t.Errorf("cell %d: cached %v chained %v (diff %g)", i, cached[i].Value, chained[i].Value, d)
 		}
 	}
 }

@@ -224,14 +224,182 @@ func (m *Model) buildHotArrays() {
 // objective Num - rho*Den, the only reward view the sweep kernels need.
 func (m *Model) shiftedRewards(rho float64) []float64 {
 	shift := make([]float64, len(m.eNum))
-	if rho == 0 {
-		copy(shift, m.eNum)
-		return shift
-	}
-	for k := range shift {
-		shift[k] = m.eNum[k] - rho*m.eDen[k]
-	}
+	m.shiftedRewardsInto(shift, rho)
 	return shift
+}
+
+// shiftedRewardsInto writes the shifted rewards into dst (length
+// NumStateActions), letting a Workspace reuse one scratch vector across
+// the probes of a bisection instead of allocating per probe.
+func (m *Model) shiftedRewardsInto(dst []float64, rho float64) {
+	if rho == 0 {
+		copy(dst, m.eNum)
+		return
+	}
+	for k := range dst {
+		dst[k] = m.eNum[k] - rho*m.eDen[k]
+	}
+}
+
+// Reparameterize compiles b against the receiver's frozen structure: it
+// revalidates and rewrites the transition probabilities and rewards
+// while sharing the state/action/destination skeleton (stateOff,
+// actionID, saOff, tto) with the receiver, skipping offset construction
+// entirely. It is the fast path for sweeps whose cells vary only
+// numeric parameters (mining-power shares, reward sizes): such builders
+// enumerate the same (state, action, destination) structure every time,
+// only with different probabilities and rewards.
+//
+// The product is bit-identical to a fresh Compile of b — same tprob,
+// tto, eNum, eDen, and offsets — or an error if b's structure deviates
+// from the receiver's anywhere (different action sets, transition
+// counts, or destinations), in which case the caller should fall back
+// to Compile. The receiver is not modified.
+func (m *Model) Reparameterize(b Builder) (*Model, error) {
+	return m.ReparameterizeWorkers(b, 0)
+}
+
+// ReparameterizeWorkers is Reparameterize with an explicit worker
+// count, following CompileWorkers semantics.
+func (m *Model) ReparameterizeWorkers(b Builder, workers int) (*Model, error) {
+	n := b.NumStates()
+	if n != m.numStates {
+		return nil, fmt.Errorf("mdp: reparameterize: builder has %d states, frozen structure has %d", n, m.numStates)
+	}
+	nm := &Model{
+		numStates: n,
+		stateOff:  m.stateOff,
+		actionID:  m.actionID,
+		saOff:     m.saOff,
+		tto:       m.tto,
+		trans:     make([]Transition, len(m.trans)),
+		tprob:     make([]float64, len(m.tprob)),
+		eNum:      make([]float64, len(m.eNum)),
+		eDen:      make([]float64, len(m.eDen)),
+	}
+	w := effectiveWorkers(workers, n, minAutoStatesPerCompileWorker)
+	if w == 1 {
+		if err := m.reparamRange(b, nm, 0, n); err != nil {
+			return nil, err
+		}
+		reparamsTotal.Inc()
+		return nm, nil
+	}
+	bounds := splitRange(n, w, 1)
+	errs := make([]error, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = m.reparamRange(b, nm, bounds[i], bounds[i+1])
+		}(i)
+	}
+	wg.Wait()
+	// Chunks cover disjoint state ranges; reporting the lowest-state
+	// error keeps the result independent of the worker count.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	reparamsTotal.Inc()
+	return nm, nil
+}
+
+// reparamRange revalidates states [lo, hi) of b against m's frozen
+// structure and writes their probabilities and rewards into nm. The
+// expected-reward accumulation visits transitions in the same order as
+// buildHotArrays, so the results are bit-identical to a fresh Compile.
+func (m *Model) reparamRange(b Builder, nm *Model, lo, hi int) error {
+	for s := lo; s < hi; s++ {
+		acts := b.Actions(s)
+		k0, k1 := m.stateOff[s], m.stateOff[s+1]
+		if len(acts) != int(k1-k0) {
+			return fmt.Errorf("mdp: reparameterize: state %d has %d actions, frozen structure has %d", s, len(acts), k1-k0)
+		}
+		for i, a := range acts {
+			k := k0 + int32(i)
+			if int32(a) != m.actionID[k] {
+				return fmt.Errorf("mdp: reparameterize: state %d slot %d is action %d, frozen structure has %d", s, i, a, m.actionID[k])
+			}
+			trs := b.Transitions(s, a)
+			j0, j1 := m.saOff[k], m.saOff[k+1]
+			if len(trs) != int(j1-j0) {
+				return fmt.Errorf("mdp: reparameterize: state %d action %d has %d transitions, frozen structure has %d", s, a, len(trs), j1-j0)
+			}
+			total, en, ed := 0.0, 0.0, 0.0
+			for t, tr := range trs {
+				j := j0 + int32(t)
+				if int32(tr.To) != m.tto[j] {
+					return fmt.Errorf("mdp: reparameterize: state %d action %d transition %d goes to %d, frozen structure has %d", s, a, t, tr.To, m.tto[j])
+				}
+				if tr.Prob < 0 {
+					return fmt.Errorf("mdp: state %d action %d: negative probability %g", s, a, tr.Prob)
+				}
+				total += tr.Prob
+				en += tr.Prob * tr.Num
+				ed += tr.Prob * tr.Den
+				nm.trans[j] = tr
+				nm.tprob[j] = tr.Prob
+			}
+			if math.Abs(total-1) > probTolerance {
+				return fmt.Errorf("mdp: state %d action %d: probabilities sum to %g, want 1", s, a, total)
+			}
+			nm.eNum[k] = en
+			nm.eDen[k] = ed
+		}
+	}
+	return nil
+}
+
+// ModelsIdentical reports whether two compiled models are bit-identical
+// in every array — offsets, action identifiers, transition records, the
+// hot mirrors, and the expected rewards. It exists so differential tests
+// can pin structure-sharing fast paths (Reparameterize) against a fresh
+// Compile.
+func ModelsIdentical(a, b *Model) bool {
+	if a.numStates != b.numStates {
+		return false
+	}
+	eqI32 := func(x, y []int32) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	eqF64 := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eqI32(a.stateOff, b.stateOff) || !eqI32(a.actionID, b.actionID) ||
+		!eqI32(a.saOff, b.saOff) || !eqI32(a.tto, b.tto) {
+		return false
+	}
+	if !eqF64(a.tprob, b.tprob) || !eqF64(a.eNum, b.eNum) || !eqF64(a.eDen, b.eDen) {
+		return false
+	}
+	if len(a.trans) != len(b.trans) {
+		return false
+	}
+	for i := range a.trans {
+		if a.trans[i] != b.trans[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NumStates reports the number of states in the model.

@@ -28,9 +28,26 @@ type RatioOptions struct {
 	// GOMAXPROCS (with the small-model serial fallback), 1 the serial
 	// path; all settings are bit-identical (see Options.Parallelism).
 	Parallelism int
+	// WarmBracket enables seeding the bisection bracket from WarmValue, a
+	// neighboring solve's converged ratio: the search first probes
+	// WarmValue ± WarmMargin and, when those probes confirm the optimum
+	// lies between them, refines the narrowed bracket instead of
+	// [Lo, Hi]. The seed probes double as safety checks — a stale
+	// WarmValue only shifts which points get probed and the search falls
+	// back to the full bracket (including the Hi-expansion loop) — so
+	// seeding changes probe counts but keeps the result within Tolerance
+	// of the unseeded search. Seeded searches also place probes by
+	// safeguarded false position instead of pure midpoint bisection (see
+	// Workspace.SolveRatio); unseeded searches are untouched.
+	WarmBracket bool
+	// WarmValue is the neighboring value WarmBracket seeds from.
+	WarmValue float64
+	// WarmMargin is the half-width of the seeded bracket. Default 0.02.
+	WarmMargin float64
 	// Tracer, if non-nil, receives "ratio.probe" events (one per inner
 	// solve, with the candidate rho and resulting gain), "ratio.bracket"
-	// events whenever the root-search bracket moves, and a final
+	// events whenever the root-search bracket moves, a "solver.warm"
+	// event when the bracket is seeded from a neighbor, and a final
 	// "ratio.done". It is also installed on the inner solves when
 	// Inner.Tracer is unset, so the stream interleaves bisection progress
 	// with each probe's convergence trace. Tracing never changes results.
@@ -47,6 +64,9 @@ func (o RatioOptions) withDefaults() RatioOptions {
 	if o.Hi == 0 {
 		o.Hi = 1
 	}
+	if o.WarmMargin == 0 {
+		o.WarmMargin = 0.02
+	}
 	if o.Inner.Parallelism == 0 {
 		o.Inner.Parallelism = o.Parallelism
 	}
@@ -60,6 +80,11 @@ func (o RatioOptions) withDefaults() RatioOptions {
 type RatioStats struct {
 	// Probes is the number of inner average-reward solves performed.
 	Probes int
+	// WarmProbes is how many of those probes started from a warm bias
+	// (within one bisection every probe after the first chains the
+	// previous probe's bias; on a warm-chained workspace the first probe
+	// is warm too).
+	WarmProbes int
 	// Iterations is the total number of Bellman sweeps across probes.
 	Iterations int
 	// Residual is the final inner solve's residual.
@@ -94,7 +119,22 @@ type RatioResult struct {
 // competes for the optimum; policies with zero Den rate (for example an
 // attacker that never mines) have auxiliary gain exactly zero and are handled
 // by the GainSlack threshold.
+//
+// Each call runs on a transient Workspace; callers solving many ratios
+// on one model shape should hold a Workspace and call its SolveRatio.
 func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
+	opts = opts.withDefaults()
+	ws := m.NewWorkspace(opts.Inner.Parallelism)
+	defer ws.Close()
+	return ws.SolveRatio(opts)
+}
+
+// SolveRatio is Model.SolveRatio on the workspace: the 20–40 bisection
+// probes share the workspace's buffers and worker pool, each probe after
+// the first warm-starts from the previous probe's bias, and the in-place
+// shifted-reward rewrite makes the steady-state probe allocation-free.
+// The returned Policy is a fresh copy (not a borrowed buffer).
+func (ws *Workspace) SolveRatio(opts RatioOptions) (RatioResult, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
 	lo, hi := opts.Lo, opts.Hi
@@ -104,19 +144,20 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 
 	stats := RatioStats{}
 	tr := opts.Tracer
-	var warm []float64
+	inner := opts.Inner
 	gainAt := func(rho float64) (Result, error) {
 		stats.Probes++
 		probesTotal.Inc()
-		inner := opts.Inner
 		inner.Rho = rho
-		inner.Warm = warm
-		res, err := m.AverageReward(inner)
+		res, err := ws.AverageReward(inner)
+		// Later probes chain the workspace's bias; an explicit Inner.Warm
+		// only seeds the first.
+		inner.Warm = nil
 		stats.Iterations += res.Stats.Iterations
 		stats.Residual = res.Stats.Residual
 		stats.Workers = res.Stats.Workers
-		if err == nil {
-			warm = res.Bias
+		if res.Stats.Warm {
+			stats.WarmProbes++
 		}
 		if tr != nil && err == nil {
 			tr.Emit(obs.Event{Kind: "ratio.probe", Probe: stats.Probes, Rho: rho,
@@ -124,52 +165,154 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 		}
 		return res, err
 	}
-	finish := func(value float64, pol Policy) RatioResult {
+	// The bisection's incumbent policy must outlive the probes that
+	// overwrite the workspace's policy buffer, so keep copies it aside.
+	var pol Policy
+	keep := func(p Policy) {
+		copy(ws.bestPol, p)
+		pol = ws.bestPol
+	}
+	finish := func(value float64) RatioResult {
 		stats.Duration = time.Since(start)
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: "ratio.done", Probe: stats.Probes, Rho: value})
 		}
-		return RatioResult{Value: value, Policy: pol, Probes: stats.Probes, Stats: stats}
+		out := make(Policy, len(pol))
+		copy(out, pol)
+		return RatioResult{Value: value, Policy: out, Probes: stats.Probes, Stats: stats}
+	}
+
+	// The endpoint gains, once known from earlier probes, let seeded
+	// searches place probes by false position instead of midpoint.
+	var gLo, gHi float64
+	haveGLo, haveGHi := false, false
+
+	// Warm bracket seeding: probe the neighborhood of a nearby solve's
+	// value before falling back to the full [Lo, Hi] search. Both seed
+	// probes are verified — the bracket invariant (gain(lo) > slack or lo
+	// is the floor; gain(hi) <= slack once verified) is never assumed.
+	hiVerified := false
+	if opts.WarmBracket {
+		wlo, whi := opts.WarmValue-opts.WarmMargin, opts.WarmValue+opts.WarmMargin
+		if wlo < lo {
+			wlo = lo
+		}
+		if whi > hi {
+			whi = hi
+		}
+		if wlo < whi && (wlo > lo || whi < hi) {
+			warmBracketsTotal.Inc()
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "solver.warm", Solver: "ratio", Detail: "bracket",
+					BracketLo: wlo, BracketHi: whi})
+			}
+			if wlo > lo {
+				r, err := gainAt(wlo)
+				if err != nil {
+					return RatioResult{}, err
+				}
+				if r.Gain > opts.GainSlack {
+					lo, gLo, haveGLo = wlo, r.Gain, true
+					keep(r.Policy)
+				} else {
+					// The optimum sits at or below the seeded floor: the
+					// probe makes it a verified ceiling instead.
+					hi, gHi, haveGHi = wlo, r.Gain, true
+					hiVerified = true
+				}
+			}
+			if !hiVerified && lo < whi && whi < hi {
+				r, err := gainAt(whi)
+				if err != nil {
+					return RatioResult{}, err
+				}
+				if r.Gain <= opts.GainSlack {
+					hi, gHi, haveGHi = whi, r.Gain, true
+					hiVerified = true
+				} else {
+					lo, gLo, haveGLo = whi, r.Gain, true
+					keep(r.Policy)
+				}
+			}
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "ratio.bracket", Probe: stats.Probes,
+					BracketLo: lo, BracketHi: hi, Detail: "seed"})
+			}
+		}
 	}
 
 	// Ensure the upper end of the bracket has non-positive gain.
-	width := hi - lo
-	for i := 0; ; i++ {
-		r, err := gainAt(hi)
-		if err != nil {
-			return RatioResult{}, err
-		}
-		if r.Gain <= opts.GainSlack {
-			break
-		}
-		if i >= 20 {
-			return RatioResult{}, errors.New("mdp: could not bracket the optimal ratio; gain stays positive")
-		}
-		lo = hi
-		hi += width
-		width *= 2
-		if tr != nil {
-			tr.Emit(obs.Event{Kind: "ratio.bracket", Probe: stats.Probes,
-				BracketLo: lo, BracketHi: hi, Detail: "expand"})
+	if !hiVerified {
+		width := hi - lo
+		for i := 0; ; i++ {
+			r, err := gainAt(hi)
+			if err != nil {
+				return RatioResult{}, err
+			}
+			if r.Gain <= opts.GainSlack {
+				gHi, haveGHi = r.Gain, true
+				break
+			}
+			if i >= 20 {
+				return RatioResult{}, errors.New("mdp: could not bracket the optimal ratio; gain stays positive")
+			}
+			lo, gLo, haveGLo = hi, r.Gain, true
+			keep(r.Policy)
+			hi += width
+			width *= 2
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "ratio.bracket", Probe: stats.Probes,
+					BracketLo: lo, BracketHi: hi, Detail: "expand"})
+			}
 		}
 	}
 
-	var pol Policy
+	// Root refinement. Unseeded searches use pure midpoint bisection —
+	// the reproducible-by-construction reference every golden table pins,
+	// bit-identical to the search before warm seeding existed. Seeded
+	// searches additionally use safeguarded false position: the optimal
+	// gain g(rho) is concave, piecewise linear and non-increasing in rho,
+	// so the secant through the bracket endpoints typically lands within
+	// Tolerance of the crossing in two or three probes where bisection
+	// needs eight or nine. Every interpolated probe updates the bracket
+	// through the same verified invariant as a midpoint probe, and an
+	// interpolation that fails to halve the bracket forces a plain
+	// midpoint step next, so the seeded search needs at most ~2x the
+	// probes of bisection and usually needs far fewer. Probe placement
+	// depends only on probed gains, which are bit-identical at every
+	// worker count, so determinism is unaffected.
+	secant := opts.WarmBracket
+	forceMid := false
 	for hi-lo > opts.Tolerance {
+		width := hi - lo
 		mid := (lo + hi) / 2
+		detail := "bisect"
+		if secant && !forceMid && haveGLo && haveGHi && gLo > gHi {
+			x := lo + width*gLo/(gLo-gHi)
+			// Keep the probe strictly interior: a point glued to an
+			// endpoint would barely shrink the bracket.
+			if margin := 0.05 * width; x < lo+margin {
+				x = lo + margin
+			} else if x > hi-margin {
+				x = hi - margin
+			}
+			mid = x
+			detail = "interp"
+		}
 		r, err := gainAt(mid)
 		if err != nil {
 			return RatioResult{}, err
 		}
 		if r.Gain > opts.GainSlack {
-			lo = mid
-			pol = r.Policy
+			lo, gLo, haveGLo = mid, r.Gain, true
+			keep(r.Policy)
 		} else {
-			hi = mid
+			hi, gHi, haveGHi = mid, r.Gain, true
 		}
+		forceMid = detail == "interp" && hi-lo > 0.5*width
 		if tr != nil {
 			tr.Emit(obs.Event{Kind: "ratio.bracket", Probe: stats.Probes,
-				BracketLo: lo, BracketHi: hi, Detail: "bisect"})
+				BracketLo: lo, BracketHi: hi, Detail: detail})
 		}
 	}
 	value := (lo + hi) / 2
@@ -179,10 +322,10 @@ func (m *Model) SolveRatio(opts RatioOptions) (RatioResult, error) {
 		if err != nil {
 			return RatioResult{}, err
 		}
-		pol = r.Policy
+		keep(r.Policy)
 		value = lo
 	}
-	return finish(value, pol), nil
+	return finish(value), nil
 }
 
 // PolicyRatio computes the long-run ratio Num/Den attained by a fixed

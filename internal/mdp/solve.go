@@ -15,7 +15,8 @@ type Options struct {
 	// Epsilon is the span-seminorm stopping tolerance for relative value
 	// iteration. Default 1e-9.
 	Epsilon float64
-	// MaxIterations bounds the number of sweeps. Default 1_000_000.
+	// MaxIterations bounds the number of sweeps (and, for policy
+	// iteration, the number of improvement rounds). Default 1_000_000.
 	MaxIterations int
 	// Aperiodicity is the self-loop weight tau of the aperiodicity
 	// transformation P' = tau*I + (1-tau)*P applied inside the sweeps.
@@ -30,6 +31,8 @@ type Options struct {
 	// Warm, if non-nil, seeds the bias vector (length NumStates). Reusing
 	// the bias of a nearby solve (for example the previous bisection
 	// probe) cuts iteration counts substantially. The slice is copied.
+	// Workspace solves chain the previous solve's bias automatically;
+	// Warm overrides the chained bias when both are present.
 	Warm []float64
 	// Parallelism is the number of worker goroutines the Bellman sweeps
 	// run on. 0 (the default) selects GOMAXPROCS, falling back to the
@@ -37,10 +40,12 @@ type Options struct {
 	// synchronization; 1 forces the serial path. Any value yields
 	// bit-identical results — values, policies, and iteration counts —
 	// because every state update uses the same arithmetic and the
-	// residual reductions are order-independent.
+	// residual reductions are order-independent. Workspace solves run on
+	// the workspace's pool and ignore this field.
 	Parallelism int
 	// Tracer, if non-nil, receives one "solver.iter" event per Bellman
-	// sweep (residual, span bounds, greedy-policy change count) and a
+	// sweep (residual, span bounds, greedy-policy change count), a
+	// "solver.warm" event when a solve starts from a warm bias, and a
 	// "solver.done" event on convergence. Tracing never changes results:
 	// the hooks read the same quantities the solver already computes, and
 	// a nil Tracer costs nothing.
@@ -88,6 +93,10 @@ type Stats struct {
 	Duration time.Duration
 	// Workers is the number of sweep workers used (1 = serial path).
 	Workers int
+	// Warm reports whether the solve started from a warm bias (an
+	// explicit Options.Warm or a workspace's chained bias) instead of
+	// the cold zero vector.
+	Warm bool
 }
 
 // Result reports the outcome of an average-reward solve.
@@ -190,201 +199,45 @@ func reduceSpans(spans []wspan) (lo, hi float64) {
 	return lo, hi
 }
 
-// recenter subtracts ref from next, in parallel for large models.
-func recenter(pool *sweepPool, next []float64, ref float64) {
-	if pool.workers() > 1 && len(next) >= recenterParallelMin {
-		pool.run(func(_, lo, hi int) {
-			for s := lo; s < hi; s++ {
-				next[s] -= ref
-			}
-		})
-		return
-	}
-	for s := range next {
-		next[s] -= ref
-	}
-}
-
 // AverageReward maximizes the long-run average of Num - Rho*Den per step
 // using relative value iteration with an aperiodicity transformation.
 // The model must be weakly communicating under some policy reaching a
 // single recurrent class; the models in this repository regenerate
 // through a base state and satisfy this.
+//
+// Each call runs on a transient Workspace, so repeated solves allocate
+// their scratch vectors and worker pool every time; callers performing
+// many solves on one model shape should hold a Workspace and call its
+// AverageReward instead.
 func (m *Model) AverageReward(opts Options) (Result, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
-	n := m.numStates
-	h := make([]float64, n)
-	if len(opts.Warm) == n {
-		copy(h, opts.Warm)
-	}
-	next := make([]float64, n)
-	pol := make(Policy, n)
-	tau := opts.Aperiodicity
-	keep := 1 - tau
-	shift := m.shiftedRewards(opts.Rho)
-
-	pool := newSweepPool(n, effectiveWorkers(opts.Parallelism, n, minAutoStatesPerWorker), 1)
-	defer pool.close()
-	spans := make([]wspan, pool.workers())
-
-	solvesTotal.Inc()
-	tr := opts.Tracer
-	// prevPol backs the per-sweep policy-change count; it exists only
-	// when a tracer is installed, so the untraced path allocates nothing
-	// extra. The implicit initial policy is all-zeros, matching pol.
-	var prevPol Policy
-	if tr != nil {
-		prevPol = make(Policy, n)
-	}
-
-	for it := 1; it <= opts.MaxIterations; it++ {
-		pool.run(func(w, lo, hi int) {
-			spans[w].lo, spans[w].hi = m.bellmanChunk(h, next, pol, shift, tau, lo, hi)
-		})
-		lo, hi := reduceSpans(spans)
-		// Re-center on state 0 to keep the bias bounded.
-		recenter(pool, next, next[0])
-		h, next = next, h
-		if tr != nil {
-			changes := 0
-			for s := range pol {
-				if pol[s] != prevPol[s] {
-					changes++
-					prevPol[s] = pol[s]
-				}
-			}
-			tr.Emit(obs.Event{Kind: "solver.iter", Solver: "rvi", Iter: it,
-				Residual: hi - lo, SpanLo: lo, SpanHi: hi, PolicyChanges: changes})
-		}
-		if hi-lo < opts.Epsilon {
-			sweepsTotal.Add(int64(it))
-			if tr != nil {
-				tr.Emit(obs.Event{Kind: "solver.done", Solver: "rvi", Iter: it,
-					Residual: hi - lo, Gain: (lo + hi) / 2 / keep})
-			}
-			return Result{
-				Gain:       (lo + hi) / 2 / keep,
-				Policy:     pol,
-				Bias:       h,
-				Iterations: it,
-				Converged:  true,
-				Stats:      Stats{Iterations: it, Residual: hi - lo, Duration: time.Since(start), Workers: pool.workers()},
-			}, nil
-		}
-	}
-	sweepsTotal.Add(int64(opts.MaxIterations))
-	return Result{
-		Policy: pol, Bias: h, Iterations: opts.MaxIterations,
-		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: pool.workers()},
-	}, errors.New("mdp: relative value iteration did not converge")
+	ws := m.NewWorkspace(opts.Parallelism)
+	defer ws.Close()
+	return ws.AverageReward(opts)
 }
 
 // EvaluatePolicy computes the long-run average of Num - Rho*Den per step
 // under a fixed policy, by relative value iteration restricted to that
-// policy. The policy's chain must be unichain.
+// policy. The policy's chain must be unichain. Like AverageReward it
+// runs on a transient Workspace.
 func (m *Model) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
-	if len(pol) != m.numStates {
-		return Result{}, fmt.Errorf("mdp: policy has %d entries, want %d", len(pol), m.numStates)
-	}
 	opts = opts.withDefaults()
-	start := time.Now()
-	n := m.numStates
-	h := make([]float64, n)
-	if len(opts.Warm) == n {
-		copy(h, opts.Warm)
-	}
-	next := make([]float64, n)
-	tau := opts.Aperiodicity
-	keep := 1 - tau
-	shift := m.shiftedRewards(opts.Rho)
-
-	pool := newSweepPool(n, effectiveWorkers(opts.Parallelism, n, minAutoStatesPerWorker), 1)
-	defer pool.close()
-	spans := make([]wspan, pool.workers())
-
-	solvesTotal.Inc()
-	tr := opts.Tracer
-
-	for it := 1; it <= opts.MaxIterations; it++ {
-		pool.run(func(w, lo, hi int) {
-			spans[w].lo, spans[w].hi = m.policyChunk(h, next, pol, shift, tau, lo, hi)
-		})
-		lo, hi := reduceSpans(spans)
-		recenter(pool, next, next[0])
-		h, next = next, h
-		if tr != nil {
-			tr.Emit(obs.Event{Kind: "solver.iter", Solver: "policy-eval", Iter: it,
-				Residual: hi - lo, SpanLo: lo, SpanHi: hi})
-		}
-		if hi-lo < opts.Epsilon {
-			sweepsTotal.Add(int64(it))
-			if tr != nil {
-				tr.Emit(obs.Event{Kind: "solver.done", Solver: "policy-eval", Iter: it,
-					Residual: hi - lo, Gain: (lo + hi) / 2 / keep})
-			}
-			return Result{
-				Gain:       (lo + hi) / 2 / keep,
-				Policy:     pol,
-				Bias:       h,
-				Iterations: it,
-				Converged:  true,
-				Stats:      Stats{Iterations: it, Residual: hi - lo, Duration: time.Since(start), Workers: pool.workers()},
-			}, nil
-		}
-	}
-	sweepsTotal.Add(int64(opts.MaxIterations))
-	return Result{
-		Policy: pol, Bias: h, Iterations: opts.MaxIterations,
-		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: pool.workers()},
-	}, errors.New("mdp: policy evaluation did not converge")
+	ws := m.NewWorkspace(opts.Parallelism)
+	defer ws.Close()
+	return ws.EvaluatePolicy(pol, opts)
 }
 
 // PolicyIteration solves the average-reward problem by Howard's policy
 // iteration, using iterative policy evaluation. It returns the same gain
 // as AverageReward and serves as an independent cross-check.
+// Options.MaxIterations bounds the improvement rounds as well as each
+// evaluation's sweeps, and the greedy-improvement step runs on the same
+// worker pool as the sweeps.
 func (m *Model) PolicyIteration(opts Options) (Result, error) {
 	opts = opts.withDefaults()
-	start := time.Now()
-	pol := Uniform(m)
-	shift := m.shiftedRewards(opts.Rho)
-	var last Result
-	sweeps := 0
-	for round := 0; round < 1000; round++ {
-		ev, err := m.EvaluatePolicy(pol, opts)
-		if err != nil {
-			return ev, err
-		}
-		sweeps += ev.Stats.Iterations
-		last = ev
-		improved := false
-		for s := 0; s < m.numStates; s++ {
-			bestSlot := pol[s]
-			best := math.Inf(-1)
-			k0, k1 := m.stateOff[s], m.stateOff[s+1]
-			for k := k0; k < k1; k++ {
-				q := shift[k]
-				for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
-					q += m.tprob[j] * ev.Bias[m.tto[j]]
-				}
-				if q > best+1e-12 {
-					best = q
-					bestSlot = int(k - k0)
-				}
-			}
-			if bestSlot != pol[s] {
-				pol[s] = bestSlot
-				improved = true
-			}
-		}
-		if !improved {
-			last.Policy = pol
-			last.Stats.Iterations = sweeps
-			last.Stats.Duration = time.Since(start)
-			return last, nil
-		}
-	}
-	return last, errors.New("mdp: policy iteration did not converge")
+	ws := m.NewWorkspace(opts.Parallelism)
+	defer ws.Close()
+	return ws.PolicyIteration(opts)
 }
 
 // ValueIteration solves the discounted problem max E[sum gamma^t (Num - Rho*Den)]

@@ -1,13 +1,17 @@
 #!/bin/sh
-# Benchmark the experiment result store and the observability layer.
+# Benchmark the experiment result store, the observability layer, and
+# the solver workspace / warm-chaining layer.
 #
-#   scripts/bench.sh [expstore.json [obs.json]]
+#   scripts/bench.sh [expstore.json [obs.json [solver.json]]]
 #
 # Emits BENCH_expstore.json (cold solve latency, warm hit latency for
-# the memory and disk layers, hit-path throughput) and BENCH_obs.json
+# the memory and disk layers, hit-path throughput), BENCH_obs.json
 # (disabled-tracer hook overhead, counter and histogram throughput,
 # ring-sink emit cost, with allocation counts — the disabled path must
-# be 0 allocs/op).
+# be 0 allocs/op), and BENCH_solver.json (the Table-2 sweep solved cold
+# vs warm-chained — same grids, NoChain vs the default row chains — with
+# probe/sweep counts, the wall-clock speedup, and the steady-state
+# workspace allocation count, which must be 0 allocs/probe).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,3 +39,15 @@ OBS_BENCH_OUT="$OBS_OUT" go test ./internal/obs/ -run TestBenchEmit -count 1 -v 
 
 echo "wrote $OBS_OUT:"
 cat "$OBS_OUT"
+
+SOLVER_OUT="${3:-BENCH_solver.json}"
+case "$SOLVER_OUT" in
+/*) ;;
+*) SOLVER_OUT="$(pwd)/$SOLVER_OUT" ;;
+esac
+
+SOLVER_BENCH_OUT="$SOLVER_OUT" go test ./internal/core/ -run TestBenchSolver -count 1 -v -timeout 900s |
+	grep -v '^=== RUN\|^--- PASS\|^PASS\|^ok ' || true
+
+echo "wrote $SOLVER_OUT:"
+cat "$SOLVER_OUT"

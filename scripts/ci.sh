@@ -6,9 +6,11 @@
 #                          on one core; the race pass stays bounded)
 #
 # The race pass covers the packages with real concurrency in their hot
-# paths: the parallel MDP solver engine, the BU analysis that drives it,
-# the Monte Carlo batch runner, the experiment store (singleflight,
-# LRU, solve budget), and the observability layer (registry, sinks).
+# paths: the parallel MDP solver engine (including the reusable
+# workspace and warm-chained ratio solves), the BU analysis that drives
+# it, the warm-chained sweep rows in core, the Monte Carlo batch runner,
+# the experiment store (singleflight, LRU, solve budget), and the
+# observability layer (registry, sinks).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,8 +29,13 @@ go build ./...
 echo "== go test ${SHORT} =="
 go test ${SHORT} ./...
 
-echo "== go test -race ${SHORT} (mdp, bumdp, montecarlo, expstore, obs) =="
-go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/
+echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/
+
+echo "== warm-vs-cold sweep smoke =="
+# The chained direct path must agree with independent cold solves and be
+# deterministic at every worker count; these two tests pin exactly that.
+go test -count 1 -run 'TestChainedSweepMatchesCold|TestChainedSweepWorkerDeterminism' ./internal/core/
 
 echo "== buserve smoke test =="
 SMOKE="$(mktemp -d)"
@@ -65,6 +72,8 @@ METRICS="$(curl -fsS "http://$ADDR/metrics")"
 echo "$METRICS" | grep -q '^expstore_solves_total 1$'
 echo "$METRICS" | grep -q '^buserve_requests_total{endpoint="GET /solve"} 2$'
 echo "$METRICS" | grep -q '^# TYPE mdp_solves_total counter$'
+echo "$METRICS" | grep -q '^# TYPE mdp_warm_solves_total counter$'
+echo "$METRICS" | grep -q '^# TYPE mdp_reparams_total counter$'
 curl -fsS "http://$ADDR/debug/vars" | grep -q '"expstore_solves_total": 1'
 
 echo "CI: all checks passed"
