@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-store ci ci-short
+.PHONY: build test vet race faults fuzz bench bench-store ci ci-short
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/
+	$(GO) test -race -short ./internal/mdp/ ./internal/bumdp/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/ ./internal/netsim/ ./internal/p2p/ ./internal/faultsim/ ./internal/invariant/ ./internal/fullnode/
+
+faults:
+	$(GO) run ./cmd/busim -mode faults -scenario all
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCanonicalKey -fuzztime 30s ./internal/expstore/
 
 bench:
 	$(GO) test -bench 'Table|Solver|GridSweep|Compile' -benchtime 2s .

@@ -5,6 +5,8 @@
 //
 //	bunet                 run the scripted phase-1 attack
 //	bunet -ad 6           use a deeper acceptance depth
+//	bunet -crash          afterwards, crash bob and recover him from
+//	                      his persisted chain snapshot
 package main
 
 import (
@@ -23,6 +25,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bunet: ")
 	ad := flag.Int("ad", 3, "excessive acceptance depth for Bob and Carol")
+	crash := flag.Bool("crash", false, "crash bob after the attack and recover him from his chain snapshot")
 	flag.Parse()
 
 	mk := func(name string, eb int64) *p2p.Node {
@@ -101,4 +104,43 @@ func main() {
 
 	sigs := bob.PeerSignals()
 	fmt.Printf("bob's view of peer signals: %v\n", sigs)
+
+	if !*crash {
+		return
+	}
+
+	// Crash/recovery demo: bob's process dies, the network keeps mining,
+	// and a new process rebuilt from his persisted chain state redials
+	// and catches up.
+	snapshot := bob.Blocks()
+	preCrash := bob.Target().Height
+	if err := bob.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob crashes: %d blocks persisted, tip height %d\n", len(snapshot), preCrash)
+
+	carol.MineOn(mb / 2)
+	carol.MineOn(mb / 2)
+	fmt.Printf("network mines on without him: carol at height %d\n", carol.Target().Height)
+
+	revived, err := p2p.NewRecoveredNode(p2p.Config{
+		Name:   "bob",
+		Rules:  protocol.BU{EB: mb, AD: *ad},
+		Signal: p2p.Signal{EB: mb, AD: *ad},
+	}, snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer revived.Close()
+	fmt.Printf("bob restarts from the snapshot at height %d\n", revived.Target().Height)
+	if revived.Target().Height != preCrash {
+		log.Fatalf("recovery lost chain state: height %d, want %d", revived.Target().Height, preCrash)
+	}
+
+	if err := revived.Dial(addrC.String()); err != nil {
+		log.Fatal(err)
+	}
+	wait(func() bool { return revived.Target().Height == carol.Target().Height }, "bob catching up")
+	fmt.Printf("bob redials carol and catches up: height %d\n", revived.Target().Height)
+	fmt.Println("  -> crash, restart, recovery: chain state survives, the gossip layer fills the gap")
 }

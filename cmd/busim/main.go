@@ -1,18 +1,29 @@
 // Command busim runs the simulators: a Monte-Carlo replay of the optimal
 // attack policy against the exact model dynamics (-mode mc, the
-// precision cross-check of the MDP values), or a full discrete-event
+// precision cross-check of the MDP values), a full discrete-event
 // network simulation with per-node validity rules (-mode net, the
-// end-to-end check from the protocol rules alone).
+// end-to-end check from the protocol rules alone), or the seeded
+// fault-injection corpus with invariant checking (-mode faults).
 //
 //	busim -mode mc  -alpha 0.25 -ratio 1:1 -model compliant -steps 1000000
 //	busim -mode net -alpha 0.25 -ratio 1:1 -blocks 20000
+//	busim -mode faults -scenario all
+//	busim -mode faults -scenario bu-attack-drop -seed 99 -trace run.jsonl
+//	busim -list-scenarios
+//
+// In faults mode every executed scenario is checked against the full
+// protocol-invariant suite (internal/invariant); any violation is
+// printed and the exit status is nonzero. -seed overrides the
+// scenario's pinned seed to explore other schedules; replaying with the
+// pinned seed reproduces the trace bit-identically.
 //
 // -trace writes the run's structured events as JSONL — the solve's
 // convergence iterations, then mc.split/mc.resolve/mc.done replay
 // events (mc mode) or sim.block/sim.relay/sim.accept/sim.reject/
-// sim.fork/sim.reorg network events (net mode). Tracing never changes
-// results. -metrics-dump prints the run's metrics registry as JSON to
-// stderr on exit.
+// sim.fork/sim.reorg network events (net and faults modes, which also
+// carry sim.drop/sim.partition/sim.heal/sim.crash/sim.restart fault
+// events). Tracing never changes results. -metrics-dump prints the
+// run's metrics registry as JSON to stderr on exit.
 package main
 
 import (
@@ -24,6 +35,8 @@ import (
 
 	"buanalysis/internal/bumdp"
 	"buanalysis/internal/cliflag"
+	"buanalysis/internal/faultsim"
+	"buanalysis/internal/invariant"
 	"buanalysis/internal/mdp"
 	"buanalysis/internal/montecarlo"
 	"buanalysis/internal/netsim"
@@ -38,7 +51,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("busim: ")
 	var (
-		mode    = flag.String("mode", "mc", "mc (exact-dynamics Monte Carlo) | net (network simulation)")
+		mode    = flag.String("mode", "mc", "mc (exact-dynamics Monte Carlo) | net (network simulation) | faults (fault-injection corpus)")
 		alpha   = flag.Float64("alpha", 0.25, "attacker power share")
 		ratio   = flag.String("ratio", "1:1", "Bob:Carol split")
 		model   = flag.String("model", "compliant", "compliant | noncompliant | nonprofit")
@@ -47,10 +60,20 @@ func main() {
 		batches = flag.Int("batches", 8, "mc mode: independent batches")
 		blocks  = flag.Int("blocks", 20_000, "net mode: mining rounds")
 		seed    = flag.Int64("seed", 1, "random seed")
+		scen    = flag.String("scenario", "all", "faults mode: corpus scenario name, or all")
+		list    = flag.Bool("list-scenarios", false, "print the fault scenario corpus and exit")
 		trace   = cliflag.TraceFlag(flag.CommandLine)
 		mdump   = cliflag.MetricsDumpFlag(flag.CommandLine)
 	)
 	flag.Parse()
+
+	if *list {
+		for _, sc := range faultsim.Corpus() {
+			fmt.Printf("%-26s seed=%-4d blocks=%-5d expect=%s\n",
+				sc.Name, sc.Seed, sc.Blocks, strings.Join(sc.Expect, ","))
+		}
+		return
+	}
 
 	tracer, closeTrace, err := cliflag.OpenTrace(*trace)
 	if err != nil {
@@ -66,6 +89,25 @@ func main() {
 		mdp.Observe(reg)
 		parpkg.Observe(reg)
 		defer cliflag.DumpMetrics(reg)
+	}
+
+	// Faults mode needs no MDP solve; handle it before the solver runs.
+	if *mode == "faults" {
+		seedOverride := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedOverride = true
+			}
+		})
+		if !runFaults(*scen, *seed, seedOverride, tracer) {
+			// log.Fatal skips the deferred close; flush the trace first so
+			// the failing run can be replayed from it.
+			if err := closeTrace(); err != nil {
+				log.Print(err)
+			}
+			log.Fatal("invariant violations detected")
+		}
+		return
 	}
 
 	beta, gamma := split(*alpha, *ratio)
@@ -104,6 +146,43 @@ func main() {
 	default:
 		log.Fatalf("unknown mode %q", *mode)
 	}
+}
+
+// runFaults executes one corpus scenario (or all of them), checks the
+// invariant suite on each run, and reports success.
+func runFaults(name string, seed int64, seedOverride bool, tracer obs.Tracer) bool {
+	var scenarios []faultsim.Scenario
+	if name == "all" {
+		scenarios = faultsim.Corpus()
+	} else {
+		sc, ok := faultsim.Named(name)
+		if !ok {
+			log.Fatalf("unknown scenario %q (see -list-scenarios)", name)
+		}
+		scenarios = []faultsim.Scenario{sc}
+	}
+	ok := true
+	for _, sc := range scenarios {
+		if seedOverride {
+			sc.Seed = seed
+		}
+		rep, err := faultsim.Run(sc, tracer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vs := invariant.Check(rep)
+		status := "ok"
+		if len(vs) > 0 {
+			status = fmt.Sprintf("%d VIOLATIONS", len(vs))
+			ok = false
+		}
+		fmt.Printf("%-26s seed=%-4d mined=%-5d drops=%-4d dups=%-4d crashlost=%-4d orphans=%-4d splits=%-4d %s\n",
+			sc.Name, sc.Seed, rep.BlocksMined, rep.Drops, rep.Dups, rep.CrashLost, rep.Orphans, rep.Splits, status)
+		for _, v := range vs {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	return ok
 }
 
 func split(alpha float64, ratio string) (float64, float64) {

@@ -14,6 +14,7 @@
 package expstore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -59,13 +60,20 @@ func keyAt(kind string, version int, params any) (string, error) {
 // object's keys lexicographically (encoding/json sorts map keys). Two
 // structurally identical values — same field names and values,
 // regardless of Go field order — encode to the same bytes.
+//
+// Numbers are reparsed with UseNumber so the original literal survives
+// verbatim: decoding into float64 would fold integers beyond 2^53 onto
+// the same key (found by FuzzCanonicalKey). Literal text is preserved
+// either way, so keys for float64-representable params are unchanged.
 func canonicalJSON(v any) ([]byte, error) {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return nil, err
 	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
 	var tree any
-	if err := json.Unmarshal(raw, &tree); err != nil {
+	if err := dec.Decode(&tree); err != nil {
 		return nil, err
 	}
 	return json.Marshal(tree)

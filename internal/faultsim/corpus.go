@@ -1,0 +1,234 @@
+package faultsim
+
+// The scenario corpus: the seeded fault schedules CI executes on every
+// run. Each scenario is deterministic — the (seed, schedule) pair pins
+// its whole trace — and carries the extra invariants it must satisfy on
+// top of the universal ones (see internal/invariant for the names).
+//
+// The corpus covers the paper's two regimes under every fault class:
+// Bitcoin's prescribed validity consensus (which must converge through
+// jitter, loss, duplication, partitions, and churn) and Bitcoin
+// Unlimited's per-node EB/AD rules (which fork under an EB-mismatch
+// attack on every schedule, and must still converge when every node
+// runs the same configuration).
+
+const mb = 1 << 20
+
+func bitcoinNode(name string, power float64) NodeSpec {
+	return NodeSpec{Name: name, Power: power,
+		Rules: RulesSpec{Kind: "bitcoin", MaxBlockSize: mb}, MG: mb / 2}
+}
+
+func buNode(name string, power float64, eb int64, ad int) NodeSpec {
+	return NodeSpec{Name: name, Power: power,
+		Rules: RulesSpec{Kind: "bu", EB: eb, AD: ad, NoGate: true}, MG: mb / 2}
+}
+
+func bitcoinTrio() []NodeSpec {
+	return []NodeSpec{bitcoinNode("a", 0.5), bitcoinNode("b", 0.3), bitcoinNode("c", 0.2)}
+}
+
+// buAttackNet is the paper's Figure 2/3 population: Bob with a small
+// EB, Carol with a large one, Alice mining blocks of exactly Carol's EB
+// to split them.
+func buAttackNet(ad int) ([]NodeSpec, *AttackSpec) {
+	nodes := []NodeSpec{
+		buNode("bob", 0.375, mb, ad),
+		buNode("carol", 0.375, 8*mb, ad),
+		buNode("alice", 0.25, 8*mb, ad),
+	}
+	attack := &AttackSpec{Node: "alice", Bob: "bob", Carol: "carol",
+		SplitSize: 8 * mb, NormalSize: mb / 2, AD: ad}
+	return nodes, attack
+}
+
+// Corpus returns the scenario suite. Callers own the slice.
+func Corpus() []Scenario {
+	var scs []Scenario
+	add := func(sc Scenario) { scs = append(scs, sc) }
+
+	// --- Bitcoin: the prescribed BVC must converge through every fault ---
+
+	add(Scenario{Name: "bitcoin-clean", Seed: 101, Blocks: 800,
+		Nodes:  bitcoinTrio(),
+		Expect: []string{"unique-tip", "no-orphans", "no-fork"}})
+
+	add(Scenario{Name: "bitcoin-jitter", Seed: 102, Blocks: 1000,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.05, Mean: 0.25},
+		// Reordering jitter races tips: natural orphans, but convergence.
+		Expect: []string{"orphans"}})
+
+	add(Scenario{Name: "bitcoin-drop-light", Seed: 103, Blocks: 1000,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.05}, Drop: 0.05,
+		Expect: []string{"drops"}})
+
+	add(Scenario{Name: "bitcoin-drop-heavy", Seed: 104, Blocks: 1000,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.05, Mean: 0.1}, Drop: 0.3,
+		Expect: []string{"drops", "orphans"}})
+
+	add(Scenario{Name: "bitcoin-dup", Seed: 105, Blocks: 800,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.02, Mean: 0.05}, Duplicate: 0.4,
+		Expect: []string{"dups"}})
+
+	add(Scenario{Name: "bitcoin-reorder", Seed: 106, Blocks: 1000,
+		Nodes:  bitcoinTrio(),
+		Delay:  Jitter{Mean: 0.6},
+		Expect: []string{"orphans"}})
+
+	add(Scenario{Name: "bitcoin-partition", Seed: 107, Blocks: 1000,
+		Nodes:      bitcoinTrio(),
+		Delay:      Jitter{Base: 0.02},
+		Partitions: []Partition{{Start: 200, Heal: 400, Group: []string{"a"}}},
+		Expect:     []string{"orphans"}})
+
+	add(Scenario{Name: "bitcoin-partition-double", Seed: 108, Blocks: 1200,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.02},
+		Partitions: []Partition{
+			{Start: 150, Heal: 350, Group: []string{"a"}},
+			{Start: 600, Heal: 800, Group: []string{"c"}},
+		},
+		Expect: []string{"orphans"}})
+
+	add(Scenario{Name: "bitcoin-crash-recover", Seed: 109, Blocks: 800,
+		Nodes:   bitcoinTrio(),
+		Delay:   Jitter{Base: 0.02},
+		Crashes: []Crash{{Node: "b", At: 200, Restart: 400, Recover: true}},
+		Expect:  []string{"crashes"}})
+
+	add(Scenario{Name: "bitcoin-crash-norecover", Seed: 110, Blocks: 800,
+		Nodes:   bitcoinTrio(),
+		Delay:   Jitter{Base: 0.02},
+		Crashes: []Crash{{Node: "b", At: 200, Restart: 400}},
+		Expect:  []string{"crashes"}})
+
+	add(Scenario{Name: "bitcoin-crash-forever", Seed: 111, Blocks: 800,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.02},
+		// No restart: the node stays down until the final sync revives it.
+		Crashes: []Crash{{Node: "c", At: 300}},
+		Expect:  []string{"crashes"}})
+
+	add(Scenario{Name: "bitcoin-churn", Seed: 112, Blocks: 1200,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.02, Mean: 0.05},
+		Crashes: []Crash{
+			{Node: "a", At: 100, Restart: 250, Recover: true},
+			{Node: "b", At: 300, Restart: 500, Recover: true},
+			{Node: "c", At: 600, Restart: 700, Recover: true},
+			{Node: "a", At: 800, Restart: 950, Recover: true},
+		},
+		Expect: []string{"crashes"}})
+
+	add(Scenario{Name: "bitcoin-kitchen-sink", Seed: 113, Blocks: 1500,
+		Nodes: bitcoinTrio(),
+		Delay: Jitter{Base: 0.05, Mean: 0.2}, Drop: 0.1, Duplicate: 0.1,
+		Partitions: []Partition{{Start: 400, Heal: 700, Group: []string{"a", "b"}}},
+		Crashes:    []Crash{{Node: "c", At: 900, Restart: 1100, Recover: true}},
+		Expect:     []string{"drops", "dups", "crashes", "orphans"}})
+
+	// --- BU, equal configuration: no attack surface, must converge ---
+
+	add(Scenario{Name: "bu-equal-clean", Seed: 120, Blocks: 800,
+		Nodes: []NodeSpec{
+			buNode("x", 0.4, 4*mb, 4), buNode("y", 0.35, 4*mb, 4), buNode("z", 0.25, 4*mb, 4),
+		},
+		Expect: []string{"unique-tip", "no-orphans", "no-fork"}})
+
+	add(Scenario{Name: "bu-equal-faults", Seed: 121, Blocks: 1000,
+		Nodes: []NodeSpec{
+			buNode("x", 0.4, 4*mb, 4), buNode("y", 0.35, 4*mb, 4), buNode("z", 0.25, 4*mb, 4),
+		},
+		Delay: Jitter{Base: 0.05, Mean: 0.15}, Drop: 0.1,
+		Partitions: []Partition{{Start: 300, Heal: 500, Group: []string{"z"}}},
+		Expect:     []string{"drops"}})
+
+	add(Scenario{Name: "bu-equal-churn", Seed: 122, Blocks: 1000,
+		Nodes: []NodeSpec{
+			buNode("x", 0.4, 4*mb, 4), buNode("y", 0.35, 4*mb, 4), buNode("z", 0.25, 4*mb, 4),
+		},
+		Delay: Jitter{Base: 0.02, Mean: 0.05},
+		Crashes: []Crash{
+			{Node: "x", At: 200, Restart: 350, Recover: true},
+			{Node: "y", At: 500, Restart: 650, Recover: true},
+		},
+		Expect: []string{"crashes"}})
+
+	// --- BU, mismatched EBs, static miners: Stone's premise holds even
+	// under faults — nobody mines an excessive block, nobody forks ---
+
+	add(Scenario{Name: "bu-mismatch-static", Seed: 123, Blocks: 1000,
+		Nodes: []NodeSpec{
+			buNode("bob", 0.5, mb, 6), buNode("carol", 0.5, 8*mb, 6),
+		},
+		Delay: Jitter{Base: 0.05, Mean: 0.1}, Drop: 0.05,
+		Expect: []string{"no-rejections", "drops"}})
+
+	// --- BU under the paper's EB-mismatch attack: the fork emerges on
+	// every schedule, clean or faulty ---
+
+	attackScenario := func(name string, seed int64, mutate func(*Scenario)) Scenario {
+		nodes, attack := buAttackNet(6)
+		sc := Scenario{Name: name, Seed: seed, Blocks: 1500,
+			Nodes: nodes, Attack: attack,
+			Expect: []string{"fork", "deep-fork", "splits", "orphans", "rejections"}}
+		if mutate != nil {
+			mutate(&sc)
+		}
+		return sc
+	}
+
+	add(attackScenario("bu-attack-clean", 130, nil))
+
+	add(attackScenario("bu-attack-jitter", 131, func(sc *Scenario) {
+		sc.Delay = Jitter{Base: 0.02, Mean: 0.1}
+	}))
+
+	add(attackScenario("bu-attack-drop", 132, func(sc *Scenario) {
+		sc.Delay = Jitter{Base: 0.02}
+		sc.Drop = 0.1
+		sc.Expect = append(sc.Expect, "drops")
+	}))
+
+	add(attackScenario("bu-attack-dup", 133, func(sc *Scenario) {
+		sc.Delay = Jitter{Base: 0.02, Mean: 0.05}
+		sc.Duplicate = 0.3
+		sc.Expect = append(sc.Expect, "dups")
+	}))
+
+	add(attackScenario("bu-attack-partition", 134, func(sc *Scenario) {
+		sc.Delay = Jitter{Base: 0.02}
+		sc.Partitions = []Partition{{Start: 400, Heal: 600, Group: []string{"bob"}}}
+	}))
+
+	add(attackScenario("bu-attack-crash-bob", 135, func(sc *Scenario) {
+		sc.Delay = Jitter{Base: 0.02}
+		sc.Crashes = []Crash{{Node: "bob", At: 400, Restart: 600, Recover: true}}
+		sc.Expect = append(sc.Expect, "crashes")
+	}))
+
+	add(attackScenario("bu-attack-kitchen-sink", 136, func(sc *Scenario) {
+		sc.Delay = Jitter{Base: 0.05, Mean: 0.15}
+		sc.Drop = 0.08
+		sc.Duplicate = 0.08
+		sc.Partitions = []Partition{{Start: 500, Heal: 750, Group: []string{"carol"}}}
+		sc.Crashes = []Crash{{Node: "bob", At: 900, Restart: 1050, Recover: true}}
+		sc.Expect = append(sc.Expect, "drops", "dups", "crashes")
+	}))
+
+	return scs
+}
+
+// Named returns the corpus scenario with the given name.
+func Named(name string) (Scenario, bool) {
+	for _, sc := range Corpus() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

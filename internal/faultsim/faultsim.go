@@ -1,0 +1,516 @@
+// Package faultsim is a deterministic fault-injection layer over the
+// netsim discrete-event simulator. A Scenario is pure data — a network
+// of nodes with per-node validity rules, a seed, and a fault schedule
+// (latency jitter, message loss and duplication, link-level partitions
+// with scheduled heal times, node crash/restart with chain-state
+// recovery) — and Run executes it bit-identically on every replay: the
+// same Scenario always produces the same Report and the same event
+// stream, byte for byte.
+//
+// The paper's central claim is that Bitcoin Unlimited's per-node
+// validity rules break consensus without any attacker scripting; the
+// scenario corpus (corpus.go) stresses that claim under adversarial
+// network conditions, and internal/invariant asserts protocol-level
+// properties over every run's trace.
+package faultsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/netsim"
+	"buanalysis/internal/obs"
+	"buanalysis/internal/protocol"
+)
+
+// RulesSpec is a serializable description of a node's validity rules.
+type RulesSpec struct {
+	// Kind selects the rule family: "bitcoin" or "bu".
+	Kind string `json:"kind"`
+	// MaxBlockSize is the prescribed limit of a "bitcoin" node.
+	MaxBlockSize int64 `json:"max_block_size,omitempty"`
+	// EB, AD and NoGate configure a "bu" node.
+	EB     int64 `json:"eb,omitempty"`
+	AD     int   `json:"ad,omitempty"`
+	NoGate bool  `json:"no_gate,omitempty"`
+}
+
+// Build materializes the rules.
+func (r RulesSpec) Build() (protocol.Rules, error) {
+	switch r.Kind {
+	case "bitcoin":
+		if r.MaxBlockSize <= 0 {
+			return nil, errors.New("faultsim: bitcoin rules need max_block_size > 0")
+		}
+		return protocol.Bitcoin{MaxBlockSize: r.MaxBlockSize}, nil
+	case "bu":
+		if r.EB <= 0 || r.AD < 1 {
+			return nil, errors.New("faultsim: bu rules need eb > 0 and ad >= 1")
+		}
+		return protocol.BU{EB: r.EB, AD: r.AD, NoGate: r.NoGate}, nil
+	}
+	return nil, fmt.Errorf("faultsim: unknown rules kind %q", r.Kind)
+}
+
+// NodeSpec describes one simulated node.
+type NodeSpec struct {
+	Name  string    `json:"name"`
+	Power float64   `json:"power"`
+	Rules RulesSpec `json:"rules"`
+	// MG is the block size the node generates when mining honestly.
+	MG int64 `json:"mg"`
+}
+
+// AttackSpec arms one node with the paper's splitter strategy: whenever
+// Bob and Carol agree, the attacker mines a block of SplitSize (exactly
+// Carol's EB) to fork them, then extends Carol's chain.
+type AttackSpec struct {
+	Node       string `json:"node"`
+	Bob        string `json:"bob"`
+	Carol      string `json:"carol"`
+	SplitSize  int64  `json:"split_size"`
+	NormalSize int64  `json:"normal_size"`
+	AD         int    `json:"ad"`
+}
+
+// Jitter describes per-delivery link latency: a fixed base plus an
+// exponentially distributed extra delay with the given mean. With a
+// positive Mean, copies of different blocks overtake each other, which
+// is how the scenario corpus exercises message reordering.
+type Jitter struct {
+	Base float64 `json:"base,omitempty"`
+	Mean float64 `json:"mean,omitempty"`
+}
+
+// Partition isolates Group from the rest of the network between Start
+// and Heal (simulation time). A copy is cut when its arrival time falls
+// inside the window — sends in flight before the cut are lost with it,
+// sends during the window that would arrive after the heal get through,
+// like queued retransmits.
+type Partition struct {
+	Start float64  `json:"start"`
+	Heal  float64  `json:"heal"`
+	Group []string `json:"group"`
+}
+
+// Crash takes a node offline at At and (if Restart > 0) back online at
+// Restart. While down the node neither mines nor receives; its chain
+// store survives, its orphan buffer does not. With Recover set, the
+// restarted node pulls every reachable peer's chains before resuming.
+type Crash struct {
+	Node    string  `json:"node"`
+	At      float64 `json:"at"`
+	Restart float64 `json:"restart,omitempty"`
+	Recover bool    `json:"recover,omitempty"`
+}
+
+// Scenario is a complete, serializable fault-injection run description.
+// Identical scenarios replay bit-identically.
+type Scenario struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Blocks is the number of mining rounds.
+	Blocks int `json:"blocks"`
+	// MeanInterval is the expected time between blocks (default 1).
+	MeanInterval float64 `json:"mean_interval,omitempty"`
+
+	Nodes  []NodeSpec  `json:"nodes"`
+	Attack *AttackSpec `json:"attack,omitempty"`
+
+	// Delay applies to every link; Drop and Duplicate are iid
+	// per-delivery probabilities.
+	Delay     Jitter  `json:"delay,omitempty"`
+	Drop      float64 `json:"drop,omitempty"`
+	Duplicate float64 `json:"duplicate,omitempty"`
+
+	Partitions []Partition `json:"partitions,omitempty"`
+	Crashes    []Crash     `json:"crashes,omitempty"`
+
+	// SkipFinalSync disables the post-run anti-entropy pass (see Run).
+	// Most scenarios leave it false so eventual-delivery invariants are
+	// meaningful under lossy links.
+	SkipFinalSync bool `json:"skip_final_sync,omitempty"`
+
+	// Expect names extra per-scenario invariants the checker enforces
+	// on top of the universal ones (see internal/invariant).
+	Expect []string `json:"expect,omitempty"`
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.MeanInterval == 0 {
+		sc.MeanInterval = 1
+	}
+	return sc
+}
+
+// Validate checks the scenario's internal consistency.
+func (sc Scenario) Validate() error {
+	if sc.Blocks <= 0 {
+		return fmt.Errorf("faultsim %s: blocks must be positive", sc.Name)
+	}
+	if sc.Drop < 0 || sc.Drop >= 1 {
+		return fmt.Errorf("faultsim %s: drop probability %v outside [0,1)", sc.Name, sc.Drop)
+	}
+	if sc.Duplicate < 0 || sc.Duplicate >= 1 {
+		return fmt.Errorf("faultsim %s: duplicate probability %v outside [0,1)", sc.Name, sc.Duplicate)
+	}
+	if sc.Delay.Base < 0 || sc.Delay.Mean < 0 {
+		return fmt.Errorf("faultsim %s: negative delay", sc.Name)
+	}
+	names := make(map[string]bool)
+	for _, n := range sc.Nodes {
+		if names[n.Name] {
+			return fmt.Errorf("faultsim %s: duplicate node %q", sc.Name, n.Name)
+		}
+		names[n.Name] = true
+		if _, err := n.Rules.Build(); err != nil {
+			return fmt.Errorf("faultsim %s: node %q: %w", sc.Name, n.Name, err)
+		}
+	}
+	check := func(what, name string) error {
+		if !names[name] {
+			return fmt.Errorf("faultsim %s: %s references unknown node %q", sc.Name, what, name)
+		}
+		return nil
+	}
+	for _, p := range sc.Partitions {
+		if p.Heal <= p.Start {
+			return fmt.Errorf("faultsim %s: partition heals at %v before it starts at %v", sc.Name, p.Heal, p.Start)
+		}
+		if len(p.Group) == 0 {
+			return fmt.Errorf("faultsim %s: partition with empty group", sc.Name)
+		}
+		for _, g := range p.Group {
+			if err := check("partition", g); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range sc.Crashes {
+		if err := check("crash", c.Node); err != nil {
+			return err
+		}
+		if c.Restart != 0 && c.Restart <= c.At {
+			return fmt.Errorf("faultsim %s: node %q restarts at %v before crashing at %v", sc.Name, c.Node, c.Restart, c.At)
+		}
+	}
+	if a := sc.Attack; a != nil {
+		for _, name := range []string{a.Node, a.Bob, a.Carol} {
+			if err := check("attack", name); err != nil {
+				return err
+			}
+		}
+		if a.Node == a.Bob || a.Node == a.Carol || a.Bob == a.Carol {
+			return fmt.Errorf("faultsim %s: attack roles must be distinct nodes", sc.Name)
+		}
+		if a.SplitSize <= 0 || a.NormalSize <= 0 || a.AD < 1 {
+			return fmt.Errorf("faultsim %s: attack needs positive sizes and ad >= 1", sc.Name)
+		}
+	}
+	return nil
+}
+
+// NodeReport is one node's final state.
+type NodeReport struct {
+	Name       string  `json:"name"`
+	Power      float64 `json:"power"`
+	Rules      string  `json:"rules"`
+	Tip        string  `json:"tip"`
+	TipHeight  int     `json:"tip_height"`
+	Rejections int     `json:"rejections"`
+	Stored     int     `json:"stored"`
+	MainChain  int     `json:"main_chain"`
+	Orphaned   int     `json:"orphaned"`
+}
+
+// Report is the outcome of one scenario run. It is a pure function of
+// the Scenario: replaying the same scenario yields an identical report
+// and an identical Events stream.
+type Report struct {
+	Scenario      Scenario `json:"scenario"`
+	BlocksMined   int      `json:"blocks_mined"`
+	RoundsSkipped int      `json:"rounds_skipped"`
+	// Drops counts link-layer losses (random loss and partition cuts),
+	// CrashLost copies that arrived at a crashed node, Dups extra copies
+	// the link injected.
+	Drops     int `json:"drops"`
+	Dups      int `json:"dups"`
+	CrashLost int `json:"crash_lost"`
+	// Splits counts the attacker's fork initiations (0 without attack).
+	Splits int `json:"splits"`
+	// ForkDepthBeforeSync is the disagreement depth when mining stopped,
+	// ForkDepth the depth after the final anti-entropy pass.
+	ForkDepthBeforeSync int `json:"fork_depth_before_sync"`
+	ForkDepth           int `json:"fork_depth"`
+	// MainChain and Orphans total the consensus accounting.
+	MainChain int          `json:"main_chain"`
+	Orphans   int          `json:"orphans"`
+	Nodes     []NodeReport `json:"nodes"`
+
+	// Events is the run's full structured trace, in emission order.
+	Events []obs.Event `json:"-"`
+}
+
+// collector accumulates the run's events. Obs tracers must be safe for
+// concurrent use by contract, though the simulator itself is serial.
+type collector struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *collector) Emit(e obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// injector implements netsim.Link over a scenario's fault schedule with
+// a dedicated seeded RNG, so the fault stream never perturbs the mining
+// stream and both replay deterministically.
+type injector struct {
+	sc     *Scenario
+	rng    *rand.Rand
+	groups []map[string]bool // partition group membership, by partition
+}
+
+func newInjector(sc *Scenario) *injector {
+	// The fault RNG is seeded apart from the mining RNG so the same
+	// mining history can be replayed under different fault schedules.
+	in := &injector{sc: sc, rng: rand.New(rand.NewSource(sc.Seed ^ 0x5eedfa17))}
+	for _, p := range sc.Partitions {
+		g := make(map[string]bool, len(p.Group))
+		for _, name := range p.Group {
+			g[name] = true
+		}
+		in.groups = append(in.groups, g)
+	}
+	return in
+}
+
+// cut reports whether an active partition separates a and b at time t.
+func (in *injector) cut(a, b string, t float64) bool {
+	for i, p := range in.sc.Partitions {
+		if t >= p.Start && t < p.Heal && in.groups[i][a] != in.groups[i][b] {
+			return true
+		}
+	}
+	return false
+}
+
+// Route implements netsim.Link. The RNG draw order is fixed — loss,
+// duplication, then one jitter draw per copy — so the fault stream is a
+// deterministic function of the scenario alone.
+func (in *injector) Route(b *chain.Block, from, to *netsim.Node, now float64) ([]netsim.Delivery, string) {
+	if in.sc.Drop > 0 && in.rng.Float64() < in.sc.Drop {
+		return nil, "loss"
+	}
+	copies := 1
+	if in.sc.Duplicate > 0 && in.rng.Float64() < in.sc.Duplicate {
+		copies = 2
+	}
+	out := make([]netsim.Delivery, 0, copies)
+	for i := 0; i < copies; i++ {
+		d := in.sc.Delay.Base
+		if in.sc.Delay.Mean > 0 {
+			d += in.rng.ExpFloat64() * in.sc.Delay.Mean
+		}
+		// The cut applies at arrival time: copies in flight when the
+		// partition starts are lost with it.
+		if in.cut(from.Name, to.Name, now+d) {
+			continue
+		}
+		out = append(out, netsim.Delivery{Delay: d})
+	}
+	if len(out) == 0 {
+		return nil, "partition"
+	}
+	return out, ""
+}
+
+// Run executes the scenario and returns its report. A non-nil tracer
+// receives the same event stream that lands in Report.Events; tracing
+// never changes the run.
+func Run(sc Scenario, tr obs.Tracer) (*Report, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+
+	byName := make(map[string]*netsim.Node, len(sc.Nodes))
+	nodes := make([]*netsim.Node, 0, len(sc.Nodes))
+	for _, spec := range sc.Nodes {
+		rules, err := spec.Rules.Build()
+		if err != nil {
+			return nil, err
+		}
+		n := &netsim.Node{Name: spec.Name, Power: spec.Power, Rules: rules, MG: spec.MG}
+		byName[spec.Name] = n
+		nodes = append(nodes, n)
+	}
+	var strat *netsim.SplitterStrategy
+	if a := sc.Attack; a != nil {
+		strat = &netsim.SplitterStrategy{
+			Bob: byName[a.Bob], Carol: byName[a.Carol],
+			SplitSize: a.SplitSize, NormalSize: a.NormalSize, AD: a.AD,
+		}
+		byName[a.Node].Strategy = strat
+	}
+
+	col := &collector{}
+	inj := newInjector(&sc)
+	net, err := netsim.New(netsim.Config{
+		Seed:         sc.Seed,
+		MeanInterval: sc.MeanInterval,
+		Link:         inj,
+		Tracer:       obs.MultiTracer(col, tr),
+	}, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	// The fault timeline rides the simulator's own deterministic event
+	// queue: partition boundary markers, crashes, restarts (with
+	// recovery pulls) all execute in schedule order.
+	for _, p := range sc.Partitions {
+		p := p
+		detail := partitionDetail(p)
+		net.At(p.Start, func() {
+			net.Emit(obs.Event{Kind: "sim.partition", Detail: detail})
+		})
+		net.At(p.Heal, func() {
+			net.Emit(obs.Event{Kind: "sim.heal", Detail: detail})
+		})
+	}
+	for _, c := range sc.Crashes {
+		node := byName[c.Node]
+		net.At(c.At, func() {
+			node.Crash()
+			net.Emit(obs.Event{Kind: "sim.crash", Node: node.Name})
+		})
+		if c.Restart > 0 {
+			pull := c.Recover
+			net.At(c.Restart, func() {
+				node.Restart()
+				net.Emit(obs.Event{Kind: "sim.restart", Node: node.Name})
+				if pull {
+					recoverNode(net, inj, node)
+				}
+			})
+		}
+	}
+
+	net.Run(sc.Blocks)
+
+	rep := &Report{
+		Scenario:            sc,
+		BlocksMined:         net.BlocksMined,
+		RoundsSkipped:       net.RoundsSkipped,
+		Drops:               net.DeliveriesDropped,
+		Dups:                net.DeliveriesDuplicated,
+		CrashLost:           net.DeliveriesLostToCrash,
+		ForkDepthBeforeSync: net.ForkDepth(),
+	}
+	if strat != nil {
+		rep.Splits = strat.Splits
+	}
+
+	if !sc.SkipFinalSync {
+		finalSync(net)
+	}
+	rep.ForkDepth = net.ForkDepth()
+
+	acc, accErr := net.Account()
+	for _, n := range nodes {
+		nr := NodeReport{
+			Name:       n.Name,
+			Power:      n.Power,
+			Rules:      n.Rules.Name(),
+			Tip:        n.Target().ID().String(),
+			TipHeight:  n.Target().Height,
+			Rejections: n.Rejections(),
+			Stored:     n.Store().Len(),
+		}
+		if accErr == nil {
+			nr.MainChain = acc.MainChain[n.Name]
+			nr.Orphaned = acc.Orphaned[n.Name]
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	if accErr == nil {
+		for _, k := range acc.MainChain {
+			rep.MainChain += k
+		}
+		for _, k := range acc.Orphaned {
+			rep.Orphans += k
+		}
+	}
+	rep.Events = col.events
+	return rep, nil
+}
+
+func partitionDetail(p Partition) string {
+	s := ""
+	for i, g := range p.Group {
+		if i > 0 {
+			s += ","
+		}
+		s += g
+	}
+	return s
+}
+
+// recoverNode replays every reachable, live peer's chains into a
+// restarted node (its pull-based chain repair). Deliveries are emitted
+// as "sim.relay" events with detail "recover".
+func recoverNode(net *netsim.Network, inj *injector, node *netsim.Node) {
+	now := net.Now()
+	for _, p := range net.Nodes() {
+		if p == node || p.Down() || inj.cut(p.Name, node.Name, now) {
+			continue
+		}
+		syncFrom(net, p, node, "recover")
+	}
+}
+
+// syncFrom delivers every block on any of from's chains (all tips, not
+// just the active one) to node, parents first, skipping blocks the
+// destination already has.
+func syncFrom(net *netsim.Network, from, to *netsim.Node, detail string) {
+	for _, tip := range from.Store().Tips() {
+		for _, b := range from.Store().Path(tip.ID()) {
+			if b.Height == 0 || to.Store().Has(b.ID()) {
+				continue
+			}
+			net.Emit(obs.Event{Kind: "sim.relay", Node: to.Name, Miner: b.Miner,
+				Height: b.Height, Size: b.Size, Block: b.ID().String(), Detail: detail})
+			to.Deliver(b)
+		}
+	}
+}
+
+// finalSync is the post-run anti-entropy pass: every crashed node is
+// restarted and every node pushes all of its chains to every other
+// node, so "all deliveries eventually happen" holds even under lossy
+// links and the convergence invariants are well-posed. Each node then
+// mines on the best chain its own rules accept — which is exactly where
+// mismatched BU configurations keep disagreeing.
+func finalSync(net *netsim.Network) {
+	for _, n := range net.Nodes() {
+		if n.Down() {
+			n.Restart()
+			net.Emit(obs.Event{Kind: "sim.restart", Node: n.Name, Detail: "final"})
+		}
+	}
+	nodes := net.Nodes()
+	for _, from := range nodes {
+		for _, to := range nodes {
+			if from == to {
+				continue
+			}
+			syncFrom(net, from, to, "sync")
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"buanalysis/internal/obs"
+)
+
+// traceBytes runs sc and returns the Report plus its event stream as
+// JSONL bytes — the exact representation `busim -trace` writes.
+func traceBytes(t *testing.T, sc Scenario) (*Report, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	rep, err := Run(sc, sink)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close sink: %v", err)
+	}
+	return rep, buf.Bytes()
+}
+
+// TestRunReplaysBitIdentically pins the subsystem's core contract: the
+// same Scenario produces the same Report and a byte-identical JSONL
+// trace on every replay. Every fault class is represented.
+func TestRunReplaysBitIdentically(t *testing.T) {
+	for _, name := range []string{
+		"bitcoin-jitter", "bitcoin-drop-heavy", "bitcoin-dup",
+		"bitcoin-partition", "bitcoin-churn", "bitcoin-kitchen-sink",
+		"bu-attack-clean", "bu-attack-kitchen-sink",
+	} {
+		sc, ok := Named(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep1, trace1 := traceBytes(t, sc)
+			rep2, trace2 := traceBytes(t, sc)
+			if !bytes.Equal(trace1, trace2) {
+				t.Errorf("replay produced a different trace (%d vs %d bytes)", len(trace1), len(trace2))
+			}
+			if !reflect.DeepEqual(rep1, rep2) {
+				t.Errorf("replay produced a different report:\n%+v\nvs\n%+v", rep1, rep2)
+			}
+			if len(trace1) == 0 || len(rep1.Events) == 0 {
+				t.Error("run produced no events")
+			}
+		})
+	}
+}
+
+// TestScenarioJSONRoundTrip: a scenario serialized to JSON and back
+// replays the original trace byte for byte. This is the replay recipe
+// EXPERIMENTS.md documents — dump a failing scenario, rerun it later.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc, ok := Named("bu-attack-kitchen-sink")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Fatalf("scenario did not round-trip:\n%+v\nvs\n%+v", sc, back)
+	}
+	_, trace1 := traceBytes(t, sc)
+	_, trace2 := traceBytes(t, back)
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("round-tripped scenario replayed a different trace")
+	}
+}
+
+// TestTracerPassivity: attaching a tracer must not change the run. The
+// report with a user tracer equals the report without one, and the
+// tracer sees exactly the events the report carries.
+func TestTracerPassivity(t *testing.T) {
+	sc, ok := Named("bitcoin-kitchen-sink")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	bare, err := Run(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obs.NewRingSink(1 << 20)
+	traced, err := Run(sc, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, traced) {
+		t.Error("attaching a tracer changed the run")
+	}
+	if got := ring.Events(); len(got) != len(traced.Events) {
+		t.Errorf("tracer saw %d events, report has %d", len(got), len(traced.Events))
+	}
+}
+
+// TestCrashRecoveryPullsChains: with Recover set the restarted node is
+// repaired by "recover" relays at restart time; without it the node
+// stays behind until the final sync.
+func TestCrashRecoveryPullsChains(t *testing.T) {
+	count := func(name string) int {
+		sc, ok := Named(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		rep, err := Run(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.CrashLost == 0 {
+			t.Errorf("%s: crash lost no deliveries — the crash never bit", name)
+		}
+		n := 0
+		for _, e := range rep.Events {
+			if e.Kind == "sim.relay" && e.Detail == "recover" {
+				n++
+			}
+		}
+		return n
+	}
+	if n := count("bitcoin-crash-recover"); n == 0 {
+		t.Error("recovering restart pulled no blocks")
+	}
+	if n := count("bitcoin-crash-norecover"); n != 0 {
+		t.Errorf("non-recovering restart pulled %d blocks", n)
+	}
+}
+
+// TestSkipFinalSyncLeavesDivergence: suppressing the anti-entropy pass
+// leaves a crashed-forever node strictly behind — which is exactly why
+// the convergence invariant is only asserted when the pass runs.
+func TestSkipFinalSyncLeavesDivergence(t *testing.T) {
+	sc, ok := Named("bitcoin-crash-forever")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	sc.SkipFinalSync = true
+	rep, err := Run(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down, up int
+	for _, n := range rep.Nodes {
+		if n.Name == "c" {
+			down = n.TipHeight
+		} else if n.TipHeight > up {
+			up = n.TipHeight
+		}
+	}
+	if down >= up {
+		t.Errorf("crashed node at height %d, live nodes at %d — expected it to lag", down, up)
+	}
+	if rep.ForkDepth == 0 {
+		t.Error("no residual divergence without the final sync")
+	}
+}
+
+// TestValidateRejectsBadScenarios covers the validator's error paths.
+func TestValidateRejectsBadScenarios(t *testing.T) {
+	good := Scenario{Name: "ok", Seed: 1, Blocks: 10, Nodes: bitcoinTrio()}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+	bad := []Scenario{
+		{Name: "no-blocks", Nodes: bitcoinTrio()},
+		func() Scenario { s := good; s.Drop = 1; return s }(),
+		func() Scenario { s := good; s.Duplicate = -0.1; return s }(),
+		func() Scenario { s := good; s.Delay = Jitter{Base: -1}; return s }(),
+		func() Scenario { s := good; s.Nodes = append(bitcoinTrio(), bitcoinNode("a", 0.1)); return s }(),
+		func() Scenario {
+			s := good
+			s.Nodes = []NodeSpec{{Name: "x", Power: 1, Rules: RulesSpec{Kind: "martian"}}}
+			return s
+		}(),
+		func() Scenario {
+			s := good
+			s.Partitions = []Partition{{Start: 5, Heal: 5, Group: []string{"a"}}}
+			return s
+		}(),
+		func() Scenario { s := good; s.Partitions = []Partition{{Start: 1, Heal: 5}}; return s }(),
+		func() Scenario {
+			s := good
+			s.Partitions = []Partition{{Start: 1, Heal: 5, Group: []string{"ghost"}}}
+			return s
+		}(),
+		func() Scenario { s := good; s.Crashes = []Crash{{Node: "ghost", At: 1}}; return s }(),
+		func() Scenario { s := good; s.Crashes = []Crash{{Node: "a", At: 5, Restart: 2}}; return s }(),
+		func() Scenario {
+			s := good
+			s.Attack = &AttackSpec{Node: "a", Bob: "a", Carol: "b", SplitSize: 1, NormalSize: 1, AD: 1}
+			return s
+		}(),
+		func() Scenario {
+			s := good
+			s.Attack = &AttackSpec{Node: "a", Bob: "b", Carol: "c", SplitSize: 0, NormalSize: 1, AD: 1}
+			return s
+		}(),
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scenario %d (%s) validated", i, sc.Name)
+		}
+	}
+}
+
+// TestRulesSpecBuild covers the rules factory.
+func TestRulesSpecBuild(t *testing.T) {
+	if _, err := (RulesSpec{Kind: "bitcoin", MaxBlockSize: mb}).Build(); err != nil {
+		t.Error(err)
+	}
+	if _, err := (RulesSpec{Kind: "bu", EB: mb, AD: 4}).Build(); err != nil {
+		t.Error(err)
+	}
+	for _, r := range []RulesSpec{
+		{Kind: "bitcoin"},
+		{Kind: "bu", EB: mb},
+		{Kind: "bu", AD: 4},
+		{Kind: "nonsense"},
+	} {
+		if _, err := r.Build(); err == nil {
+			t.Errorf("%+v built without error", r)
+		}
+	}
+}

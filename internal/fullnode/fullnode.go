@@ -154,25 +154,8 @@ func (n *Node) addConn(conn net.Conn) {
 	}
 	n.peers[conn] = &sync.Mutex{}
 	// Sync a late joiner: send our active chain's full blocks in order.
-	var blocks []*ledger.FullBlock
-	for b := n.ledger.Head(); b.Height > 0; {
-		fb := n.ledger.Block(b.ID())
-		blocks = append([]*ledger.FullBlock{fb}, blocks...)
-		parent := fb.Header.Parent
-		next := n.ledger.Block(parent)
-		if next == nil {
-			break
-		}
-		b = next.Header
-	}
-	head := n.ledger.Head()
+	blocks := n.chainBlocksLocked()
 	n.mu.Unlock()
-	// Edge case: height-1 chains have no parent FullBlock; resend head.
-	if len(blocks) == 0 && head.Height > 0 {
-		if fb := n.ledger.Block(head.ID()); fb != nil {
-			blocks = []*ledger.FullBlock{fb}
-		}
-	}
 	for _, fb := range blocks {
 		n.sendBlock(conn, fb)
 	}
@@ -191,6 +174,54 @@ func (n *Node) addConn(conn net.Conn) {
 			n.handle(m)
 		}
 	}()
+}
+
+// chainBlocksLocked collects the active chain's full blocks from the
+// first post-genesis block to the head; n.mu held.
+func (n *Node) chainBlocksLocked() []*ledger.FullBlock {
+	var blocks []*ledger.FullBlock
+	for b := n.ledger.Head(); b.Height > 0; {
+		fb := n.ledger.Block(b.ID())
+		if fb == nil {
+			break
+		}
+		blocks = append([]*ledger.FullBlock{fb}, blocks...)
+		next := n.ledger.Block(fb.Header.Parent)
+		if next == nil {
+			break
+		}
+		b = next.Header
+	}
+	return blocks
+}
+
+// ChainBlocks snapshots the node's active chain as full blocks, parents
+// first — its durable state. Feeding the snapshot to NewRecovered
+// rebuilds the ledger, UTXO set and all, after a crash.
+func (n *Node) ChainBlocks() []*ledger.FullBlock {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.chainBlocksLocked()
+}
+
+// NewRecovered restarts a crashed node from a chain snapshot: every
+// block is re-validated under cfg's rules, so the recovered UTXO set is
+// exactly what this configuration accepts — a node restarted with a
+// smaller block size limit re-judges the saved chain rather than
+// trusting it. The mempool starts empty; peers re-gossip what it
+// missed once it redials.
+func NewRecovered(cfg Config, blocks []*ledger.FullBlock) (*Node, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	for _, fb := range blocks {
+		n.seenBlock[fb.Header.ID()] = true
+		n.ingestLocked(fb)
+	}
+	n.mu.Unlock()
+	return n, nil
 }
 
 // sendBlock writes a full block to one peer.

@@ -1,0 +1,145 @@
+package fullnode
+
+import (
+	"testing"
+
+	"buanalysis/internal/ledger"
+	"buanalysis/internal/tx"
+)
+
+// TestCrashRecoveryKeepsBalances: a node that crashes after confirming
+// real payments is rebuilt from its chain snapshot with the identical
+// UTXO view, then redials and catches up on blocks mined while it was
+// down.
+func TestCrashRecoveryKeepsBalances(t *testing.T) {
+	minerKey, aliceKey := keypair(1), keypair(2)
+	miner := newNode(t, "miner", minerKey, 1<<20)
+	wallet, err := New(Config{Name: "wallet", Key: aliceKey, Subsidy: subsidy,
+		MaxBlockSize: 1 << 20, PoWBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	addr, err := miner.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wallet.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fund the miner and pay alice so the UTXO view is non-trivial.
+	fund, err := miner.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payment := &tx.Transaction{
+		Inputs: []tx.Input{{Previous: tx.Outpoint{TxID: fund.Txs[0].TxID(), Index: 0}}},
+		Outputs: []tx.Output{
+			{Value: 30, PubKey: aliceKey.Pub},
+			{Value: subsidy - 30 - 2, PubKey: minerKey.Pub},
+		},
+	}
+	if err := payment.Sign(0, minerKey.Priv); err != nil {
+		t.Fatal(err)
+	}
+	if err := miner.SubmitTx(payment); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := miner.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "wallet confirming the payment", func() bool {
+		return wallet.Confirmations(payment.TxID()) == 1
+	})
+
+	// Crash the wallet; the snapshot is its durable chain state.
+	snapshot := wallet.ChainBlocks()
+	preCrashHead := wallet.Head().ID()
+	if err := wallet.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The network keeps mining while the wallet is down.
+	if _, err := miner.Mine(); err != nil {
+		t.Fatal(err)
+	}
+
+	revived, err := NewRecovered(Config{Name: "wallet", Key: aliceKey, Subsidy: subsidy,
+		MaxBlockSize: 1 << 20, PoWBits: 4}, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { revived.Close() })
+
+	// Recovery alone restores the pre-crash ledger: head, balances,
+	// confirmations.
+	if revived.Head().ID() != preCrashHead {
+		t.Fatalf("recovered head %v, want pre-crash %v", revived.Head().ID(), preCrashHead)
+	}
+	if got := revived.Balance(aliceKey.Pub); got != 30 {
+		t.Errorf("recovered alice balance = %d, want 30", got)
+	}
+	if got := revived.Confirmations(payment.TxID()); got != 1 {
+		t.Errorf("recovered payment confirmations = %d, want 1", got)
+	}
+
+	// Redialing syncs the block mined during the outage.
+	if err := revived.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "revived wallet catching up", func() bool {
+		return revived.Head().ID() == miner.Head().ID()
+	})
+	if got, want := revived.Balance(minerKey.Pub), miner.Balance(minerKey.Pub); got != want {
+		t.Errorf("post-catch-up miner balance %d at wallet, %d at miner", got, want)
+	}
+}
+
+// TestRecoveredNodeRejudgesChain: recovery re-validates, it does not
+// trust. A chain containing a 2 MB block recovers fully on an 8 MB
+// node but truncates before the big block on a 1 MB node.
+func TestRecoveredNodeRejudgesChain(t *testing.T) {
+	wideKey := keypair(3)
+	wide := newNode(t, "wide", wideKey, 8<<20)
+	if _, err := wide.Mine(); err != nil {
+		t.Fatal(err)
+	}
+	// Block 2 carries an oversize coinbase payload: valid under 8 MB,
+	// excessive under 1 MB.
+	bigCB := &tx.Transaction{
+		Outputs: []tx.Output{{Value: subsidy, PubKey: wideKey.Pub}},
+		Payload: make([]byte, 2<<20),
+	}
+	big := ledger.Assemble(wide.Head(), []*tx.Transaction{bigCB}, "wide", 0)
+	if err := big.Header.Seal(4, 1<<22); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.SubmitBlock(big); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := wide.ChainBlocks()
+	if len(snapshot) != 2 {
+		t.Fatalf("snapshot has %d blocks, want 2", len(snapshot))
+	}
+
+	rewide, err := NewRecovered(Config{Name: "rewide", Key: keypair(4), Subsidy: subsidy,
+		MaxBlockSize: 8 << 20, PoWBits: 4}, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rewide.Close() })
+	if got := rewide.Head().Height; got != 2 {
+		t.Errorf("wide recovery stopped at height %d, want 2", got)
+	}
+
+	narrow, err := NewRecovered(Config{Name: "narrow", Key: keypair(5), Subsidy: subsidy,
+		MaxBlockSize: 1 << 20, PoWBits: 4}, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { narrow.Close() })
+	if got := narrow.Head().Height; got != 1 {
+		t.Errorf("narrow recovery accepted the big block: height %d, want 1", got)
+	}
+}

@@ -1,0 +1,337 @@
+// Package invariant asserts protocol-level properties over a fault
+// simulation's trace and final state (faultsim.Report). It is the
+// adversarial test engine the scenario corpus runs under: every
+// scenario must satisfy the universal invariants — monotone clock,
+// causal delivery (no block accepted before it was delivered), no
+// activity on crashed nodes, event/counter consistency, partition
+// isolation, and post-sync convergence of equal-rule nodes — plus any
+// extra expectations the scenario declares ("the EB-mismatch fork
+// emerges", "a clean Bitcoin network never orphans a block", ...).
+//
+// The convergence invariant states the paper's dichotomy precisely:
+// nodes running identical validity rules (Bitcoin with one limit, or BU
+// with equal EB/AD) never sustain a fork once every block has been
+// delivered — at worst they hold an unresolved same-height tie — while
+// mismatched BU configurations may keep disagreeing forever, which is
+// exactly what the attack scenarios pin.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"buanalysis/internal/faultsim"
+)
+
+// Violation is one failed invariant.
+type Violation struct {
+	// Invariant names the failed property.
+	Invariant string
+	// Detail explains the failure.
+	Detail string
+	// Index is the offending event's position in Report.Events, or -1
+	// for state-level violations.
+	Index int
+}
+
+func (v Violation) String() string {
+	if v.Index >= 0 {
+		return fmt.Sprintf("%s (event %d): %s", v.Invariant, v.Index, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
+
+// Expectations lists the per-scenario invariant names a Scenario may
+// declare in its Expect field.
+func Expectations() []string {
+	return []string{
+		"unique-tip", "no-orphans", "orphans", "no-fork", "fork",
+		"deep-fork", "drops", "dups", "crashes", "rejections",
+		"no-rejections", "splits",
+	}
+}
+
+// Check runs every universal invariant and the report's declared
+// expectations. It returns nil when the run is clean.
+func Check(rep *faultsim.Report) []Violation {
+	var vs []Violation
+	add := func(inv string, idx int, format string, args ...any) {
+		vs = append(vs, Violation{Invariant: inv, Index: idx, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	checkClock(rep, add)
+	checkCausalDelivery(rep, add)
+	checkAcceptMonotone(rep, add)
+	checkCrashWindows(rep, add)
+	checkCounters(rep, add)
+	checkPartitionIsolation(rep, add)
+	checkConvergence(rep, add)
+	checkExpectations(rep, add)
+	return vs
+}
+
+type adder func(inv string, idx int, format string, args ...any)
+
+// checkClock: the simulation clock never runs backwards.
+func checkClock(rep *faultsim.Report, add adder) {
+	last := 0.0
+	for i, e := range rep.Events {
+		if e.T < last {
+			add("monotone-clock", i, "%s at t=%v after t=%v", e.Kind, e.T, last)
+			return
+		}
+		last = e.T
+	}
+}
+
+// checkCausalDelivery: a node only accepts or rejects a block it has
+// seen — one it mined, or one a delivery (relay, recovery, sync)
+// carried to it earlier in the stream.
+func checkCausalDelivery(rep *faultsim.Report, add adder) {
+	seen := make(map[string]map[string]bool) // node -> block id -> delivered
+	mark := func(node, block string) {
+		m := seen[node]
+		if m == nil {
+			m = make(map[string]bool)
+			seen[node] = m
+		}
+		m[block] = true
+	}
+	for i, e := range rep.Events {
+		switch e.Kind {
+		case "sim.block":
+			mark(e.Miner, e.Block)
+		case "sim.relay":
+			mark(e.Node, e.Block)
+		case "sim.accept", "sim.reject":
+			if e.Block == "" {
+				add("causal-delivery", i, "%s without a block id", e.Kind)
+				continue
+			}
+			if !seen[e.Node][e.Block] {
+				add("causal-delivery", i, "node %s %s block %s never delivered to it",
+					e.Node, strings.TrimPrefix(e.Kind, "sim."), e.Block)
+			}
+		}
+	}
+}
+
+// checkAcceptMonotone: a node's accepted tip height strictly increases
+// (netsim only re-targets onto strictly higher valid chains).
+func checkAcceptMonotone(rep *faultsim.Report, add adder) {
+	last := make(map[string]int)
+	for i, e := range rep.Events {
+		if e.Kind != "sim.accept" {
+			continue
+		}
+		if prev, ok := last[e.Node]; ok && e.Height <= prev {
+			add("accept-monotone", i, "node %s accepted height %d after height %d",
+				e.Node, e.Height, prev)
+		}
+		last[e.Node] = e.Height
+	}
+}
+
+// checkCrashWindows: between a node's crash and its restart, the node
+// neither receives nor evaluates anything — every copy aimed at it must
+// surface as a "crash" drop instead.
+func checkCrashWindows(rep *faultsim.Report, add adder) {
+	down := make(map[string]bool)
+	for i, e := range rep.Events {
+		switch e.Kind {
+		case "sim.crash":
+			down[e.Node] = true
+		case "sim.restart":
+			down[e.Node] = false
+		case "sim.relay", "sim.accept", "sim.reject":
+			if down[e.Node] {
+				add("crash-isolation", i, "%s for crashed node %s", e.Kind, e.Node)
+			}
+		}
+	}
+}
+
+// checkCounters: the trace and the report's counters must agree — the
+// tracer observes the run, it never invents or loses events.
+func checkCounters(rep *faultsim.Report, add adder) {
+	blocks, drops, crashLost, dupRelays := 0, 0, 0, 0
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case "sim.block":
+			blocks++
+		case "sim.drop":
+			if e.Detail == "crash" {
+				crashLost++
+			} else {
+				drops++
+			}
+		case "sim.relay":
+			if e.Detail == "dup" {
+				dupRelays++
+			}
+		}
+	}
+	if blocks != rep.BlocksMined {
+		add("counter-consistency", -1, "%d sim.block events, %d blocks mined", blocks, rep.BlocksMined)
+	}
+	if drops != rep.Drops {
+		add("counter-consistency", -1, "%d link-drop events, counter says %d", drops, rep.Drops)
+	}
+	if crashLost != rep.CrashLost {
+		add("counter-consistency", -1, "%d crash-drop events, counter says %d", crashLost, rep.CrashLost)
+	}
+	// Duplicated copies can still be lost at a crashed destination, so
+	// delivered duplicates can only undercount the injected ones.
+	if dupRelays > rep.Dups {
+		add("counter-consistency", -1, "%d duplicate relays exceed %d injected duplicates", dupRelays, rep.Dups)
+	}
+}
+
+// checkPartitionIsolation: no live relay crosses an active cut. Relay
+// events stamp the block's original miner, which for live relays and
+// duplicates is the sender. Repair deliveries are exempt: post-run
+// anti-entropy ("sync") models repair after the run, and crash-recovery
+// pulls ("recover") name the block's miner rather than the pulling peer
+// — faultsim already refuses to pull across a cut.
+func checkPartitionIsolation(rep *faultsim.Report, add adder) {
+	parts := rep.Scenario.Partitions
+	if len(parts) == 0 {
+		return
+	}
+	groups := make([]map[string]bool, len(parts))
+	for i, p := range parts {
+		groups[i] = make(map[string]bool, len(p.Group))
+		for _, g := range p.Group {
+			groups[i][g] = true
+		}
+	}
+	for i, e := range rep.Events {
+		if e.Kind != "sim.relay" || e.Detail == "sync" || e.Detail == "recover" || e.Miner == e.Node {
+			continue
+		}
+		for pi, p := range parts {
+			if e.T >= p.Start && e.T < p.Heal && groups[pi][e.Miner] != groups[pi][e.Node] {
+				add("partition-isolation", i,
+					"delivery %s -> %s at t=%v crosses the [%v,%v) cut",
+					e.Miner, e.Node, e.T, p.Start, p.Heal)
+			}
+		}
+	}
+}
+
+// checkConvergence: after the final sync every node has every block, so
+// nodes running identical validity rules must agree — same tip, or at
+// worst an unresolved tie at the same height. Skipped when the scenario
+// suppressed the final sync (delivery is then not eventual).
+func checkConvergence(rep *faultsim.Report, add adder) {
+	if rep.Scenario.SkipFinalSync {
+		return
+	}
+	byRules := make(map[string][]faultsim.NodeReport)
+	for _, n := range rep.Nodes {
+		byRules[n.Rules] = append(byRules[n.Rules], n)
+	}
+	for rules, group := range byRules {
+		for _, n := range group[1:] {
+			if n.TipHeight != group[0].TipHeight {
+				add("sustained-fork", -1,
+					"equal-rule nodes %s and %s (%s) stuck at heights %d and %d after full delivery",
+					group[0].Name, n.Name, rules, group[0].TipHeight, n.TipHeight)
+			}
+		}
+	}
+}
+
+// checkExpectations enforces the scenario's declared extra invariants.
+//
+// Fork accounting ignores depth-1 events: a freshly mined block always
+// puts its miner one block ahead of everyone else until the relays
+// land, so every round emits a transient depth-1 "sim.fork". A real
+// disagreement — two nodes extending different branches — shows up as
+// depth >= 2.
+func checkExpectations(rep *faultsim.Report, add adder) {
+	forks, deepest := 0, 0
+	crashes := 0
+	for _, e := range rep.Events {
+		switch e.Kind {
+		case "sim.fork":
+			if e.Depth >= 2 {
+				forks++
+			}
+			if e.Depth > deepest {
+				deepest = e.Depth
+			}
+		case "sim.crash":
+			crashes++
+		}
+	}
+	rejections := 0
+	uniqueTip := true
+	for _, n := range rep.Nodes {
+		rejections += n.Rejections
+		if n.Tip != rep.Nodes[0].Tip {
+			uniqueTip = false
+		}
+	}
+
+	for _, want := range rep.Scenario.Expect {
+		switch want {
+		case "unique-tip":
+			if !uniqueTip {
+				add("expect:unique-tip", -1, "nodes finished on different tips")
+			}
+		case "no-orphans":
+			if rep.Orphans != 0 {
+				add("expect:no-orphans", -1, "%d orphaned blocks", rep.Orphans)
+			}
+		case "orphans":
+			if rep.Orphans == 0 {
+				add("expect:orphans", -1, "scenario produced no orphans (vacuous)")
+			}
+		case "no-fork":
+			if forks != 0 {
+				add("expect:no-fork", -1, "%d fork events of depth >= 2", forks)
+			}
+			if rep.ForkDepth != 0 {
+				add("expect:no-fork", -1, "nodes still forked (depth %d) at the end", rep.ForkDepth)
+			}
+		case "fork":
+			if forks == 0 {
+				add("expect:fork", -1, "no fork events of depth >= 2")
+			}
+		case "deep-fork":
+			if deepest < 4 {
+				add("expect:deep-fork", -1, "deepest fork %d, want >= 4", deepest)
+			}
+		case "drops":
+			if rep.Drops == 0 {
+				add("expect:drops", -1, "no link drops (fault never engaged)")
+			}
+		case "dups":
+			if rep.Dups == 0 {
+				add("expect:dups", -1, "no duplicated deliveries (fault never engaged)")
+			}
+		case "crashes":
+			if crashes == 0 {
+				add("expect:crashes", -1, "no crash events (fault never engaged)")
+			}
+		case "rejections":
+			if rejections == 0 {
+				add("expect:rejections", -1, "no validity rejections")
+			}
+		case "no-rejections":
+			// Stone's premise: with static miners nobody produces an
+			// excessive block, so per-node validity never even engages.
+			if rejections != 0 {
+				add("expect:no-rejections", -1, "%d validity rejections", rejections)
+			}
+		case "splits":
+			if rep.Splits == 0 {
+				add("expect:splits", -1, "the attacker never split the network")
+			}
+		default:
+			add("expect:unknown", -1, "unknown expectation %q (valid: %s)",
+				want, strings.Join(Expectations(), ", "))
+		}
+	}
+}

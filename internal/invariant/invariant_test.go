@@ -1,0 +1,175 @@
+package invariant
+
+import (
+	"testing"
+
+	"buanalysis/internal/faultsim"
+	"buanalysis/internal/obs"
+)
+
+// TestCorpus runs every scenario in the fault corpus and asserts the
+// full invariant suite on each. This is the CI gate: a change to the
+// simulator, the fault injector, or the protocol rules that breaks any
+// protocol-level property under any seeded fault schedule fails here.
+func TestCorpus(t *testing.T) {
+	corpus := faultsim.Corpus()
+	if len(corpus) < 20 {
+		t.Fatalf("corpus has %d scenarios, want at least 20", len(corpus))
+	}
+	for _, sc := range corpus {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := faultsim.Run(sc, nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for _, v := range Check(rep) {
+				t.Errorf("violated: %s", v)
+			}
+		})
+	}
+}
+
+// TestCorpusScenariosValid pins corpus hygiene: every scenario
+// validates, names are unique, and every declared expectation is one
+// the checker knows.
+func TestCorpusScenariosValid(t *testing.T) {
+	known := make(map[string]bool)
+	for _, name := range Expectations() {
+		known[name] = true
+	}
+	seen := make(map[string]bool)
+	for _, sc := range faultsim.Corpus() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		for _, want := range sc.Expect {
+			if !known[want] {
+				t.Errorf("%s: unknown expectation %q", sc.Name, want)
+			}
+		}
+		if got, ok := faultsim.Named(sc.Name); !ok || got.Name != sc.Name {
+			t.Errorf("Named(%q) did not round-trip", sc.Name)
+		}
+	}
+	if _, ok := faultsim.Named("no-such-scenario"); ok {
+		t.Error("Named found a scenario that does not exist")
+	}
+}
+
+// TestCheckerDetectsTampering runs a clean scenario and then corrupts
+// the report in targeted ways, asserting each corruption trips exactly
+// the invariant built to catch it. A checker that cannot fail is not
+// checking anything.
+func TestCheckerDetectsTampering(t *testing.T) {
+	sc, ok := faultsim.Named("bitcoin-drop-light")
+	if !ok {
+		t.Fatal("corpus scenario missing")
+	}
+	clean, err := faultsim.Run(sc, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if vs := Check(clean); len(vs) != 0 {
+		t.Fatalf("baseline not clean: %v", vs)
+	}
+
+	rerun := func() *faultsim.Report {
+		rep, err := faultsim.Run(sc, nil)
+		if err != nil {
+			t.Fatalf("rerun: %v", err)
+		}
+		return rep
+	}
+	wantViolation := func(t *testing.T, rep *faultsim.Report, invariant string) {
+		t.Helper()
+		for _, v := range Check(rep) {
+			if v.Invariant == invariant {
+				return
+			}
+		}
+		t.Errorf("tampering was not caught by %s: %v", invariant, Check(rep))
+	}
+
+	t.Run("clock-rewind", func(t *testing.T) {
+		rep := rerun()
+		rep.Events[len(rep.Events)/2].T = -1
+		wantViolation(t, rep, "monotone-clock")
+	})
+	t.Run("phantom-accept", func(t *testing.T) {
+		rep := rerun()
+		rep.Events = append(rep.Events, obs.Event{
+			Kind: "sim.accept", Node: "a", Block: "feedfeed", Height: 10_000,
+			T: rep.Events[len(rep.Events)-1].T,
+		})
+		wantViolation(t, rep, "causal-delivery")
+	})
+	t.Run("height-regression", func(t *testing.T) {
+		rep := rerun()
+		for i := len(rep.Events) - 1; i >= 0; i-- {
+			if rep.Events[i].Kind == "sim.accept" {
+				rep.Events[i].Height = 0
+				break
+			}
+		}
+		wantViolation(t, rep, "accept-monotone")
+	})
+	t.Run("zombie-node", func(t *testing.T) {
+		rep := rerun()
+		// Declare node a crashed at t=0 and never restarted: every later
+		// delivery to it becomes a violation.
+		head := []obs.Event{{Kind: "sim.crash", Node: "a"}}
+		rep.Events = append(head, rep.Events...)
+		wantViolation(t, rep, "crash-isolation")
+	})
+	t.Run("cooked-counter", func(t *testing.T) {
+		rep := rerun()
+		rep.Drops++
+		wantViolation(t, rep, "counter-consistency")
+	})
+	t.Run("divergent-finish", func(t *testing.T) {
+		rep := rerun()
+		rep.Nodes[0].TipHeight += 5
+		wantViolation(t, rep, "sustained-fork")
+	})
+	t.Run("unknown-expectation", func(t *testing.T) {
+		rep := rerun()
+		rep.Scenario.Expect = append(rep.Scenario.Expect, "definitely-not-a-thing")
+		wantViolation(t, rep, "expect:unknown")
+	})
+	t.Run("vacuous-expectation", func(t *testing.T) {
+		rep := rerun()
+		rep.Scenario.Expect = append(rep.Scenario.Expect, "crashes")
+		wantViolation(t, rep, "expect:crashes")
+	})
+}
+
+// TestPartitionIsolationCatchesCrossing feeds the checker a synthetic
+// report in which a relay crosses an active cut.
+func TestPartitionIsolationCatchesCrossing(t *testing.T) {
+	rep := &faultsim.Report{
+		Scenario: faultsim.Scenario{
+			Name: "synthetic", Blocks: 1, SkipFinalSync: true,
+			Partitions: []faultsim.Partition{{Start: 10, Heal: 20, Group: []string{"a"}}},
+		},
+		Events: []obs.Event{
+			{Kind: "sim.block", T: 12, Miner: "a", Block: "aa", Height: 1},
+			{Kind: "sim.relay", T: 15, Miner: "a", Node: "b", Block: "aa", Height: 1},
+		},
+		BlocksMined: 1,
+	}
+	found := false
+	for _, v := range Check(rep) {
+		if v.Invariant == "partition-isolation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cut-crossing relay not caught: %v", Check(rep))
+	}
+}

@@ -1,0 +1,94 @@
+package montecarlo
+
+import (
+	"reflect"
+	"testing"
+
+	"buanalysis/internal/faultsim"
+	"buanalysis/internal/stats"
+)
+
+func faultScenario(t *testing.T, name string) faultsim.Scenario {
+	t.Helper()
+	sc, ok := faultsim.Named(name)
+	if !ok {
+		t.Fatalf("scenario %s missing", name)
+	}
+	// Batches shrink the run: the summary needs many short runs, not a
+	// few long ones.
+	sc.Blocks = 300
+	return sc
+}
+
+// TestFaultBatchesWorkerCountInvariant pins that the batch summary is a
+// pure function of (scenario, batches): serial, two-worker, and
+// GOMAXPROCS schedules produce identical summaries.
+func TestFaultBatchesWorkerCountInvariant(t *testing.T) {
+	sc := faultScenario(t, "bitcoin-drop-heavy")
+	var ref stats.Summary
+	for i, workers := range []int{1, 2, 0} {
+		sum, err := FaultBatches(sc, 8, workers, OrphanFraction)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = sum
+			continue
+		}
+		if !reflect.DeepEqual(sum, ref) {
+			t.Errorf("workers=%d changed the summary: %+v vs %+v", workers, sum, ref)
+		}
+	}
+	if ref.Mean <= 0 {
+		t.Errorf("heavy loss produced no orphans (mean %v)", ref.Mean)
+	}
+}
+
+// TestFaultBatchesSeparatesRegimes: across seeds, the EB-mismatch
+// attack keeps forcing validity rejections while an equal-EB network
+// never produces any. This is the paper's claim as a batched statistic
+// rather than a single trajectory.
+func TestFaultBatchesSeparatesRegimes(t *testing.T) {
+	attack, err := FaultBatches(faultScenario(t, "bu-attack-clean"), 6, 0, RejectionRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := FaultBatches(faultScenario(t, "bu-equal-clean"), 6, 0, RejectionRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attack.Mean <= 0 {
+		t.Errorf("attack produced no rejections: %+v", attack)
+	}
+	if clean.Mean != 0 || clean.Std != 0 {
+		t.Errorf("equal-EB network rejected blocks: %+v", clean)
+	}
+	if attack.Mean <= clean.Mean+3*attack.SE {
+		t.Errorf("regimes not separated: attack %+v vs clean %+v", attack, clean)
+	}
+}
+
+// TestFaultBatchesDefaultsAndErrors covers the argument contract.
+func TestFaultBatchesDefaultsAndErrors(t *testing.T) {
+	sc := faultScenario(t, "bitcoin-drop-heavy")
+	if _, err := FaultBatches(sc, 1, 0, nil); err == nil {
+		t.Error("single batch accepted")
+	}
+	sc.Blocks = 0
+	if _, err := FaultBatches(sc, 4, 0, nil); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	// nil metric defaults to OrphanFraction.
+	sc.Blocks = 200
+	withNil, err := FaultBatches(sc, 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMetric, err := FaultBatches(sc, 4, 1, OrphanFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withNil, withMetric) {
+		t.Errorf("nil metric is not OrphanFraction: %+v vs %+v", withNil, withMetric)
+	}
+}

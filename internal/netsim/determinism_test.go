@@ -1,0 +1,181 @@
+package netsim_test
+
+// Determinism regression tests for the simulator's fault hooks. The
+// scheduler is serial by design, so a trace must be a pure function of
+// (seed, config) regardless of GOMAXPROCS, and installing a tracer must
+// never change what the simulation computes — now including the fault
+// path: drops, duplicates, partitions, crash losses.
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/faultsim"
+	"buanalysis/internal/netsim"
+	"buanalysis/internal/obs"
+	"buanalysis/internal/protocol"
+)
+
+const mb = 1 << 20
+
+// faultTrace runs a representative faulty scenario and returns its
+// JSONL trace bytes.
+func faultTrace(t *testing.T) []byte {
+	t.Helper()
+	sc, ok := faultsim.Named("bitcoin-kitchen-sink")
+	if !ok {
+		t.Fatal("corpus scenario missing")
+	}
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	if _, err := faultsim.Run(sc, sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministicAcrossGOMAXPROCS pins byte-identical traces
+// under different parallelism settings (and under -race in CI).
+func TestTraceDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ref := faultTrace(t)
+	if len(ref) == 0 {
+		t.Fatal("empty trace")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, prev} {
+		runtime.GOMAXPROCS(procs)
+		if got := faultTrace(t); !bytes.Equal(got, ref) {
+			t.Errorf("GOMAXPROCS=%d changed the trace (%d vs %d bytes)", procs, len(got), len(ref))
+		}
+	}
+}
+
+// lossyLink is a deterministic fault link for direct netsim use: drops
+// every third route, duplicates every fifth, with seeded jitter.
+func lossyLink() netsim.LinkFunc {
+	rng := rand.New(rand.NewSource(7))
+	calls := 0
+	return func(b *chain.Block, from, to *netsim.Node, now float64) ([]netsim.Delivery, string) {
+		calls++
+		jitter := rng.Float64() * 0.2
+		switch {
+		case calls%3 == 0:
+			return nil, "loss"
+		case calls%5 == 0:
+			return []netsim.Delivery{{Delay: jitter}, {Delay: jitter + 0.3}}, ""
+		}
+		return []netsim.Delivery{{Delay: jitter}}, ""
+	}
+}
+
+type faultyRun struct {
+	blocksMined, dropped, duplicated, lostToCrash int
+	tips                                          []string
+}
+
+// runFaulty drives a network with fault hooks engaged — lossy link plus
+// a crash/restart — and returns its observable outcome.
+func runFaulty(t *testing.T, tr obs.Tracer) faultyRun {
+	t.Helper()
+	nodes := []*netsim.Node{
+		{Name: "a", Power: 0.5, Rules: protocol.Bitcoin{MaxBlockSize: mb}, MG: mb / 2},
+		{Name: "b", Power: 0.3, Rules: protocol.Bitcoin{MaxBlockSize: mb}, MG: mb / 2},
+		{Name: "c", Power: 0.2, Rules: protocol.Bitcoin{MaxBlockSize: mb}, MG: mb / 2},
+	}
+	net, err := netsim.New(netsim.Config{Seed: 42, Link: lossyLink(), Tracer: tr}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.At(50, func() { nodes[2].Crash() })
+	net.At(120, func() { nodes[2].Restart() })
+	net.Run(400)
+	out := faultyRun{
+		blocksMined: net.BlocksMined,
+		dropped:     net.DeliveriesDropped,
+		duplicated:  net.DeliveriesDuplicated,
+		lostToCrash: net.DeliveriesLostToCrash,
+	}
+	for _, n := range nodes {
+		out.tips = append(out.tips, n.Target().ID().String())
+	}
+	return out
+}
+
+// TestFaultTracerPassivity extends the tracer-passivity contract to the
+// fault path: a traced faulty run computes exactly what an untraced one
+// does, and the fault events it emits agree with the fault counters.
+func TestFaultTracerPassivity(t *testing.T) {
+	bare := runFaulty(t, nil)
+	ring := obs.NewRingSink(1 << 18)
+	traced := runFaulty(t, ring)
+
+	if bare.blocksMined != traced.blocksMined ||
+		bare.dropped != traced.dropped ||
+		bare.duplicated != traced.duplicated ||
+		bare.lostToCrash != traced.lostToCrash {
+		t.Errorf("tracing changed the run: %+v vs %+v", bare, traced)
+	}
+	for i := range bare.tips {
+		if bare.tips[i] != traced.tips[i] {
+			t.Errorf("node %d tip differs under tracing: %s vs %s", i, bare.tips[i], traced.tips[i])
+		}
+	}
+	if bare.dropped == 0 || bare.duplicated == 0 || bare.lostToCrash == 0 {
+		t.Fatalf("fault path not exercised: %+v", bare)
+	}
+
+	drops, crashDrops, dups := 0, 0, 0
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case "sim.drop":
+			if e.Detail == "crash" {
+				crashDrops++
+			} else {
+				drops++
+			}
+		case "sim.relay":
+			if e.Detail == "dup" {
+				dups++
+			}
+		}
+	}
+	if drops != traced.dropped {
+		t.Errorf("%d drop events, counter %d", drops, traced.dropped)
+	}
+	if crashDrops != traced.lostToCrash {
+		t.Errorf("%d crash-drop events, counter %d", crashDrops, traced.lostToCrash)
+	}
+	// Duplicated copies aimed at a crashed node surface as crash drops,
+	// so delivered duplicates can only undercount injected ones.
+	if dups > traced.duplicated {
+		t.Errorf("%d duplicate relays exceed %d injected", dups, traced.duplicated)
+	}
+}
+
+// TestNilLinkUnchanged pins that a nil Link reproduces the pre-fault
+// behavior: every relay delivers exactly one copy, no fault counters.
+func TestNilLinkUnchanged(t *testing.T) {
+	nodes := []*netsim.Node{
+		{Name: "a", Power: 0.6, Rules: protocol.Bitcoin{MaxBlockSize: mb}, MG: mb / 2},
+		{Name: "b", Power: 0.4, Rules: protocol.Bitcoin{MaxBlockSize: mb}, MG: mb / 2},
+	}
+	net, err := netsim.New(netsim.Config{Seed: 1}, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(200)
+	if net.DeliveriesDropped != 0 || net.DeliveriesDuplicated != 0 || net.DeliveriesLostToCrash != 0 {
+		t.Errorf("nil link tripped fault counters: %d/%d/%d",
+			net.DeliveriesDropped, net.DeliveriesDuplicated, net.DeliveriesLostToCrash)
+	}
+	if nodes[0].Target().ID() != nodes[1].Target().ID() {
+		t.Error("two-node zero-delay network did not converge")
+	}
+}

@@ -24,14 +24,46 @@ type Config struct {
 	BlockDelay func(b *chain.Block, from, to *Node) float64
 	// Seed drives the simulation's randomness.
 	Seed int64
+	// Link, if non-nil, intercepts every block relay: it decides how
+	// many copies of the block reach the destination and with what extra
+	// delay, which is how fault-injection layers (internal/faultsim)
+	// impose message loss, duplication, reordering jitter, and network
+	// partitions. A nil Link delivers exactly one copy per relay. The
+	// link must be deterministic in its inputs (and any seeded state of
+	// its own) for runs to replay bit-identically.
+	Link Link
 	// Tracer, if non-nil, receives structured simulation events: one
 	// "sim.block" per block found, "sim.relay" per delivery, "sim.accept"
 	// / "sim.reject" for each node's validity decision, "sim.fork" while
-	// targets diverge, and "sim.reorg" when a node abandons blocks it
-	// mined on. Events are stamped with the simulation clock. Tracing
-	// never changes the simulation: the random stream and every decision
-	// are independent of it.
+	// targets diverge, "sim.reorg" when a node abandons blocks it mined
+	// on, and "sim.drop" when the link layer or a crashed destination
+	// loses a delivery. Events are stamped with the simulation clock.
+	// Tracing never changes the simulation: the random stream and every
+	// decision are independent of it.
 	Tracer obs.Tracer
+}
+
+// Delivery is one copy of a relayed block the link layer lets through,
+// delayed by Delay on top of the configured propagation delay.
+type Delivery struct {
+	Delay float64
+}
+
+// Link intercepts block relays. Route is consulted once per
+// (block, destination) pair at send time: it returns the copies to
+// deliver (an empty slice drops the message, more than one duplicates
+// it) and, when dropping, a short reason stamped on the "sim.drop"
+// event ("loss", "partition", ...).
+type Link interface {
+	Route(b *chain.Block, from, to *Node, now float64) (copies []Delivery, drop string)
+}
+
+// LinkFunc adapts a function to the Link interface.
+type LinkFunc func(b *chain.Block, from, to *Node, now float64) ([]Delivery, string)
+
+// Route implements Link.
+func (f LinkFunc) Route(b *chain.Block, from, to *Node, now float64) ([]Delivery, string) {
+	return f(b, from, to, now)
 }
 
 // Network is a running simulation.
@@ -44,8 +76,15 @@ type Network struct {
 
 	// BlocksMined counts mining events that produced a block.
 	BlocksMined int
-	// RoundsSkipped counts mining rounds a strategy declined (Wait).
+	// RoundsSkipped counts mining rounds a strategy declined (Wait) or
+	// that found every miner crashed.
 	RoundsSkipped int
+	// DeliveriesDropped counts relays the link layer refused outright.
+	DeliveriesDropped int
+	// DeliveriesDuplicated counts extra copies the link layer injected.
+	DeliveriesDuplicated int
+	// DeliveriesLostToCrash counts copies that arrived at a crashed node.
+	DeliveriesLostToCrash int
 }
 
 // New creates a network with the given nodes. Total mining power must be
@@ -125,6 +164,18 @@ func (net *Network) Node(name string) *Node {
 // Now returns the current simulation time.
 func (net *Network) Now() float64 { return net.sched.now }
 
+// At schedules fn to run at absolute simulation time t (clamped to the
+// current clock). Fault layers use it to drive scenario timelines —
+// partition heals, node crashes and restarts — inside the simulation's
+// deterministic event order; events scheduled before Run coexist with
+// the mining process.
+func (net *Network) At(t float64, fn func()) { net.sched.at(t, fn) }
+
+// Emit stamps e with the simulation clock and forwards it to the
+// configured tracer (a no-op without one). It lets strategies and fault
+// layers contribute events to the same stream the simulator writes.
+func (net *Network) Emit(e obs.Event) { net.emit(e) }
+
 // Run simulates until `blocks` mining rounds have occurred (including
 // rounds a waiting strategy declined), then drains in-flight deliveries.
 func (net *Network) Run(blocks int) {
@@ -144,15 +195,26 @@ func (net *Network) Run(blocks int) {
 	}
 }
 
-// mineOnce draws the winner of one mining round and broadcasts its block.
+// mineOnce draws the winner of one mining round among the live nodes
+// and broadcasts its block.
 func (net *Network) mineOnce() {
 	total := 0.0
 	for _, n := range net.nodes {
-		total += n.Power
+		if !n.down {
+			total += n.Power
+		}
+	}
+	if total <= 0 {
+		// Every miner is crashed; the round finds nothing.
+		net.RoundsSkipped++
+		return
 	}
 	u := net.rng.Float64() * total
 	var winner *Node
 	for _, n := range net.nodes {
+		if n.down {
+			continue
+		}
 		if u < n.Power {
 			winner = n
 			break
@@ -160,7 +222,12 @@ func (net *Network) mineOnce() {
 		u -= n.Power
 	}
 	if winner == nil {
-		winner = net.nodes[len(net.nodes)-1]
+		for i := len(net.nodes) - 1; i >= 0; i-- {
+			if !net.nodes[i].down {
+				winner = net.nodes[i]
+				break
+			}
+		}
 	}
 	b := winner.makeBlock(net.sched.now)
 	if b == nil {
@@ -168,7 +235,9 @@ func (net *Network) mineOnce() {
 		return
 	}
 	net.BlocksMined++
-	net.emit(obs.Event{Kind: "sim.block", Miner: winner.Name, Height: b.Height, Size: b.Size})
+	if net.traced() {
+		net.emit(obs.Event{Kind: "sim.block", Miner: winner.Name, Height: b.Height, Size: b.Size, Block: b.ID().String()})
+	}
 	winner.receive(b)
 	if net.traced() {
 		if d := net.ForkDepth(); d > 0 {
@@ -187,11 +256,53 @@ func (net *Network) mineOnce() {
 			delay = math.Max(0, net.cfg.Delay(winner, n))
 		}
 		to := n
-		net.sched.at(net.sched.now+delay, func() {
-			net.emit(obs.Event{Kind: "sim.relay", Node: to.Name, Miner: b.Miner, Height: b.Height, Size: b.Size})
-			to.receive(b)
-		})
+		if net.cfg.Link == nil {
+			net.sched.at(net.sched.now+delay, func() { net.deliver(to, b, "") })
+			continue
+		}
+		copies, drop := net.cfg.Link.Route(b, winner, to, net.sched.now)
+		if len(copies) == 0 {
+			net.DeliveriesDropped++
+			if net.traced() {
+				if drop == "" {
+					drop = "loss"
+				}
+				net.emit(obs.Event{Kind: "sim.drop", Node: to.Name, Miner: b.Miner,
+					Height: b.Height, Size: b.Size, Block: b.ID().String(), Detail: drop})
+			}
+			continue
+		}
+		net.DeliveriesDuplicated += len(copies) - 1
+		for i, c := range copies {
+			detail := ""
+			if i > 0 {
+				detail = "dup"
+			}
+			net.sched.at(net.sched.now+delay+math.Max(0, c.Delay), func() {
+				net.deliver(to, b, detail)
+			})
+		}
 	}
+}
+
+// deliver hands one relayed copy of b to node `to` at the current clock,
+// or records the loss if the destination is crashed. detail qualifies
+// the relay event ("dup" for duplicated copies, "recover"/"sync" for
+// fault-layer chain repair).
+func (net *Network) deliver(to *Node, b *chain.Block, detail string) {
+	if to.down {
+		net.DeliveriesLostToCrash++
+		if net.traced() {
+			net.emit(obs.Event{Kind: "sim.drop", Node: to.Name, Miner: b.Miner,
+				Height: b.Height, Size: b.Size, Block: b.ID().String(), Detail: "crash"})
+		}
+		return
+	}
+	if net.traced() {
+		net.emit(obs.Event{Kind: "sim.relay", Node: to.Name, Miner: b.Miner,
+			Height: b.Height, Size: b.Size, Block: b.ID().String(), Detail: detail})
+	}
+	to.receive(b)
 }
 
 // ConsensusTip returns the highest target among nodes backed by a

@@ -26,6 +26,7 @@ type Node struct {
 	store   *chain.Store
 	pending map[chain.ID][]*chain.Block
 	target  *chain.Block // tip of the chain the node currently mines on
+	down    bool         // crashed: no mining, deliveries are lost
 
 	// BlocksHeld counts blocks this node refused to build on because of
 	// validity (diagnostic).
@@ -55,9 +56,32 @@ func (n *Node) Deliver(b *chain.Block) { n.receive(b) }
 // when driving several nodes in scenario scripts.
 func Deliver(n *Node, b *chain.Block) { n.receive(b) }
 
+// Crash takes the node offline: it stops mining (its power leaves the
+// winner draw) and loses every delivery until Restart. The block store
+// and mining target survive — they model on-disk chain state — but the
+// orphan reassembly buffer is memory and is lost.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.pending = make(map[chain.ID][]*chain.Block)
+}
+
+// Restart brings a crashed node back online with its persisted chain
+// state; blocks it missed while down stay missing until a peer re-sends
+// them (see internal/faultsim's recovery sync).
+func (n *Node) Restart() { n.down = false }
+
+// Down reports whether the node is crashed.
+func (n *Node) Down() bool { return n.down }
+
 // receive ingests a block into the node's view, buffering it if the
 // parent is unknown, and re-evaluates the mining target.
 func (n *Node) receive(b *chain.Block) {
+	if n.down {
+		return
+	}
 	if n.store.Has(b.ID()) {
 		return
 	}
@@ -95,7 +119,8 @@ func (n *Node) evaluate(b *chain.Block) {
 			// The validity rules (the node's local EB/AD gate) cut the
 			// chain's suffix; Depth counts the blocks refused.
 			n.net.emit(obs.Event{Kind: "sim.reject", Node: n.Name, Miner: b.Miner,
-				Height: b.Height, Size: b.Size, Depth: len(path) - 1 - depth})
+				Height: b.Height, Size: b.Size, Block: b.ID().String(),
+				Depth: len(path) - 1 - depth})
 		}
 	}
 	cand := path[depth]
@@ -114,7 +139,7 @@ func (n *Node) evaluate(b *chain.Block) {
 					Height: cand.Height, Depth: dropped})
 			}
 			n.net.emit(obs.Event{Kind: "sim.accept", Node: n.Name, Miner: cand.Miner,
-				Height: cand.Height, Size: cand.Size})
+				Height: cand.Height, Size: cand.Size, Block: cand.ID().String()})
 		}
 		n.target = cand
 	}

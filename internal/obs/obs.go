@@ -22,8 +22,10 @@ package obs
 type Event struct {
 	// Kind names the event: "solver.iter", "solver.done", "ratio.probe",
 	// "ratio.bracket", "ratio.done", "sim.block", "sim.relay",
-	// "sim.fork", "sim.reorg", "sim.accept", "sim.reject", "mc.split",
-	// "mc.resolve", "mc.done", "game.round", "game.equilibrium".
+	// "sim.fork", "sim.reorg", "sim.accept", "sim.reject", "sim.drop",
+	// "sim.partition", "sim.heal", "sim.crash", "sim.restart",
+	// "mc.split", "mc.resolve", "mc.done", "game.round",
+	// "game.equilibrium".
 	Kind string `json:"kind"`
 	// T is the emitter's domain clock: the simulation time for
 	// simulator events, unused (zero) for solver events, whose natural
@@ -69,6 +71,10 @@ type Event struct {
 	// Height and Size describe the block involved.
 	Height int   `json:"height,omitempty"`
 	Size   int64 `json:"size,omitempty"`
+	// Block is the short hex id of the block involved, stamped by the
+	// network simulator so invariant checkers can correlate a block's
+	// mining, relay, drop, and acceptance events exactly.
+	Block string `json:"block,omitempty"`
 	// Depth is the fork depth ("sim.fork"), the number of blocks
 	// abandoned ("sim.reorg"), or the number of chain suffix blocks cut
 	// by the validity rules ("sim.reject").

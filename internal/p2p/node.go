@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"buanalysis/internal/chain"
@@ -260,6 +261,50 @@ func (n *Node) Target() *chain.Block {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.target
+}
+
+// Blocks snapshots every non-genesis block the node has stored, in
+// arrival order (so parents always precede children). The snapshot is
+// the node's durable chain state: feeding it to NewRecoveredNode
+// reconstructs the node's view after a crash.
+func (n *Node) Blocks() []*chain.Block {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[chain.ID]bool)
+	var out []*chain.Block
+	for _, tip := range n.store.Tips() {
+		for _, b := range n.store.Path(tip.ID()) {
+			if b.Height == 0 || seen[b.ID()] {
+				continue
+			}
+			seen[b.ID()] = true
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return n.store.ArrivalIndex(out[i].ID()) < n.store.ArrivalIndex(out[j].ID())
+	})
+	return out
+}
+
+// NewRecoveredNode restarts a crashed node from its persisted chain
+// state: it builds a fresh node and replays the snapshot in order, so
+// the recovered target is what the node's rules select over the saved
+// blocks. Pending orphans (blocks whose parents never arrived) are
+// memory, not chain state — they are gone, exactly as after a real
+// process restart, and peers re-send them via inv/getdata once the
+// node redials.
+func NewRecoveredNode(cfg Config, blocks []*chain.Block) (*Node, error) {
+	n, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	for _, b := range blocks {
+		n.ingestLocked(b)
+	}
+	n.mu.Unlock()
+	return n, nil
 }
 
 // KnownBlocks reports how many blocks the node has stored (including

@@ -1,0 +1,125 @@
+package p2p
+
+import (
+	"testing"
+
+	"buanalysis/internal/chain"
+	"buanalysis/internal/protocol"
+)
+
+// TestCrashRecoveryOverSockets drives the full crash/restart path: a
+// node syncs a chain over TCP, crashes (Close), is rebuilt from its
+// block snapshot, redials, and catches up on everything it missed.
+func TestCrashRecoveryOverSockets(t *testing.T) {
+	rules := protocol.Bitcoin{MaxBlockSize: mb}
+	hub := newTestNode(t, "hub", rules)
+	addr := listen(t, hub)
+
+	victim, err := NewNode(Config{Name: "victim", Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		hub.MineOn(mb / 2)
+	}
+	waitFor(t, "victim to sync pre-crash chain", func() bool {
+		return victim.KnownBlocks() == hub.KnownBlocks()
+	})
+
+	// Crash: snapshot durable state, kill the process.
+	snapshot := victim.Blocks()
+	preCrashTip := victim.Target().Height
+	if err := victim.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The network moves on while the victim is down.
+	for i := 0; i < 4; i++ {
+		hub.MineOn(mb / 2)
+	}
+
+	// Restart from the snapshot: chain state is back without a peer.
+	revived, err := NewRecoveredNode(Config{Name: "victim", Rules: rules}, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { revived.Close() })
+	if got := revived.Target().Height; got != preCrashTip {
+		t.Fatalf("recovered tip height %d, want pre-crash %d", got, preCrashTip)
+	}
+	if got, want := revived.KnownBlocks(), len(snapshot)+1; got != want {
+		t.Fatalf("recovered store has %d blocks, want %d", got, want)
+	}
+
+	// Redial: the hub's hello inventory fills the gap.
+	if err := revived.Dial(addr.String()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "revived node to catch up", func() bool {
+		return revived.Target().Height == hub.Target().Height
+	})
+	if revived.Target().ID() != hub.Target().ID() {
+		t.Error("revived node converged to a different tip")
+	}
+}
+
+// TestBlocksSnapshotOrdered pins the snapshot contract: arrival order,
+// parents before children, across competing branches.
+func TestBlocksSnapshotOrdered(t *testing.T) {
+	n := newTestNode(t, "n", protocol.Bitcoin{MaxBlockSize: mb})
+	g := n.Target()
+	// Two branches from genesis.
+	a1 := n.MineOn(mb / 2)
+	a2 := n.MineOn(mb / 2)
+	b1 := &chain.Block{Parent: g.ID(), Height: g.Height + 1, Size: mb / 4, Miner: "rival"}
+	n.SubmitBlock(b1)
+
+	blocks := n.Blocks()
+	if len(blocks) != 3 {
+		t.Fatalf("snapshot has %d blocks, want 3", len(blocks))
+	}
+	pos := make(map[string]int)
+	for i, b := range blocks {
+		pos[b.ID().String()] = i
+	}
+	if pos[a1.ID().String()] > pos[a2.ID().String()] {
+		t.Error("child precedes parent in snapshot")
+	}
+
+	// The snapshot must rebuild an equivalent node even though b1 sits on
+	// a losing branch.
+	back, err := NewRecoveredNode(Config{Name: "n2", Rules: protocol.Bitcoin{MaxBlockSize: mb}}, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { back.Close() })
+	if back.KnownBlocks() != n.KnownBlocks() {
+		t.Errorf("recovered store has %d blocks, original %d", back.KnownBlocks(), n.KnownBlocks())
+	}
+	if back.Target().ID() != n.Target().ID() {
+		t.Error("recovered node picked a different target")
+	}
+}
+
+// TestRecoveredNodeReappliesRules: recovery re-evaluates validity under
+// the configured rules, so a node restarted with stricter rules does
+// not blindly trust its old tip.
+func TestRecoveredNodeReappliesRules(t *testing.T) {
+	wide := newTestNode(t, "wide", protocol.Bitcoin{MaxBlockSize: 8 * mb})
+	wide.MineOn(mb / 2)
+	wide.MineOn(4 * mb) // excessive under a 1 MB limit
+	snapshot := wide.Blocks()
+
+	strict, err := NewRecoveredNode(Config{Name: "strict", Rules: protocol.Bitcoin{MaxBlockSize: mb}}, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { strict.Close() })
+	if got := strict.Target().Height; got != 1 {
+		t.Errorf("strict recovery targets height %d, want 1 (the big block is invalid)", got)
+	}
+}

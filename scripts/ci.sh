@@ -1,7 +1,8 @@
 #!/bin/sh
 # Continuous-integration gate for the repository.
 #
-#   scripts/ci.sh          vet + build + full test suite + race pass + smoke
+#   scripts/ci.sh          vet + build + full test suite + race pass +
+#                          fault corpus + fuzz smoke + sweep/serve smoke
 #   scripts/ci.sh -short   the same with -short everywhere (a few minutes
 #                          on one core; the race pass stays bounded)
 #
@@ -9,8 +10,10 @@
 # paths: the parallel MDP solver engine (including the reusable
 # workspace and warm-chained ratio solves), the BU analysis that drives
 # it, the warm-chained sweep rows in core, the Monte Carlo batch runner,
-# the experiment store (singleflight, LRU, solve budget), and the
-# observability layer (registry, sinks).
+# the experiment store (singleflight, LRU, solve budget), the
+# observability layer (registry, sinks), the TCP gossip and full-node
+# stacks, and the fault-injection/invariant layer over the network
+# simulator.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -29,8 +32,20 @@ go build ./...
 echo "== go test ${SHORT} =="
 go test ${SHORT} ./...
 
-echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs) =="
-go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/
+echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs, netsim, p2p, faultsim, invariant, fullnode) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/ ./internal/netsim/ ./internal/p2p/ ./internal/faultsim/ ./internal/invariant/ ./internal/fullnode/
+
+echo "== fault-injection scenario corpus (busim -mode faults) =="
+# Runs all seeded fault scenarios end to end through the binary and
+# checks every run against the protocol-invariant suite; any violation
+# exits nonzero. EXPERIMENTS.md documents how to replay a failing seed.
+go run ./cmd/busim -mode faults -scenario all
+
+echo "== cache-key fuzz smoke (FuzzCanonicalKey) =="
+# A short coverage-guided session over the canonical cache-key
+# derivation; regressions found earlier are pinned as seeds in
+# internal/expstore/testdata and already ran in the unit pass above.
+go test -run '^$' -fuzz FuzzCanonicalKey -fuzztime 5s ./internal/expstore/
 
 echo "== warm-vs-cold sweep smoke =="
 # The chained direct path must agree with independent cold solves and be
