@@ -33,8 +33,10 @@ func main() {
 		workers    = cliflag.WorkersFlag(flag.CommandLine, "equilibrium-search worker count")
 		trace      = cliflag.TraceFlag(flag.CommandLine)
 		mdump      = cliflag.MetricsDumpFlag(flag.CommandLine)
+		version    = cliflag.VersionFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 
 	powers, err := cliflag.ParsePowers(*powersFlag)
 	if err != nil {

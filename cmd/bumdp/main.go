@@ -71,8 +71,10 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "experiment store directory; repeat solves answer from cache")
 		trace    = cliflag.TraceFlag(flag.CommandLine)
 		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
+		version  = cliflag.VersionFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 
 	store, err := expstore.Open(expstore.Config{Dir: *cacheDir})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"buanalysis/internal/cliflag"
 	"buanalysis/internal/p2p"
 	"buanalysis/internal/protocol"
 )
@@ -26,7 +27,9 @@ func main() {
 	log.SetPrefix("bunet: ")
 	ad := flag.Int("ad", 3, "excessive acceptance depth for Bob and Carol")
 	crash := flag.Bool("crash", false, "crash bob after the attack and recover him from his chain snapshot")
+	version := cliflag.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 
 	mk := func(name string, eb int64) *p2p.Node {
 		n, err := p2p.NewNode(p2p.Config{

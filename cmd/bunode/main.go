@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"buanalysis/internal/cliflag"
 	"buanalysis/internal/fullnode"
 	"buanalysis/internal/ledger"
 	"buanalysis/internal/tx"
@@ -43,7 +44,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bunode: ")
 	split := flag.Bool("split", false, "run the BU ledger-split scenario")
+	version := cliflag.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 	if *split {
 		runSplit()
 		return

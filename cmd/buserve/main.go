@@ -8,22 +8,36 @@
 //	buserve -addr :8344 -cache-dir /var/cache/bu
 //
 //	GET /healthz                 liveness probe
-//	GET /statsz                  store + per-endpoint metrics (JSON)
+//	GET /statsz                  store + queue + per-endpoint metrics (JSON)
 //	GET /metrics                 Prometheus text exposition
 //	GET /debug/vars              metrics registry as JSON
 //	GET /solve?alpha=0.25&ratio=1:1&model=compliant&setting=1
 //	GET /solve?model=bitcoin&alpha=0.25&tie=0.5
 //	GET /sweep?model=noncompliant&setting=2&format=table
 //	GET /tables/3?format=json
+//	POST /jobs/...               distributed solve farm coordinator
+//
+// The daemon doubles as the solve-farm coordinator: /jobs/enqueue,
+// /jobs/lease, /jobs/heartbeat, /jobs/complete and friends expose a
+// lease-based job queue that cmd/buworker processes pull from. With
+// -queue-journal (defaulting to <cache-dir>/jobqueue.json when a cache
+// dir is set) the queue survives restarts, so an interrupted sweep
+// resumes where it left off.
 //
 // With -pprof the net/http/pprof profiling handlers are additionally
 // mounted under /debug/pprof/.
 //
 // Solve and sweep responses carry an X-Cache: hit|miss header; the body
 // of a hit is byte-identical to the body the original miss returned.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
+// in-flight requests get a drain window (-drain-timeout), and the queue
+// journal is flushed before exit. A second signal exits immediately.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,10 +45,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
+	"syscall"
+	"time"
 
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/expstore"
+	"buanalysis/internal/jobqueue"
 	"buanalysis/internal/obs"
 )
 
@@ -42,16 +61,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("buserve: ")
 	var (
-		addr       = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
-		cacheDir   = flag.String("cache-dir", "", "experiment store directory (empty = in-memory only)")
-		memEntries = flag.Int("mem", 0, "in-memory LRU capacity in artifacts (0 = default, negative = disabled)")
-		maxSolves  = flag.Int("max-solves", runtime.NumCPU(), "max solves running at once across all requests (0 = unbounded)")
-		workers    = cliflag.WorkersFlag(flag.CommandLine, "sweep cells dispatched concurrently per request")
-		par        = cliflag.ParFlag(flag.CommandLine)
-		portFile   = flag.String("portfile", "", "write the actual listen address to this file once serving")
-		withPprof  = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		addr         = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+		cacheDir     = flag.String("cache-dir", "", "experiment store directory (empty = in-memory only)")
+		memEntries   = flag.Int("mem", 0, "in-memory LRU capacity in artifacts (0 = default, negative = disabled)")
+		maxSolves    = flag.Int("max-solves", runtime.NumCPU(), "max solves running at once across all requests (0 = unbounded)")
+		workers      = cliflag.WorkersFlag(flag.CommandLine, "sweep cells dispatched concurrently per request")
+		par          = cliflag.ParFlag(flag.CommandLine)
+		portFile     = flag.String("portfile", "", "write the actual listen address to this file once serving")
+		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		queueJournal = flag.String("queue-journal", "", "job queue journal path (default <cache-dir>/jobqueue.json; empty with no cache dir = in-memory queue)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+		version      = cliflag.VersionFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 
 	store, err := expstore.Open(expstore.Config{
 		Dir:                 *cacheDir,
@@ -62,18 +85,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	journal := *queueJournal
+	if journal == "" && *cacheDir != "" {
+		journal = filepath.Join(*cacheDir, "jobqueue.json")
+	}
+	queue, err := jobqueue.Open(jobqueue.Options{Journal: journal})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (cache dir %q, solve budget %d)", ln.Addr(), *cacheDir, *maxSolves)
+	log.Printf("listening on %s (cache dir %q, solve budget %d, queue journal %q)",
+		ln.Addr(), *cacheDir, *maxSolves, journal)
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%s\n", ln.Addr())), 0o644); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	srv := newServer(store, *workers, *par, obs.NewRegistry())
+	srv := newServer(store, queue, *workers, *par, obs.NewRegistry())
 	var handler http.Handler = srv
 	if *withPprof {
 		// pprof stays opt-in: profiling endpoints expose internals and
@@ -87,5 +120,52 @@ func main() {
 		mux.Handle("/", srv)
 		handler = mux
 	}
-	log.Fatal(http.Serve(ln, handler))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Abandoned leases are also swept lazily by queue traffic; the ticker
+	// just bounds how stale the queue can look when no worker is polling.
+	expiryDone := make(chan struct{})
+	go func() {
+		defer close(expiryDone)
+		t := time.NewTicker(5 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				queue.ExpireLeases()
+			}
+		}
+	}()
+
+	httpSrv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second SIGINT/SIGTERM now kills the process outright
+	log.Printf("shutting down (drain %s)", *drainTimeout)
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	<-expiryDone
+	// Close last: it flushes the journal, so everything the drained
+	// requests did to the queue lands on disk.
+	if err := queue.Close(); err != nil {
+		log.Printf("closing queue: %v", err)
+	}
+	log.Printf("bye")
 }

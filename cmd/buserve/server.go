@@ -12,6 +12,8 @@ import (
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/core"
 	"buanalysis/internal/expstore"
+	"buanalysis/internal/farm"
+	"buanalysis/internal/jobqueue"
 	"buanalysis/internal/mdp"
 	"buanalysis/internal/obs"
 	"buanalysis/internal/par"
@@ -23,6 +25,11 @@ import (
 // parallel engine under the store's bounded solve budget.
 type server struct {
 	store *expstore.Store
+	// queue is the solve farm's job queue; the /jobs endpoints
+	// (internal/farm.API) serve it, and completed jobs materialize into
+	// store, so the serving endpoints answer worker-produced artifacts
+	// as plain cache hits.
+	queue *jobqueue.Queue
 	// workers bounds how many sweep cells are dispatched concurrently
 	// per request; the store's solve budget bounds the solves
 	// themselves across all requests.
@@ -41,16 +48,21 @@ type server struct {
 	metrics  map[string]*endpointMetrics
 }
 
-// newServer builds the handler tree. workers and par follow the CLI
+// newServer builds the handler tree. queue backs the /jobs endpoints
+// (nil opens a private in-memory queue). workers and par follow the CLI
 // conventions (0 = auto). reg is the metrics registry to expose; nil
-// creates a private one. The store's counters and the solver/scheduler
-// package instruments are registered on it.
-func newServer(store *expstore.Store, workers, parallelism int, reg *obs.Registry) *server {
+// creates a private one. The store's and queue's counters and the
+// solver/scheduler package instruments are registered on it.
+func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelism int, reg *obs.Registry) *server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if queue == nil {
+		queue, _ = jobqueue.Open(jobqueue.Options{})
+	}
 	s := &server{
 		store:    store,
+		queue:    queue,
 		workers:  workers,
 		par:      parallelism,
 		started:  time.Now(),
@@ -60,6 +72,7 @@ func newServer(store *expstore.Store, workers, parallelism int, reg *obs.Registr
 		metrics:  make(map[string]*endpointMetrics),
 	}
 	store.RegisterMetrics(reg)
+	queue.RegisterMetrics(reg)
 	mdp.Observe(reg)
 	par.Observe(reg)
 	reg.GaugeFunc("buserve_uptime_seconds", "Seconds since the server started.", func() float64 {
@@ -72,6 +85,7 @@ func newServer(store *expstore.Store, workers, parallelism int, reg *obs.Registr
 	s.route("GET /solve", s.handleSolve)
 	s.route("GET /sweep", s.handleSweep)
 	s.route("GET /tables/{n}", s.handleTable)
+	s.routeTree("/jobs/", (&farm.API{Queue: queue, Store: store}).Handler())
 	return s
 }
 
@@ -102,6 +116,38 @@ func (s *server) route(pattern string, h handlerFunc) {
 		outcome, err := h(w, r)
 		m.observe(time.Since(start), outcome, err)
 	})
+}
+
+// routeTree mounts a whole handler subtree under one endpoint metric
+// family (request count, errors-by-status, in-flight, latency); the
+// subtree keeps its own per-path semantics — the farm's /jobs/statsz
+// carries the queue's per-kind depth and latency blocks.
+func (s *server) routeTree(prefix string, h http.Handler) {
+	m := s.families.endpoint(prefix)
+	s.metrics[prefix] = m
+	s.mux.HandleFunc(prefix, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		var err error
+		if sw.status >= http.StatusBadRequest {
+			err = fmt.Errorf("HTTP %d", sw.status)
+		}
+		m.observe(time.Since(start), outcomeNone, err)
+	})
+}
+
+// statusWriter records the status a subtree handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 // endpointFamilies are the labeled metric vectors shared by every
@@ -221,6 +267,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) (cacheOut
 type statszResponse struct {
 	UptimeSeconds float64                  `json:"uptime_s"`
 	Store         expstore.Stats           `json:"store"`
+	Queue         jobqueue.Stats           `json:"queue"`
 	Endpoints     map[string]endpointStats `json:"endpoints"`
 }
 
@@ -228,6 +275,7 @@ func (s *server) handleStatsz(w http.ResponseWriter, _ *http.Request) (cacheOutc
 	resp := statszResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Store:         s.store.Stats(),
+		Queue:         s.queue.Stats(),
 		Endpoints:     make(map[string]endpointStats, len(s.metrics)),
 	}
 	for pattern, m := range s.metrics {
@@ -306,7 +354,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) (cacheOutco
 		DoubleSpendReward: rds,
 	}
 	opts := bumdp.SolveOptions{RatioTol: ratioTol, Epsilon: epsilon, Parallelism: s.par}
-	_, blob, hit, err := expstore.SolveBU(s.store, params, opts)
+	// The request context rides into the solve-budget wait: a client
+	// that disconnects while queued releases its budget slot instead of
+	// burning it on an answer nobody reads.
+	_, blob, hit, err := expstore.SolveBUCtx(r.Context(), s.store, params, opts)
 	if err != nil {
 		return outcomeNone, badRequest(w, "%v", err)
 	}
@@ -357,7 +408,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) (cacheOutco
 	if err != nil {
 		return outcomeNone, badRequest(w, "%v", err)
 	}
-	cells, _, misses := expstore.SweepStats(s.store, model, cfg)
+	cells, _, misses := expstore.SweepStatsCtx(r.Context(), s.store, model, cfg)
 	outcome := outcomeHit
 	if misses > 0 {
 		outcome = outcomeMiss
@@ -402,7 +453,7 @@ func (s *server) handleTable(w http.ResponseWriter, r *http.Request) (cacheOutco
 	var sweeps []expstore.SweepRecord
 	misses := 0
 	for _, job := range t.Jobs {
-		cs, _, m := expstore.SweepStats(s.store, job.Model, job.Cfg)
+		cs, _, m := expstore.SweepStatsCtx(r.Context(), s.store, job.Model, job.Cfg)
 		misses += m
 		cells = append(cells, cs...)
 		sweeps = append(sweeps, expstore.NewSweepRecord(job.Model, cs))
@@ -466,6 +517,13 @@ func (s *server) sweepConfig(q map[string][]string) (core.SweepConfig, error) {
 	cfg.AD = ad
 	if v := get("fast"); v == "true" || v == "1" {
 		cfg.RatioTol, cfg.Epsilon = 1e-4, 1e-8
+	}
+	if v := get("alphas"); v != "" {
+		alphas, err := cliflag.ParsePowers(v)
+		if err != nil {
+			return cfg, fmt.Errorf("alphas: %v", err)
+		}
+		cfg.Alphas = alphas
 	}
 	return cfg, nil
 }

@@ -64,8 +64,10 @@ func main() {
 		list    = flag.Bool("list-scenarios", false, "print the fault scenario corpus and exit")
 		trace   = cliflag.TraceFlag(flag.CommandLine)
 		mdump   = cliflag.MetricsDumpFlag(flag.CommandLine)
+		version = cliflag.VersionFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 
 	if *list {
 		for _, sc := range faultsim.Corpus() {

@@ -67,8 +67,10 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "experiment store directory; repeat cells answer from cache")
 		trace    = cliflag.TraceFlag(flag.CommandLine)
 		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
+		version  = cliflag.VersionFlag(flag.CommandLine)
 	)
 	flag.Parse()
+	cliflag.HandleVersion(*version)
 	fullGrid = *full
 	jsonTables = *jsonOut
 

@@ -1,0 +1,96 @@
+// Command buworker is a solve-farm worker: it pulls jobs from a
+// coordinator (cmd/buserve), runs the solver they name, and ships the
+// result blob back over /jobs/complete. The coordinator materializes
+// each result into the experiment store exactly once, so any number of
+// workers — including duplicates and crashed-and-restarted ones — can
+// chew on the same sweep without stepping on each other.
+//
+//	buworker -server http://coordinator:8344 -concurrency 4
+//
+// Leases are the only coordination: a worker that dies mid-job simply
+// stops heartbeating and the coordinator requeues the work. SIGINT or
+// SIGTERM drains gracefully — in-flight jobs finish, heartbeat, and
+// complete; only new leasing stops. A second signal exits immediately.
+//
+// With -drain the worker exits once the queue is empty instead of
+// polling forever, which turns a worker fleet into a batch step:
+//
+//	buworker -server $URL -drain & buworker -server $URL -drain & wait
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"buanalysis/internal/cliflag"
+	"buanalysis/internal/farm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("buworker: ")
+	var (
+		server      = flag.String("server", "http://127.0.0.1:8344", "coordinator base URL")
+		name        = flag.String("name", "", "worker name in leases (default buworker-<pid>)")
+		concurrency = flag.Int("concurrency", 1, "jobs executed at once")
+		kinds       = flag.String("kinds", "", "comma-separated job kinds to lease (empty = any)")
+		ttl         = flag.Duration("ttl", 30*time.Second, "lease TTL; heartbeats renew at ttl/3")
+		poll        = flag.Duration("poll", 500*time.Millisecond, "idle sleep between lease attempts")
+		drain       = flag.Bool("drain", false, "exit once the queue is empty instead of polling forever")
+		quiet       = flag.Bool("quiet", false, "suppress per-job progress lines")
+		par         = cliflag.ParFlag(flag.CommandLine)
+		version     = cliflag.VersionFlag(flag.CommandLine)
+	)
+	flag.Parse()
+	cliflag.HandleVersion(*version)
+
+	workerName := *name
+	if workerName == "" {
+		workerName = fmt.Sprintf("buworker-%d", os.Getpid())
+	}
+	var kindList []string
+	if *kinds != "" {
+		for _, k := range strings.Split(*kinds, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kindList = append(kindList, k)
+			}
+		}
+	}
+
+	w := &farm.Worker{
+		Client:        &farm.Client{Base: *server},
+		Name:          workerName,
+		Kinds:         kindList,
+		Concurrency:   *concurrency,
+		SolverWorkers: *par,
+		TTL:           *ttl,
+		Poll:          *poll,
+		Drain:         *drain,
+	}
+	if !*quiet {
+		w.Logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // a second signal now kills the process outright
+		log.Printf("draining: in-flight jobs will complete, no new leases")
+	}()
+
+	log.Printf("worker %s pulling from %s (concurrency %d)", workerName, *server, *concurrency)
+	err := w.Run(ctx)
+	executed, completed, failed, lost := w.Stats()
+	log.Printf("done: executed %d, completed %d, failed %d, lost %d", executed, completed, failed, lost)
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package cliflag
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"buanalysis/internal/obs"
+)
+
+func TestOpenTraceEmptyPathIsTrueNil(t *testing.T) {
+	tr, closer, err := OpenTrace("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The disabled case must be a true nil interface: solver hot loops
+	// gate tracing on `tracer != nil`, and a typed-nil would silently
+	// re-enable the hooks.
+	if tr != nil {
+		t.Fatalf("OpenTrace(\"\") tracer = %#v, want untyped nil", tr)
+	}
+	if closer == nil {
+		t.Fatal("OpenTrace(\"\") closer is nil")
+	}
+	if err := closer(); err != nil {
+		t.Fatalf("no-op closer returned %v", err)
+	}
+}
+
+func TestOpenTraceBadPath(t *testing.T) {
+	if _, _, err := OpenTrace(filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")); err == nil {
+		t.Fatal("OpenTrace into a missing directory succeeded")
+	}
+}
+
+func TestOpenTraceWritesAndFlushesOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, closer, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("OpenTrace with a path returned a nil tracer")
+	}
+	tr.Emit(obs.Event{Kind: "test_event", Iter: 1})
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "test_event") {
+		t.Fatalf("trace file missing emitted event: %q", raw)
+	}
+}
+
+// TestTraceAndMetricsDumpFlagsTogether pins the flag names every CLI
+// shares and the stdlib's last-wins semantics for repeated flags, which
+// wrapper scripts rely on to override defaults they also set.
+func TestTraceAndMetricsDumpFlagsTogether(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	trace := TraceFlag(fs)
+	mdump := MetricsDumpFlag(fs)
+	args := []string{
+		"-trace", "first.jsonl",
+		"-metrics-dump",
+		"-trace", "second.jsonl",
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if *trace != "second.jsonl" {
+		t.Errorf("-trace = %q, want last-wins %q", *trace, "second.jsonl")
+	}
+	if !*mdump {
+		t.Error("-metrics-dump not set")
+	}
+}
+
+func TestDumpMetricsNilRegistry(t *testing.T) {
+	if err := DumpMetrics(nil); err != nil {
+		t.Fatalf("DumpMetrics(nil) = %v", err)
+	}
+}

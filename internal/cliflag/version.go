@@ -1,0 +1,60 @@
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// VersionFlag registers the standard -version flag: print the build's
+// identity and exit.
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print version information and exit")
+}
+
+// VersionString renders the build's identity from the information the
+// Go toolchain embeds in every binary: module path, module version,
+// VCS revision and dirty state, and the toolchain itself. It needs no
+// build-time ldflags stamping, so every cmd/ binary reports the same
+// truth however it was built.
+func VersionString() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Sprintf("(no build info) %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	}
+	version := info.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var revision, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = " (modified)"
+			}
+		}
+	}
+	out := fmt.Sprintf("%s %s", info.Main.Path, version)
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		out += fmt.Sprintf(" rev %s%s", revision, modified)
+	}
+	return fmt.Sprintf("%s (%s %s/%s)", out, info.GoVersion, runtime.GOOS, runtime.GOARCH)
+}
+
+// HandleVersion prints the version and exits when the -version flag was
+// set; CLIs call it right after flag.Parse. Split from VersionString so
+// tests can assert on the string without exiting.
+func HandleVersion(set bool) {
+	if set {
+		fmt.Println(VersionString())
+		os.Exit(0)
+	}
+}

@@ -1,0 +1,53 @@
+package cliflag
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestVersionFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	version := VersionFlag(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *version {
+		t.Error("-version defaults to true")
+	}
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	version = VersionFlag(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*version {
+		t.Error("-version not set after parsing")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	s := VersionString()
+	if s == "" {
+		t.Fatal("empty version string")
+	}
+	// Whatever the build mode (test binary, go run, released build), the
+	// string always ends with the toolchain and platform.
+	if !strings.Contains(s, runtime.Version()) {
+		t.Errorf("version %q missing toolchain %q", s, runtime.Version())
+	}
+	if !strings.Contains(s, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Errorf("version %q missing platform", s)
+	}
+	// Test binaries carry build info, so the module path must appear.
+	if !strings.Contains(s, "buanalysis") {
+		t.Errorf("version %q missing module path", s)
+	}
+}
+
+// TestHandleVersionNotSet pins that the false branch returns instead of
+// exiting; the true branch calls os.Exit and is exercised manually via
+// any cmd/ binary's -version flag.
+func TestHandleVersionNotSet(t *testing.T) {
+	HandleVersion(false)
+}

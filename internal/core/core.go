@@ -180,19 +180,7 @@ func (c SweepConfig) withDefaults(model bumdp.IncentiveModel) SweepConfig {
 // artifacts are unaffected by chaining.
 func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 	cfg = cfg.withDefaults(model)
-	var cells []Cell
-	for _, ad := range cfg.ADs {
-		for _, setting := range cfg.Settings {
-			for _, alpha := range cfg.Alphas {
-				for _, ratio := range cfg.Ratios {
-					cells = append(cells, Cell{
-						Alpha: alpha, Ratio: ratio.Name, Setting: setting, Model: model, AD: ad,
-						Skipped: !RatioByName(cfg.Ratios, ratio.Name).Admissible(alpha),
-					})
-				}
-			}
-		}
-	}
+	cells := cfg.grid(model)
 	if cfg.SolveCell != nil || cfg.NoChain {
 		solve := cfg.SolveOne
 		if cfg.SolveCell != nil {
@@ -210,6 +198,29 @@ func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 	par.For(len(cells)/rowLen, cfg.Workers, func(r int) {
 		cfg.solveRow(cells[r*rowLen : (r+1)*rowLen])
 	})
+	return cells
+}
+
+// grid lays out the full unsolved cell grid of a defaults-applied
+// config in the canonical (ad, setting, alpha, ratio) order, with
+// inadmissible cells pre-marked Skipped. Sweep, the shard runner, and
+// the shard merger all derive their layout from this one function, so
+// a sharded sweep can never disagree with a single-process one about
+// which cell lives where.
+func (c SweepConfig) grid(model bumdp.IncentiveModel) []Cell {
+	var cells []Cell
+	for _, ad := range c.ADs {
+		for _, setting := range c.Settings {
+			for _, alpha := range c.Alphas {
+				for _, ratio := range c.Ratios {
+					cells = append(cells, Cell{
+						Alpha: alpha, Ratio: ratio.Name, Setting: setting, Model: model, AD: ad,
+						Skipped: !RatioByName(c.Ratios, ratio.Name).Admissible(alpha),
+					})
+				}
+			}
+		}
+	}
 	return cells
 }
 

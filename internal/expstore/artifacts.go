@@ -1,6 +1,7 @@
 package expstore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync/atomic"
@@ -16,10 +17,11 @@ import (
 // Artifact kinds. The kind is the first component of every cache key
 // and of the on-disk blob name.
 const (
-	KindBUSolve      = "busolve"  // one BU attack MDP solve
-	KindBitcoinSolve = "btcsolve" // one Bitcoin baseline solve
-	KindMonteCarlo   = "mcbatch"  // one Monte Carlo cross-validation batch
-	KindEBGame       = "ebgame"   // EB choosing game pure Nash equilibria
+	KindBUSolve      = "busolve"    // one BU attack MDP solve
+	KindBitcoinSolve = "btcsolve"   // one Bitcoin baseline solve
+	KindMonteCarlo   = "mcbatch"    // one Monte Carlo cross-validation batch
+	KindEBGame       = "ebgame"     // EB choosing game pure Nash equilibria
+	KindSweepShard   = "sweepshard" // one warm-chained shard of a sharded sweep
 )
 
 // buSolveKey is the canonical identity of a BU solve artifact: the
@@ -56,6 +58,35 @@ func BUSolveKey(p bumdp.Params, opts bumdp.SolveOptions) (string, error) {
 	return Key(KindBUSolve, buSolveKey{Params: np, RatioTol: no.RatioTol, Epsilon: no.Epsilon})
 }
 
+// ComputeBUSolve runs one BU attack MDP solve and returns the exact
+// blob SolveBU would cache for it: the canonical encoding of its
+// BUSolveRecord. The serving path's miss compute and the solve farm's
+// workers both call this one function, so a worker-produced artifact is
+// byte-identical to a locally solved one.
+func ComputeBUSolve(p bumdp.Params, opts bumdp.SolveOptions) ([]byte, error) {
+	np, err := p.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	no := opts.Normalized()
+	a, err := bumdp.New(np)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.SolveWith(bumdp.SolveOptions{
+		RatioTol: no.RatioTol, Epsilon: no.Epsilon,
+		Parallelism: opts.Parallelism, Tracer: opts.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(BUSolveRecord{
+		Params: np, RatioTol: no.RatioTol, Epsilon: no.Epsilon,
+		States: len(a.States), Utility: res.Utility, Honest: a.HonestUtility(),
+		ForkRate: res.ForkRate, Probes: res.Probes, Stats: res.Stats,
+	})
+}
+
 // SolveBU answers a BU attack MDP solve from the store, solving and
 // filling on a miss. blob is the exact stored encoding (byte-identical
 // for every request of the same key, hit or miss); hit reports whether
@@ -63,6 +94,12 @@ func BUSolveKey(p bumdp.Params, opts bumdp.SolveOptions) (string, error) {
 // observe the miss-path solver only — neither affects the key or the
 // result bytes (and a cache hit naturally emits no solver events).
 func SolveBU(st *Store, p bumdp.Params, opts bumdp.SolveOptions) (rec BUSolveRecord, blob []byte, hit bool, err error) {
+	return SolveBUCtx(context.Background(), st, p, opts)
+}
+
+// SolveBUCtx is SolveBU with cancellation while queued for the solve
+// budget (see Store.GetOrComputeCtx).
+func SolveBUCtx(ctx context.Context, st *Store, p bumdp.Params, opts bumdp.SolveOptions) (rec BUSolveRecord, blob []byte, hit bool, err error) {
 	np, err := p.Normalized()
 	if err != nil {
 		return BUSolveRecord{}, nil, false, err
@@ -72,22 +109,10 @@ func SolveBU(st *Store, p bumdp.Params, opts bumdp.SolveOptions) (rec BUSolveRec
 	if err != nil {
 		return BUSolveRecord{}, nil, false, err
 	}
-	blob, hit, err = st.GetOrCompute(key, func() ([]byte, error) {
-		a, err := bumdp.New(np)
-		if err != nil {
-			return nil, err
-		}
-		res, err := a.SolveWith(bumdp.SolveOptions{
+	blob, hit, err = st.GetOrComputeCtx(ctx, key, func() ([]byte, error) {
+		return ComputeBUSolve(np, bumdp.SolveOptions{
 			RatioTol: no.RatioTol, Epsilon: no.Epsilon,
 			Parallelism: opts.Parallelism, Tracer: opts.Tracer,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(BUSolveRecord{
-			Params: np, RatioTol: no.RatioTol, Epsilon: no.Epsilon,
-			States: len(a.States), Utility: res.Utility, Honest: a.HonestUtility(),
-			ForkRate: res.ForkRate, Probes: res.Probes, Stats: res.Stats,
 		})
 	})
 	if err != nil {
@@ -107,9 +132,46 @@ type BitcoinSolveRecord struct {
 	Honest  float64        `json:"honest"`
 }
 
+// ComputeBitcoinSolve runs one Bitcoin baseline solve and returns the
+// exact blob SolveBitcoin would cache (see ComputeBUSolve).
+func ComputeBitcoinSolve(p bitcoin.Params) ([]byte, error) {
+	np, err := p.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	a, err := bitcoin.New(np)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(BitcoinSolveRecord{
+		Params: np, States: len(a.States),
+		Utility: res.Utility, Honest: a.HonestUtility(),
+	})
+}
+
+// BitcoinSolveKey derives the cache key of a Bitcoin baseline solve
+// without solving.
+func BitcoinSolveKey(p bitcoin.Params) (string, error) {
+	np, err := p.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return Key(KindBitcoinSolve, np)
+}
+
 // SolveBitcoin answers a Bitcoin baseline solve from the store, solving
 // and filling on a miss.
 func SolveBitcoin(st *Store, p bitcoin.Params) (rec BitcoinSolveRecord, blob []byte, hit bool, err error) {
+	return SolveBitcoinCtx(context.Background(), st, p)
+}
+
+// SolveBitcoinCtx is SolveBitcoin with cancellation while queued for
+// the solve budget.
+func SolveBitcoinCtx(ctx context.Context, st *Store, p bitcoin.Params) (rec BitcoinSolveRecord, blob []byte, hit bool, err error) {
 	np, err := p.Normalized()
 	if err != nil {
 		return BitcoinSolveRecord{}, nil, false, err
@@ -118,19 +180,8 @@ func SolveBitcoin(st *Store, p bitcoin.Params) (rec BitcoinSolveRecord, blob []b
 	if err != nil {
 		return BitcoinSolveRecord{}, nil, false, err
 	}
-	blob, hit, err = st.GetOrCompute(key, func() ([]byte, error) {
-		a, err := bitcoin.New(np)
-		if err != nil {
-			return nil, err
-		}
-		res, err := a.Solve()
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(BitcoinSolveRecord{
-			Params: np, States: len(a.States),
-			Utility: res.Utility, Honest: a.HonestUtility(),
-		})
+	blob, hit, err = st.GetOrComputeCtx(ctx, key, func() ([]byte, error) {
+		return ComputeBitcoinSolve(np)
 	})
 	if err != nil {
 		return BitcoinSolveRecord{}, nil, false, err
@@ -156,6 +207,13 @@ func Sweep(st *Store, model bumdp.IncentiveModel, cfg core.SweepConfig) []core.C
 // SweepStats is Sweep plus cache accounting: how many cells were
 // answered from the store and how many had to be solved.
 func SweepStats(st *Store, model bumdp.IncentiveModel, cfg core.SweepConfig) (cells []core.Cell, hits, misses int) {
+	return SweepStatsCtx(context.Background(), st, model, cfg)
+}
+
+// SweepStatsCtx is SweepStats with cancellation while cells queue for
+// the solve budget: an abandoned request stops consuming budget slots
+// as each of its pending cells reaches the head of the queue.
+func SweepStatsCtx(ctx context.Context, st *Store, model bumdp.IncentiveModel, cfg core.SweepConfig) (cells []core.Cell, hits, misses int) {
 	cfg = cfg.Normalized(model)
 	// Store cells solve independently (one cell per chain, never warm),
 	// so apply the per-cell oversubscription heuristic that Normalized
@@ -167,7 +225,7 @@ func SweepStats(st *Store, model bumdp.IncentiveModel, cfg core.SweepConfig) (ce
 	var h, m atomic.Int64
 	cfg.SolveCell = func(c core.Cell) core.Cell {
 		params, opts := base.CellParams(c)
-		rec, _, hit, err := SolveBU(st, params, opts)
+		rec, _, hit, err := SolveBUCtx(ctx, st, params, opts)
 		if err != nil {
 			c.Err = err
 			return c
@@ -209,6 +267,42 @@ type MonteCarloRecord struct {
 	Summary stats.Summary `json:"summary"`
 }
 
+// MonteCarloKey derives the cache key of a Monte Carlo batch without
+// solving.
+func MonteCarloKey(p bumdp.Params, steps, batches int, seed int64) (string, error) {
+	np, err := p.Normalized()
+	if err != nil {
+		return "", err
+	}
+	return Key(KindMonteCarlo, mcKey{Params: np, Steps: steps, Batches: batches, Seed: seed})
+}
+
+// ComputeMonteCarloBatch solves the instance, replays its optimal
+// policy, and returns the exact blob MonteCarloBatch would cache (see
+// ComputeBUSolve). workers never affects the bytes — the batch runner
+// is seed-deterministic at every worker count.
+func ComputeMonteCarloBatch(p bumdp.Params, steps, batches int, seed int64, workers int) ([]byte, error) {
+	np, err := p.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	a, err := bumdp.New(np)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Solve()
+	if err != nil {
+		return nil, err
+	}
+	sum, err := montecarlo.CrossValidateWorkers(a, res.Policy, steps, batches, seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(MonteCarloRecord{
+		Params: np, Steps: steps, Batches: batches, Seed: seed, Summary: sum,
+	})
+}
+
 // MonteCarloBatch answers a Monte Carlo cross-validation batch from the
 // store: on a miss the instance is solved, its optimal policy replayed
 // for steps steps split into batches batches, and the batch-means
@@ -218,26 +312,12 @@ func MonteCarloBatch(st *Store, p bumdp.Params, steps, batches int, seed int64, 
 	if err != nil {
 		return MonteCarloRecord{}, false, err
 	}
-	key, err := Key(KindMonteCarlo, mcKey{Params: np, Steps: steps, Batches: batches, Seed: seed})
+	key, err := MonteCarloKey(np, steps, batches, seed)
 	if err != nil {
 		return MonteCarloRecord{}, false, err
 	}
 	blob, hit, err := st.GetOrCompute(key, func() ([]byte, error) {
-		a, err := bumdp.New(np)
-		if err != nil {
-			return nil, err
-		}
-		res, err := a.Solve()
-		if err != nil {
-			return nil, err
-		}
-		sum, err := montecarlo.CrossValidateWorkers(a, res.Policy, steps, batches, seed, workers)
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(MonteCarloRecord{
-			Params: np, Steps: steps, Batches: batches, Seed: seed, Summary: sum,
-		})
+		return ComputeMonteCarloBatch(np, steps, batches, seed, workers)
 	})
 	if err != nil {
 		return MonteCarloRecord{}, false, err
@@ -256,32 +336,47 @@ type EquilibriaRecord struct {
 	Utilities [][]float64     `json:"utilities"`
 }
 
+// EBGameKey derives the cache key of an EB choosing game enumeration
+// without enumerating.
+func EBGameKey(powers []float64, choices int) (string, error) {
+	g, err := games.NewEBChoosingGame(powers, choices)
+	if err != nil {
+		return "", err
+	}
+	return Key(KindEBGame, g.Spec())
+}
+
+// ComputeEBEquilibria enumerates the game's pure Nash equilibria and
+// returns the exact blob EBEquilibria would cache (see ComputeBUSolve).
+func ComputeEBEquilibria(powers []float64, choices, workers int) ([]byte, error) {
+	g, err := games.NewEBChoosingGame(powers, choices)
+	if err != nil {
+		return nil, err
+	}
+	eqs, err := g.PureNashEquilibriaWorkers(workers)
+	if err != nil {
+		return nil, err
+	}
+	rec := EquilibriaRecord{Spec: g.Spec(), Profiles: eqs, Utilities: make([][]float64, 0, len(eqs))}
+	for _, eq := range eqs {
+		u, err := g.Utilities(eq)
+		if err != nil {
+			return nil, err
+		}
+		rec.Utilities = append(rec.Utilities, u)
+	}
+	return json.Marshal(rec)
+}
+
 // EBEquilibria answers the full pure-Nash enumeration of an EB choosing
 // game from the store, enumerating and filling on a miss.
 func EBEquilibria(st *Store, powers []float64, choices, workers int) (rec EquilibriaRecord, hit bool, err error) {
-	g, err := games.NewEBChoosingGame(powers, choices)
-	if err != nil {
-		return EquilibriaRecord{}, false, err
-	}
-	spec := g.Spec()
-	key, err := Key(KindEBGame, spec)
+	key, err := EBGameKey(powers, choices)
 	if err != nil {
 		return EquilibriaRecord{}, false, err
 	}
 	blob, hit, err := st.GetOrCompute(key, func() ([]byte, error) {
-		eqs, err := g.PureNashEquilibriaWorkers(workers)
-		if err != nil {
-			return nil, err
-		}
-		rec := EquilibriaRecord{Spec: spec, Profiles: eqs, Utilities: make([][]float64, 0, len(eqs))}
-		for _, eq := range eqs {
-			u, err := g.Utilities(eq)
-			if err != nil {
-				return nil, err
-			}
-			rec.Utilities = append(rec.Utilities, u)
-		}
-		return json.Marshal(rec)
+		return ComputeEBEquilibria(powers, choices, workers)
 	})
 	if err != nil {
 		return EquilibriaRecord{}, false, err

@@ -3,6 +3,7 @@ package expstore
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -110,12 +111,12 @@ func (s *Store) Stats() Stats {
 	n := int64(s.lru.Len())
 	s.mu.Unlock()
 	return Stats{
-		Hits:       s.hits.Load(),
-		MemHits:    s.memHits.Load(),
-		DiskHits:   s.diskHits.Load(),
-		Misses:     s.misses.Load(),
-		Shared:     s.shared.Load(),
-		Corrupt:    s.corrupt.Load(),
+		Hits:        s.hits.Load(),
+		MemHits:     s.memHits.Load(),
+		DiskHits:    s.diskHits.Load(),
+		Misses:      s.misses.Load(),
+		Shared:      s.shared.Load(),
+		Corrupt:     s.corrupt.Load(),
 		Solves:      s.solves.Load(),
 		InFlight:    s.inFlight.Load(),
 		MemEntries:  n,
@@ -172,6 +173,19 @@ func (s *Store) Put(key string, blob []byte) error {
 // and all receive the identical blob; distinct-key computes respect the
 // configured solve budget.
 func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (blob []byte, hit bool, err error) {
+	return s.GetOrComputeCtx(context.Background(), key, compute)
+}
+
+// GetOrComputeCtx is GetOrCompute with cancellation: a caller whose
+// context is done while queued for an exhausted solve budget (or before
+// its compute starts) gives up its place instead of burning a slot on
+// work nobody is waiting for — an abandoned HTTP request or a drained
+// worker releases the budget immediately. A compute already running is
+// not interrupted (the solvers are not preemptible, and its result is
+// still cached for the next caller); joiners deduplicated onto a
+// winning caller's flight receive whatever that flight returns, which
+// is the winner's ctx error if the winner was canceled while queued.
+func (s *Store) GetOrComputeCtx(ctx context.Context, key string, compute func() ([]byte, error)) (blob []byte, hit bool, err error) {
 	if blob, ok, fromMem := s.lookup(key); ok {
 		s.hits.Add(1)
 		if fromMem {
@@ -187,12 +201,19 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (blob [
 		if blob, ok, _ := s.lookup(key); ok {
 			return blob, nil
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
 			default:
 				s.budgetWaits.Add(1)
-				s.sem <- struct{}{}
+				select {
+				case s.sem <- struct{}{}:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
 			}
 			defer func() { <-s.sem }()
 		}

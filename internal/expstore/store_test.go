@@ -2,6 +2,7 @@ package expstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -244,6 +245,66 @@ func TestStoreLRUEviction(t *testing.T) {
 	}
 	if _, ok := s.Get("busolve-2"); ok {
 		t.Error("least recently used entry survived")
+	}
+}
+
+// TestStoreBudgetWaitCancellation is the regression test for the
+// budget-slot leak: a caller queued behind an exhausted solve budget
+// whose context dies (abandoned HTTP request, drained worker) must
+// give up its place immediately — it must not run its compute once a
+// slot frees, and the slot must go to a live caller.
+func TestStoreBudgetWaitCancellation(t *testing.T) {
+	s := mustOpen(t, Config{MaxConcurrentSolves: 1})
+
+	// Occupy the single budget slot.
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		s.GetOrCompute("busolve-holder", func() ([]byte, error) {
+			close(holding)
+			<-release
+			return []byte(`{}`), nil
+		})
+	}()
+	<-holding
+
+	// A canceled caller queued for the budget returns ctx.Err without
+	// computing, even while the slot stays occupied.
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrComputeCtx(ctx, "busolve-canceled", func() ([]byte, error) {
+			t.Error("canceled caller's compute ran")
+			return []byte(`{}`), nil
+		})
+		errc <- err
+	}()
+	for s.Stats().BudgetWaits == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(queued)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("canceled wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled caller still blocked on the solve budget")
+	}
+	<-queued
+
+	// The abandoned wait must not have consumed the slot: after the
+	// holder finishes, a live caller gets it and computes normally.
+	close(release)
+	blob, hit, err := s.GetOrCompute("busolve-live", func() ([]byte, error) { return []byte(`{"ok":1}`), nil })
+	if err != nil || hit || string(blob) != `{"ok":1}` {
+		t.Fatalf("live caller after cancel: blob=%q hit=%v err=%v", blob, hit, err)
+	}
+	// And the canceled key was never poisoned — it solves on demand.
+	if _, hit, err := s.GetOrCompute("busolve-canceled", func() ([]byte, error) { return []byte(`{}`), nil }); err != nil || hit {
+		t.Fatalf("canceled key retry: hit=%v err=%v", hit, err)
 	}
 }
 

@@ -1,0 +1,411 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+	"buanalysis/internal/jobqueue"
+)
+
+// API is the farm's HTTP surface: the /jobs endpoints over one queue
+// and the store completed artifacts materialize into. cmd/buserve
+// mounts it next to the serving endpoints, so workers fill the exact
+// store /solve, /sweep and /tables answer from.
+type API struct {
+	Queue *jobqueue.Queue
+	Store *expstore.Store
+}
+
+// Handler returns the /jobs endpoint tree:
+//
+//	POST /jobs/enqueue       {kind, spec, priority}        -> {job, created}
+//	POST /jobs/sweep         {model, config, count, prio}  -> {ids, created}
+//	POST /jobs/sweep/status  {model, config, count}        -> per-shard states
+//	POST /jobs/sweep/result  {model, config, count}        -> merged SweepRecord
+//	POST /jobs/lease         {worker, kinds, ttl_ms}       -> {job, ok}
+//	POST /jobs/heartbeat     {id, lease, ttl_ms}           -> {}
+//	POST /jobs/complete      {id, lease, result}           -> {first}
+//	POST /jobs/fail          {id, lease, reason}           -> {}
+//	POST /jobs/requeue       {id}                          -> {}
+//	GET  /jobs/get?id=K                                    -> job
+//	GET  /jobs/list          (GET /jobs/dead: dead only)   -> [job...]
+//	GET  /jobs/statsz                                      -> queue stats
+//
+// Lease-protocol violations map to HTTP statuses the client maps back:
+// 404 unknown job, 409 lease not held / not dead-lettered.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs/enqueue", post(a.handleEnqueue))
+	mux.HandleFunc("/jobs/sweep", post(a.handleSweepEnqueue))
+	mux.HandleFunc("/jobs/sweep/status", post(a.handleSweepStatus))
+	mux.HandleFunc("/jobs/sweep/result", post(a.handleSweepResult))
+	mux.HandleFunc("/jobs/lease", post(a.handleLease))
+	mux.HandleFunc("/jobs/heartbeat", post(a.handleHeartbeat))
+	mux.HandleFunc("/jobs/complete", post(a.handleComplete))
+	mux.HandleFunc("/jobs/fail", post(a.handleFail))
+	mux.HandleFunc("/jobs/requeue", post(a.handleRequeue))
+	mux.HandleFunc("/jobs/get", a.handleGet)
+	mux.HandleFunc("/jobs/list", a.handleList)
+	mux.HandleFunc("/jobs/dead", a.handleDead)
+	mux.HandleFunc("/jobs/statsz", a.handleStats)
+	return mux
+}
+
+// apiError carries an HTTP status with a protocol error.
+type apiError struct {
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+func httpStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	switch {
+	case errors.Is(err, jobqueue.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, jobqueue.ErrNotLeased), errors.Is(err, jobqueue.ErrNotDead):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// post adapts a JSON handler, enforcing the method and mapping errors
+// to the protocol statuses.
+func post(h func(*http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		resp, err := h(r)
+		if err != nil {
+			writeError(w, httpStatus(err), err)
+			return
+		}
+		writeJSON(w, resp)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+type enqueueRequest struct {
+	Kind     string          `json:"kind"`
+	Spec     json.RawMessage `json:"spec"`
+	Priority int             `json:"priority,omitempty"`
+}
+
+type enqueueResponse struct {
+	Job     jobqueue.Job `json:"job"`
+	Created bool         `json:"created"`
+}
+
+func (a *API) handleEnqueue(r *http.Request) (any, error) {
+	var req enqueueRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	job, err := NewJob(req.Kind, req.Spec, req.Priority)
+	if err != nil {
+		return nil, err
+	}
+	job, created, err := a.Queue.Enqueue(job)
+	if err != nil {
+		return nil, &apiError{http.StatusInternalServerError, err}
+	}
+	return enqueueResponse{Job: job, Created: created}, nil
+}
+
+// SweepRequest identifies one sharded sweep: the model, the sweep
+// config, and the fan-out width. The same triple addresses the fan-out
+// (POST /jobs/sweep), its progress (/jobs/sweep/status) and its merged
+// result (/jobs/sweep/result), which is what makes sweeps resumable:
+// re-posting after a coordinator restart collapses onto the journaled
+// jobs, and the result endpoint answers from whatever shards the store
+// already holds.
+type SweepRequest struct {
+	Model    int              `json:"model"`
+	Config   core.SweepConfig `json:"config"`
+	Count    int              `json:"count"`
+	Priority int              `json:"priority,omitempty"`
+}
+
+// SweepEnqueueResponse reports the fan-out: the shard job IDs in shard
+// order and how many were newly created (the rest already existed).
+type SweepEnqueueResponse struct {
+	Model   int      `json:"model"`
+	Count   int      `json:"count"`
+	IDs     []string `json:"ids"`
+	Created int      `json:"created"`
+}
+
+func (a *API) handleSweepEnqueue(r *http.Request) (any, error) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	jobs, err := NewSweepShardJobs(bumdp.IncentiveModel(req.Model), req.Config, req.Count, req.Priority)
+	if err != nil {
+		return nil, err
+	}
+	resp := SweepEnqueueResponse{Model: req.Model, Count: req.Count}
+	for _, j := range jobs {
+		j, created, err := a.Queue.Enqueue(j)
+		if err != nil {
+			return nil, &apiError{http.StatusInternalServerError, err}
+		}
+		if created {
+			resp.Created++
+		}
+		resp.IDs = append(resp.IDs, j.ID)
+	}
+	return resp, nil
+}
+
+// ShardStatus is one shard's position in a sweep's progress.
+type ShardStatus struct {
+	Index int            `json:"index"`
+	ID    string         `json:"id"`
+	State jobqueue.State `json:"state,omitempty"` // empty: never enqueued
+	// Stored reports whether the shard's artifact is already in the
+	// store (a stored shard counts toward the merge whatever its job
+	// state says).
+	Stored bool `json:"stored"`
+}
+
+// SweepStatusResponse is a sweep's progress: Ready means every shard
+// artifact is stored and /jobs/sweep/result will answer.
+type SweepStatusResponse struct {
+	Model  int           `json:"model"`
+	Count  int           `json:"count"`
+	Shards []ShardStatus `json:"shards"`
+	Stored int           `json:"stored"`
+	Ready  bool          `json:"ready"`
+}
+
+func (a *API) sweepStatus(req SweepRequest) (SweepStatusResponse, error) {
+	resp := SweepStatusResponse{Model: req.Model, Count: req.Count}
+	for i := 0; i < req.Count; i++ {
+		id, err := expstore.SweepShardKey(bumdp.IncentiveModel(req.Model), req.Config, i, req.Count)
+		if err != nil {
+			return SweepStatusResponse{}, err
+		}
+		s := ShardStatus{Index: i, ID: id}
+		if j, ok := a.Queue.Get(id); ok {
+			s.State = j.State
+		}
+		if _, ok := a.Store.Get(id); ok {
+			s.Stored = true
+			resp.Stored++
+		}
+		resp.Shards = append(resp.Shards, s)
+	}
+	resp.Ready = resp.Stored == req.Count
+	return resp, nil
+}
+
+func (a *API) handleSweepStatus(r *http.Request) (any, error) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	return a.sweepStatus(req)
+}
+
+// SweepResultResponse is a completed sweep, merged: the repository's
+// standard sweep record plus the rendered table — byte-identical to
+// what the single-process sweep paths produce.
+type SweepResultResponse struct {
+	Record expstore.SweepRecord `json:"record"`
+	Table  string               `json:"table"`
+}
+
+func (a *API) handleSweepResult(r *http.Request) (any, error) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	status, err := a.sweepStatus(req)
+	if err != nil {
+		return nil, err
+	}
+	if !status.Ready {
+		return nil, &apiError{http.StatusConflict,
+			fmt.Errorf("sweep not ready: %d of %d shards stored", status.Stored, status.Count)}
+	}
+	model := bumdp.IncentiveModel(req.Model)
+	blobs := make([][]byte, req.Count)
+	for i, s := range status.Shards {
+		blob, ok := a.Store.Get(s.ID)
+		if !ok {
+			return nil, &apiError{http.StatusConflict, fmt.Errorf("shard %d vanished from the store", i)}
+		}
+		blobs[i] = blob
+	}
+	cells, err := expstore.MergeShardBlobs(model, req.Config, blobs)
+	if err != nil {
+		return nil, &apiError{http.StatusInternalServerError, err}
+	}
+	return SweepResultResponse{
+		Record: expstore.NewSweepRecord(model, cells),
+		Table:  core.FormatTable(cells, true),
+	}, nil
+}
+
+type leaseRequest struct {
+	Worker   string   `json:"worker"`
+	Kinds    []string `json:"kinds,omitempty"`
+	TTLMilli int64    `json:"ttl_ms,omitempty"`
+}
+
+type leaseResponse struct {
+	Job jobqueue.Job `json:"job"`
+	OK  bool         `json:"ok"`
+}
+
+func (a *API) handleLease(r *http.Request) (any, error) {
+	var req leaseRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	job, ok, err := a.Queue.Lease(req.Worker, req.Kinds, time.Duration(req.TTLMilli)*time.Millisecond)
+	if err != nil {
+		return nil, &apiError{http.StatusInternalServerError, err}
+	}
+	return leaseResponse{Job: job, OK: ok}, nil
+}
+
+type heartbeatRequest struct {
+	ID       string `json:"id"`
+	Lease    string `json:"lease"`
+	TTLMilli int64  `json:"ttl_ms,omitempty"`
+}
+
+func (a *API) handleHeartbeat(r *http.Request) (any, error) {
+	var req heartbeatRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if err := a.Queue.Heartbeat(req.ID, req.Lease, time.Duration(req.TTLMilli)*time.Millisecond); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+type completeRequest struct {
+	ID     string          `json:"id"`
+	Lease  string          `json:"lease"`
+	Result json.RawMessage `json:"result"`
+}
+
+type completeResponse struct {
+	First bool `json:"first"`
+}
+
+// handleComplete is the exactly-once materialization point: the queue's
+// Complete is the gate (atomic first-delivery decision), and only the
+// first completion writes the result into the store. Duplicate
+// deliveries — client retries, redelivered responses — are acknowledged
+// without touching the stored artifact; completions whose lease was
+// lost are rejected, because the live lease holder will produce the
+// same deterministic bytes.
+func (a *API) handleComplete(r *http.Request) (any, error) {
+	var req completeRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Result) == 0 || !json.Valid(req.Result) {
+		return nil, errors.New("completion needs a JSON result blob")
+	}
+	first, err := a.Queue.Complete(req.ID, req.Lease)
+	if err != nil {
+		return nil, err
+	}
+	if first {
+		if err := a.Store.Put(req.ID, req.Result); err != nil {
+			return nil, &apiError{http.StatusInternalServerError, err}
+		}
+	}
+	return completeResponse{First: first}, nil
+}
+
+type failRequest struct {
+	ID     string `json:"id"`
+	Lease  string `json:"lease"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (a *API) handleFail(r *http.Request) (any, error) {
+	var req failRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if err := a.Queue.Fail(req.ID, req.Lease, req.Reason); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+func (a *API) handleRequeue(r *http.Request) (any, error) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	if err := a.Queue.Requeue(req.ID); err != nil {
+		return nil, err
+	}
+	return struct{}{}, nil
+}
+
+func (a *API) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	job, ok := a.Queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, jobqueue.ErrUnknownJob)
+		return
+	}
+	writeJSON(w, job)
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.Queue.Jobs())
+}
+
+func (a *API) handleDead(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.Queue.Dead())
+}
+
+func (a *API) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, a.Queue.Stats())
+}

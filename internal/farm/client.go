@@ -1,0 +1,160 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"buanalysis/internal/jobqueue"
+)
+
+// Client speaks the /jobs protocol to a coordinator (cmd/buserve).
+type Client struct {
+	// Base is the coordinator's base URL ("http://host:port").
+	Base string
+	// HTTP overrides the transport; nil uses a client with a sane
+	// control-plane timeout (completion uploads, which carry result
+	// blobs, get a longer one).
+	HTTP *http.Client
+}
+
+func (c *Client) client(timeout time.Duration) *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: timeout}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// post sends one JSON request and decodes the JSON response into out
+// (nil discards it). Protocol statuses come back as the queue's
+// sentinel errors, so callers branch on errors.Is exactly as they
+// would against a local queue.
+func (c *Client) post(cl *http.Client, path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.Post(c.url(path), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(raw, &apiErr)
+		msg := apiErr.Error
+		if msg == "" {
+			msg = strings.TrimSpace(string(raw))
+		}
+		switch resp.StatusCode {
+		case http.StatusNotFound:
+			return fmt.Errorf("%w (%s)", jobqueue.ErrUnknownJob, msg)
+		case http.StatusConflict:
+			if strings.Contains(msg, "dead-lettered") {
+				return fmt.Errorf("%w (%s)", jobqueue.ErrNotDead, msg)
+			}
+			return fmt.Errorf("%w (%s)", jobqueue.ErrNotLeased, msg)
+		default:
+			return fmt.Errorf("farm: %s: %s (HTTP %d)", path, msg, resp.StatusCode)
+		}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Enqueue submits one typed job; the coordinator re-derives the ID from
+// the spec. created is false when the job already existed.
+func (c *Client) Enqueue(job jobqueue.Job) (jobqueue.Job, bool, error) {
+	var resp enqueueResponse
+	err := c.post(c.client(30*time.Second), "/jobs/enqueue",
+		enqueueRequest{Kind: job.Kind, Spec: job.Spec, Priority: job.Priority}, &resp)
+	return resp.Job, resp.Created, err
+}
+
+// EnqueueSweep fans a sharded sweep out as req.Count shard jobs.
+func (c *Client) EnqueueSweep(req SweepRequest) (SweepEnqueueResponse, error) {
+	var resp SweepEnqueueResponse
+	err := c.post(c.client(30*time.Second), "/jobs/sweep", req, &resp)
+	return resp, err
+}
+
+// SweepStatus reports a sweep's per-shard progress.
+func (c *Client) SweepStatus(req SweepRequest) (SweepStatusResponse, error) {
+	var resp SweepStatusResponse
+	err := c.post(c.client(30*time.Second), "/jobs/sweep/status", req, &resp)
+	return resp, err
+}
+
+// SweepResult fetches a completed sweep's merged record and table; a
+// jobqueue.ErrNotLeased-mapped conflict means shards are outstanding.
+func (c *Client) SweepResult(req SweepRequest) (SweepResultResponse, error) {
+	var resp SweepResultResponse
+	err := c.post(c.client(2*time.Minute), "/jobs/sweep/result", req, &resp)
+	return resp, err
+}
+
+// Lease pulls the next ready job (ok = false: nothing ready).
+func (c *Client) Lease(worker string, kinds []string, ttl time.Duration) (jobqueue.Job, bool, error) {
+	var resp leaseResponse
+	err := c.post(c.client(30*time.Second), "/jobs/lease",
+		leaseRequest{Worker: worker, Kinds: kinds, TTLMilli: ttl.Milliseconds()}, &resp)
+	return resp.Job, resp.OK, err
+}
+
+// Heartbeat extends a held lease.
+func (c *Client) Heartbeat(id, lease string, ttl time.Duration) error {
+	return c.post(c.client(30*time.Second), "/jobs/heartbeat",
+		heartbeatRequest{ID: id, Lease: lease, TTLMilli: ttl.Milliseconds()}, nil)
+}
+
+// Complete delivers a job's result blob. first is false on duplicate
+// delivery; jobqueue.ErrNotLeased means the lease was lost and the
+// result was discarded.
+func (c *Client) Complete(id, lease string, result []byte) (first bool, err error) {
+	var resp completeResponse
+	err = c.post(c.client(2*time.Minute), "/jobs/complete",
+		completeRequest{ID: id, Lease: lease, Result: result}, &resp)
+	return resp.First, err
+}
+
+// Fail reports that the job could not be completed under this lease.
+func (c *Client) Fail(id, lease, reason string) error {
+	return c.post(c.client(30*time.Second), "/jobs/fail",
+		failRequest{ID: id, Lease: lease, Reason: reason}, nil)
+}
+
+// Requeue returns a dead-lettered job to the ready set.
+func (c *Client) Requeue(id string) error {
+	return c.post(c.client(30*time.Second), "/jobs/requeue", struct {
+		ID string `json:"id"`
+	}{id}, nil)
+}
+
+// Stats fetches the queue snapshot.
+func (c *Client) Stats() (jobqueue.Stats, error) {
+	resp, err := c.client(30 * time.Second).Get(c.url("/jobs/statsz"))
+	if err != nil {
+		return jobqueue.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jobqueue.Stats{}, fmt.Errorf("farm: statsz: HTTP %d", resp.StatusCode)
+	}
+	var st jobqueue.Stats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}

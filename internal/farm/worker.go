@@ -1,0 +1,208 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"buanalysis/internal/jobqueue"
+)
+
+// Worker is the pull-execute-complete loop of one farm worker process:
+// it leases jobs from a coordinator, heartbeats while the solvers run,
+// and ships result blobs back. cmd/buworker wraps it in flags and
+// signal handling; tests run several in-process against an httptest
+// coordinator.
+type Worker struct {
+	Client *Client
+	// Name identifies the worker in leases and queue introspection.
+	Name string
+	// Kinds restricts what the worker leases (nil: anything).
+	Kinds []string
+	// Concurrency is how many jobs run at once (default 1).
+	Concurrency int
+	// SolverWorkers is the per-job solver parallelism handed to Execute
+	// (0: the solvers' defaults).
+	SolverWorkers int
+	// TTL is the lease TTL requested; heartbeats renew at TTL/3
+	// (default 30s).
+	TTL time.Duration
+	// Poll is the idle sleep between lease attempts when nothing is
+	// ready (default 500ms).
+	Poll time.Duration
+	// Drain exits the loop once the queue has nothing left to offer —
+	// no pending work and nothing leased that could still be requeued —
+	// instead of polling forever.
+	Drain bool
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+
+	executed, completed, failed, lost atomic.Int64
+}
+
+// Stats reports the worker's lifetime delivery counters: jobs executed,
+// completions accepted, failures reported, and results discarded
+// because the lease was lost.
+func (w *Worker) Stats() (executed, completed, failed, lost int64) {
+	return w.executed.Load(), w.completed.Load(), w.failed.Load(), w.lost.Load()
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run pulls and executes jobs until ctx is canceled or, with Drain set,
+// until the queue is empty. Cancellation is graceful by construction:
+// in-flight jobs finish, heartbeat and complete (the solvers are not
+// preemptible and their results are deterministic, so finishing is
+// strictly better than abandoning the lease); only the leasing of new
+// work stops. A worker killed outright instead simply stops
+// heartbeating and its leases expire back to the queue — that case
+// needs no code here, which is the point of the lease protocol.
+func (w *Worker) Run(ctx context.Context) error {
+	concurrency := w.Concurrency
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	ttl := w.TTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrency)
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			errs <- w.runSlot(ctx, fmt.Sprintf("%s/%d", w.Name, slot), ttl, poll)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSlot is one lease slot's loop.
+func (w *Worker) runSlot(ctx context.Context, name string, ttl, poll time.Duration) error {
+	consecutiveErrs := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		job, ok, err := w.Client.Lease(name, w.Kinds, ttl)
+		if err != nil {
+			consecutiveErrs++
+			if consecutiveErrs >= 5 {
+				return fmt.Errorf("farm: worker %s: coordinator unreachable: %w", name, err)
+			}
+			w.sleep(ctx, poll)
+			continue
+		}
+		consecutiveErrs = 0
+		if !ok {
+			if w.Drain && w.queueDrained() {
+				return nil
+			}
+			w.sleep(ctx, poll)
+			continue
+		}
+		w.execute(job, name, ttl)
+	}
+}
+
+// queueDrained reports whether nothing is left to work on: no pending
+// jobs and no leases that could still expire back into the ready set.
+func (w *Worker) queueDrained() bool {
+	st, err := w.Client.Stats()
+	if err != nil {
+		return false
+	}
+	return st.Pending == 0 && st.Leased == 0
+}
+
+// execute runs one leased job to completion, heartbeating throughout.
+// The heartbeat deliberately ignores the run context: a draining worker
+// must keep its lease alive until the in-flight job completes.
+func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
+	w.executed.Add(1)
+	w.logf("worker %s: leased %s %s (attempt %d)", name, job.Kind, job.ID, job.Attempts)
+
+	hbStop := make(chan struct{})
+	var hbLost atomic.Bool
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if err := w.Client.Heartbeat(job.ID, job.Lease, ttl); err != nil {
+					if errors.Is(err, jobqueue.ErrNotLeased) || errors.Is(err, jobqueue.ErrUnknownJob) {
+						hbLost.Store(true)
+						return
+					}
+					// Transient coordinator trouble: keep trying; the
+					// lease outlives a missed beat or two.
+				}
+			}
+		}
+	}()
+
+	blob, execErr := Execute(job, w.SolverWorkers)
+	close(hbStop)
+	hbWG.Wait()
+
+	if hbLost.Load() {
+		// The lease is gone — the job was requeued and someone else owns
+		// it. The deterministic result is safe to drop.
+		w.lost.Add(1)
+		w.logf("worker %s: lease lost on %s, dropping result", name, job.ID)
+		return
+	}
+	if execErr != nil {
+		w.failed.Add(1)
+		w.logf("worker %s: %s failed: %v", name, job.ID, execErr)
+		if err := w.Client.Fail(job.ID, job.Lease, execErr.Error()); err != nil {
+			w.logf("worker %s: reporting failure of %s: %v", name, job.ID, err)
+		}
+		return
+	}
+	first, err := w.Client.Complete(job.ID, job.Lease, blob)
+	switch {
+	case errors.Is(err, jobqueue.ErrNotLeased):
+		w.lost.Add(1)
+		w.logf("worker %s: completion of %s rejected (lease lost)", name, job.ID)
+	case err != nil:
+		w.logf("worker %s: delivering %s: %v", name, job.ID, err)
+	default:
+		w.completed.Add(1)
+		w.logf("worker %s: completed %s (first=%v)", name, job.ID, first)
+	}
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

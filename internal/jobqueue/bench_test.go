@@ -1,0 +1,234 @@
+package jobqueue_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+	"buanalysis/internal/farm"
+	"buanalysis/internal/jobqueue"
+)
+
+// Benchmarks for the queue's hot control-plane operations, plus an
+// end-to-end 1-vs-3-worker sweep wall-clock comparison. The queue
+// coordinates solves that run for seconds, so the op costs only need to
+// stay microscopic next to the work they schedule — but the numbers are
+// worth pinning: a coordinator fields a poll from every idle worker.
+
+func benchQueue(b *testing.B, journal string) *jobqueue.Queue {
+	b.Helper()
+	q, err := jobqueue.Open(jobqueue.Options{Journal: journal})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { q.Close() })
+	return q
+}
+
+func BenchmarkEnqueueLeaseComplete(b *testing.B) {
+	b.ReportAllocs()
+	q := benchQueue(b, "")
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		if _, _, err := q.Enqueue(jobqueue.Job{ID: id, Kind: "bench"}); err != nil {
+			b.Fatal(err)
+		}
+		j, ok, err := q.Lease("w", nil, time.Minute)
+		if err != nil || !ok {
+			b.Fatalf("lease: ok=%v err=%v", ok, err)
+		}
+		if _, err := q.Complete(j.ID, j.Lease); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeaseEmptyQueue(b *testing.B) {
+	// The idle-fleet case: every poll from every worker scans for ready
+	// work and finds none.
+	b.ReportAllocs()
+	q := benchQueue(b, "")
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := q.Lease("w", nil, time.Minute); ok || err != nil {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkDuplicateEnqueue(b *testing.B) {
+	// Idempotent re-submission of an existing job (re-POSTing a sweep).
+	b.ReportAllocs()
+	q := benchQueue(b, "")
+	if _, _, err := q.Enqueue(jobqueue.Job{ID: "dup", Kind: "bench"}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, created, err := q.Enqueue(jobqueue.Job{ID: "dup", Kind: "bench"}); created || err != nil {
+			b.Fatalf("created=%v err=%v", created, err)
+		}
+	}
+}
+
+func BenchmarkStatsSnapshot(b *testing.B) {
+	b.ReportAllocs()
+	q := benchQueue(b, "")
+	for i := 0; i < 64; i++ {
+		q.Enqueue(jobqueue.Job{ID: fmt.Sprintf("s-%d", i), Kind: fmt.Sprintf("kind-%d", i%4)})
+	}
+	var st jobqueue.Stats
+	for i := 0; i < b.N; i++ {
+		st = q.Stats()
+	}
+	_ = st
+}
+
+func BenchmarkJournaledCycle(b *testing.B) {
+	// The same enqueue-lease-complete cycle with the durable journal on:
+	// each mutation rewrites and atomically renames the whole state
+	// file, the price of surviving a coordinator kill at any point.
+	b.ReportAllocs()
+	q := benchQueue(b, filepath.Join(b.TempDir(), "journal.json"))
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		if _, _, err := q.Enqueue(jobqueue.Job{ID: id, Kind: "bench"}); err != nil {
+			b.Fatal(err)
+		}
+		j, ok, err := q.Lease("w", nil, time.Minute)
+		if err != nil || !ok {
+			b.Fatalf("lease: ok=%v err=%v", ok, err)
+		}
+		if _, err := q.Complete(j.ID, j.Lease); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepWallClock stands up a fresh coordinator (empty store, in-memory
+// queue), enqueues a small Table-2-style sweep as 3 shard jobs, and
+// measures how long a fleet of `workers` draining workers takes to
+// finish it. Each worker solves serially (SolverWorkers 1) so the
+// comparison isolates distribution, not inner solver parallelism.
+func sweepWallClock(t *testing.T, workers int) float64 {
+	t.Helper()
+	q, err := jobqueue.Open(jobqueue.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	st, err := expstore.Open(expstore.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&farm.API{Queue: q, Store: st}).Handler())
+	defer srv.Close()
+
+	cfg := core.SweepConfig{
+		Alphas:   []float64{0.10, 0.15, 0.20},
+		Ratios:   []core.Ratio{{Name: "2:1", B: 2, G: 1}, {Name: "1:1", B: 1, G: 1}, {Name: "1:2", B: 1, G: 2}},
+		Settings: []bumdp.Setting{bumdp.Setting1},
+		AD:       3,
+		RatioTol: 1e-4, Epsilon: 1e-8,
+	}
+	client := &farm.Client{Base: srv.URL}
+	if _, err := client.EnqueueSweep(farm.SweepRequest{Model: int(bumdp.Compliant), Config: cfg, Count: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	done := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		w := &farm.Worker{
+			Client:        client,
+			Name:          fmt.Sprintf("bench-%d", i),
+			SolverWorkers: 1,
+			Drain:         true,
+			Poll:          20 * time.Millisecond,
+		}
+		go func() { done <- w.Run(context.Background()) }()
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	stats := q.Stats()
+	if stats.Done != 3 || stats.Pending != 0 {
+		t.Fatalf("sweep incomplete: %+v", stats)
+	}
+	return elapsed
+}
+
+// TestBenchEmit runs the queue benchmarks and the 1-vs-3-worker sweep
+// and writes a machine-readable summary when JOBQUEUE_BENCH_OUT is set
+// (scripts/bench.sh sets it to BENCH_jobqueue.json).
+func TestBenchEmit(t *testing.T) {
+	out := os.Getenv("JOBQUEUE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set JOBQUEUE_BENCH_OUT to run the benchmark suite")
+	}
+
+	type row struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		OpsPerSec   float64 `json:"ops_per_sec"`
+	}
+	run := func(name string, fn func(b *testing.B)) row {
+		res := testing.Benchmark(fn)
+		ns := float64(res.T.Nanoseconds()) / float64(res.N)
+		return row{
+			Name:        name,
+			NsPerOp:     ns,
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			OpsPerSec:   1e9 / ns,
+		}
+	}
+
+	cycle := run("enqueue_lease_complete", BenchmarkEnqueueLeaseComplete)
+	idle := run("lease_empty_queue", BenchmarkLeaseEmptyQueue)
+	dup := run("duplicate_enqueue", BenchmarkDuplicateEnqueue)
+	stats := run("stats_snapshot_64_jobs", BenchmarkStatsSnapshot)
+	journaled := run("enqueue_lease_complete_journaled", BenchmarkJournaledCycle)
+
+	oneWorker := sweepWallClock(t, 1)
+	threeWorkers := sweepWallClock(t, 3)
+
+	report := map[string]any{
+		"suite": "jobqueue",
+		"rows":  []row{cycle, idle, dup, stats, journaled},
+		"journal_overhead_x": func() float64 {
+			if cycle.NsPerOp == 0 {
+				return 0
+			}
+			return journaled.NsPerOp / cycle.NsPerOp
+		}(),
+		"sweep_1_worker_s":  oneWorker,
+		"sweep_3_workers_s": threeWorkers,
+		"sweep_speedup_x": func() float64 {
+			if threeWorkers == 0 {
+				return 0
+			}
+			return oneWorker / threeWorkers
+		}(),
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

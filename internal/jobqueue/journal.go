@@ -1,0 +1,117 @@
+package jobqueue
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// journalVersion stamps the journal format; a mismatch is treated as
+// corruption (the queue refuses to guess at an old layout).
+const journalVersion = 1
+
+// journalJob is a Job plus its private sequence number, which must
+// survive restarts for FIFO ordering to hold across a resume.
+type journalJob struct {
+	Job
+	Seq int64 `json:"seq"`
+}
+
+// journalState is the full queue snapshot the journal holds.
+type journalState struct {
+	Seq   int64        `json:"seq"`
+	Token int64        `json:"token"`
+	Jobs  []journalJob `json:"jobs"`
+}
+
+// journalEnvelope wraps the snapshot with enough redundancy to detect
+// truncation and corruption, mirroring the experiment store's blob
+// envelope.
+type journalEnvelope struct {
+	Version int             `json:"version"`
+	Sum     string          `json:"sum"` // sha256 of State
+	State   json.RawMessage `json:"state"`
+}
+
+// persistLocked rewrites the journal atomically (write a temp file in
+// the same directory, then rename). Memory-only queues no-op.
+func (q *Queue) persistLocked() error {
+	if q.opts.Journal == "" {
+		return nil
+	}
+	st := journalState{Seq: q.seq, Token: q.token}
+	for _, j := range q.jobs {
+		st.Jobs = append(st.Jobs, journalJob{Job: *j, Seq: j.seq})
+	}
+	// Stable order keeps journals diffable and byte-deterministic for a
+	// given state.
+	sort.Slice(st.Jobs, func(i, k int) bool { return st.Jobs[i].Seq < st.Jobs[k].Seq })
+	state, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("jobqueue: encoding journal: %w", err)
+	}
+	sum := sha256.Sum256(state)
+	raw, err := json.Marshal(journalEnvelope{
+		Version: journalVersion,
+		Sum:     hex.EncodeToString(sum[:]),
+		State:   state,
+	})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(q.opts.Journal)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("jobqueue: creating journal dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(q.opts.Journal)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), q.opts.Journal)
+}
+
+// load restores the queue from its journal. A missing file is an empty
+// queue; a failed checksum, version mismatch, or undecodable snapshot
+// is an explicit error — silently dropping a sweep's worth of jobs is
+// worse than making the operator move the bad file aside.
+func (q *Queue) load() error {
+	raw, err := os.ReadFile(q.opts.Journal)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var env journalEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("jobqueue: corrupt journal %s: %w", q.opts.Journal, err)
+	}
+	sum := sha256.Sum256(env.State)
+	if env.Version != journalVersion || env.Sum != hex.EncodeToString(sum[:]) {
+		return fmt.Errorf("jobqueue: journal %s failed validation", q.opts.Journal)
+	}
+	var st journalState
+	if err := json.Unmarshal(env.State, &st); err != nil {
+		return fmt.Errorf("jobqueue: corrupt journal state %s: %w", q.opts.Journal, err)
+	}
+	q.seq, q.token = st.Seq, st.Token
+	for _, jj := range st.Jobs {
+		j := jj.Job
+		j.seq = jj.Seq
+		q.jobs[j.ID] = &j
+	}
+	return nil
+}

@@ -6,12 +6,12 @@ import "buanalysis/internal/obs"
 // a nil *obs.Counter no-ops, so uninstrumented programs (and all tests
 // that never call Observe) pay nothing.
 var (
-	solvesTotal      *obs.Counter
-	sweepsTotal      *obs.Counter
-	probesTotal      *obs.Counter
-	warmSolvesTotal  *obs.Counter
+	solvesTotal       *obs.Counter
+	sweepsTotal       *obs.Counter
+	probesTotal       *obs.Counter
+	warmSolvesTotal   *obs.Counter
 	warmBracketsTotal *obs.Counter
-	reparamsTotal    *obs.Counter
+	reparamsTotal     *obs.Counter
 )
 
 // Observe registers the solver package's metrics on reg: total solves

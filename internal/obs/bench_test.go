@@ -123,8 +123,8 @@ func TestBenchEmit(t *testing.T) {
 	}
 
 	report := map[string]any{
-		"suite": "obs",
-		"rows":  []row{disabled, bare, counter, hist, ring},
+		"suite":                         "obs",
+		"rows":                          []row{disabled, bare, counter, hist, ring},
 		"disabled_overhead_ns_per_hook": (disabled.NsPerOp - bare.NsPerOp) / 64,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")

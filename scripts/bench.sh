@@ -2,7 +2,7 @@
 # Benchmark the experiment result store, the observability layer, and
 # the solver workspace / warm-chaining layer.
 #
-#   scripts/bench.sh [expstore.json [obs.json [solver.json]]]
+#   scripts/bench.sh [expstore.json [obs.json [solver.json [jobqueue.json]]]]
 #
 # Emits BENCH_expstore.json (cold solve latency, warm hit latency for
 # the memory and disk layers, hit-path throughput), BENCH_obs.json
@@ -11,7 +11,9 @@
 # be 0 allocs/op), and BENCH_solver.json (the Table-2 sweep solved cold
 # vs warm-chained — same grids, NoChain vs the default row chains — with
 # probe/sweep counts, the wall-clock speedup, and the steady-state
-# workspace allocation count, which must be 0 allocs/probe).
+# workspace allocation count, which must be 0 allocs/probe), and
+# BENCH_jobqueue.json (job-queue control-plane op costs, in-memory and
+# journaled).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -51,3 +53,15 @@ SOLVER_BENCH_OUT="$SOLVER_OUT" go test ./internal/core/ -run TestBenchSolver -co
 
 echo "wrote $SOLVER_OUT:"
 cat "$SOLVER_OUT"
+
+JOBQUEUE_OUT="${4:-BENCH_jobqueue.json}"
+case "$JOBQUEUE_OUT" in
+/*) ;;
+*) JOBQUEUE_OUT="$(pwd)/$JOBQUEUE_OUT" ;;
+esac
+
+JOBQUEUE_BENCH_OUT="$JOBQUEUE_OUT" go test ./internal/jobqueue/ -run TestBenchEmit -count 1 -v |
+	grep -v '^=== RUN\|^--- PASS\|^PASS\|^ok ' || true
+
+echo "wrote $JOBQUEUE_OUT:"
+cat "$JOBQUEUE_OUT"

@@ -23,6 +23,14 @@ if [ "${1:-}" = "-short" ]; then
 	SHORT="-short"
 fi
 
+echo "== gofmt =="
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -32,8 +40,8 @@ go build ./...
 echo "== go test ${SHORT} =="
 go test ${SHORT} ./...
 
-echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs, netsim, p2p, faultsim, invariant, fullnode) =="
-go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/ ./internal/netsim/ ./internal/p2p/ ./internal/faultsim/ ./internal/invariant/ ./internal/fullnode/
+echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs, netsim, p2p, faultsim, invariant, fullnode, jobqueue, farm) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/ ./internal/netsim/ ./internal/p2p/ ./internal/faultsim/ ./internal/invariant/ ./internal/fullnode/ ./internal/jobqueue/ ./internal/farm/
 
 echo "== fault-injection scenario corpus (busim -mode faults) =="
 # Runs all seeded fault scenarios end to end through the binary and
@@ -90,5 +98,91 @@ echo "$METRICS" | grep -q '^# TYPE mdp_solves_total counter$'
 echo "$METRICS" | grep -q '^# TYPE mdp_warm_solves_total counter$'
 echo "$METRICS" | grep -q '^# TYPE mdp_reparams_total counter$'
 curl -fsS "http://$ADDR/debug/vars" | grep -q '"expstore_solves_total": 1'
+
+echo "== solve-farm smoke (3 workers, one killed mid-lease) =="
+# A small Table-2-style sweep fanned out as 3 shard jobs over the same
+# coordinator, plus one deliberately long Monte-Carlo job that a
+# sacrificial worker leases on a short TTL and is killed -9 in the
+# middle of; its lease expires back into the queue and three draining
+# workers finish everything. This exercises the whole protocol through
+# real processes: enqueue, lease, heartbeat, expiry requeue,
+# completion, and the merged result.
+go build -o "$SMOKE/buworker" ./cmd/buworker
+
+cat >"$SMOKE/sweep.json" <<'EOF'
+{
+  "model": 0,
+  "config": {
+    "Alphas": [0.10, 0.15, 0.20],
+    "Ratios": [
+      {"Name": "1:1", "B": 1, "G": 1},
+      {"Name": "1:2", "B": 1, "G": 2},
+      {"Name": "2:1", "B": 2, "G": 1}
+    ],
+    "Settings": [1],
+    "AD": 3,
+    "RatioTol": 1e-4,
+    "Epsilon": 1e-8
+  },
+  "count": 3
+}
+EOF
+
+# The victim's job: ~10s of Monte-Carlo replay, so the kill below is
+# guaranteed to land while the lease is held and the job is running.
+cat >"$SMOKE/mc.json" <<'EOF'
+{"kind": "mcbatch",
+ "spec": {"params": {"Alpha": 0.25, "Beta": 0.375, "Gamma": 0.375,
+                     "AD": 3, "Setting": 1, "Model": 0},
+          "steps": 2000000, "batches": 24, "seed": 7}}
+EOF
+
+# The server indents its JSON; strip whitespace so greps can match
+# "key":value exactly.
+curl -fsS -X POST --data-binary @"$SMOKE/sweep.json" "http://$ADDR/jobs/sweep" |
+	tee "$SMOKE/enqueue.json" | tr -d ' \n\t' | grep -q '"created":3'
+curl -fsS -X POST --data-binary @"$SMOKE/mc.json" "http://$ADDR/jobs/enqueue" |
+	tr -d ' \n\t' | grep -q '"created":true'
+
+# The victim only leases the long Monte-Carlo job; the short TTL makes
+# its lease expire quickly after the kill.
+"$SMOKE/buworker" -server "http://$ADDR" -name victim -kinds mcbatch -ttl 2s -quiet &
+VICTIM_PID=$!
+sleep 1.5 # long enough to lease the job and start replaying
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+
+"$SMOKE/buworker" -server "http://$ADDR" -name w1 -drain -quiet &
+W1=$!
+"$SMOKE/buworker" -server "http://$ADDR" -name w2 -drain -quiet &
+W2=$!
+"$SMOKE/buworker" -server "http://$ADDR" -name w3 -drain -quiet &
+W3=$!
+wait "$W1" "$W2" "$W3"
+
+curl -fsS -X POST --data-binary @"$SMOKE/sweep.json" "http://$ADDR/jobs/sweep/status" |
+	tr -d ' \n\t' | grep -q '"ready":true'
+curl -fsS -X POST --data-binary @"$SMOKE/sweep.json" "http://$ADDR/jobs/sweep/result" \
+	>"$SMOKE/result.json"
+grep -q '"table":' "$SMOKE/result.json"
+tr -d ' \n\t' <"$SMOKE/result.json" | grep -q '"alpha":0.2'
+# All three shards and the Monte-Carlo job completed exactly once; the
+# killed worker's lease expired and was redelivered.
+STATS="$(curl -fsS "http://$ADDR/jobs/statsz" | tr -d ' \n\t')"
+echo "$STATS" | grep -q '"done":4'
+echo "$STATS" | grep -q '"pending":0'
+case "$STATS" in
+*'"lease_expiries":0,'*)
+	echo "expected at least one lease expiry from the killed worker" >&2
+	exit 1
+	;;
+esac
+
+echo "== buserve graceful shutdown =="
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+# The queue journal survived the shutdown with the finished jobs in it.
+grep -q '"state": *"done"' "$SMOKE/cache/jobqueue.json" ||
+	grep -q '"state":"done"' "$SMOKE/cache/jobqueue.json"
 
 echo "CI: all checks passed"
