@@ -35,8 +35,12 @@ func main() {
 		mdump      = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version    = cliflag.VersionFlag(flag.CommandLine)
 	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("bugames", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	powers, err := cliflag.ParsePowers(*powersFlag)
 	if err != nil {

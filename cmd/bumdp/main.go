@@ -73,8 +73,12 @@ func main() {
 		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version  = cliflag.VersionFlag(flag.CommandLine)
 	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("bumdp", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	store, err := expstore.Open(expstore.Config{Dir: *cacheDir})
 	if err != nil {

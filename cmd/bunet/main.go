@@ -28,8 +28,12 @@ func main() {
 	ad := flag.Int("ad", 3, "excessive acceptance depth for Bob and Carol")
 	crash := flag.Bool("crash", false, "crash bob after the attack and recover him from his chain snapshot")
 	version := cliflag.VersionFlag(flag.CommandLine)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("bunet", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	mk := func(name string, eb int64) *p2p.Node {
 		n, err := p2p.NewNode(p2p.Config{

@@ -45,8 +45,12 @@ func main() {
 	log.SetPrefix("bunode: ")
 	split := flag.Bool("split", false, "run the BU ledger-split scenario")
 	version := cliflag.VersionFlag(flag.CommandLine)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("bunode", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 	if *split {
 		runSplit()
 		return

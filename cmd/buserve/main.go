@@ -71,10 +71,16 @@ func main() {
 		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		queueJournal = flag.String("queue-journal", "", "job queue journal path (default <cache-dir>/jobqueue.json; empty with no cache dir = in-memory queue)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+		trace        = cliflag.TraceFlag(flag.CommandLine)
+		metricsDump  = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version      = cliflag.VersionFlag(flag.CommandLine)
 	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("buserve", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	store, err := expstore.Open(expstore.Config{
 		Dir:                 *cacheDir,
@@ -85,11 +91,21 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The farm trace plane: a ring sink always feeds /tracez with the
+	// recent per-job timelines; -trace additionally streams every event
+	// to a JSONL file cmd/butrace can merge with the workers' files.
+	fileTrace, closeTrace, err := cliflag.OpenTrace(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring := obs.NewRingSink(tracezWindow)
+	tracer := obs.MultiTracer(ring, fileTrace)
+
 	journal := *queueJournal
 	if journal == "" && *cacheDir != "" {
 		journal = filepath.Join(*cacheDir, "jobqueue.json")
 	}
-	queue, err := jobqueue.Open(jobqueue.Options{Journal: journal})
+	queue, err := jobqueue.Open(jobqueue.Options{Journal: journal, Tracer: tracer})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -106,7 +122,8 @@ func main() {
 		}
 	}
 
-	srv := newServer(store, queue, *workers, *par, obs.NewRegistry())
+	reg := obs.NewRegistry()
+	srv := newServer(store, queue, *workers, *par, reg, tracer, ring)
 	var handler http.Handler = srv
 	if *withPprof {
 		// pprof stays opt-in: profiling endpoints expose internals and
@@ -166,6 +183,16 @@ func main() {
 	// requests did to the queue lands on disk.
 	if err := queue.Close(); err != nil {
 		log.Printf("closing queue: %v", err)
+	}
+	// The trace sink buffers; close it so the file ends on a whole line
+	// (cmd/butrace refuses torn files).
+	if err := closeTrace(); err != nil {
+		log.Printf("closing trace: %v", err)
+	}
+	if *metricsDump {
+		if err := cliflag.DumpMetrics(reg); err != nil {
+			log.Printf("metrics dump: %v", err)
+		}
 	}
 	log.Printf("bye")
 }

@@ -18,6 +18,7 @@ import (
 	"buanalysis/internal/obs"
 	"buanalysis/internal/par"
 	"buanalysis/internal/stats"
+	"buanalysis/internal/tracetree"
 )
 
 // server is the buserve HTTP daemon: every query endpoint answers from
@@ -42,6 +43,11 @@ type server struct {
 	// store, solver, and scheduler instruments, served by /metrics and
 	// /debug/vars.
 	reg *obs.Registry
+	// tracer receives the farm's spans and queue events (the /jobs API
+	// and the queue share it); ring is the always-on recent-events
+	// window behind /tracez.
+	tracer obs.Tracer
+	ring   *obs.RingSink
 	// families are the per-endpoint metric vectors; metrics holds one
 	// child set per registered route (for /statsz).
 	families endpointFamilies
@@ -53,12 +59,18 @@ type server struct {
 // conventions (0 = auto). reg is the metrics registry to expose; nil
 // creates a private one. The store's and queue's counters and the
 // solver/scheduler package instruments are registered on it.
-func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelism int, reg *obs.Registry) *server {
+func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelism int, reg *obs.Registry, tracer obs.Tracer, ring *obs.RingSink) *server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if ring == nil {
+		ring = obs.NewRingSink(tracezWindow)
+	}
+	if tracer == nil {
+		tracer = ring
+	}
 	if queue == nil {
-		queue, _ = jobqueue.Open(jobqueue.Options{})
+		queue, _ = jobqueue.Open(jobqueue.Options{Tracer: tracer})
 	}
 	s := &server{
 		store:    store,
@@ -68,6 +80,8 @@ func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelis
 		started:  time.Now(),
 		mux:      http.NewServeMux(),
 		reg:      reg,
+		tracer:   tracer,
+		ring:     ring,
 		families: newEndpointFamilies(reg),
 		metrics:  make(map[string]*endpointMetrics),
 	}
@@ -85,9 +99,15 @@ func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelis
 	s.route("GET /solve", s.handleSolve)
 	s.route("GET /sweep", s.handleSweep)
 	s.route("GET /tables/{n}", s.handleTable)
-	s.routeTree("/jobs/", (&farm.API{Queue: queue, Store: store}).Handler())
+	s.route("GET /tracez", s.handleTracez)
+	s.route("GET /workersz", s.handleWorkersz)
+	s.routeTree("/jobs/", (&farm.API{Queue: queue, Store: store, Tracer: tracer}).Handler())
 	return s
 }
+
+// tracezWindow is how many recent trace events /tracez reconstructs
+// its timelines from.
+const tracezWindow = 2048
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -282,6 +302,49 @@ func (s *server) handleStatsz(w http.ResponseWriter, _ *http.Request) (cacheOutc
 		resp.Endpoints[pattern] = m.snapshot()
 	}
 	return outcomeNone, writeJSON(w, resp)
+}
+
+// tracezResponse is the /tracez document: the ring sink's recent trace
+// events rebuilt into per-job timelines with the critical-path
+// breakdown (the live, windowed view of what cmd/butrace computes over
+// the full JSONL files).
+type tracezResponse struct {
+	// Window is the ring capacity; Events is how many trace events it
+	// currently holds. When Events == Window the oldest timelines may be
+	// partial — the JSONL files are the complete record.
+	Window int              `json:"window"`
+	Events int              `json:"events"`
+	Report tracetree.Report `json:"report"`
+}
+
+// handleTracez serves the recent per-job timelines: the ring sink's
+// window, merged into trace trees and analyzed exactly as cmd/butrace
+// does offline. Only the coordinator-side events are visible here
+// (worker spans live in the workers' own -trace files), so the report
+// shows queue wait and store.put; butrace over the merged files shows
+// the full path.
+func (s *server) handleTracez(w http.ResponseWriter, _ *http.Request) (cacheOutcome, error) {
+	evs := s.ring.Events()
+	traced := evs[:0:0]
+	for _, e := range evs {
+		if e.TraceID != "" {
+			traced = append(traced, e)
+		}
+	}
+	resp := tracezResponse{
+		Window: tracezWindow,
+		Events: len(traced),
+		Report: tracetree.Analyze(tracetree.Build(traced)),
+	}
+	return outcomeNone, writeJSON(w, resp)
+}
+
+// handleWorkersz serves the fleet health view: every worker the queue
+// has seen, with lease/completion/failure counters and last-seen
+// staleness, so an operator can spot a dead or wedged worker without
+// reading journals.
+func (s *server) handleWorkersz(w http.ResponseWriter, _ *http.Request) (cacheOutcome, error) {
+	return outcomeNone, writeJSON(w, s.queue.Workers())
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition

@@ -26,7 +26,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := newServer(store, nil, 2, 1, nil)
+	srv := newServer(store, nil, 2, 1, nil, nil, nil)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts

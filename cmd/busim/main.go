@@ -66,8 +66,12 @@ func main() {
 		mdump   = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version = cliflag.VersionFlag(flag.CommandLine)
 	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("busim", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, sc := range faultsim.Corpus() {

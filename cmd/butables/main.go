@@ -69,8 +69,12 @@ func main() {
 		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version  = cliflag.VersionFlag(flag.CommandLine)
 	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("butables", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 	fullGrid = *full
 	jsonTables = *jsonOut
 

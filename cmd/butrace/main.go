@@ -1,0 +1,164 @@
+// Command butrace merges the JSONL trace files a distributed farm run
+// leaves behind — the coordinator's and each worker's — and
+// reconstructs the cross-process span trees: one tree per trace, one
+// trace per client operation, covering enqueue, queue wait, worker
+// execution, solve, and store materialization.
+//
+//	butrace coordinator.jsonl worker1.jsonl worker2.jsonl
+//
+// The default report is each completed job's critical-path breakdown
+// (queue wait, lease-to-start, solve, store put, other) with the
+// components summing to the job's total wall-clock, plus per-kind
+// latency attribution. -tree renders the span trees themselves; -json
+// emits the full report as JSON; -check verifies the structural
+// invariants (every completed job's path whole, no orphan spans,
+// causal stamps) and exits nonzero on violations — the mode the CI
+// farm smoke runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"buanalysis/internal/cliflag"
+	"buanalysis/internal/tracetree"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("butrace: ")
+	var (
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		tree    = flag.Bool("tree", false, "render the reconstructed span trees")
+		check   = flag.Bool("check", false, "verify trace invariants; exit 1 on violations")
+		tol     = flag.Duration("tol", 250*time.Millisecond, "clock-skew tolerance for -check causality")
+		version = cliflag.VersionFlag(flag.CommandLine)
+	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
+	flag.Parse()
+	cliflag.HandleVersion(*version)
+	if _, err := cliflag.SetupLog("butrace", *logFormat, *logLevel); err != nil {
+		log.Fatal(err)
+	}
+	if flag.NArg() == 0 {
+		log.Fatal("usage: butrace [-json|-tree|-check] trace.jsonl [trace.jsonl ...]")
+	}
+
+	events, err := tracetree.Load(flag.Args()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees := tracetree.Build(events)
+
+	if *check {
+		problems := tracetree.Check(trees, *tol)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "FAIL:", p)
+		}
+		rep := tracetree.Analyze(trees)
+		fmt.Printf("checked %d trace(s), %d span(s), %d completed job(s): %d problem(s)\n",
+			rep.Traces, rep.Spans, len(rep.Jobs), len(problems))
+		if len(problems) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *tree {
+		for _, t := range trees {
+			fmt.Printf("trace %s (%d spans)\n", t.TraceID, len(t.Spans))
+			for _, r := range t.Roots {
+				printNode(r, 1)
+			}
+			for _, o := range t.Orphans {
+				fmt.Printf("  ORPHAN (parent %s missing):\n", o.Event.ParentID)
+				printNode(o, 2)
+			}
+		}
+		return
+	}
+
+	rep := tracetree.Analyze(trees)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	printReport(rep)
+}
+
+func printNode(n *tracetree.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	subject := ""
+	if n.Event.Node != "" {
+		subject = " " + n.Event.Node
+	}
+	fmt.Printf("%s%s%s  %.2fms\n", indent, n.Name(), subject, n.Event.DurMS)
+	if len(n.Points) > 0 {
+		counts := map[string]int{}
+		for _, p := range n.Points {
+			counts[p.Kind]++
+		}
+		var kinds []string
+		for k := range counts {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, 0, len(kinds))
+		for _, k := range kinds {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, counts[k]))
+		}
+		fmt.Printf("%s  · %s\n", indent, strings.Join(parts, ", "))
+	}
+	for _, c := range n.Children {
+		printNode(c, depth+1)
+	}
+}
+
+func printReport(rep tracetree.Report) {
+	fmt.Printf("%d trace(s), %d span(s), %d point event(s), %d completed job(s)\n\n",
+		rep.Traces, rep.Spans, rep.Events, len(rep.Jobs))
+	if len(rep.Jobs) > 0 {
+		fmt.Printf("%-44s %-10s %10s %10s %10s %10s %10s %10s\n",
+			"job", "worker", "queue", "dispatch", "solve", "put", "other", "total")
+		for _, j := range rep.Jobs {
+			id := j.ID
+			if len(id) > 44 {
+				id = id[:41] + "..."
+			}
+			fmt.Printf("%-44s %-10s %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms\n",
+				id, j.Worker, j.QueueWaitMS, j.LeaseToStartMS, j.SolveMS, j.StorePutMS, j.OtherMS, j.TotalMS)
+		}
+		t := rep.Totals
+		fmt.Printf("%-44s %-10s %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms %9.1fms\n",
+			"TOTAL", "", t.QueueWaitMS, t.LeaseToStartMS, t.SolveMS, t.StorePutMS, t.OtherMS, t.TotalMS)
+		if t.TotalMS > 0 {
+			fmt.Printf("\ncritical path: queue %.1f%%, dispatch %.1f%%, solve %.1f%%, put %.1f%%, other %.1f%%\n",
+				100*t.QueueWaitMS/t.TotalMS, 100*t.LeaseToStartMS/t.TotalMS,
+				100*t.SolveMS/t.TotalMS, 100*t.StorePutMS/t.TotalMS, 100*t.OtherMS/t.TotalMS)
+		}
+	}
+	if rep.MergeMS > 0 {
+		fmt.Printf("sweep merge: %.1fms\n", rep.MergeMS)
+	}
+	if len(rep.ByKind) > 0 {
+		var kinds []string
+		for k := range rep.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Printf("\n%-24s %8s %12s %12s\n", "kind", "count", "total", "max")
+		for _, k := range kinds {
+			ks := rep.ByKind[k]
+			fmt.Printf("%-24s %8d %10.1fms %10.1fms\n", k, ks.Count, ks.TotalMS, ks.MaxMS)
+		}
+	}
+}

@@ -31,6 +31,9 @@ import (
 
 	"buanalysis/internal/cliflag"
 	"buanalysis/internal/farm"
+	"buanalysis/internal/mdp"
+	"buanalysis/internal/obs"
+	"buanalysis/internal/par"
 )
 
 func main() {
@@ -45,11 +48,18 @@ func main() {
 		poll        = flag.Duration("poll", 500*time.Millisecond, "idle sleep between lease attempts")
 		drain       = flag.Bool("drain", false, "exit once the queue is empty instead of polling forever")
 		quiet       = flag.Bool("quiet", false, "suppress per-job progress lines")
-		par         = cliflag.ParFlag(flag.CommandLine)
+		parFlag     = cliflag.ParFlag(flag.CommandLine)
+		trace       = cliflag.TraceFlag(flag.CommandLine)
+		metricsDump = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version     = cliflag.VersionFlag(flag.CommandLine)
 	)
+	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
+	slogger, err := cliflag.SetupLog("buworker", *logFormat, *logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	workerName := *name
 	if workerName == "" {
@@ -64,18 +74,37 @@ func main() {
 		}
 	}
 
+	// -trace streams this worker's spans (worker.execute, worker.solve)
+	// and the solvers' convergence events to a JSONL file that
+	// cmd/butrace merges with the coordinator's to rebuild the full
+	// cross-process trace of each job.
+	tracer, closeTrace, err := cliflag.OpenTrace(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reg *obs.Registry
+	if *metricsDump {
+		reg = obs.NewRegistry()
+		mdp.Observe(reg)
+		par.Observe(reg)
+	}
+
 	w := &farm.Worker{
 		Client:        &farm.Client{Base: *server},
 		Name:          workerName,
 		Kinds:         kindList,
 		Concurrency:   *concurrency,
-		SolverWorkers: *par,
+		SolverWorkers: *parFlag,
 		TTL:           *ttl,
 		Poll:          *poll,
 		Drain:         *drain,
+		Tracer:        tracer,
 	}
 	if !*quiet {
 		w.Logf = log.Printf
+	}
+	if *logFormat != "plain" && *logFormat != "" {
+		w.Slog = slogger
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -87,10 +116,20 @@ func main() {
 	}()
 
 	log.Printf("worker %s pulling from %s (concurrency %d)", workerName, *server, *concurrency)
-	err := w.Run(ctx)
+	runErr := w.Run(ctx)
 	executed, completed, failed, lost := w.Stats()
 	log.Printf("done: executed %d, completed %d, failed %d, lost %d", executed, completed, failed, lost)
-	if err != nil {
-		log.Fatal(err)
+	// Flush the trace file before exiting so butrace never sees a torn
+	// final line from a graceful shutdown.
+	if err := closeTrace(); err != nil {
+		log.Printf("closing trace: %v", err)
+	}
+	if reg != nil {
+		if err := cliflag.DumpMetrics(reg); err != nil {
+			log.Printf("metrics dump: %v", err)
+		}
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"buanalysis/internal/core"
 	"buanalysis/internal/expstore"
 	"buanalysis/internal/jobqueue"
+	"buanalysis/internal/obs"
 )
 
 // API is the farm's HTTP surface: the /jobs endpoints over one queue
@@ -20,6 +21,33 @@ import (
 type API struct {
 	Queue *jobqueue.Queue
 	Store *expstore.Store
+	// Tracer, if non-nil, records the coordinator's side of each job's
+	// trace: enqueue and sweep fan-out spans, the store write on first
+	// completion, and the sweep merge. Requests carrying a W3C
+	// traceparent header parent their spans under the caller's trace.
+	Tracer obs.Tracer
+}
+
+// startSpan opens a span for one request, parented on the caller's
+// traceparent header when one is present. Nil when tracing is off.
+func (a *API) startSpan(r *http.Request, name string) *obs.Span {
+	if a.Tracer == nil {
+		return nil
+	}
+	parent, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	return obs.StartSpanFrom(a.Tracer, parent, name)
+}
+
+// stampTrace records a job's position in the trace tree before it is
+// enqueued: under the coordinator's own span when tracing is on, else
+// under the caller's traceparent directly — a traced client still
+// threads its trace through an untraced coordinator.
+func stampTrace(j *jobqueue.Job, r *http.Request, span *obs.Span) {
+	sc := span.Context()
+	if !sc.Valid() {
+		sc, _ = obs.ParseTraceparent(r.Header.Get("traceparent"))
+	}
+	j.Trace, j.ParentSpan = sc.TraceID, sc.SpanID
 }
 
 // Handler returns the /jobs endpoint tree:
@@ -138,10 +166,13 @@ func (a *API) handleEnqueue(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	span := a.startSpan(r, "farm.enqueue")
+	stampTrace(&job, r, span)
 	job, created, err := a.Queue.Enqueue(job)
 	if err != nil {
 		return nil, &apiError{http.StatusInternalServerError, err}
 	}
+	span.EndDetail(job.ID)
 	return enqueueResponse{Job: job, Created: created}, nil
 }
 
@@ -177,8 +208,10 @@ func (a *API) handleSweepEnqueue(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	span := a.startSpan(r, "farm.sweep")
 	resp := SweepEnqueueResponse{Model: req.Model, Count: req.Count}
 	for _, j := range jobs {
+		stampTrace(&j, r, span)
 		j, created, err := a.Queue.Enqueue(j)
 		if err != nil {
 			return nil, &apiError{http.StatusInternalServerError, err}
@@ -188,6 +221,7 @@ func (a *API) handleSweepEnqueue(r *http.Request) (any, error) {
 		}
 		resp.IDs = append(resp.IDs, j.ID)
 	}
+	span.EndDetail(fmt.Sprintf("sweep:m%d:x%d", req.Model, req.Count))
 	return resp, nil
 }
 
@@ -271,10 +305,12 @@ func (a *API) handleSweepResult(r *http.Request) (any, error) {
 		}
 		blobs[i] = blob
 	}
+	span := a.startSpan(r, "farm.merge")
 	cells, err := expstore.MergeShardBlobs(model, req.Config, blobs)
 	if err != nil {
 		return nil, &apiError{http.StatusInternalServerError, err}
 	}
+	span.EndDetail(fmt.Sprintf("sweep:m%d:x%d", req.Model, req.Count))
 	return SweepResultResponse{
 		Record: expstore.NewSweepRecord(model, cells),
 		Table:  core.FormatTable(cells, true),
@@ -351,11 +387,29 @@ func (a *API) handleComplete(r *http.Request) (any, error) {
 		return nil, err
 	}
 	if first {
+		span := a.storeSpan(r, req.ID)
 		if err := a.Store.Put(req.ID, req.Result); err != nil {
 			return nil, &apiError{http.StatusInternalServerError, err}
 		}
+		span.EndDetail(req.ID)
 	}
 	return completeResponse{First: first}, nil
+}
+
+// storeSpan parents the materializing store write on the worker's
+// delivery span when the completion carries a traceparent, else on the
+// job's recorded trace position.
+func (a *API) storeSpan(r *http.Request, id string) *obs.Span {
+	if a.Tracer == nil {
+		return nil
+	}
+	parent, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		if j, found := a.Queue.Get(id); found {
+			parent = obs.SpanContext{TraceID: j.Trace, SpanID: j.ParentSpan}
+		}
+	}
+	return obs.StartSpanFrom(a.Tracer, parent, "store.put")
 }
 
 type failRequest struct {

@@ -2,6 +2,7 @@ package farm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"buanalysis/internal/jobqueue"
+	"buanalysis/internal/obs"
 )
 
 // Client speaks the /jobs protocol to a coordinator (cmd/buserve).
@@ -36,13 +38,23 @@ func (c *Client) url(path string) string {
 // post sends one JSON request and decodes the JSON response into out
 // (nil discards it). Protocol statuses come back as the queue's
 // sentinel errors, so callers branch on errors.Is exactly as they
-// would against a local queue.
-func (c *Client) post(cl *http.Client, path string, req, out any) error {
-	body, err := json.Marshal(req)
+// would against a local queue. A span context carried by ctx rides
+// along as a W3C traceparent header, which is the whole client side of
+// trace propagation: the coordinator parents its spans under it.
+func (c *Client) post(ctx context.Context, cl *http.Client, path string, reqBody, out any) error {
+	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return err
 	}
-	resp, err := cl.Post(c.url(path), "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if sc := obs.SpanFromContext(ctx); sc.Valid() {
+		req.Header.Set("traceparent", sc.Traceparent())
+	}
+	resp, err := cl.Do(req)
 	if err != nil {
 		return err
 	}
@@ -79,45 +91,64 @@ func (c *Client) post(cl *http.Client, path string, req, out any) error {
 // Enqueue submits one typed job; the coordinator re-derives the ID from
 // the spec. created is false when the job already existed.
 func (c *Client) Enqueue(job jobqueue.Job) (jobqueue.Job, bool, error) {
+	return c.EnqueueCtx(context.Background(), job)
+}
+
+// EnqueueCtx is Enqueue under a context; a span context installed by
+// obs.ContextWithSpan makes the enqueued job part of the caller's
+// trace.
+func (c *Client) EnqueueCtx(ctx context.Context, job jobqueue.Job) (jobqueue.Job, bool, error) {
 	var resp enqueueResponse
-	err := c.post(c.client(30*time.Second), "/jobs/enqueue",
+	err := c.post(ctx, c.client(30*time.Second), "/jobs/enqueue",
 		enqueueRequest{Kind: job.Kind, Spec: job.Spec, Priority: job.Priority}, &resp)
 	return resp.Job, resp.Created, err
 }
 
 // EnqueueSweep fans a sharded sweep out as req.Count shard jobs.
 func (c *Client) EnqueueSweep(req SweepRequest) (SweepEnqueueResponse, error) {
+	return c.EnqueueSweepCtx(context.Background(), req)
+}
+
+// EnqueueSweepCtx is EnqueueSweep under a caller trace context.
+func (c *Client) EnqueueSweepCtx(ctx context.Context, req SweepRequest) (SweepEnqueueResponse, error) {
 	var resp SweepEnqueueResponse
-	err := c.post(c.client(30*time.Second), "/jobs/sweep", req, &resp)
+	err := c.post(ctx, c.client(30*time.Second), "/jobs/sweep", req, &resp)
 	return resp, err
 }
 
 // SweepStatus reports a sweep's per-shard progress.
 func (c *Client) SweepStatus(req SweepRequest) (SweepStatusResponse, error) {
 	var resp SweepStatusResponse
-	err := c.post(c.client(30*time.Second), "/jobs/sweep/status", req, &resp)
+	err := c.post(context.Background(), c.client(30*time.Second), "/jobs/sweep/status", req, &resp)
 	return resp, err
 }
 
 // SweepResult fetches a completed sweep's merged record and table; a
 // jobqueue.ErrNotLeased-mapped conflict means shards are outstanding.
 func (c *Client) SweepResult(req SweepRequest) (SweepResultResponse, error) {
+	return c.SweepResultCtx(context.Background(), req)
+}
+
+// SweepResultCtx is SweepResult under a caller trace context — the
+// coordinator's merge span lands in the same trace as the fan-out when
+// the caller reuses the span context it enqueued under.
+func (c *Client) SweepResultCtx(ctx context.Context, req SweepRequest) (SweepResultResponse, error) {
 	var resp SweepResultResponse
-	err := c.post(c.client(2*time.Minute), "/jobs/sweep/result", req, &resp)
+	err := c.post(ctx, c.client(2*time.Minute), "/jobs/sweep/result", req, &resp)
 	return resp, err
 }
 
 // Lease pulls the next ready job (ok = false: nothing ready).
 func (c *Client) Lease(worker string, kinds []string, ttl time.Duration) (jobqueue.Job, bool, error) {
 	var resp leaseResponse
-	err := c.post(c.client(30*time.Second), "/jobs/lease",
+	err := c.post(context.Background(), c.client(30*time.Second), "/jobs/lease",
 		leaseRequest{Worker: worker, Kinds: kinds, TTLMilli: ttl.Milliseconds()}, &resp)
 	return resp.Job, resp.OK, err
 }
 
 // Heartbeat extends a held lease.
 func (c *Client) Heartbeat(id, lease string, ttl time.Duration) error {
-	return c.post(c.client(30*time.Second), "/jobs/heartbeat",
+	return c.post(context.Background(), c.client(30*time.Second), "/jobs/heartbeat",
 		heartbeatRequest{ID: id, Lease: lease, TTLMilli: ttl.Milliseconds()}, nil)
 }
 
@@ -125,21 +156,28 @@ func (c *Client) Heartbeat(id, lease string, ttl time.Duration) error {
 // delivery; jobqueue.ErrNotLeased means the lease was lost and the
 // result was discarded.
 func (c *Client) Complete(id, lease string, result []byte) (first bool, err error) {
+	return c.CompleteCtx(context.Background(), id, lease, result)
+}
+
+// CompleteCtx is Complete under a context; the worker passes its
+// execute-span context so the coordinator's store write parents under
+// the delivery.
+func (c *Client) CompleteCtx(ctx context.Context, id, lease string, result []byte) (first bool, err error) {
 	var resp completeResponse
-	err = c.post(c.client(2*time.Minute), "/jobs/complete",
+	err = c.post(ctx, c.client(2*time.Minute), "/jobs/complete",
 		completeRequest{ID: id, Lease: lease, Result: result}, &resp)
 	return resp.First, err
 }
 
 // Fail reports that the job could not be completed under this lease.
 func (c *Client) Fail(id, lease, reason string) error {
-	return c.post(c.client(30*time.Second), "/jobs/fail",
+	return c.post(context.Background(), c.client(30*time.Second), "/jobs/fail",
 		failRequest{ID: id, Lease: lease, Reason: reason}, nil)
 }
 
 // Requeue returns a dead-lettered job to the ready set.
 func (c *Client) Requeue(id string) error {
-	return c.post(c.client(30*time.Second), "/jobs/requeue", struct {
+	return c.post(context.Background(), c.client(30*time.Second), "/jobs/requeue", struct {
 		ID string `json:"id"`
 	}{id}, nil)
 }

@@ -23,6 +23,7 @@ import (
 	"buanalysis/internal/core"
 	"buanalysis/internal/expstore"
 	"buanalysis/internal/jobqueue"
+	"buanalysis/internal/obs"
 )
 
 // BUSolveSpec describes one BU attack MDP solve (kind "busolve").
@@ -209,6 +210,16 @@ func NewJob(kind string, spec json.RawMessage, priority int) (jobqueue.Job, erro
 // from its spec and must match, so a corrupted queue entry can never
 // materialize bytes under the wrong key.
 func Execute(job jobqueue.Job, workers int) ([]byte, error) {
+	return ExecuteTraced(job, workers, nil)
+}
+
+// ExecuteTraced is Execute with a tracer threaded into the solvers that
+// accept one (the BU MDP solve's convergence events, a sweep shard's
+// per-cell solves). Like workers, tr never reaches the bytes: solve
+// options and sweep configs normalize the tracer away from every store
+// key and record, so a traced artifact is byte-identical to an untraced
+// one. A nil tr is exactly Execute.
+func ExecuteTraced(job jobqueue.Job, workers int, tr obs.Tracer) ([]byte, error) {
 	rebuilt, err := NewJob(job.Kind, job.Spec, job.Priority)
 	if err != nil {
 		return nil, err
@@ -223,7 +234,7 @@ func Execute(job jobqueue.Job, workers int) ([]byte, error) {
 			return nil, err
 		}
 		return expstore.ComputeBUSolve(s.Params, bumdp.SolveOptions{
-			RatioTol: s.RatioTol, Epsilon: s.Epsilon, Parallelism: workers,
+			RatioTol: s.RatioTol, Epsilon: s.Epsilon, Parallelism: workers, Tracer: tr,
 		})
 	case expstore.KindBitcoinSolve:
 		var s BitcoinSolveSpec
@@ -238,6 +249,7 @@ func Execute(job jobqueue.Job, workers int) ([]byte, error) {
 		}
 		cfg := s.Config
 		cfg.Workers = workers
+		cfg.Tracer = tr
 		return expstore.ComputeSweepShard(bumdp.IncentiveModel(s.Model), cfg, s.Index, s.Count)
 	case expstore.KindMonteCarlo:
 		var s MonteCarloSpec

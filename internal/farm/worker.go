@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"buanalysis/internal/jobqueue"
+	"buanalysis/internal/obs"
 )
 
 // Worker is the pull-execute-complete loop of one farm worker process:
@@ -39,6 +41,15 @@ type Worker struct {
 	Drain bool
 	// Logf receives progress lines (nil: silent).
 	Logf func(format string, args ...any)
+	// Slog, if non-nil, additionally receives structured per-job
+	// records (leased, completed, failed, lost) carrying the job's
+	// trace ID, so log lines join against the JSONL trace stream.
+	Slog *slog.Logger
+	// Tracer, if non-nil, records each job's worker-side spans
+	// (worker.execute, worker.solve) and the solvers' convergence
+	// events, all parented into the trace the job carries from its
+	// enqueue. Nil keeps the execute path exactly as cheap as before.
+	Tracer obs.Tracer
 
 	executed, completed, failed, lost atomic.Int64
 }
@@ -54,6 +65,19 @@ func (w *Worker) logf(format string, args ...any) {
 	if w.Logf != nil {
 		w.Logf(format, args...)
 	}
+}
+
+// jobLog derives the structured logger of one job, correlated to its
+// trace; nil when Slog is unset.
+func (w *Worker) jobLog(job jobqueue.Job, slot string) *slog.Logger {
+	if w.Slog == nil {
+		return nil
+	}
+	l := w.Slog.With("slot", slot, "job", job.ID, "kind", job.Kind)
+	if job.Trace != "" {
+		l = l.With("trace", job.Trace)
+	}
+	return l
 }
 
 // Run pulls and executes jobs until ctx is canceled or, with Drain set,
@@ -140,6 +164,17 @@ func (w *Worker) queueDrained() bool {
 func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
 	w.executed.Add(1)
 	w.logf("worker %s: leased %s %s (attempt %d)", name, job.Kind, job.ID, job.Attempts)
+	jlog := w.jobLog(job, name)
+	if jlog != nil {
+		jlog.Info("leased", "attempt", job.Attempts)
+	}
+
+	// The execute span covers lease-to-delivery and parents on the trace
+	// position the job carried across the wire; its start minus the
+	// queue's lease stamp is the trace's lease-to-start gap.
+	exec := obs.StartSpanFrom(w.Tracer,
+		obs.SpanContext{TraceID: job.Trace, SpanID: job.ParentSpan}, "worker.execute")
+	defer exec.EndDetail(job.ID)
 
 	hbStop := make(chan struct{})
 	var hbLost atomic.Bool
@@ -166,7 +201,9 @@ func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
 		}
 	}()
 
-	blob, execErr := Execute(job, w.SolverWorkers)
+	solve := obs.StartSpanFrom(w.Tracer, exec.Context(), "worker.solve")
+	blob, execErr := ExecuteTraced(job, w.SolverWorkers, solve.Annotate(w.Tracer))
+	solve.EndDetail(job.ID)
 	close(hbStop)
 	hbWG.Wait()
 
@@ -175,17 +212,29 @@ func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
 		// it. The deterministic result is safe to drop.
 		w.lost.Add(1)
 		w.logf("worker %s: lease lost on %s, dropping result", name, job.ID)
+		if jlog != nil {
+			jlog.Warn("lease lost, result dropped")
+		}
 		return
 	}
 	if execErr != nil {
 		w.failed.Add(1)
 		w.logf("worker %s: %s failed: %v", name, job.ID, execErr)
+		if jlog != nil {
+			jlog.Error("failed", "err", execErr)
+		}
 		if err := w.Client.Fail(job.ID, job.Lease, execErr.Error()); err != nil {
 			w.logf("worker %s: reporting failure of %s: %v", name, job.ID, err)
 		}
 		return
 	}
-	first, err := w.Client.Complete(job.ID, job.Lease, blob)
+	// Deliver under the execute span's context so the coordinator's
+	// store.put parents inside this job's trace.
+	ctx := context.Background()
+	if sc := exec.Context(); sc.Valid() {
+		ctx = obs.ContextWithSpan(ctx, sc)
+	}
+	first, err := w.Client.CompleteCtx(ctx, job.ID, job.Lease, blob)
 	switch {
 	case errors.Is(err, jobqueue.ErrNotLeased):
 		w.lost.Add(1)
@@ -195,6 +244,9 @@ func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
 	default:
 		w.completed.Add(1)
 		w.logf("worker %s: completed %s (first=%v)", name, job.ID, first)
+		if jlog != nil {
+			jlog.Info("completed", "first", first)
+		}
 	}
 }
 

@@ -69,6 +69,14 @@ type Job struct {
 	Spec json.RawMessage `json:"spec,omitempty"`
 	// Priority orders the ready set: higher leases first, ties FIFO.
 	Priority int `json:"priority,omitempty"`
+	// Trace and ParentSpan carry the distributed-trace context of the
+	// enqueue that created the job: the trace ID every event of the
+	// job's lifetime is stamped with, and the span ID that queue events
+	// and the worker's execution span parent to. Both are empty when the
+	// enqueuer was not tracing, and neither affects scheduling or the
+	// job's identity.
+	Trace      string `json:"trace,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
 
 	State State `json:"state"`
 	// Attempts counts deliveries: it increments on every lease. A job
@@ -144,11 +152,12 @@ func (o Options) withDefaults() Options {
 type Queue struct {
 	opts Options
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	seq   int64 // enqueue sequence
-	token int64 // lease token sequence
-	rng   *rand.Rand
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	workers map[string]*workerInfo // fleet health, keyed by worker name
+	seq     int64                  // enqueue sequence
+	token   int64                  // lease token sequence
+	rng     *rand.Rand
 
 	enqueued, duplicates, leases, completes, dupCompletes atomic.Int64
 	heartbeats, expiries, failures, retries, deadTotal    atomic.Int64
@@ -177,6 +186,7 @@ func Open(opts Options) (*Queue, error) {
 	q := &Queue{
 		opts:    opts,
 		jobs:    make(map[string]*Job),
+		workers: make(map[string]*workerInfo),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		latency: make(map[string]*obs.Sample),
 	}
@@ -222,7 +232,7 @@ func (q *Queue) Enqueue(job Job) (Job, bool, error) {
 	j := job
 	q.jobs[job.ID] = &j
 	q.enqueued.Add(1)
-	q.emit(obs.Event{Kind: "queue.enqueue", Detail: j.Kind, Node: j.ID})
+	q.emitJob(obs.Event{Kind: "queue.enqueue", Detail: j.Kind, Node: j.ID}, &j)
 	if err := q.persistLocked(); err != nil {
 		return Job{}, false, err
 	}
@@ -263,7 +273,21 @@ func (q *Queue) Lease(worker string, kinds []string, ttl time.Duration) (Job, bo
 	best.StartedAt = now
 	best.Attempts++
 	q.leases.Add(1)
-	q.emit(obs.Event{Kind: "queue.lease", Detail: best.Kind, Node: best.ID, Miner: worker, Iter: best.Attempts})
+	q.touchWorkerLocked(worker, now, func(w *workerInfo) { w.leases++ })
+	// DurMS on the lease event is the queue wait this delivery paid:
+	// since enqueue for the first attempt, since the backoff gate opened
+	// for retries.
+	wait := now.Sub(best.EnqueuedAt)
+	if best.Attempts > 1 && !best.NotBefore.IsZero() {
+		wait = now.Sub(best.NotBefore)
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	q.emitJob(obs.Event{
+		Kind: "queue.lease", Detail: best.Kind, Node: best.ID, Miner: worker,
+		Iter: best.Attempts, DurMS: float64(wait) / float64(time.Millisecond),
+	}, best)
 	if err := q.persistLocked(); err != nil {
 		return Job{}, false, err
 	}
@@ -293,6 +317,7 @@ func (q *Queue) Heartbeat(id, lease string, ttl time.Duration) error {
 	}
 	j.LeaseExpiry = now.Add(ttl)
 	q.heartbeats.Add(1)
+	q.touchWorkerLocked(j.Worker, now, func(w *workerInfo) { w.heartbeats++ })
 	return q.persistLocked()
 }
 
@@ -325,7 +350,11 @@ func (q *Queue) Complete(id, lease string) (first bool, err error) {
 	j.LastError = ""
 	q.completes.Add(1)
 	q.observeLatency(j.Kind, now.Sub(j.StartedAt))
-	q.emit(obs.Event{Kind: "queue.complete", Detail: j.Kind, Node: j.ID, Miner: j.Worker, Iter: j.Attempts})
+	q.touchWorkerLocked(j.Worker, now, func(w *workerInfo) { w.completes++ })
+	q.emitJob(obs.Event{
+		Kind: "queue.complete", Detail: j.Kind, Node: j.ID, Miner: j.Worker,
+		Iter: j.Attempts, DurMS: float64(now.Sub(j.StartedAt)) / float64(time.Millisecond),
+	}, j)
 	return true, q.persistLocked()
 }
 
@@ -348,6 +377,7 @@ func (q *Queue) Fail(id, lease, reason string) error {
 		return ErrNotLeased
 	}
 	q.failures.Add(1)
+	q.touchWorkerLocked(j.Worker, now, func(w *workerInfo) { w.failures++ })
 	q.retireLocked(j, now, reason)
 	return q.persistLocked()
 }
@@ -391,6 +421,11 @@ func (q *Queue) expireLocked(now time.Time) int {
 	for _, j := range q.jobs {
 		if j.State == Leased && !j.LeaseExpiry.After(now) {
 			q.expiries.Add(1)
+			// The worker's record keeps its old LastSeen: an expiry is
+			// evidence of silence, not of life.
+			if w, ok := q.workers[j.Worker]; ok {
+				w.lostLeases++
+			}
 			q.retireLocked(j, now, "lease expired (worker "+j.Worker+")")
 			n++
 		}
@@ -407,13 +442,13 @@ func (q *Queue) retireLocked(j *Job, now time.Time, reason string) {
 	if j.Attempts >= j.MaxAttempts {
 		j.State = Dead
 		q.deadTotal.Add(1)
-		q.emit(obs.Event{Kind: "queue.dead", Detail: j.Kind, Node: j.ID, Iter: j.Attempts})
+		q.emitJob(obs.Event{Kind: "queue.dead", Detail: j.Kind, Node: j.ID, Iter: j.Attempts}, j)
 		return
 	}
 	j.State = Pending
 	j.NotBefore = now.Add(q.backoffLocked(j.Attempts))
 	q.retries.Add(1)
-	q.emit(obs.Event{Kind: "queue.retry", Detail: j.Kind, Node: j.ID, Iter: j.Attempts})
+	q.emitJob(obs.Event{Kind: "queue.retry", Detail: j.Kind, Node: j.ID, Iter: j.Attempts}, j)
 }
 
 // backoffLocked is the retry delay after the given number of spent
@@ -494,4 +529,18 @@ func (q *Queue) emit(e obs.Event) {
 	if q.opts.Tracer != nil {
 		q.opts.Tracer.Emit(e)
 	}
+}
+
+// emitJob emits a queue event correlated to j's distributed trace:
+// stamped with the job's trace ID, parented to the enqueuer's span,
+// and wall-clocked so cross-process merge tools can order it. All of
+// that work is skipped when tracing is off.
+func (q *Queue) emitJob(e obs.Event, j *Job) {
+	if q.opts.Tracer == nil {
+		return
+	}
+	e.TraceID = j.Trace
+	e.ParentID = j.ParentSpan
+	e.Wall = q.opts.Now().UnixNano()
+	q.opts.Tracer.Emit(e)
 }

@@ -1,0 +1,186 @@
+package jobqueue
+
+import (
+	"testing"
+	"time"
+
+	"buanalysis/internal/obs"
+)
+
+// fakeClock is the deterministic clock the queue tests drive.
+type traceClock struct{ now time.Time }
+
+func (c *traceClock) Now() time.Time          { return c.now }
+func (c *traceClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newTraceClock() *traceClock              { return &traceClock{now: time.Unix(1_700_000_000, 0)} }
+
+func TestQueueEventsCarryTraceContext(t *testing.T) {
+	clock := newTraceClock()
+	ring := obs.NewRingSink(32)
+	q, err := Open(Options{Now: clock.Now, Tracer: ring, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{ID: "busolve:abc", Kind: "busolve", Trace: "t1", ParentSpan: "s1"}
+	if _, _, err := q.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(250 * time.Millisecond)
+	leased, ok, err := q.Lease("w0", nil, time.Minute)
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	if leased.Trace != "t1" || leased.ParentSpan != "s1" {
+		t.Fatalf("leased job lost trace context: %+v", leased)
+	}
+	clock.advance(400 * time.Millisecond)
+	if _, err := q.Complete(leased.ID, leased.Lease); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3 (enqueue, lease, complete)", len(evs))
+	}
+	kinds := []string{"queue.enqueue", "queue.lease", "queue.complete"}
+	for i, ev := range evs {
+		if ev.Kind != kinds[i] {
+			t.Errorf("event %d kind %s, want %s", i, ev.Kind, kinds[i])
+		}
+		if ev.TraceID != "t1" || ev.ParentID != "s1" {
+			t.Errorf("%s not stamped: trace=%q parent=%q", ev.Kind, ev.TraceID, ev.ParentID)
+		}
+		if ev.Wall == 0 {
+			t.Errorf("%s missing wall stamp", ev.Kind)
+		}
+	}
+	// The lease event's duration is the queue wait; the complete event's
+	// is the execution time.
+	if got := evs[1].DurMS; got != 250 {
+		t.Errorf("queue wait %vms, want 250", got)
+	}
+	if got := evs[2].DurMS; got != 400 {
+		t.Errorf("execution %vms, want 400", got)
+	}
+	// Wall stamps are causal under the injected clock.
+	if !(evs[0].Wall < evs[1].Wall && evs[1].Wall < evs[2].Wall) {
+		t.Errorf("wall stamps not increasing: %d %d %d", evs[0].Wall, evs[1].Wall, evs[2].Wall)
+	}
+}
+
+func TestQueueRetryWaitMeasuresBackoffGate(t *testing.T) {
+	clock := newTraceClock()
+	ring := obs.NewRingSink(32)
+	q, err := Open(Options{
+		Now: clock.Now, Tracer: ring, Seed: 1,
+		BackoffBase: time.Second, BackoffCap: time.Second, MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Enqueue(Job{ID: "j", Kind: "k", Trace: "t2"}); err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := q.Lease("w", nil, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Fail(j.ID, j.Lease, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get("j")
+	// Advance past the backoff gate and lease again: the wait reported
+	// is measured from the gate, not from the original enqueue.
+	clock.advance(got.NotBefore.Sub(clock.Now()) + 100*time.Millisecond)
+	if _, ok, err := q.Lease("w", nil, time.Minute); err != nil || !ok {
+		t.Fatalf("re-lease: ok=%v err=%v", ok, err)
+	}
+	var second *obs.Event
+	for i, ev := range ring.Events() {
+		if ev.Kind == "queue.lease" && ev.Iter == 2 {
+			second = &ring.Events()[i]
+		}
+	}
+	if second == nil {
+		t.Fatal("no second lease event")
+	}
+	if second.DurMS != 100 {
+		t.Errorf("retry wait %vms, want 100 (since backoff gate)", second.DurMS)
+	}
+}
+
+func TestWorkersSnapshot(t *testing.T) {
+	clock := newTraceClock()
+	q, err := Open(Options{Now: clock.Now, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if _, _, err := q.Enqueue(Job{ID: id, Kind: "k"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j1, _, _ := q.Lease("w1", nil, time.Minute)
+	j2, _, _ := q.Lease("w2", nil, 2*time.Second)
+	if _, _, err := q.Lease("w1", nil, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(500 * time.Millisecond)
+	if err := q.Heartbeat(j1.ID, j1.Lease, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Complete(j1.ID, j1.Lease); err != nil {
+		t.Fatal(err)
+	}
+	// w2 goes silent; its lease expires.
+	clock.advance(5 * time.Second)
+	q.ExpireLeases()
+	_ = j2
+
+	ws := q.Workers()
+	if len(ws) != 2 {
+		t.Fatalf("got %d workers, want 2: %+v", len(ws), ws)
+	}
+	w1, w2 := ws[0], ws[1]
+	if w1.Name != "w1" || w2.Name != "w2" {
+		t.Fatalf("order: %s %s", w1.Name, w2.Name)
+	}
+	if w1.Leases != 2 || w1.Heartbeats != 1 || w1.Completes != 1 {
+		t.Errorf("w1 counters: %+v", w1)
+	}
+	if w1.ActiveLeases != 1 {
+		t.Errorf("w1 active %d, want 1 (one completed, one held)", w1.ActiveLeases)
+	}
+	if w2.LostLeases != 1 || w2.ActiveLeases != 0 {
+		t.Errorf("w2 lost=%d active=%d, want 1/0", w2.LostLeases, w2.ActiveLeases)
+	}
+	if w2.SeenAgoMS < 5000 {
+		t.Errorf("w2 seen %vms ago, want >= 5500", w2.SeenAgoMS)
+	}
+	if w1.SeenAgoMS != 5000 {
+		t.Errorf("w1 seen %vms ago, want 5000", w1.SeenAgoMS)
+	}
+}
+
+func TestTraceContextSurvivesJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/q.json"
+	q, err := Open(Options{Journal: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Enqueue(Job{ID: "j", Kind: "k", Trace: "tr", ParentSpan: "ps"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Open(Options{Journal: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := q2.Get("j")
+	if !ok || j.Trace != "tr" || j.ParentSpan != "ps" {
+		t.Fatalf("resumed job lost trace context: %+v ok=%v", j, ok)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"testing"
@@ -77,6 +78,30 @@ func BenchmarkRingSinkEmit(b *testing.B) {
 	}
 }
 
+func BenchmarkSpanDisabled(b *testing.B) {
+	// The tracing-off span path: StartSpan with a nil tracer must return
+	// the context untouched and a nil span, and the nil span's End must
+	// be free — the farm hot paths carry these hooks unconditionally.
+	b.ReportAllocs()
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		c, sp := StartSpan(ctx, nil, "hot")
+		sp.End()
+		_ = c
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
+	ring := NewRingSink(1024)
+	for i := 0; i < b.N; i++ {
+		c, sp := StartSpan(ctx, ring, "hot")
+		sp.End()
+		_ = c
+	}
+}
+
 // TestBenchEmit runs the benchmarks and writes a machine-readable
 // summary when OBS_BENCH_OUT is set (scripts/bench.sh sets it to
 // BENCH_obs.json). It also enforces the zero-alloc acceptance claim on
@@ -111,9 +136,14 @@ func TestBenchEmit(t *testing.T) {
 	counter := run("counter_add", BenchmarkCounterAdd)
 	hist := run("histogram_observe", BenchmarkHistogramObserve)
 	ring := run("ring_sink_emit", BenchmarkRingSinkEmit)
+	spanOff := run("span_disabled", BenchmarkSpanDisabled)
+	spanOn := run("span_enabled", BenchmarkSpanEnabled)
 
 	if disabled.AllocsPerOp != 0 {
 		t.Errorf("disabled hooks allocate %d/op, want 0", disabled.AllocsPerOp)
+	}
+	if spanOff.AllocsPerOp != 0 {
+		t.Errorf("disabled span path allocates %d/op, want 0", spanOff.AllocsPerOp)
 	}
 	if hist.AllocsPerOp != 0 {
 		t.Errorf("histogram observe allocates %d/op, want 0", hist.AllocsPerOp)
@@ -124,7 +154,7 @@ func TestBenchEmit(t *testing.T) {
 
 	report := map[string]any{
 		"suite":                         "obs",
-		"rows":                          []row{disabled, bare, counter, hist, ring},
+		"rows":                          []row{disabled, bare, counter, hist, ring, spanOff, spanOn},
 		"disabled_overhead_ns_per_hook": (disabled.NsPerOp - bare.NsPerOp) / 64,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")

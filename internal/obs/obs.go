@@ -25,12 +25,38 @@ type Event struct {
 	// "sim.fork", "sim.reorg", "sim.accept", "sim.reject", "sim.drop",
 	// "sim.partition", "sim.heal", "sim.crash", "sim.restart",
 	// "mc.split", "mc.resolve", "mc.done", "game.round",
-	// "game.equilibrium".
+	// "game.equilibrium", "span" (a finished span, see span.go), and the
+	// queue/farm kinds ("queue.enqueue", "queue.lease", ...).
 	Kind string `json:"kind"`
 	// T is the emitter's domain clock: the simulation time for
 	// simulator events, unused (zero) for solver events, whose natural
 	// clock is Iter.
 	T float64 `json:"t,omitempty"`
+
+	// --- distributed-trace correlation fields ---
+	//
+	// Every field is zero (and omitted from the JSON encoding) when
+	// tracing is off, so instrumented streams are bit-identical to their
+	// pre-span form unless a span context is actually in play.
+
+	// TraceID groups every event of one logical operation — a job's
+	// enqueue, its queue wait, its worker execution, its solve — across
+	// processes. 32 lowercase hex characters (W3C trace-context format).
+	TraceID string `json:"trace,omitempty"`
+	// SpanID identifies a "span" event (one timed operation). 16
+	// lowercase hex characters. Point events carry no SpanID of their
+	// own; they attach to their enclosing span through ParentID.
+	SpanID string `json:"span,omitempty"`
+	// ParentID is the SpanID of the enclosing span: the parent span for
+	// "span" events, the span an annotated point event was emitted
+	// under.
+	ParentID string `json:"parent,omitempty"`
+	// Wall is the wall-clock stamp in Unix nanoseconds — the start time
+	// for "span" events, the emit time for annotated point events. Only
+	// traced events carry it; domain clocks (T, Iter) are untouched.
+	Wall int64 `json:"wall,omitempty"`
+	// DurMS is a "span" event's duration in milliseconds.
+	DurMS float64 `json:"dur_ms,omitempty"`
 
 	// --- solver convergence fields ---
 

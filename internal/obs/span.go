@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Span context: the distributed-tracing half of the event layer. A
+// SpanContext names a position in one logical operation's tree —
+// which trace, which span — and rides across process boundaries as a
+// W3C traceparent header (HTTP) or as the Trace/ParentSpan fields of a
+// queued job. Spans emit themselves as ordinary events (Kind "span")
+// through whatever Tracer the process writes its JSONL stream with, so
+// cmd/butrace can merge coordinator and worker files and rebuild the
+// tree from nothing but the shared Event schema.
+//
+// The design keeps the repository's disabled-cost contract: StartSpan
+// with a nil Tracer returns the context untouched and a nil *Span, and
+// every *Span method is nil-safe, so an untraced run allocates nothing
+// and emits nothing.
+
+// SpanContext identifies one span within one trace.
+type SpanContext struct {
+	// TraceID is 32 lowercase hex characters (16 random bytes).
+	TraceID string
+	// SpanID is 16 lowercase hex characters (8 random bytes).
+	SpanID string
+}
+
+// Valid reports whether both IDs are present.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// Traceparent renders the context in the W3C trace-context header
+// format ("00-<trace>-<span>-01"); empty when the context is invalid.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. It accepts
+// any version byte and ignores the flags; a malformed value yields the
+// zero context (ok = false), never an error — trace propagation must
+// not break a request.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	if !isLowerHex(parts[1]) || !isLowerHex(parts[2]) {
+		return SpanContext{}, false
+	}
+	// The all-zero trace and span IDs are explicitly invalid in the spec.
+	if parts[1] == strings.Repeat("0", 32) || parts[2] == strings.Repeat("0", 16) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: parts[1], SpanID: parts[2]}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// idCounter disambiguates IDs when the random source is exhausted or
+// fails (never expected; crypto/rand panics are avoided regardless).
+var idCounter atomic.Uint64
+
+func randomHex(n int) string {
+	buf := make([]byte, n)
+	if _, err := rand.Read(buf); err != nil {
+		// Fall back to a process-local counter mixed with the clock:
+		// uniqueness within a farm run is what the IDs exist for.
+		binary.BigEndian.PutUint64(buf[:8], uint64(time.Now().UnixNano())^idCounter.Add(1))
+	}
+	return hex.EncodeToString(buf)
+}
+
+// NewTraceID returns a fresh random 32-hex-character trace ID.
+func NewTraceID() string { return randomHex(16) }
+
+// NewSpanID returns a fresh random 16-hex-character span ID.
+func NewSpanID() string { return randomHex(8) }
+
+// spanCtxKey keys the active SpanContext in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sc as the active span context.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanFromContext returns the active span context, or the zero value
+// when ctx carries none.
+func SpanFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// Span is one in-flight timed operation. It is created by StartSpan
+// (or StartSpanFrom) and emits a single Kind "span" event on End. All
+// methods are nil-safe: the disabled path hands out nil *Span values.
+type Span struct {
+	tracer Tracer
+	name   string
+	sc     SpanContext
+	parent string
+	start  time.Time
+}
+
+// StartSpan begins a span named name as a child of the span context in
+// ctx (or as a new trace root when ctx carries none) and returns ctx
+// with the new span installed. A nil tracer disables the span entirely:
+// ctx is returned untouched and the *Span is nil — zero allocations, no
+// event on End.
+func StartSpan(ctx context.Context, tr Tracer, name string) (context.Context, *Span) {
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := newSpan(tr, SpanFromContext(ctx), name)
+	return ContextWithSpan(ctx, sp.sc), sp
+}
+
+// StartSpanFrom begins a span as a child of an explicit parent context
+// — the form used where the parent arrives out of band (a queued job's
+// Trace/ParentSpan fields rather than a context.Context). An invalid
+// parent starts a new trace root. A nil tracer returns nil.
+func StartSpanFrom(tr Tracer, parent SpanContext, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	return newSpan(tr, parent, name)
+}
+
+func newSpan(tr Tracer, parent SpanContext, name string) *Span {
+	sp := &Span{tracer: tr, name: name, start: time.Now()}
+	if parent.TraceID != "" {
+		sp.sc.TraceID = parent.TraceID
+		sp.parent = parent.SpanID
+	} else {
+		sp.sc.TraceID = NewTraceID()
+	}
+	sp.sc.SpanID = NewSpanID()
+	return sp
+}
+
+// Context returns the span's own context (what children parent to);
+// zero for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// End emits the span's Kind "span" event: name in Detail, start wall
+// time, duration, and the trace/span/parent IDs. End on a nil span
+// does nothing. detail, when non-empty, lands in the event's Node
+// field (the job or artifact the span worked on).
+func (s *Span) End() { s.EndDetail("") }
+
+// EndDetail is End with the span's subject (a job ID, a worker name)
+// recorded in the event's Node field.
+func (s *Span) EndDetail(subject string) {
+	if s == nil {
+		return
+	}
+	s.tracer.Emit(Event{
+		Kind:     "span",
+		Detail:   s.name,
+		Node:     subject,
+		TraceID:  s.sc.TraceID,
+		SpanID:   s.sc.SpanID,
+		ParentID: s.parent,
+		Wall:     s.start.UnixNano(),
+		DurMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+// Annotate wraps t so every event emitted through the wrapper carries
+// the span's trace ID, parents to the span, and is wall-stamped —
+// the bridge that attaches an existing point-event stream (solver
+// convergence, queue activity) to the span tree without touching the
+// emitters. A nil span or nil tracer passes t through unchanged, so
+// the untraced path keeps its exact cost.
+func (s *Span) Annotate(t Tracer) Tracer {
+	if s == nil || t == nil {
+		return t
+	}
+	sc, parent := s.sc, s.sc.SpanID
+	return TracerFunc(func(e Event) {
+		if e.TraceID == "" {
+			e.TraceID = sc.TraceID
+		}
+		if e.ParentID == "" {
+			e.ParentID = parent
+		}
+		if e.Wall == 0 {
+			e.Wall = time.Now().UnixNano()
+		}
+		t.Emit(e)
+	})
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	if len(sc.TraceID) != 32 || len(sc.SpanID) != 16 {
+		t.Fatalf("bad ID lengths: trace %q span %q", sc.TraceID, sc.SpanID)
+	}
+	hdr := sc.Traceparent()
+	if !strings.HasPrefix(hdr, "00-") || !strings.HasSuffix(hdr, "-01") {
+		t.Fatalf("bad traceparent %q", hdr)
+	}
+	got, ok := ParseTraceparent(hdr)
+	if !ok || got != sc {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, sc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-short-abcdef0123456789-01",
+		"00-" + strings.Repeat("0", 32) + "-abcdef0123456789-01",                // zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span id
+		"00-" + strings.Repeat("A", 32) + "-abcdef0123456789-01",                // uppercase hex
+		"00-" + strings.Repeat("g", 32) + "-abcdef0123456789-01",                // non-hex
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) = %+v, want reject", s, sc)
+		}
+	}
+	// Unknown version bytes and trailing fields still parse (forward
+	// compatibility).
+	sc := SpanContext{TraceID: strings.Repeat("ab", 16), SpanID: strings.Repeat("cd", 8)}
+	if got, ok := ParseTraceparent("ff-" + sc.TraceID + "-" + sc.SpanID + "-01-extra"); !ok || got != sc {
+		t.Errorf("future-version traceparent rejected: %+v ok=%v", got, ok)
+	}
+}
+
+func TestStartSpanDisabledIsFree(t *testing.T) {
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, nil, "anything")
+	if got != ctx {
+		t.Error("StartSpan with nil tracer must return the context untouched")
+	}
+	if sp != nil {
+		t.Error("StartSpan with nil tracer must return a nil span")
+	}
+	// The whole nil-span API must be inert.
+	sp.End()
+	sp.EndDetail("x")
+	if sc := sp.Context(); sc.Valid() {
+		t.Errorf("nil span has context %+v", sc)
+	}
+	if tr := sp.Annotate(nil); tr != nil {
+		t.Error("nil.Annotate(nil) must stay nil")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c, s := StartSpan(ctx, nil, "hot")
+		s.End()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Errorf("disabled StartSpan allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	ring := NewRingSink(16)
+	ctx, root := StartSpan(context.Background(), ring, "root")
+	rootSC := root.Context()
+	if !rootSC.Valid() {
+		t.Fatal("root span has no context")
+	}
+	if got := SpanFromContext(ctx); got != rootSC {
+		t.Fatalf("context carries %+v, want %+v", got, rootSC)
+	}
+	_, child := StartSpan(ctx, ring, "child")
+	childSC := child.Context()
+	if childSC.TraceID != rootSC.TraceID {
+		t.Errorf("child trace %s, want %s", childSC.TraceID, rootSC.TraceID)
+	}
+	if childSC.SpanID == rootSC.SpanID {
+		t.Error("child reused the parent span ID")
+	}
+	child.EndDetail("job-1")
+	root.End()
+
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	c, r := evs[0], evs[1]
+	if c.Kind != "span" || c.Detail != "child" || c.Node != "job-1" {
+		t.Errorf("child event %+v", c)
+	}
+	if c.ParentID != rootSC.SpanID || c.TraceID != rootSC.TraceID {
+		t.Errorf("child parent %s trace %s, want %s / %s", c.ParentID, c.TraceID, rootSC.SpanID, rootSC.TraceID)
+	}
+	if r.ParentID != "" {
+		t.Errorf("root has parent %s", r.ParentID)
+	}
+	if c.Wall == 0 || r.Wall == 0 || c.Wall < r.Wall {
+		t.Errorf("wall stamps not causal: root %d child %d", r.Wall, c.Wall)
+	}
+	if c.DurMS < 0 {
+		t.Errorf("negative duration %f", c.DurMS)
+	}
+}
+
+func TestStartSpanFrom(t *testing.T) {
+	ring := NewRingSink(4)
+	parent := SpanContext{TraceID: NewTraceID(), SpanID: NewSpanID()}
+	sp := StartSpanFrom(ring, parent, "worker.execute")
+	if sp.Context().TraceID != parent.TraceID {
+		t.Errorf("trace %s, want inherited %s", sp.Context().TraceID, parent.TraceID)
+	}
+	sp.End()
+	if ev := ring.Events()[0]; ev.ParentID != parent.SpanID {
+		t.Errorf("parent %s, want %s", ev.ParentID, parent.SpanID)
+	}
+	if sp := StartSpanFrom(nil, parent, "x"); sp != nil {
+		t.Error("nil tracer must yield nil span")
+	}
+	// An invalid parent starts a fresh root trace.
+	root := StartSpanFrom(ring, SpanContext{}, "root")
+	if !root.Context().Valid() {
+		t.Error("root span did not mint IDs")
+	}
+	root.End()
+	if ev := ring.Events()[1]; ev.ParentID != "" {
+		t.Errorf("fresh root has parent %q", ev.ParentID)
+	}
+}
+
+func TestAnnotateStampsEvents(t *testing.T) {
+	ring := NewRingSink(8)
+	_, sp := StartSpan(context.Background(), ring, "solve")
+	tr := sp.Annotate(ring)
+	before := time.Now().UnixNano()
+	tr.Emit(Event{Kind: "solver.iter", Iter: 3, Residual: 0.5})
+	// Pre-stamped fields must not be overwritten.
+	tr.Emit(Event{Kind: "queue.lease", TraceID: "aaaa", ParentID: "bbbb", Wall: 42})
+	sp.End()
+
+	evs := ring.Events()
+	iter := evs[0]
+	if iter.TraceID != sp.Context().TraceID || iter.ParentID != sp.Context().SpanID {
+		t.Errorf("annotated event not stamped: %+v", iter)
+	}
+	if iter.Wall < before {
+		t.Errorf("annotated event wall %d predates emit", iter.Wall)
+	}
+	if iter.Iter != 3 || iter.Residual != 0.5 {
+		t.Errorf("payload mangled: %+v", iter)
+	}
+	pre := evs[1]
+	if pre.TraceID != "aaaa" || pre.ParentID != "bbbb" || pre.Wall != 42 {
+		t.Errorf("pre-stamped fields overwritten: %+v", pre)
+	}
+	// Annotate must be pass-through when disabled in either direction.
+	if got := sp.Annotate(nil); got != nil {
+		t.Error("Annotate(nil) must stay nil")
+	}
+	var nilSpan *Span
+	if got := nilSpan.Annotate(ring); got != Tracer(ring) {
+		t.Error("nil span Annotate must return the tracer unchanged")
+	}
+}
+
+func TestSpanIDsUnique(t *testing.T) {
+	seen := make(map[string]bool, 2048)
+	for i := 0; i < 1024; i++ {
+		id := NewSpanID()
+		if seen[id] {
+			t.Fatalf("duplicate span ID %s", id)
+		}
+		seen[id] = true
+		tid := NewTraceID()
+		if seen[tid] {
+			t.Fatalf("duplicate trace ID %s", tid)
+		}
+		seen[tid] = true
+	}
+}

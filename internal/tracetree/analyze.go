@@ -1,0 +1,282 @@
+package tracetree
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"buanalysis/internal/obs"
+)
+
+// JobPath is one completed job's critical-path breakdown. The five
+// duration components partition the job's total wall-clock — enqueue
+// acceptance to stored artifact — so they sum to TotalMS (OtherMS is
+// defined as the remainder: lease/delivery HTTP overhead, execute
+// bookkeeping, clock skew between processes).
+type JobPath struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	TraceID string `json:"trace"`
+	Worker  string `json:"worker,omitempty"`
+	// QueueWaitMS is enqueue (or, on retries, the backoff gate) to
+	// lease — the queue's own measurement on its lease event.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// LeaseToStartMS is the lease grant to the worker.execute span's
+	// start: the grant's HTTP return trip plus the worker's dispatch.
+	LeaseToStartMS float64 `json:"lease_to_start_ms"`
+	// SolveMS is the worker.solve span: the actual solver work.
+	SolveMS float64 `json:"solve_ms"`
+	// StorePutMS is the coordinator's store.put span: materializing the
+	// first completion into the experiment store.
+	StorePutMS float64 `json:"store_put_ms"`
+	// OtherMS is TotalMS minus the four components above.
+	OtherMS float64 `json:"other_ms"`
+	// TotalMS spans queue.enqueue to the stored artifact (the store.put
+	// span's end; the queue.complete stamp when no store write was
+	// traced).
+	TotalMS float64 `json:"total_ms"`
+}
+
+// KindStats aggregates latency attribution for one event kind (span
+// names are keyed "span:<name>").
+type KindStats struct {
+	Count   int     `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+// Report is Analyze's output: per-job critical paths plus per-kind
+// latency attribution across every trace.
+type Report struct {
+	Traces int       `json:"traces"`
+	Spans  int       `json:"spans"`
+	Events int       `json:"events"`
+	Jobs   []JobPath `json:"jobs"`
+	// Totals sums the per-job components (its ID is "total").
+	Totals JobPath `json:"totals"`
+	// ByKind attributes duration to each span name and counts every
+	// point-event kind.
+	ByKind map[string]KindStats `json:"by_kind"`
+	// MergeMS is the summed farm.merge span time (per sweep, not per
+	// job, so it sits outside the job paths).
+	MergeMS float64 `json:"merge_ms,omitempty"`
+}
+
+// jobTrace is the raw material of one job's path, harvested per trace.
+type jobTrace struct {
+	kind, worker                 string
+	enqueueWall, leaseWall       int64
+	queueWaitMS                  float64
+	execWall                     int64
+	solveMS                      float64
+	putWall                      int64
+	putMS                        float64
+	completeWall                 int64
+	sawEnqueue, sawLease, sawPut bool
+	sawExec, sawComplete         bool
+}
+
+// harvest walks one tree and indexes the per-job signals by job ID.
+func harvest(t *Tree) map[string]*jobTrace {
+	jobs := map[string]*jobTrace{}
+	get := func(id string) *jobTrace {
+		if id == "" {
+			return nil
+		}
+		j, ok := jobs[id]
+		if !ok {
+			j = &jobTrace{}
+			jobs[id] = j
+		}
+		return j
+	}
+	point := func(e obs.Event) {
+		j := get(e.Node)
+		if j == nil {
+			return
+		}
+		switch e.Kind {
+		case "queue.enqueue":
+			j.sawEnqueue, j.enqueueWall, j.kind = true, e.Wall, e.Detail
+		case "queue.lease":
+			// Retries overwrite: the path reflects the delivering lease.
+			j.sawLease, j.leaseWall, j.queueWaitMS = true, e.Wall, e.DurMS
+			j.worker = e.Miner
+		case "queue.complete":
+			j.sawComplete, j.completeWall = true, e.Wall
+		}
+	}
+	for _, n := range t.Spans {
+		e := n.Event
+		j := get(e.Node)
+		if j == nil {
+			continue
+		}
+		switch e.Detail {
+		case SpanExecute:
+			j.sawExec, j.execWall = true, e.Wall
+		case SpanSolve:
+			j.solveMS = e.DurMS
+		case SpanPut:
+			j.sawPut, j.putWall, j.putMS = true, e.Wall, e.DurMS
+		}
+		for _, p := range n.Points {
+			point(p)
+		}
+	}
+	for _, p := range t.LoosePoints {
+		point(p)
+	}
+	return jobs
+}
+
+// Analyze reconstructs the critical path of every completed job (one
+// with a queue.complete event) across the trees.
+func Analyze(trees []*Tree) Report {
+	rep := Report{Traces: len(trees), ByKind: map[string]KindStats{}}
+	observe := func(key string, durMS float64) {
+		ks := rep.ByKind[key]
+		ks.Count++
+		ks.TotalMS += durMS
+		if durMS > ks.MaxMS {
+			ks.MaxMS = durMS
+		}
+		rep.ByKind[key] = ks
+	}
+	for _, t := range trees {
+		for _, n := range t.Spans {
+			rep.Spans++
+			observe("span:"+n.Event.Detail, n.Event.DurMS)
+			if n.Event.Detail == SpanMerge {
+				rep.MergeMS += n.Event.DurMS
+			}
+			rep.Events += len(n.Points)
+			for _, p := range n.Points {
+				observe(p.Kind, p.DurMS)
+			}
+		}
+		rep.Events += len(t.LoosePoints)
+		for _, p := range t.LoosePoints {
+			observe(p.Kind, p.DurMS)
+		}
+
+		jobs := harvest(t)
+		var ids []string
+		for id, j := range jobs {
+			if j.sawComplete && j.sawEnqueue {
+				ids = append(ids, id)
+			}
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			j := jobs[id]
+			p := JobPath{
+				ID: id, Kind: j.kind, TraceID: t.TraceID, Worker: j.worker,
+				QueueWaitMS: j.queueWaitMS, SolveMS: j.solveMS, StorePutMS: j.putMS,
+			}
+			endWall := j.completeWall
+			if j.sawPut {
+				endWall = j.putWall + int64(j.putMS*float64(time.Millisecond))
+			}
+			p.TotalMS = float64(endWall-j.enqueueWall) / float64(time.Millisecond)
+			if j.sawExec && j.sawLease {
+				p.LeaseToStartMS = float64(j.execWall-j.leaseWall) / float64(time.Millisecond)
+			}
+			p.OtherMS = p.TotalMS - p.QueueWaitMS - p.LeaseToStartMS - p.SolveMS - p.StorePutMS
+			rep.Jobs = append(rep.Jobs, p)
+		}
+	}
+	rep.Totals = JobPath{ID: "total"}
+	for _, p := range rep.Jobs {
+		rep.Totals.QueueWaitMS += p.QueueWaitMS
+		rep.Totals.LeaseToStartMS += p.LeaseToStartMS
+		rep.Totals.SolveMS += p.SolveMS
+		rep.Totals.StorePutMS += p.StorePutMS
+		rep.Totals.OtherMS += p.OtherMS
+		rep.Totals.TotalMS += p.TotalMS
+	}
+	return rep
+}
+
+// Check verifies the structural invariants the CI smoke asserts over a
+// traced farm run and returns one message per violation:
+//
+//   - every trace is rooted: no orphan spans (a span whose parent is
+//     referenced but missing and is not the single external root);
+//   - every completed job's path is whole: queue.enqueue, queue.lease,
+//     worker.execute and worker.solve spans, and queue.complete all
+//     present in its trace;
+//   - stamps are causal within tol: enqueue ≤ lease ≤ execute start ≤
+//     complete, and no child span starts before its parent (processes
+//     stamp with their own clocks, so tol absorbs skew).
+func Check(trees []*Tree, tol time.Duration) []string {
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	slack := int64(tol)
+	for _, t := range trees {
+		short := t.TraceID
+		if len(short) > 8 {
+			short = short[:8]
+		}
+		for _, o := range t.Orphans {
+			bad("trace %s: orphan span %s (%s) parented on missing span %q",
+				short, o.Event.SpanID, o.Event.Detail, o.Event.ParentID)
+		}
+		if len(t.Roots) == 0 && len(t.Spans) > 0 {
+			bad("trace %s: no root span among %d spans", short, len(t.Spans))
+		}
+		var walk func(parent *Node, n *Node)
+		walk = func(parent *Node, n *Node) {
+			if parent != nil && n.Event.Wall+slack < parent.Event.Wall {
+				bad("trace %s: span %s (%s) starts before its parent %s",
+					short, n.Event.SpanID, n.Event.Detail, parent.Event.Detail)
+			}
+			for _, c := range n.Children {
+				walk(n, c)
+			}
+		}
+		for _, r := range t.Roots {
+			walk(nil, r)
+		}
+
+		jobs := harvest(t)
+		var ids []string
+		for id := range jobs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			j := jobs[id]
+			if !j.sawComplete {
+				continue
+			}
+			switch {
+			case !j.sawEnqueue:
+				bad("trace %s: job %s completed without a queue.enqueue event", short, id)
+			case !j.sawLease:
+				bad("trace %s: job %s completed without a queue.lease event", short, id)
+			case !j.sawExec:
+				bad("trace %s: job %s completed without a worker.execute span", short, id)
+			case j.solveMS == 0 && !j.sawPut:
+				bad("trace %s: job %s completed without a worker.solve span", short, id)
+			}
+			ordered := [][2]int64{
+				{j.enqueueWall, j.leaseWall},
+				{j.leaseWall, j.execWall},
+				{j.execWall, j.completeWall},
+			}
+			names := []string{"enqueue/lease", "lease/execute", "execute/complete"}
+			for i, pair := range ordered {
+				if pair[0] == 0 || pair[1] == 0 {
+					continue
+				}
+				if pair[1]+slack < pair[0] {
+					bad("trace %s: job %s stamps not causal (%s)", short, id, names[i])
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -1,0 +1,187 @@
+// Package tracetree reconstructs distributed traces from the JSONL
+// event streams the farm's processes write independently. The
+// coordinator (cmd/buserve) and each worker (cmd/buworker) trace into
+// their own files; the events share nothing but the obs.Event schema
+// and the trace/span IDs that rode the wire. Merging the files,
+// grouping by trace ID, and linking parent edges rebuilds each job's
+// end-to-end story — enqueue, queue wait, lease, solve, delivery,
+// store write — which is what cmd/butrace renders and what the CI
+// smoke asserts completeness over.
+package tracetree
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"buanalysis/internal/obs"
+)
+
+// Span names the farm emits; Analyze keys its critical path on them.
+const (
+	SpanEnqueue = "farm.enqueue"
+	SpanSweep   = "farm.sweep"
+	SpanMerge   = "farm.merge"
+	SpanExecute = "worker.execute"
+	SpanSolve   = "worker.solve"
+	SpanPut     = "store.put"
+)
+
+// Load reads JSONL event files (one obs.Event per line) and returns
+// every event that carries a trace ID, merged and sorted by wall
+// stamp. Blank lines are skipped; a malformed line is an error, not a
+// skip — a torn trace file should be noticed, not silently analyzed.
+func Load(paths ...string) ([]obs.Event, error) {
+	var events []obs.Event
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := sc.Bytes()
+			if len(raw) == 0 {
+				continue
+			}
+			var e obs.Event
+			if err := json.Unmarshal(raw, &e); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("tracetree: %s:%d: %w", path, line, err)
+			}
+			if e.TraceID != "" {
+				events = append(events, e)
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("tracetree: reading %s: %w", path, err)
+		}
+	}
+	sort.SliceStable(events, func(i, k int) bool { return events[i].Wall < events[k].Wall })
+	return events, nil
+}
+
+// Node is one span in a reconstructed tree.
+type Node struct {
+	Event    obs.Event
+	Children []*Node
+	// Points are the point events (queue lifecycle, solver convergence)
+	// parented directly on this span.
+	Points []obs.Event
+}
+
+// Name returns the span's name (its Detail field).
+func (n *Node) Name() string { return n.Event.Detail }
+
+// Tree is one trace's reconstruction.
+type Tree struct {
+	TraceID string
+	// Spans indexes every span by its span ID.
+	Spans map[string]*Node
+	// Roots are the spans with no parent in this trace. A span whose
+	// parent ID is absent from the merged files is an Orphan instead —
+	// except when its parent is the ExternalRoot.
+	Roots []*Node
+	// ExternalRoot is the one parent span ID referenced but never
+	// emitted, when exactly one exists: the trace originator (a client
+	// that installed a span context without tracing itself). Spans
+	// parented on it count as roots, not orphans.
+	ExternalRoot string
+	// Orphans are spans whose parent is referenced but missing (and not
+	// the external root) — evidence of a lost or truncated file.
+	Orphans []*Node
+	// LoosePoints are point events whose parent span never appeared.
+	LoosePoints []obs.Event
+}
+
+// Build groups events by trace ID and links each trace's parent edges.
+// Trees come back sorted by trace ID; children and points within a
+// node are in wall order (Load's sort).
+func Build(events []obs.Event) []*Tree {
+	byTrace := map[string]*Tree{}
+	order := []string{}
+	tree := func(id string) *Tree {
+		t, ok := byTrace[id]
+		if !ok {
+			t = &Tree{TraceID: id, Spans: map[string]*Node{}}
+			byTrace[id] = t
+			order = append(order, id)
+		}
+		return t
+	}
+	// First pass: index spans.
+	for _, e := range events {
+		if e.Kind == "span" {
+			tree(e.TraceID).Spans[e.SpanID] = &Node{Event: e}
+		}
+	}
+	// Second pass: link edges and attach points.
+	for _, e := range events {
+		t := tree(e.TraceID)
+		if e.Kind == "span" {
+			continue
+		}
+		if p, ok := t.Spans[e.ParentID]; ok {
+			p.Points = append(p.Points, e)
+		} else {
+			t.LoosePoints = append(t.LoosePoints, e)
+		}
+	}
+	for _, id := range order {
+		t := byTrace[id]
+		// Find the external root: parent IDs referenced but not emitted.
+		missing := map[string]int{}
+		for _, n := range t.Spans {
+			if pid := n.Event.ParentID; pid != "" {
+				if _, ok := t.Spans[pid]; !ok {
+					missing[pid]++
+				}
+			}
+		}
+		if len(missing) == 1 {
+			for pid := range missing {
+				t.ExternalRoot = pid
+			}
+		}
+		var spanIDs []string
+		for sid := range t.Spans {
+			spanIDs = append(spanIDs, sid)
+		}
+		sort.Strings(spanIDs)
+		for _, sid := range spanIDs {
+			n := t.Spans[sid]
+			pid := n.Event.ParentID
+			switch {
+			case pid == "":
+				t.Roots = append(t.Roots, n)
+			case t.Spans[pid] != nil:
+				t.Spans[pid].Children = append(t.Spans[pid].Children, n)
+			case pid == t.ExternalRoot:
+				t.Roots = append(t.Roots, n)
+			default:
+				t.Orphans = append(t.Orphans, n)
+			}
+		}
+		sortNodes(t.Roots)
+		for _, n := range t.Spans {
+			sortNodes(n.Children)
+		}
+	}
+	sort.Strings(order)
+	out := make([]*Tree, 0, len(order))
+	for _, id := range order {
+		out = append(out, byTrace[id])
+	}
+	return out
+}
+
+func sortNodes(ns []*Node) {
+	sort.SliceStable(ns, func(i, k int) bool { return ns[i].Event.Wall < ns[k].Event.Wall })
+}

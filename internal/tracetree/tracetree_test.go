@@ -1,0 +1,198 @@
+package tracetree
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"buanalysis/internal/obs"
+)
+
+// ms converts a millisecond offset into a Wall stamp.
+func ms(base int64, offset float64) int64 {
+	return base + int64(offset*float64(time.Millisecond))
+}
+
+// fakeRun synthesizes the events of one traced farm run — coordinator
+// file and worker file — for one completed job plus a sweep merge.
+// The job's path: enqueued at 0ms, leased at 40ms (queue wait 40),
+// execute starts at 50ms, solve runs 50–350ms, completion accepted at
+// 360ms, store.put 360–370ms. Total 370ms: queue 40 + dispatch 10 +
+// solve 300 + put 10 + other 10.
+func fakeRun(t *testing.T, trace, jobID string) (coordPath, workerPath string) {
+	t.Helper()
+	base := time.Now().UnixNano()
+	enqSpan, execSpan, solveSpan, putSpan, mergeSpan := "e1", "x1", "s1", "p1", "m1"
+	coord := []obs.Event{
+		{Kind: "span", Detail: SpanEnqueue, Node: jobID, TraceID: trace, SpanID: enqSpan, Wall: ms(base, 0), DurMS: 2},
+		{Kind: "queue.enqueue", Detail: "busolve", Node: jobID, TraceID: trace, ParentID: enqSpan, Wall: ms(base, 0)},
+		{Kind: "queue.lease", Detail: "busolve", Node: jobID, Miner: "w0", TraceID: trace, ParentID: enqSpan, Wall: ms(base, 40), DurMS: 40},
+		{Kind: "queue.complete", Detail: "busolve", Node: jobID, Miner: "w0", TraceID: trace, ParentID: enqSpan, Wall: ms(base, 360), DurMS: 320},
+		{Kind: "span", Detail: SpanPut, Node: jobID, TraceID: trace, SpanID: putSpan, ParentID: execSpan, Wall: ms(base, 360), DurMS: 10},
+		{Kind: "span", Detail: SpanMerge, Node: "sweep:m0:x2", TraceID: trace, SpanID: mergeSpan, Wall: ms(base, 400), DurMS: 25},
+	}
+	worker := []obs.Event{
+		{Kind: "span", Detail: SpanExecute, Node: jobID, TraceID: trace, SpanID: execSpan, ParentID: enqSpan, Wall: ms(base, 50), DurMS: 320},
+		{Kind: "span", Detail: SpanSolve, Node: jobID, TraceID: trace, SpanID: solveSpan, ParentID: execSpan, Wall: ms(base, 50), DurMS: 300},
+		{Kind: "solver.iter", Solver: "rvi", Iter: 1, Residual: 0.5, TraceID: trace, ParentID: solveSpan, Wall: ms(base, 60)},
+		{Kind: "solver.done", Solver: "rvi", Iter: 2, Residual: 1e-9, TraceID: trace, ParentID: solveSpan, Wall: ms(base, 340)},
+	}
+	dir := t.TempDir()
+	write := func(name string, evs []obs.Event) string {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write("coord.jsonl", coord), write("worker.jsonl", worker)
+}
+
+func TestLoadBuildAnalyze(t *testing.T) {
+	const trace = "0af7651916cd43dd8448eb211c80319c"
+	const jobID = "busolve:deadbeef"
+	coordPath, workerPath := fakeRun(t, trace, jobID)
+
+	events, err := Load(coordPath, workerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("loaded %d events, want 10", len(events))
+	}
+	trees := Build(events)
+	if len(trees) != 1 {
+		t.Fatalf("built %d trees, want 1", len(trees))
+	}
+	tr := trees[0]
+	if tr.TraceID != trace {
+		t.Fatalf("trace %q", tr.TraceID)
+	}
+	if len(tr.Spans) != 5 {
+		t.Fatalf("%d spans, want 5", len(tr.Spans))
+	}
+	// Two roots: farm.enqueue and farm.merge (parentless). The worker
+	// spans nest under farm.enqueue; solve and put under execute.
+	if len(tr.Roots) != 2 {
+		t.Fatalf("%d roots, want 2", len(tr.Roots))
+	}
+	if len(tr.Orphans) != 0 || len(tr.LoosePoints) != 0 {
+		t.Fatalf("orphans=%d loose=%d, want 0/0", len(tr.Orphans), len(tr.LoosePoints))
+	}
+	enq := tr.Roots[0]
+	if enq.Name() != SpanEnqueue {
+		t.Fatalf("first root %q, want %s", enq.Name(), SpanEnqueue)
+	}
+	if len(enq.Points) != 3 {
+		t.Errorf("enqueue span holds %d points, want 3 queue events", len(enq.Points))
+	}
+	if len(enq.Children) != 1 || enq.Children[0].Name() != SpanExecute {
+		t.Fatalf("enqueue children: %+v", enq.Children)
+	}
+	exec := enq.Children[0]
+	if len(exec.Children) != 2 {
+		t.Fatalf("execute has %d children, want solve+put", len(exec.Children))
+	}
+
+	rep := Analyze(trees)
+	if len(rep.Jobs) != 1 {
+		t.Fatalf("%d job paths, want 1", len(rep.Jobs))
+	}
+	j := rep.Jobs[0]
+	approx := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.5 {
+			t.Errorf("%s = %.2fms, want %.2f", name, got, want)
+		}
+	}
+	approx("queue wait", j.QueueWaitMS, 40)
+	approx("lease to start", j.LeaseToStartMS, 10)
+	approx("solve", j.SolveMS, 300)
+	approx("store put", j.StorePutMS, 10)
+	approx("other", j.OtherMS, 10)
+	approx("total", j.TotalMS, 370)
+	if sum := j.QueueWaitMS + j.LeaseToStartMS + j.SolveMS + j.StorePutMS + j.OtherMS; math.Abs(sum-j.TotalMS) > 1e-9 {
+		t.Errorf("components sum %.4f != total %.4f", sum, j.TotalMS)
+	}
+	if j.Worker != "w0" || j.Kind != "busolve" {
+		t.Errorf("attribution: worker=%q kind=%q", j.Worker, j.Kind)
+	}
+	approx("merge", rep.MergeMS, 25)
+	if ks := rep.ByKind["span:"+SpanSolve]; ks.Count != 1 || math.Abs(ks.TotalMS-300) > 0.5 {
+		t.Errorf("by-kind solve: %+v", ks)
+	}
+	if ks := rep.ByKind["solver.iter"]; ks.Count != 1 {
+		t.Errorf("by-kind solver.iter: %+v", ks)
+	}
+
+	if problems := Check(trees, 50*time.Millisecond); len(problems) != 0 {
+		t.Fatalf("check on a clean run: %v", problems)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	base := time.Now().UnixNano()
+	const trace = "11111111111111111111111111111111"
+	// A completed job with no worker spans at all, plus an orphan span.
+	events := []obs.Event{
+		{Kind: "queue.enqueue", Node: "j1", Detail: "busolve", TraceID: trace, ParentID: "root", Wall: ms(base, 0)},
+		{Kind: "queue.lease", Node: "j1", Detail: "busolve", TraceID: trace, ParentID: "root", Wall: ms(base, 10), DurMS: 10},
+		{Kind: "queue.complete", Node: "j1", Detail: "busolve", TraceID: trace, ParentID: "root", Wall: ms(base, 20)},
+		{Kind: "span", Detail: SpanEnqueue, Node: "j1", TraceID: trace, SpanID: "root", Wall: ms(base, 0), DurMS: 1},
+		{Kind: "span", Detail: "stray", TraceID: trace, SpanID: "zz", ParentID: "gone", Wall: ms(base, 5), DurMS: 1},
+		// An unrelated external-root candidate so "gone" is not unique...
+		{Kind: "span", Detail: "stray2", TraceID: trace, SpanID: "yy", ParentID: "gone2", Wall: ms(base, 6), DurMS: 1},
+	}
+	trees := Build(events)
+	problems := Check(trees, 50*time.Millisecond)
+	var sawMissingExec, sawOrphan bool
+	for _, p := range problems {
+		if contains(p, "without a worker.execute span") {
+			sawMissingExec = true
+		}
+		if contains(p, "orphan span") {
+			sawOrphan = true
+		}
+	}
+	if !sawMissingExec {
+		t.Errorf("missing-execute not flagged: %v", problems)
+	}
+	if !sawOrphan {
+		t.Errorf("orphans not flagged: %v", problems)
+	}
+
+	// Non-causal stamps: lease before enqueue.
+	bad := []obs.Event{
+		{Kind: "span", Detail: SpanEnqueue, Node: "j2", TraceID: trace, SpanID: "r2", Wall: ms(base, 500), DurMS: 1},
+		{Kind: "queue.enqueue", Node: "j2", Detail: "busolve", TraceID: trace, ParentID: "r2", Wall: ms(base, 500)},
+		{Kind: "queue.lease", Node: "j2", Detail: "busolve", TraceID: trace, ParentID: "r2", Wall: ms(base, 100), DurMS: 1},
+		{Kind: "span", Detail: SpanExecute, Node: "j2", TraceID: trace, SpanID: "x2", ParentID: "r2", Wall: ms(base, 600), DurMS: 5},
+		{Kind: "span", Detail: SpanSolve, Node: "j2", TraceID: trace, SpanID: "s2", ParentID: "x2", Wall: ms(base, 600), DurMS: 5},
+		{Kind: "queue.complete", Node: "j2", Detail: "busolve", TraceID: trace, ParentID: "r2", Wall: ms(base, 700)},
+	}
+	problems = Check(Build(bad), 50*time.Millisecond)
+	found := false
+	for _, p := range problems {
+		if contains(p, "not causal") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("non-causal stamps not flagged: %v", problems)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Compare two BENCH_*.json files (an old baseline and a fresh run of the
+# same emitter) and flag regressions beyond a threshold.
+#
+#   scripts/benchdiff.sh old.json new.json [threshold-pct]
+#
+# Both files must come from the same bench emitter: metrics are paired
+# by key in file order, so a structural mismatch is itself an error.
+# A metric regresses when it moves more than the threshold (default 10%)
+# in its bad direction — up for cost metrics (_ms, _ns, ns/op, allocs,
+# bytes), down for benefit metrics (speedup, per_sec, throughput, hits).
+# Counters with no inherent direction (cells, probes, sweeps, count) are
+# reported only when they change at all, since the benches are
+# deterministic. Exits 1 if any regression was flagged.
+set -eu
+
+if [ $# -lt 2 ]; then
+	echo "usage: scripts/benchdiff.sh old.json new.json [threshold-pct]" >&2
+	exit 2
+fi
+OLD="$1"
+NEW="$2"
+THRESH="${3:-10}"
+
+# Flatten one BENCH file into "key value" lines, one per numeric field,
+# in document order. The emitters write one field per line, so a line
+# scan is a faithful parse for these files.
+flatten() {
+	sed -n 's/^[[:space:]]*"\([a-zA-Z0-9_/.-]*\)":[[:space:]]*\(-\{0,1\}[0-9][0-9.eE+-]*\)[,[:space:]]*$/\1 \2/p' "$1"
+}
+
+flatten "$OLD" >"${TMPDIR:-/tmp}/benchdiff_old.$$"
+flatten "$NEW" >"${TMPDIR:-/tmp}/benchdiff_new.$$"
+trap 'rm -f "${TMPDIR:-/tmp}/benchdiff_old.$$" "${TMPDIR:-/tmp}/benchdiff_new.$$"' EXIT
+
+paste -d'\n' "${TMPDIR:-/tmp}/benchdiff_old.$$" "${TMPDIR:-/tmp}/benchdiff_new.$$" | awk -v thresh="$THRESH" '
+NR % 2 == 1 { okey = $1; oval = $2; next }
+{
+	nkey = $1; nval = $2
+	if (okey != nkey) {
+		printf "STRUCTURE: field %d is \"%s\" in old but \"%s\" in new\n", (NR+1)/2, okey, nkey
+		bad++
+		next
+	}
+	if (oval == 0) {
+		if (nval != 0) { printf "REGRESSION %-38s 0 -> %g (was zero)\n", nkey, nval; bad++ }
+		next
+	}
+	delta = (nval - oval) / oval * 100
+	dir = 0 # 0: no direction, 1: lower is better, -1: higher is better
+	if (nkey ~ /(_ms|_ns|ms$|ns$)/ || nkey ~ /alloc/ || nkey ~ /bytes/) dir = 1
+	if (nkey ~ /speedup/ || nkey ~ /per_sec/ || nkey ~ /throughput/ || nkey ~ /hits/) dir = -1
+	if (dir == 0) {
+		if (nval != oval) printf "CHANGED    %-38s %g -> %g\n", nkey, oval, nval
+		next
+	}
+	if (dir * delta > thresh) {
+		printf "REGRESSION %-38s %g -> %g (%+.1f%%, threshold %s%%)\n", nkey, oval, nval, delta, thresh
+		bad++
+	} else if (dir * delta < -thresh) {
+		printf "IMPROVED   %-38s %g -> %g (%+.1f%%)\n", nkey, oval, nval, delta
+	}
+}
+END { if (bad > 0) { printf "%d regression(s) beyond %s%%\n", bad, thresh; exit 1 } }
+' || exit 1
+
+echo "no regressions beyond ${THRESH}% ($OLD -> $NEW)"

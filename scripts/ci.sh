@@ -65,7 +65,8 @@ SMOKE="$(mktemp -d)"
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 
 go build -o "$SMOKE/buserve" ./cmd/buserve
-"$SMOKE/buserve" -addr 127.0.0.1:0 -cache-dir "$SMOKE/cache" -portfile "$SMOKE/port" &
+"$SMOKE/buserve" -addr 127.0.0.1:0 -cache-dir "$SMOKE/cache" -portfile "$SMOKE/port" \
+	-trace "$SMOKE/coord.jsonl" &
 SERVE_PID=$!
 
 # Wait for the portfile to appear (the server writes it once listening).
@@ -152,11 +153,15 @@ sleep 1.5 # long enough to lease the job and start replaying
 kill -9 "$VICTIM_PID" 2>/dev/null || true
 wait "$VICTIM_PID" 2>/dev/null || true
 
-"$SMOKE/buworker" -server "http://$ADDR" -name w1 -drain -quiet &
+# The drain fleet runs with tracing on; the victim stays untraced so
+# the kill -9 cannot tear a JSONL file mid-line. Every job the victim
+# abandoned is redelivered to a traced worker, so the merged trace
+# still covers 100% of completed jobs.
+"$SMOKE/buworker" -server "http://$ADDR" -name w1 -drain -quiet -trace "$SMOKE/w1.jsonl" &
 W1=$!
-"$SMOKE/buworker" -server "http://$ADDR" -name w2 -drain -quiet &
+"$SMOKE/buworker" -server "http://$ADDR" -name w2 -drain -quiet -trace "$SMOKE/w2.jsonl" &
 W2=$!
-"$SMOKE/buworker" -server "http://$ADDR" -name w3 -drain -quiet &
+"$SMOKE/buworker" -server "http://$ADDR" -name w3 -drain -quiet -trace "$SMOKE/w3.jsonl" &
 W3=$!
 wait "$W1" "$W2" "$W3"
 
@@ -178,11 +183,39 @@ case "$STATS" in
 	;;
 esac
 
+# The live observability endpoints: /workersz knows the whole fleet
+# (including the killed victim) and /tracez serves the recent per-job
+# timelines rebuilt from the coordinator's ring sink.
+WORKERS="$(curl -fsS "http://$ADDR/workersz")"
+for W in victim w1 w2 w3; do
+	echo "$WORKERS" | grep -q "\"$W/0\"" || {
+		echo "worker $W missing from /workersz" >&2
+		exit 1
+	}
+done
+curl -fsS "http://$ADDR/tracez" | tr -d ' \n\t' | grep -q '"queue_wait_ms":'
+
 echo "== buserve graceful shutdown =="
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 # The queue journal survived the shutdown with the finished jobs in it.
 grep -q '"state": *"done"' "$SMOKE/cache/jobqueue.json" ||
 	grep -q '"state":"done"' "$SMOKE/cache/jobqueue.json"
+
+echo "== butrace: merged cross-process trace check =="
+# Merge the coordinator's and the drain fleet's JSONL files (flushed on
+# their graceful exits above) and verify the invariants: every tree is
+# rooted with no orphan spans, every completed job's path is whole
+# (enqueue -> lease -> execute -> solve -> complete), and the stamps
+# are causal. All 4 jobs completed on traced workers, so the check must
+# see all 4.
+go build -o "$SMOKE/butrace" ./cmd/butrace
+"$SMOKE/butrace" -check "$SMOKE/coord.jsonl" \
+	"$SMOKE/w1.jsonl" "$SMOKE/w2.jsonl" "$SMOKE/w3.jsonl" |
+	tee "$SMOKE/check.out"
+grep -q '4 completed job(s): 0 problem(s)' "$SMOKE/check.out"
+# And the human report: the per-job critical-path table, for the CI log.
+"$SMOKE/butrace" "$SMOKE/coord.jsonl" \
+	"$SMOKE/w1.jsonl" "$SMOKE/w2.jsonl" "$SMOKE/w3.jsonl"
 
 echo "CI: all checks passed"
