@@ -28,6 +28,8 @@
 // results are bit-identical with and without it. -metrics-dump prints
 // the run's metrics registry (solve/sweep counters, scheduler
 // utilization, store hits and misses) as JSON to stderr on exit.
+// -cpuprofile and -memprofile write pprof profiles of the run (see
+// EXPERIMENTS.md for the profiling recipe).
 package main
 
 import (
@@ -73,12 +75,22 @@ func main() {
 		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version  = cliflag.VersionFlag(flag.CommandLine)
 	)
+	cpuprof, memprof := cliflag.ProfileFlags(flag.CommandLine)
 	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
 	if _, err := cliflag.SetupLog("bumdp", *logFormat, *logLevel); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := cliflag.StartProfiles(*cpuprof, *memprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 
 	store, err := expstore.Open(expstore.Config{Dir: *cacheDir})
 	if err != nil {

@@ -21,7 +21,9 @@
 //
 // -trace writes every table cell's solver convergence events as JSONL
 // (cell values are bit-identical either way); -metrics-dump prints the
-// run's metrics registry as JSON to stderr on exit.
+// run's metrics registry as JSON to stderr on exit. -cpuprofile and
+// -memprofile write pprof profiles of the run (see EXPERIMENTS.md for
+// the profiling recipe).
 package main
 
 import (
@@ -69,16 +71,25 @@ func main() {
 		mdump    = cliflag.MetricsDumpFlag(flag.CommandLine)
 		version  = cliflag.VersionFlag(flag.CommandLine)
 	)
+	cpuprof, memprof := cliflag.ProfileFlags(flag.CommandLine)
 	logFormat, logLevel := cliflag.LogFlags(flag.CommandLine)
 	flag.Parse()
 	cliflag.HandleVersion(*version)
 	if _, err := cliflag.SetupLog("butables", *logFormat, *logLevel); err != nil {
 		log.Fatal(err)
 	}
+	stopProf, err := cliflag.StartProfiles(*cpuprof, *memprof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	fullGrid = *full
 	jsonTables = *jsonOut
 
-	var err error
 	store, err = expstore.Open(expstore.Config{Dir: *cacheDir})
 	if err != nil {
 		log.Fatal(err)

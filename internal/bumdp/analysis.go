@@ -92,8 +92,16 @@ type SolveStats struct {
 	// (non-session) solves warm-chain only within their own bisection;
 	// session solves additionally chain across cells.
 	WarmProbes int `json:",omitempty"`
-	// Iterations is the total number of Bellman sweeps across probes.
+	// Iterations is the total number of sweeps across probes (optimizing
+	// Bellman backups plus fixed-policy evaluation sweeps).
 	Iterations int
+	// OptSweeps and EvalSweeps split Iterations into optimizing backups
+	// and the cheaper fixed-policy sweeps of modified policy iteration.
+	OptSweeps  int `json:",omitempty"`
+	EvalSweeps int `json:",omitempty"`
+	// SlotsEliminated totals the (state, action) slots action elimination
+	// deactivated across probes.
+	SlotsEliminated int `json:",omitempty"`
 	// Residual is the final solve's stopping residual.
 	Residual float64
 	// Duration is the wall-clock time of the whole solve.
@@ -132,6 +140,14 @@ type SolveOptions struct {
 	// GOMAXPROCS (with the solver's small-model serial fallback), 1 the
 	// serial path. Every setting returns bit-identical results.
 	Parallelism int
+	// EvalSweeps steers modified policy iteration in the inner solver:
+	// 0 is the adaptive default, >0 caps the evaluation sweeps per
+	// optimizing backup, <0 disables MPI (pure relative value
+	// iteration). See mdp.Options.EvalSweeps.
+	EvalSweeps int `json:",omitempty"`
+	// NoElimination disables the inner solver's action elimination.
+	// See mdp.Options.NoElimination.
+	NoElimination bool `json:",omitempty"`
 	// Tracer, if non-nil, receives the solve's convergence events:
 	// "ratio.probe"/"ratio.bracket"/"ratio.done" from the bisection and
 	// "solver.iter"/"solver.done" from every inner sweep (including the
@@ -177,7 +193,8 @@ func (a *Analysis) SolveTol(ratioTol, epsilon float64) (Result, error) {
 func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
-	inner := mdp.Options{Epsilon: opts.Epsilon, Parallelism: opts.Parallelism, Tracer: opts.Tracer}
+	inner := mdp.Options{Epsilon: opts.Epsilon, Parallelism: opts.Parallelism, Tracer: opts.Tracer,
+		EvalSweeps: opts.EvalSweeps, NoElimination: opts.NoElimination}
 	var res Result
 	switch a.Params.Model {
 	case NonCompliant:
@@ -186,10 +203,13 @@ func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
 			return Result{}, err
 		}
 		res = Result{Utility: r.Gain, Policy: r.Policy, Probes: 1, Stats: SolveStats{
-			Probes:     1,
-			Iterations: r.Stats.Iterations,
-			Residual:   r.Stats.Residual,
-			Workers:    r.Stats.Workers,
+			Probes:          1,
+			Iterations:      r.Stats.Iterations,
+			OptSweeps:       r.Stats.OptSweeps,
+			EvalSweeps:      r.Stats.EvalSweeps,
+			SlotsEliminated: r.Stats.SlotsEliminated,
+			Residual:        r.Stats.Residual,
+			Workers:         r.Stats.Workers,
 		}}
 	default:
 		hi := 1.0
@@ -205,11 +225,14 @@ func (a *Analysis) SolveWith(opts SolveOptions) (Result, error) {
 			return Result{}, err
 		}
 		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes, Stats: SolveStats{
-			Probes:     r.Stats.Probes,
-			WarmProbes: r.Stats.WarmProbes,
-			Iterations: r.Stats.Iterations,
-			Residual:   r.Stats.Residual,
-			Workers:    r.Stats.Workers,
+			Probes:          r.Stats.Probes,
+			WarmProbes:      r.Stats.WarmProbes,
+			Iterations:      r.Stats.Iterations,
+			OptSweeps:       r.Stats.OptSweeps,
+			EvalSweeps:      r.Stats.EvalSweeps,
+			SlotsEliminated: r.Stats.SlotsEliminated,
+			Residual:        r.Stats.Residual,
+			Workers:         r.Stats.Workers,
 		}}
 	}
 	fork, err := a.Model.StateVisitRate(res.Policy, func(s int) bool {

@@ -117,7 +117,8 @@ func (s *Session) Rebind(p Params) error {
 func (s *Session) Solve() (Result, error) {
 	a, opts := s.a, s.opts
 	start := time.Now()
-	inner := mdp.Options{Epsilon: opts.Epsilon, Tracer: opts.Tracer}
+	inner := mdp.Options{Epsilon: opts.Epsilon, Tracer: opts.Tracer,
+		EvalSweeps: opts.EvalSweeps, NoElimination: opts.NoElimination}
 	var res Result
 	switch a.Params.Model {
 	case NonCompliant:
@@ -126,10 +127,13 @@ func (s *Session) Solve() (Result, error) {
 			return Result{}, err
 		}
 		res = Result{Utility: r.Gain, Probes: 1, Stats: SolveStats{
-			Probes:     1,
-			Iterations: r.Stats.Iterations,
-			Residual:   r.Stats.Residual,
-			Workers:    r.Stats.Workers,
+			Probes:          1,
+			Iterations:      r.Stats.Iterations,
+			OptSweeps:       r.Stats.OptSweeps,
+			EvalSweeps:      r.Stats.EvalSweeps,
+			SlotsEliminated: r.Stats.SlotsEliminated,
+			Residual:        r.Stats.Residual,
+			Workers:         r.Stats.Workers,
 		}}
 		if r.Stats.Warm {
 			res.Stats.WarmProbes = 1
@@ -155,11 +159,14 @@ func (s *Session) Solve() (Result, error) {
 			return Result{}, err
 		}
 		res = Result{Utility: r.Value, Policy: r.Policy, Probes: r.Probes, Stats: SolveStats{
-			Probes:     r.Stats.Probes,
-			WarmProbes: r.Stats.WarmProbes,
-			Iterations: r.Stats.Iterations,
-			Residual:   r.Stats.Residual,
-			Workers:    r.Stats.Workers,
+			Probes:          r.Stats.Probes,
+			WarmProbes:      r.Stats.WarmProbes,
+			Iterations:      r.Stats.Iterations,
+			OptSweeps:       r.Stats.OptSweeps,
+			EvalSweeps:      r.Stats.EvalSweeps,
+			SlotsEliminated: r.Stats.SlotsEliminated,
+			Residual:        r.Stats.Residual,
+			Workers:         r.Stats.Workers,
 		}}
 		s.lastValue = r.Value
 		s.haveValue = true

@@ -10,10 +10,10 @@ import (
 // TestConvergenceTraceGolden is the observability layer's golden test
 // on a real paper cell (alpha=0.25, 1:1 propagation, setting 1,
 // compliant model): tracing must not perturb the solve in any way, the
-// per-iteration residual series must be eventually non-increasing (the
-// span seminorm of relative value iteration contracts once the
-// aperiodicity transform takes hold), and every solve's final residual
-// must sit below the configured epsilon.
+// per-iteration residual series must be eventually non-increasing
+// within each operator (the span seminorm of each operator contracts
+// once the aperiodicity transform takes hold), and every solve's final
+// residual must sit below the configured epsilon.
 func TestConvergenceTraceGolden(t *testing.T) {
 	beta, gamma := ratioParams(0.25, 1, 1)
 	p := Params{Alpha: 0.25, Beta: beta, Gamma: gamma, Setting: Setting1, Model: Compliant}
@@ -121,9 +121,19 @@ func TestConvergenceTraceGolden(t *testing.T) {
 			}
 		}
 		// Eventually non-increasing: residuals may wobble early while the
-		// bias re-centers, but the tail of the series must be monotone.
+		// bias re-centers, but the tail of the series must be monotone
+		// per operator. Optimizing ("rvi") and fixed-policy
+		// ("policy-eval") sweeps interleave under modified policy
+		// iteration and contract at unrelated rates, so only adjacent
+		// events of the same solver are compared; full-operator
+		// validation sweeps after action elimination (Detail "validate")
+		// measure a different active set than their predecessor and are
+		// skipped.
 		tail := len(s) / 2
 		for i := tail + 1; i < len(s); i++ {
+			if s[i].Solver != s[i-1].Solver || s[i].Detail == "validate" || s[i-1].Detail == "validate" {
+				continue
+			}
 			if s[i].Residual > s[i-1].Residual*(1+1e-9) {
 				t.Errorf("series %d: residual increased at iter %d (%v -> %v) in the tail",
 					si, s[i].Iter, s[i-1].Residual, s[i].Residual)

@@ -1,0 +1,60 @@
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags registers the standard -cpuprofile and -memprofile
+// flags: file paths the run's CPU profile and final heap profile are
+// written to, in the format `go tool pprof` reads. Empty values (the
+// default) disable profiling entirely.
+func ProfileFlags(fs *flag.FlagSet) (cpu, mem *string) {
+	cpu = fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// StartProfiles begins the profiling selected by the ProfileFlags
+// values and returns a stop function that must run on exit (typically
+// deferred in main): it stops the CPU profile and snapshots the heap
+// profile after a final GC. Either path may be empty. On error nothing
+// is left running and the returned stop is a no-op.
+func StartProfiles(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return func() error { return nil }, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return func() error { return nil }, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer f.Close()
+			// Materialize the final live set so the profile reflects
+			// retained memory, not transient garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,67 @@
+package cliflag
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestProfileFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	cpu, mem := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "c.out", "-memprofile", "m.out"}); err != nil {
+		t.Fatal(err)
+	}
+	if *cpu != "c.out" || *mem != "m.out" {
+		t.Fatalf("parsed %q, %q", *cpu, *mem)
+	}
+}
+
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartProfilesWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i) * 1.0000001
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartProfilesBadPath(t *testing.T) {
+	stop, err := StartProfiles(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), "")
+	if err == nil {
+		t.Fatal("want error for unwritable cpu profile path")
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop after failed start: %v", err)
+	}
+}

@@ -28,16 +28,37 @@ type solverBenchGrid struct {
 	MaxValDiff float64 `json:"max_value_diff"`
 }
 
+// solverBenchStage is one acceleration stage of the solver kernel,
+// measured warm-chained on the Table-2 setting-2 row: pure relative
+// value iteration, plus modified policy iteration, plus action
+// elimination (the default path).
+type solverBenchStage struct {
+	Name       string  `json:"name"`
+	WarmMillis float64 `json:"warm_ms"`
+	Probes     int     `json:"probes"`
+	OptSweeps  int64   `json:"opt_sweeps"`
+	EvalSweeps int64   `json:"eval_sweeps"`
+	Eliminated int64   `json:"eliminated_slots"`
+	// SweepEquivalents weighs an evaluation sweep at 1/3 of an
+	// optimizing sweep (the measured kernel cost ratio, see
+	// BenchmarkPolicyChunk vs BenchmarkBellmanChunk).
+	SweepEquivalents float64 `json:"sweep_equivalents"`
+	SpeedupVsRVI     float64 `json:"speedup_vs_rvi"`
+	MaxValDiff       float64 `json:"max_value_diff_vs_rvi"`
+}
+
 type solverBenchReport struct {
-	Benchmark      string            `json:"benchmark"`
-	RatioTol       float64           `json:"ratio_tol"`
-	Epsilon        float64           `json:"epsilon"`
-	Workers        int               `json:"workers"`
-	Grids          []solverBenchGrid `json:"grids"`
-	TotalColdMs    float64           `json:"total_cold_ms"`
-	TotalWarmMs    float64           `json:"total_warm_ms"`
-	Speedup        float64           `json:"speedup"`
-	AllocsPerProbe float64           `json:"workspace_allocs_per_probe"`
+	Benchmark      string             `json:"benchmark"`
+	RatioTol       float64            `json:"ratio_tol"`
+	Epsilon        float64            `json:"epsilon"`
+	Workers        int                `json:"workers"`
+	Grids          []solverBenchGrid  `json:"grids"`
+	Stages         []solverBenchStage `json:"stages"`
+	SweepEquivGain float64            `json:"sweep_equiv_gain"`
+	TotalColdMs    float64            `json:"total_cold_ms"`
+	TotalWarmMs    float64            `json:"total_warm_ms"`
+	Speedup        float64            `json:"speedup"`
+	AllocsPerProbe float64            `json:"workspace_allocs_per_probe"`
 }
 
 // TestBenchSolver measures the Table-2 sweep with and without the
@@ -131,6 +152,73 @@ func TestBenchSolver(t *testing.T) {
 			row.WarmMillis, row.WarmProbes, row.WarmSweeps, row.Speedup)
 	}
 	report.Speedup = report.TotalColdMs / report.TotalWarmMs
+
+	// Per-stage breakdown of the kernel overhaul on the setting-2 row:
+	// the same warm-chained grid solved with pure RVI, with modified
+	// policy iteration, and with MPI plus action elimination (the
+	// default). Values must agree across stages within the ratio
+	// tolerance — the stages are accelerations, not approximations.
+	stages := []struct {
+		name          string
+		evalSweeps    int
+		noElimination bool
+	}{
+		{"rvi_only", -1, true},
+		{"mpi", 0, true},
+		{"mpi_elimination", 0, false},
+	}
+	var rviMs float64
+	var rviCells []Cell
+	for _, st := range stages {
+		cfg := grids[1].cfg
+		cfg.EvalSweeps = st.evalSweeps
+		cfg.NoElimination = st.noElimination
+		t0 := time.Now()
+		cells := Sweep(bumdp.Compliant, cfg)
+		dur := time.Since(t0)
+		row := solverBenchStage{
+			Name:       st.name,
+			WarmMillis: float64(dur.Microseconds()) / 1e3,
+		}
+		for i := range cells {
+			c := cells[i]
+			if c.Skipped {
+				continue
+			}
+			if c.Err != nil {
+				t.Fatalf("stage %s %s: %v", st.name, c.Key(), c.Err)
+			}
+			row.Probes += c.Stats.Probes
+			row.OptSweeps += int64(c.Stats.OptSweeps)
+			row.EvalSweeps += int64(c.Stats.EvalSweeps)
+			row.Eliminated += int64(c.Stats.SlotsEliminated)
+			if rviCells != nil {
+				if d := math.Abs(c.Value - rviCells[i].Value); d > row.MaxValDiff {
+					row.MaxValDiff = d
+				}
+			}
+		}
+		row.SweepEquivalents = float64(row.OptSweeps) + float64(row.EvalSweeps)/3
+		if st.name == "rvi_only" {
+			rviMs, rviCells = row.WarmMillis, cells
+		}
+		row.SpeedupVsRVI = rviMs / row.WarmMillis
+		if row.MaxValDiff > 1.5*base.RatioTol {
+			t.Fatalf("stage %s: values drifted %g beyond tolerance", st.name, row.MaxValDiff)
+		}
+		report.Stages = append(report.Stages, row)
+		t.Logf("stage %s: %.1fms, %d probes, %d opt + %d eval sweeps (%.0f equiv), %d eliminated, %.2fx vs rvi",
+			st.name, row.WarmMillis, row.Probes, row.OptSweeps, row.EvalSweeps,
+			row.SweepEquivalents, row.Eliminated, row.SpeedupVsRVI)
+	}
+	report.SweepEquivGain = report.Stages[0].SweepEquivalents /
+		report.Stages[len(report.Stages)-1].SweepEquivalents
+	// Sweep counts are deterministic, so this is a hard pin, not a
+	// timing assertion: the accelerated path must halve the
+	// sweep-equivalent work of pure RVI on the setting-2 row.
+	if report.SweepEquivGain < 2 {
+		t.Errorf("sweep-equivalent gain %.2f below the 2x target", report.SweepEquivGain)
+	}
 
 	// Steady-state allocation cost of one warm workspace probe on a
 	// real model (setting 1, 211 states). The mdp test suite pins this

@@ -86,6 +86,12 @@ type SweepConfig struct {
 	// 1e-9; the full setting-2 sweeps are substantially faster at 1e-4,
 	// 1e-8 with no visible change at the paper's print precision).
 	RatioTol, Epsilon float64
+	// EvalSweeps steers the inner solver's modified policy iteration:
+	// 0 adaptive (default), >0 caps evaluation sweeps per backup, <0
+	// disables MPI. See bumdp.SolveOptions.EvalSweeps.
+	EvalSweeps int `json:",omitempty"`
+	// NoElimination disables the inner solver's action elimination.
+	NoElimination bool `json:",omitempty"`
 	// Workers bounds how many cells are solved concurrently (default:
 	// GOMAXPROCS).
 	Workers int
@@ -289,8 +295,10 @@ func (c SweepConfig) CellParams(cell Cell) (bumdp.Params, bumdp.SolveOptions) {
 	}
 	o := bumdp.SolveOptions{
 		RatioTol: c.RatioTol, Epsilon: c.Epsilon,
-		Parallelism: c.InnerParallelism,
-		Tracer:      c.Tracer,
+		EvalSweeps:    c.EvalSweeps,
+		NoElimination: c.NoElimination,
+		Parallelism:   c.InnerParallelism,
+		Tracer:        c.Tracer,
 	}
 	return p, o
 }

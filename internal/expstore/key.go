@@ -26,7 +26,11 @@ import (
 // Bump it whenever a solver change can alter any stored result: every
 // previously cached artifact then misses and is re-solved, so stale
 // values can never be served across solver revisions.
-const Version = 1
+//
+// Version 2: the average-reward solver gained modified policy iteration
+// and action elimination, which change iteration paths and therefore
+// the exact bits of converged values (still within Epsilon).
+const Version = 2
 
 // Key derives the canonical cache key for an artifact of the given kind
 // (a short lowercase tag such as "busolve") from its parameter value.

@@ -1,0 +1,259 @@
+package mdp
+
+import "math"
+
+// Action elimination and the active-transition view.
+//
+// During an average-reward solve the optimizing sweeps maintain, per
+// (state, action) slot, the gap between the slot's Q-value and the
+// state's best Q-value. Once the iterate is provably close to the
+// optimal bias — measured through the empirical contraction rate of the
+// span residual — any slot whose gap exceeds the closeness bound cannot
+// become optimal and is deactivated for the rest of the solve. When
+// enough slots have died, the workspace compacts the survivors into a
+// contiguous CSR view (vStateOff/vSlotLocal/vsaOff/vtprob/vtto) so late
+// sweeps stream a fraction of the transitions instead of branching over
+// dead slots.
+//
+// The contraction estimate is a heuristic, so elimination is verified,
+// not trusted: a solve that deactivated anything must pass one final
+// full-operator sweep (every slot, the plain bellmanChunk) whose span
+// meets the same Epsilon criterion before it may return. If the
+// validation sweep fails, every slot is reactivated and the solve
+// continues without elimination. Either way the returned gain carries
+// the standard relative-value-iteration guarantee on the full model.
+
+const (
+	// elimSpanWindow is the window of optimizing sweeps over which the
+	// contraction rate of the span residual is estimated. Only
+	// optimizing-sweep spans enter the window (the fixed-policy sweeps
+	// of modified policy iteration contract at an unrelated, much faster
+	// rate), so the window is short: with MPI an entire solve runs only
+	// a handful of optimizing sweeps.
+	elimSpanWindow = 4
+	// elimMaxContraction disables elimination when the estimated
+	// per-sweep contraction is too close to 1 for the geometric tail
+	// bound to be meaningful.
+	elimMaxContraction = 0.99
+	// elimSafety scales the distance-to-optimum bound before it is used
+	// as the kill threshold, absorbing estimate noise. Soundness does
+	// not rest on it (the validation sweep does that); it only tunes
+	// how eagerly slots die.
+	elimSafety = 8.0
+	// elimRebuildMin is the minimum number of newly dead slots before a
+	// view rebuild is worth its cost.
+	elimRebuildMin = 32
+)
+
+// resetSolveState prepares the per-solve elimination state: clears the
+// previous solve's deactivations (its Q-bounds were for a different
+// Rho), resets the contraction window, and rebuilds the full view if
+// the view is stale (previous kills, a Bind, or a fresh workspace).
+func (ws *Workspace) resetSolveState(opts Options) {
+	ws.sweepSeq = 0
+	for i := range ws.spanRing {
+		ws.spanRing[i] = 0
+	}
+	ws.killMargin = math.Inf(1)
+	ws.elimOff = opts.NoElimination
+	ws.elim = !opts.NoElimination
+	if ws.killed > 0 {
+		clear(ws.dead)
+		ws.killed = 0
+	}
+	ws.deadSince = 0
+	if ws.elim && !ws.viewFull {
+		ws.rebuildView()
+	}
+}
+
+// rebuildView compacts the surviving (non-dead) slots and their
+// compacted transitions into the workspace's contiguous view arrays.
+// Slot and transition order are preserved, so a sweep over the view is
+// bit-identical to a sweep over the base arrays restricted to the
+// active set — and identical to a full base sweep when nothing is dead.
+func (ws *Workspace) rebuildView() {
+	m := ws.m
+	n := m.numStates
+	vk, off := int32(0), int32(0)
+	for s := 0; s < n; s++ {
+		ws.vStateOff[s] = vk
+		k0, k1 := m.stateOff[s], m.stateOff[s+1]
+		for k := k0; k < k1; k++ {
+			if ws.dead[k] {
+				continue
+			}
+			ws.vSlotLocal[vk] = k - k0
+			ws.vsaOff[vk] = off
+			for j := m.csaOff[k]; j < m.csaOff[k+1]; j++ {
+				ws.vtprob[off] = m.ctprob[j]
+				ws.vtto[off] = m.ctto[j]
+				off++
+			}
+			vk++
+		}
+	}
+	ws.vStateOff[n] = vk
+	ws.vsaOff[vk] = off
+	ws.viewSlots = vk
+	ws.viewFull = ws.killed == 0
+	ws.deadSince = 0
+}
+
+// viewElimChunk is the optimizing sweep over the active view: argmax
+// over the surviving slots of each state, with every slot's Q recorded
+// so slots whose gap to the best exceeds the current kill margin can be
+// deactivated. Kill decisions depend only on the iterate and the
+// margin, and each state's slots belong to exactly one chunk, so the
+// sweep is deterministic and race-free at every worker count.
+func (ws *Workspace) viewElimChunk(w, lo, hi int) {
+	m := ws.m
+	h, next, pol, shift := ws.h, ws.next, ws.pol, ws.shift
+	tau := ws.tau
+	keep := 1 - tau
+	stateOff := m.stateOff
+	vOff, vLocal := ws.vStateOff, ws.vSlotLocal
+	vsaOff, vtprob, vtto := ws.vsaOff, ws.vtprob, ws.vtto
+	margin := ws.killMargin
+	dead, qs := ws.dead, ws.qbuf[w]
+	kills := int32(0)
+	slo, shi := math.Inf(1), math.Inf(-1)
+	for s := lo; s < hi; s++ {
+		best := math.Inf(-1)
+		bestI := 0
+		v0, v1 := vOff[s], vOff[s+1]
+		for vk := v0; vk < v1; vk++ {
+			q := shift[stateOff[s]+vLocal[vk]]
+			for j := vsaOff[vk]; j < vsaOff[vk+1]; j++ {
+				q += vtprob[j] * h[vtto[j]]
+			}
+			qs[vk-v0] = q
+			if q > best {
+				best = q
+				bestI = int(vk - v0)
+			}
+		}
+		if !math.IsInf(margin, 1) {
+			// Dead slots stay in the view until the next rebuild and can
+			// win the argmax again as the iterate moves; revive such a
+			// slot so the invariant "every state's current best slot is
+			// alive" holds after every sweep — otherwise a state could be
+			// left with no active slot at all. kills may go negative for
+			// this chunk; harvestKills sums the signed counts.
+			bk := stateOff[s] + vLocal[v0+int32(bestI)]
+			if dead[bk] {
+				dead[bk] = false
+				kills--
+			}
+			for i := 0; i < int(v1-v0); i++ {
+				if best-qs[i] > margin {
+					k := stateOff[s] + vLocal[v0+int32(i)]
+					if !dead[k] {
+						dead[k] = true
+						kills++
+					}
+				}
+			}
+		}
+		v := keep*best + tau*h[s]
+		next[s] = v
+		pol[s] = int(vLocal[v0+int32(bestI)])
+		d := v - h[s]
+		if d < slo {
+			slo = d
+		}
+		if d > shi {
+			shi = d
+		}
+	}
+	ws.spans[w].lo, ws.spans[w].hi = slo, shi
+	ws.killWorker[w] = kills
+}
+
+// noteSpan records an optimizing sweep's span residual in the
+// contraction window and refreshes the kill margin: the distance of the
+// current iterate to the optimal bias (in span seminorm) is bounded by
+// the geometric tail span*c/(1-c) when future rounds contract at rate
+// c, estimated here as the mean per-round rate over the last
+// elimSpanWindow optimizing sweeps (a "round" being one optimizing
+// sweep plus whatever evaluation sweeps follow it).
+func (ws *Workspace) noteSpan(span float64) {
+	i := ws.sweepSeq % elimSpanWindow
+	old := ws.spanRing[i]
+	ws.spanRing[i] = span
+	ws.sweepSeq++
+	if ws.elimOff || !ws.elim || ws.sweepSeq <= elimSpanWindow || old <= 0 || span <= 0 || span >= old {
+		ws.killMargin = math.Inf(1)
+		return
+	}
+	c := math.Pow(span/old, 1.0/elimSpanWindow)
+	if c >= elimMaxContraction {
+		ws.killMargin = math.Inf(1)
+		return
+	}
+	ws.killMargin = elimSafety * span * c / (1 - c)
+}
+
+// harvestKills folds the per-worker kill counts of the last sweep (in
+// worker order — an integer sum, order-independent) into the solve's
+// totals and rebuilds the view when enough slots died since the last
+// rebuild to pay for the copy. It returns how many views were rebuilt
+// (0 or 1) so the caller can count compactions.
+func (ws *Workspace) harvestKills() int {
+	n := 0
+	for w := range ws.killWorker {
+		n += int(ws.killWorker[w])
+		ws.killWorker[w] = 0
+	}
+	if n == 0 {
+		return 0
+	}
+	ws.killed += n
+	ws.deadSince += n
+	if ws.deadSince >= elimRebuildMin && int32(ws.deadSince*8) >= ws.viewSlots {
+		ws.rebuildView()
+		return 1
+	}
+	return 0
+}
+
+// reactivateAll undoes every elimination of the current solve after a
+// failed validation sweep and disables elimination for its remainder.
+// The remaining sweeps run the plain full-operator kernel, so the stale
+// view is left as is for the next solve's reset to rebuild.
+func (ws *Workspace) reactivateAll() {
+	clear(ws.dead)
+	ws.killed = 0
+	ws.deadSince = 0
+	ws.viewFull = false
+	ws.elim = false
+	ws.elimOff = true
+	ws.killMargin = math.Inf(1)
+}
+
+// defaultEvalCap bounds the adaptive evaluation-sweep budget of
+// modified policy iteration when Options.EvalSweeps is 0.
+const defaultEvalCap = 16
+
+// evalSweepBudget decides how many fixed-policy evaluation sweeps to
+// run after an optimizing sweep that left the given span residual: two
+// per decade of remaining contraction distance, capped by the knob (or
+// defaultEvalCap when adaptive). A negative knob disables modified
+// policy iteration entirely.
+func evalSweepBudget(knob int, span, eps float64) int {
+	if knob < 0 || !(span > eps) {
+		return 0
+	}
+	max := knob
+	if max == 0 {
+		max = defaultEvalCap
+	}
+	k := 0
+	for r := span / eps; r > 1 && k < max; r /= 10 {
+		k += 2
+	}
+	if k > max {
+		k = max
+	}
+	return k
+}

@@ -1,0 +1,304 @@
+package mdp
+
+// Tests for the solver-kernel overhaul: the compile-time transition
+// compaction (duplicate same-destination merging), the modified-policy-
+// iteration and action-elimination acceleration paths against the exact
+// relative-value-iteration reference, and isolated benchmarks of the
+// two sweep kernels.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dupBuilder wraps a builder, splitting every transition into several
+// same-destination pieces that sum back to the original: probability is
+// split while the per-transition rewards stay put, so the expected
+// rewards sum(prob*Num) and sum(prob*Den) are unchanged. Compile must
+// merge the pieces in the compacted layout while Transitions keeps the
+// split form.
+type dupBuilder struct {
+	tableBuilder
+	pieces int
+}
+
+func (b dupBuilder) Transitions(s, a int) []Transition {
+	var out []Transition
+	for _, tr := range b.tableBuilder.Transitions(s, a) {
+		for i := 0; i < b.pieces; i++ {
+			out = append(out, Transition{
+				To:   tr.To,
+				Prob: tr.Prob / float64(b.pieces),
+				Num:  tr.Num,
+				Den:  tr.Den,
+			})
+		}
+	}
+	return out
+}
+
+// TestCompactionGolden: a model whose builder emits duplicate
+// same-destination transitions must report them in CompactionStats,
+// preserve the split transitions in the raw accessors, and solve to the
+// same gain and policy as the pre-merged equivalent.
+func TestCompactionGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := randomBuilder(rng, 40, 3)
+	plain := mustCompile(t, base)
+	dup := mustCompile(t, dupBuilder{tableBuilder: base, pieces: 3})
+
+	// randomBuilder can emit natural duplicates of its own (the random
+	// edge may share state 0 with the regeneration edge), so the
+	// expectations are relative to the plain model's stats.
+	pcs, cs := plain.CompactionStats(), dup.CompactionStats()
+	if cs.RawTransitions != pcs.RawTransitions*3 {
+		t.Errorf("RawTransitions = %d, want %d", cs.RawTransitions, pcs.RawTransitions*3)
+	}
+	if cs.CompactTransitions != pcs.CompactTransitions {
+		t.Errorf("CompactTransitions = %d, want %d", cs.CompactTransitions, pcs.CompactTransitions)
+	}
+	if cs.Duplicates != cs.RawTransitions-cs.CompactTransitions {
+		t.Errorf("Duplicates = %d, want raw-compact = %d",
+			cs.Duplicates, cs.RawTransitions-cs.CompactTransitions)
+	}
+	if dup.NumCompactTransitions() != plain.NumCompactTransitions() {
+		t.Errorf("compact transition counts differ: %d vs %d",
+			dup.NumCompactTransitions(), plain.NumCompactTransitions())
+	}
+	// A builder with all-distinct destinations compacts to itself.
+	if tcs := mustCompile(t, twoArmBuilder(0.1, 1)).CompactionStats(); tcs.Duplicates != 0 {
+		t.Errorf("duplicate-free model reports %d duplicates", tcs.Duplicates)
+	}
+
+	// The raw accessors must surface the builder's transitions unmerged.
+	if got := dup.Transitions(0, 0); len(got) != len(base.Transitions(0, 0))*3 {
+		t.Errorf("raw Transitions(0,0) has %d entries, want %d",
+			len(got), len(base.Transitions(0, 0))*3)
+	}
+
+	for _, opts := range []Options{
+		{Epsilon: 1e-10},
+		{Epsilon: 1e-10, EvalSweeps: -1, NoElimination: true},
+	} {
+		a, err := plain.AverageReward(opts)
+		if err != nil {
+			t.Fatalf("plain solve: %v", err)
+		}
+		b, err := dup.AverageReward(opts)
+		if err != nil {
+			t.Fatalf("dup solve: %v", err)
+		}
+		if math.Abs(a.Gain-b.Gain) > 1e-9 {
+			t.Errorf("opts %+v: gain %v (merged) vs %v (duplicated)", opts, a.Gain, b.Gain)
+		}
+		ga, err := plain.EvaluatePolicy(a.Policy, Options{Epsilon: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := plain.EvaluatePolicy(b.Policy, Options{Epsilon: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ga.Gain-gb.Gain) > 1e-8 {
+			t.Errorf("opts %+v: policies attain %v vs %v on the merged model", opts, ga.Gain, gb.Gain)
+		}
+	}
+}
+
+// TestCompactionReparameterizeIdentical: compiling a rewritten builder
+// and reparameterizing the frozen model must agree on the compacted
+// arrays bit for bit, duplicates included.
+func TestCompactionReparameterizeIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := randomBuilder(rng, 30, 3)
+	d1 := dupBuilder{tableBuilder: base, pieces: 2}
+	m := mustCompile(t, d1)
+	re, err := m.Reparameterize(d1)
+	if err != nil {
+		t.Fatalf("Reparameterize: %v", err)
+	}
+	if !ModelsIdentical(m, re) {
+		t.Fatal("reparameterized model differs from compiled model")
+	}
+}
+
+// TestMPIEliminationMatchesPureRVI is the overhaul's differential
+// property test: on 50 random ergodic models the accelerated default
+// path (modified policy iteration plus action elimination) must agree
+// with exact relative value iteration on the gain, and the two returned
+// policies must attain the same gain under independent evaluation.
+func TestMPIEliminationMatchesPureRVI(t *testing.T) {
+	trials := 50
+	if testing.Short() {
+		trials = 10
+	}
+	rng := rand.New(rand.NewSource(42))
+	eliminated, evals := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		m := mustCompile(t, randomBuilder(rng, 20+rng.Intn(60), 4))
+		rho := rng.Float64()
+		fast, err := m.AverageReward(Options{Epsilon: 1e-10, Rho: rho})
+		if err != nil {
+			t.Fatalf("trial %d: accelerated solve: %v", trial, err)
+		}
+		exact, err := m.AverageReward(Options{Epsilon: 1e-10, Rho: rho, EvalSweeps: -1, NoElimination: true})
+		if err != nil {
+			t.Fatalf("trial %d: exact RVI: %v", trial, err)
+		}
+		if math.Abs(fast.Gain-exact.Gain) > 1e-8 {
+			t.Errorf("trial %d: gain %v (accelerated) vs %v (exact RVI)", trial, fast.Gain, exact.Gain)
+		}
+		gf, err := m.EvaluatePolicy(fast.Policy, Options{Epsilon: 1e-10, Rho: rho})
+		if err != nil {
+			t.Fatalf("trial %d: evaluate accelerated policy: %v", trial, err)
+		}
+		ge, err := m.EvaluatePolicy(exact.Policy, Options{Epsilon: 1e-10, Rho: rho})
+		if err != nil {
+			t.Fatalf("trial %d: evaluate exact policy: %v", trial, err)
+		}
+		if math.Abs(gf.Gain-ge.Gain) > 1e-8 {
+			t.Errorf("trial %d: policies attain %v vs %v", trial, gf.Gain, ge.Gain)
+		}
+		// The exact path must really be exact RVI: every sweep optimizing,
+		// nothing eliminated.
+		if exact.Stats.EvalSweeps != 0 || exact.Stats.SlotsEliminated != 0 ||
+			exact.Stats.OptSweeps != exact.Stats.Iterations {
+			t.Errorf("trial %d: exact RVI ran stats %+v", trial, exact.Stats)
+		}
+		if fast.Stats.OptSweeps+fast.Stats.EvalSweeps != fast.Stats.Iterations {
+			t.Errorf("trial %d: sweep split %d+%d != %d", trial,
+				fast.Stats.OptSweeps, fast.Stats.EvalSweeps, fast.Stats.Iterations)
+		}
+		eliminated += fast.Stats.SlotsEliminated
+		evals += fast.Stats.EvalSweeps
+	}
+	// The acceleration must actually engage somewhere in the batch, or
+	// this test proves nothing.
+	if evals == 0 {
+		t.Error("modified policy iteration never ran an evaluation sweep")
+	}
+	if eliminated == 0 {
+		t.Error("action elimination never deactivated a slot")
+	}
+}
+
+// TestParallelBitIdenticalAcceleratedPaths: the accelerated paths keep
+// the solver's determinism contract — gain, bias, policy, and stats are
+// bit-identical at every worker count, including solves where
+// elimination engages and the bounded-evaluation and pure-RVI variants.
+func TestParallelBitIdenticalAcceleratedPaths(t *testing.T) {
+	variants := []Options{
+		{Epsilon: 1e-9},
+		{Epsilon: 1e-9, EvalSweeps: 4},
+		{Epsilon: 1e-9, EvalSweeps: -1},
+		{Epsilon: 1e-9, NoElimination: true},
+	}
+	for _, seed := range []int64{5, 6} {
+		for vi, base := range variants {
+			rng := rand.New(rand.NewSource(seed))
+			m := mustCompile(t, randomBuilder(rng, 500+rng.Intn(300), 3))
+			so := base
+			so.Parallelism = 1
+			serial, err := m.AverageReward(so)
+			if err != nil {
+				t.Fatalf("seed %d variant %d: serial: %v", seed, vi, err)
+			}
+			serialBias := append([]float64(nil), serial.Bias...)
+			serialPol := append(Policy(nil), serial.Policy...)
+			for _, par := range parallelisms(t) {
+				po := base
+				po.Parallelism = par
+				got, err := m.AverageReward(po)
+				if err != nil {
+					t.Fatalf("seed %d variant %d: Parallelism %d: %v", seed, vi, par, err)
+				}
+				if got.Gain != serial.Gain {
+					t.Errorf("seed %d variant %d: gain %v (par %d) vs %v (serial)",
+						seed, vi, got.Gain, par, serial.Gain)
+				}
+				if got.Iterations != serial.Iterations ||
+					got.Stats.OptSweeps != serial.Stats.OptSweeps ||
+					got.Stats.EvalSweeps != serial.Stats.EvalSweeps ||
+					got.Stats.SlotsEliminated != serial.Stats.SlotsEliminated {
+					t.Errorf("seed %d variant %d: stats differ at par %d: %+v vs %+v",
+						seed, vi, par, got.Stats, serial.Stats)
+				}
+				equalFloatsBitwise(t, "bias", par, got.Bias, serialBias)
+				equalPolicies(t, "policy", par, got.Policy, serialPol)
+			}
+		}
+	}
+}
+
+// TestEvalSweepBudget pins the adaptive budget's shape: off for
+// converged or disabled solves, growing with the remaining contraction
+// distance, capped by the knob.
+func TestEvalSweepBudget(t *testing.T) {
+	cases := []struct {
+		knob      int
+		span, eps float64
+		want      int
+	}{
+		{-1, 1, 1e-9, 0},             // disabled
+		{0, 1e-10, 1e-9, 0},          // already converged
+		{0, 1e-8, 1e-9, 2},           // one decade out: minimal polish
+		{0, 1e-3, 1e-9, 12},          // six decades
+		{0, 1, 1e-9, defaultEvalCap}, // nine decades, capped
+		{4, 1, 1e-9, 4},              // explicit cap
+		{100, 1e5, 1e-9, 28},         // cap above demand: demand wins
+	}
+	for _, tc := range cases {
+		if got := evalSweepBudget(tc.knob, tc.span, tc.eps); got != tc.want {
+			t.Errorf("evalSweepBudget(%d, %g, %g) = %d, want %d",
+				tc.knob, tc.span, tc.eps, got, tc.want)
+		}
+	}
+}
+
+// benchModel compiles a mid-sized random model for kernel benchmarks.
+func benchModel(b *testing.B) *Model {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	m, err := Compile(randomBuilder(rng, 4096, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkBellmanChunk times one full optimizing sweep of the Bellman
+// kernel over the compacted layout, in isolation.
+func BenchmarkBellmanChunk(b *testing.B) {
+	m := benchModel(b)
+	n := m.NumStates()
+	h := make([]float64, n)
+	next := make([]float64, n)
+	pol := make(Policy, n)
+	shift := make([]float64, m.NumStateActions())
+	m.shiftedRewardsInto(shift, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.bellmanChunk(h, next, pol, shift, 0.05, 0, n)
+		h, next = next, h
+	}
+}
+
+// BenchmarkPolicyChunk times one full fixed-policy evaluation sweep —
+// the cheap kernel modified policy iteration leans on.
+func BenchmarkPolicyChunk(b *testing.B) {
+	m := benchModel(b)
+	n := m.NumStates()
+	h := make([]float64, n)
+	next := make([]float64, n)
+	pol := make(Policy, n)
+	shift := make([]float64, m.NumStateActions())
+	m.shiftedRewardsInto(shift, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.policyChunk(h, next, pol, shift, 0.05, 0, n)
+		h, next = next, h
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -71,12 +72,61 @@ type Model struct {
 	// saOff[k]..saOff[k+1] index the transitions of slot k in trans.
 	saOff []int32
 	trans []Transition
-	// tprob/tto mirror trans[j].Prob and trans[j].To for the sweep kernels.
+	// tprob/tto mirror trans[j].Prob and trans[j].To in the builder's
+	// raw order. Reparameterize validates against them; the sweep
+	// kernels run on the compacted mirrors below.
 	tprob []float64
 	tto   []int32
+	// Compacted transition layout, the one the sweep kernels iterate:
+	// within each slot, raw transitions sharing a destination are merged
+	// (probabilities summed) and the survivors are sorted by destination
+	// for cache-friendly gathers. csaOff[k]..csaOff[k+1] index slot k's
+	// compacted transitions in ctprob/ctto.
+	csaOff []int32
+	ctprob []float64
+	ctto   []int32
+	// mergeIdx[j] is the compacted transition raw transition j folds
+	// into. It freezes the raw->compacted mapping so Reparameterize can
+	// rebuild ctprob by accumulating raw probabilities in ascending raw
+	// order — the exact order buildCompactedLayout uses — keeping the
+	// fast path bit-identical to a fresh Compile.
+	mergeIdx []int32
+	// dupTrans counts the raw transitions merged away (pre-merge
+	// duplicates); see CompactionStats.
+	dupTrans int
 	// eNum/eDen are the expected Num and Den rewards of each (state,
 	// action) slot: eNum[k] = sum_j trans[j].Prob * trans[j].Num.
 	eNum, eDen []float64
+}
+
+// CompactionStats describes what the compile-time layout compaction did
+// to a model: how many raw builder transitions it saw, how many remain
+// after merging duplicate same-destination transitions within a slot,
+// and the duplicate count itself. Builders that over-emit — listing the
+// same destination several times for one (state, action) — are
+// semantically fine (probabilities add), but every duplicate is wasted
+// work in the pre-compaction sweep kernels, so the count is also
+// surfaced once per Compile through the mdp_dup_transitions_total
+// counter.
+type CompactionStats struct {
+	// RawTransitions is the builder-emitted transition count
+	// (NumTransitions).
+	RawTransitions int
+	// CompactTransitions is the merged, destination-sorted count the
+	// sweep kernels iterate.
+	CompactTransitions int
+	// Duplicates is RawTransitions - CompactTransitions: raw transitions
+	// that shared a slot and destination with an earlier one.
+	Duplicates int
+}
+
+// CompactionStats reports the model's layout-compaction summary.
+func (m *Model) CompactionStats() CompactionStats {
+	return CompactionStats{
+		RawTransitions:     len(m.trans),
+		CompactTransitions: len(m.ctto),
+		Duplicates:         m.dupTrans,
+	}
 }
 
 // probTolerance is the largest deviation from 1 tolerated for the total
@@ -157,6 +207,11 @@ func CompileWorkers(b Builder, workers int) (*Model, error) {
 		m.trans = append(m.trans, c.trans...)
 	}
 	m.buildHotArrays()
+	if m.dupTrans > 0 {
+		// Surface over-emitting builders once per compile; the counter is
+		// nil-safe, so uninstrumented programs pay nothing.
+		dupTransTotal.Add(int64(m.dupTrans))
+	}
 	return m, nil
 }
 
@@ -218,6 +273,47 @@ func (m *Model) buildHotArrays() {
 		m.eNum[k] = en
 		m.eDen[k] = ed
 	}
+	m.buildCompactedLayout()
+}
+
+// buildCompactedLayout derives the compacted transition arrays from the
+// raw mirrors: per slot, duplicate destinations merged and survivors
+// sorted ascending by destination. The probability accumulation below
+// visits raw transitions in ascending raw order, the order
+// reparamRange reproduces, so a Reparameterize product's ctprob is
+// bit-identical to a fresh Compile's.
+func (m *Model) buildCompactedLayout() {
+	numSlots := len(m.actionID)
+	m.csaOff = make([]int32, numSlots+1)
+	m.mergeIdx = make([]int32, len(m.trans))
+	ctto := make([]int32, 0, len(m.trans))
+	var scratch []int32 // raw transition indices of one slot, sorted by destination
+	for k := 0; k < numSlots; k++ {
+		j0, j1 := m.saOff[k], m.saOff[k+1]
+		scratch = scratch[:0]
+		for j := j0; j < j1; j++ {
+			scratch = append(scratch, j)
+		}
+		sort.Slice(scratch, func(a, b int) bool {
+			if m.tto[scratch[a]] != m.tto[scratch[b]] {
+				return m.tto[scratch[a]] < m.tto[scratch[b]]
+			}
+			return scratch[a] < scratch[b]
+		})
+		for i, j := range scratch {
+			if i == 0 || m.tto[j] != m.tto[scratch[i-1]] {
+				ctto = append(ctto, m.tto[j])
+			}
+			m.mergeIdx[j] = int32(len(ctto) - 1)
+		}
+		m.csaOff[k+1] = int32(len(ctto))
+	}
+	m.ctto = ctto
+	m.ctprob = make([]float64, len(ctto))
+	for j := range m.tprob {
+		m.ctprob[m.mergeIdx[j]] += m.tprob[j]
+	}
+	m.dupTrans = len(m.trans) - len(ctto)
 }
 
 // shiftedRewards returns the per-slot expected reward of the auxiliary
@@ -272,10 +368,18 @@ func (m *Model) ReparameterizeWorkers(b Builder, workers int) (*Model, error) {
 		actionID:  m.actionID,
 		saOff:     m.saOff,
 		tto:       m.tto,
-		trans:     make([]Transition, len(m.trans)),
-		tprob:     make([]float64, len(m.tprob)),
-		eNum:      make([]float64, len(m.eNum)),
-		eDen:      make([]float64, len(m.eDen)),
+		// The compacted skeleton (offsets, destinations, and the
+		// raw->compacted mapping) is pure structure and is shared; only
+		// the merged probabilities are rebuilt.
+		csaOff:   m.csaOff,
+		ctto:     m.ctto,
+		mergeIdx: m.mergeIdx,
+		dupTrans: m.dupTrans,
+		trans:    make([]Transition, len(m.trans)),
+		tprob:    make([]float64, len(m.tprob)),
+		ctprob:   make([]float64, len(m.ctprob)),
+		eNum:     make([]float64, len(m.eNum)),
+		eDen:     make([]float64, len(m.eDen)),
 	}
 	w := effectiveWorkers(workers, n, minAutoStatesPerCompileWorker)
 	if w == 1 {
@@ -342,6 +446,10 @@ func (m *Model) reparamRange(b Builder, nm *Model, lo, hi int) error {
 				ed += tr.Prob * tr.Den
 				nm.trans[j] = tr
 				nm.tprob[j] = tr.Prob
+				// Same ascending-raw-index accumulation order as
+				// buildCompactedLayout, so merged probabilities are
+				// bit-identical to a fresh Compile's.
+				nm.ctprob[m.mergeIdx[j]] += tr.Prob
 			}
 			if math.Abs(total-1) > probTolerance {
 				return fmt.Errorf("mdp: state %d action %d: probabilities sum to %g, want 1", s, a, total)
@@ -388,7 +496,14 @@ func ModelsIdentical(a, b *Model) bool {
 		!eqI32(a.saOff, b.saOff) || !eqI32(a.tto, b.tto) {
 		return false
 	}
-	if !eqF64(a.tprob, b.tprob) || !eqF64(a.eNum, b.eNum) || !eqF64(a.eDen, b.eDen) {
+	if !eqI32(a.csaOff, b.csaOff) || !eqI32(a.ctto, b.ctto) || !eqI32(a.mergeIdx, b.mergeIdx) {
+		return false
+	}
+	if !eqF64(a.tprob, b.tprob) || !eqF64(a.ctprob, b.ctprob) ||
+		!eqF64(a.eNum, b.eNum) || !eqF64(a.eDen, b.eDen) {
+		return false
+	}
+	if a.dupTrans != b.dupTrans {
 		return false
 	}
 	if len(a.trans) != len(b.trans) {
@@ -408,8 +523,13 @@ func (m *Model) NumStates() int { return m.numStates }
 // NumStateActions reports the total number of (state, action) pairs.
 func (m *Model) NumStateActions() int { return len(m.actionID) }
 
-// NumTransitions reports the total number of stored transitions.
+// NumTransitions reports the total number of stored transitions, as the
+// builder emitted them (before compaction merged duplicates).
 func (m *Model) NumTransitions() int { return len(m.trans) }
+
+// NumCompactTransitions reports the number of transitions the sweep
+// kernels iterate after duplicate same-destination merging.
+func (m *Model) NumCompactTransitions() int { return len(m.ctto) }
 
 // Actions returns the action identifiers available in state s.
 // The returned slice is owned by the model and must not be modified.

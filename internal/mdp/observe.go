@@ -8,10 +8,13 @@ import "buanalysis/internal/obs"
 var (
 	solvesTotal       *obs.Counter
 	sweepsTotal       *obs.Counter
+	evalSweepsTotal   *obs.Counter
 	probesTotal       *obs.Counter
 	warmSolvesTotal   *obs.Counter
 	warmBracketsTotal *obs.Counter
 	reparamsTotal     *obs.Counter
+	dupTransTotal     *obs.Counter
+	elimSlotsTotal    *obs.Counter
 )
 
 // Observe registers the solver package's metrics on reg: total solves
@@ -23,9 +26,12 @@ var (
 // in-flight solves. A nil registry leaves the package uninstrumented.
 func Observe(reg *obs.Registry) {
 	solvesTotal = reg.Counter("mdp_solves_total", "Iterative solves started (RVI, policy evaluation, discounted VI).")
-	sweepsTotal = reg.Counter("mdp_sweeps_total", "Bellman sweeps performed across all solves.")
+	sweepsTotal = reg.Counter("mdp_sweeps_total", "Bellman sweeps performed across all solves (optimizing and fixed-policy alike).")
+	evalSweepsTotal = reg.Counter("mdp_eval_sweeps_total", "Cheap fixed-policy evaluation sweeps run by modified policy iteration.")
 	probesTotal = reg.Counter("mdp_probes_total", "Inner average-reward probes performed by ratio bisections.")
 	warmSolvesTotal = reg.Counter("mdp_warm_solves_total", "Solves that started from a warm bias instead of the cold zero vector.")
 	warmBracketsTotal = reg.Counter("mdp_warm_brackets_total", "Ratio bisections that seeded their bracket from a neighboring value.")
 	reparamsTotal = reg.Counter("mdp_reparams_total", "Models rebuilt by Reparameterize against a frozen structure.")
+	dupTransTotal = reg.Counter("mdp_dup_transitions_total", "Duplicate same-destination transitions merged away at compile time (over-emitting builders).")
+	elimSlotsTotal = reg.Counter("mdp_eliminated_slots_total", "State-action slots proven suboptimal and deactivated by action elimination.")
 }

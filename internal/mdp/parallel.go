@@ -18,6 +18,15 @@ import (
 // reduction (StationaryDistribution's L1 residual) is accumulated over
 // fixed-size state blocks whose boundaries do not depend on the worker
 // count, preserving the same guarantee.
+//
+// The accelerated kernels keep the contract: the fixed-policy
+// evaluation sweep (policyChunk) and the eliminating Bellman sweep
+// (viewElimChunk) are Jacobi updates like bellmanChunk, each state's
+// elimination decision depends only on its own Q-values and a margin
+// fixed before the sweep, and the per-worker kill counters are signed
+// integers folded in worker order (workspace.go's harvestKills), so
+// every worker count produces the same kills, the same view rebuilds,
+// and the same bits.
 
 // minAutoStatesPerWorker is the smallest per-worker chunk the automatic
 // parallelism mode (Parallelism == 0) will create: below it the

@@ -85,8 +85,17 @@ type RatioStats struct {
 	// previous probe's bias; on a warm-chained workspace the first probe
 	// is warm too).
 	WarmProbes int
-	// Iterations is the total number of Bellman sweeps across probes.
+	// Iterations is the total number of sweeps across probes (optimizing
+	// plus fixed-policy evaluation; OptSweeps and EvalSweeps split it).
 	Iterations int
+	// OptSweeps is the total number of optimizing Bellman sweeps.
+	OptSweeps int `json:",omitempty"`
+	// EvalSweeps is the total number of fixed-policy evaluation sweeps
+	// run by modified policy iteration.
+	EvalSweeps int `json:",omitempty"`
+	// SlotsEliminated totals the (state, action) slots action elimination
+	// deactivated, summed over probes.
+	SlotsEliminated int `json:",omitempty"`
 	// Residual is the final inner solve's residual.
 	Residual float64
 	// Duration is the wall-clock time of the whole bisection.
@@ -154,6 +163,9 @@ func (ws *Workspace) SolveRatio(opts RatioOptions) (RatioResult, error) {
 		// only seeds the first.
 		inner.Warm = nil
 		stats.Iterations += res.Stats.Iterations
+		stats.OptSweeps += res.Stats.OptSweeps
+		stats.EvalSweeps += res.Stats.EvalSweeps
+		stats.SlotsEliminated += res.Stats.SlotsEliminated
 		stats.Residual = res.Stats.Residual
 		stats.Workers = res.Stats.Workers
 		if res.Stats.Warm {

@@ -28,6 +28,32 @@ type Options struct {
 	// Rho shifts the per-transition reward to Num - Rho*Den. The plain
 	// average-reward solvers use Rho as given (default 0).
 	Rho float64
+	// EvalSweeps controls modified policy iteration in AverageReward
+	// (and therefore in every SolveRatio probe): after each optimizing
+	// Bellman backup the solver runs up to k cheap fixed-policy
+	// evaluation sweeps of the current greedy policy — no argmax, one
+	// action slot per state — before paying for the next optimizing
+	// sweep. Convergence is still declared only at optimizing sweeps by
+	// the standard span criterion, which bounds the optimal gain for any
+	// bias vector however it was produced, so the returned gain carries
+	// the same Epsilon guarantee as pure relative value iteration.
+	//
+	// 0 (the default) selects an adaptive budget driven by the span
+	// residual: many evaluation sweeps while the span is far above
+	// Epsilon, tapering to none as it closes. A positive value caps the
+	// adaptive budget at that many evaluation sweeps per optimizing
+	// sweep. A negative value disables evaluation sweeps entirely —
+	// exact relative value iteration, the pre-MPI reference path.
+	EvalSweeps int
+	// NoElimination disables action elimination: the incremental
+	// deactivation of (state, action) slots whose Q-value provably
+	// cannot become optimal, and the periodic compaction of the active
+	// transition set that lets late sweeps touch a fraction of the
+	// transitions. Elimination decisions are validated by a final
+	// full-operator sweep before a solve with eliminations returns, so
+	// this knob affects iteration counts and wall-clock only; results
+	// carry the same guarantee either way.
+	NoElimination bool
 	// Warm, if non-nil, seeds the bias vector (length NumStates). Reusing
 	// the bias of a nearby solve (for example the previous bisection
 	// probe) cuts iteration counts substantially. The slice is copied.
@@ -55,8 +81,9 @@ type Options struct {
 // Normalized returns the options with every default applied, the exact
 // configuration the solvers run under. Two Options values that solve
 // identically normalize to the same struct (Warm, Parallelism, and
-// Tracer do not affect results and are zeroed), which makes the
-// normalized form a stable basis for cache keys.
+// Tracer do not affect results and are zeroed; EvalSweeps and
+// NoElimination steer the iteration path and are kept), which makes
+// the normalized form a stable basis for cache keys.
 func (o Options) Normalized() Options {
 	o = o.withDefaults()
 	o.Warm = nil
@@ -83,8 +110,20 @@ func (o Options) withDefaults() Options {
 
 // Stats instruments a single solve.
 type Stats struct {
-	// Iterations is the number of Bellman sweeps performed.
+	// Iterations is the total number of sweeps performed: optimizing
+	// Bellman backups plus fixed-policy evaluation sweeps.
 	Iterations int
+	// OptSweeps is the number of optimizing (argmax) Bellman backups.
+	OptSweeps int `json:",omitempty"`
+	// EvalSweeps is the number of cheap fixed-policy evaluation sweeps
+	// modified policy iteration interleaved between backups.
+	EvalSweeps int `json:",omitempty"`
+	// SlotsEliminated is the number of (state, action) slots action
+	// elimination deactivated during the solve.
+	SlotsEliminated int `json:",omitempty"`
+	// Compactions is how many times the active-transition view was
+	// rebuilt after eliminations.
+	Compactions int `json:",omitempty"`
 	// Residual is the final convergence measure: the span seminorm of
 	// the last update for the average-reward solvers, the sup-norm
 	// update for discounted value iteration.
@@ -122,23 +161,25 @@ type Result struct {
 // serially. Either way the arithmetic is elementwise and identical.
 const recenterParallelMin = 1 << 14
 
-// bellmanChunk performs one optimizing Bellman backup for states
-// [lo, hi): next[s] and pol[s] are written, and the chunk's span of the
-// update d = next[s] - h[s] is returned for the caller's min/max
-// reduction.
+// bellmanChunk performs one optimizing Bellman backup over the full
+// action set for states [lo, hi): next[s] and pol[s] are written, and
+// the chunk's span of the update d = next[s] - h[s] is returned for the
+// caller's min/max reduction. It iterates the compacted transition
+// layout (duplicates merged, destinations sorted); the elimination-
+// aware variants in elimination.go iterate the active subset instead.
 func (m *Model) bellmanChunk(h, next []float64, pol Policy, shift []float64, tau float64, lo, hi int) (slo, shi float64) {
 	slo, shi = math.Inf(1), math.Inf(-1)
 	keep := 1 - tau
-	stateOff, saOff := m.stateOff, m.saOff
-	tprob, tto := m.tprob, m.tto
+	stateOff, csaOff := m.stateOff, m.csaOff
+	ctprob, ctto := m.ctprob, m.ctto
 	for s := lo; s < hi; s++ {
 		best := math.Inf(-1)
 		bestSlot := 0
 		k0, k1 := stateOff[s], stateOff[s+1]
 		for k := k0; k < k1; k++ {
 			q := shift[k]
-			for j := saOff[k]; j < saOff[k+1]; j++ {
-				q += tprob[j] * h[tto[j]]
+			for j := csaOff[k]; j < csaOff[k+1]; j++ {
+				q += ctprob[j] * h[ctto[j]]
 			}
 			if q > best {
 				best = q
@@ -159,17 +200,20 @@ func (m *Model) bellmanChunk(h, next []float64, pol Policy, shift []float64, tau
 	return slo, shi
 }
 
-// policyChunk is bellmanChunk restricted to a fixed policy.
+// policyChunk is bellmanChunk restricted to a fixed policy: one slot
+// per state, no argmax. It is the sweep modified policy iteration runs
+// between optimizing backups, several times cheaper than bellmanChunk
+// because it touches only the chosen action's transitions.
 func (m *Model) policyChunk(h, next []float64, pol Policy, shift []float64, tau float64, lo, hi int) (slo, shi float64) {
 	slo, shi = math.Inf(1), math.Inf(-1)
 	keep := 1 - tau
-	stateOff, saOff := m.stateOff, m.saOff
-	tprob, tto := m.tprob, m.tto
+	stateOff, csaOff := m.stateOff, m.csaOff
+	ctprob, ctto := m.ctprob, m.ctto
 	for s := lo; s < hi; s++ {
 		k := stateOff[s] + int32(pol[s])
 		q := shift[k]
-		for j := saOff[k]; j < saOff[k+1]; j++ {
-			q += tprob[j] * h[tto[j]]
+		for j := csaOff[k]; j < csaOff[k+1]; j++ {
+			q += ctprob[j] * h[ctto[j]]
 		}
 		v := keep*q + tau*h[s]
 		next[s] = v
@@ -200,10 +244,13 @@ func reduceSpans(spans []wspan) (lo, hi float64) {
 }
 
 // AverageReward maximizes the long-run average of Num - Rho*Den per step
-// using relative value iteration with an aperiodicity transformation.
-// The model must be weakly communicating under some policy reaching a
-// single recurrent class; the models in this repository regenerate
-// through a base state and satisfy this.
+// using relative value iteration with an aperiodicity transformation,
+// accelerated by default with modified policy iteration (cheap
+// fixed-policy sweeps between optimizing backups; Options.EvalSweeps)
+// and action elimination (Options.NoElimination). The model must be
+// weakly communicating under some policy reaching a single recurrent
+// class; the models in this repository regenerate through a base state
+// and satisfy this.
 //
 // Each call runs on a transient Workspace, so repeated solves allocate
 // their scratch vectors and worker pool every time; callers performing
@@ -293,16 +340,16 @@ func (m *Model) ValueIteration(discount float64, opts Options) ([]float64, Polic
 // discountedChunk performs one discounted Bellman backup for states
 // [lo, hi) and returns the chunk's sup-norm update.
 func (m *Model) discountedChunk(v, next []float64, pol Policy, shift []float64, discount float64, lo, hi int) (worst float64) {
-	stateOff, saOff := m.stateOff, m.saOff
-	tprob, tto := m.tprob, m.tto
+	stateOff, csaOff := m.stateOff, m.csaOff
+	ctprob, ctto := m.ctprob, m.ctto
 	for s := lo; s < hi; s++ {
 		best := math.Inf(-1)
 		bestSlot := 0
 		k0, k1 := stateOff[s], stateOff[s+1]
 		for k := k0; k < k1; k++ {
 			dot := 0.0
-			for j := saOff[k]; j < saOff[k+1]; j++ {
-				dot += tprob[j] * v[tto[j]]
+			for j := csaOff[k]; j < csaOff[k+1]; j++ {
+				dot += ctprob[j] * v[ctto[j]]
 			}
 			q := shift[k] + discount*dot
 			if q > best {

@@ -23,8 +23,9 @@ type policyChain struct {
 	inProb []float64
 }
 
-// transpose builds the incoming-edge arrays of the policy's chain.
-// Edges are emitted in source-state order, which fixes the per-state
+// transpose builds the incoming-edge arrays of the policy's chain from
+// the compacted transition layout (duplicates already merged). Edges
+// are emitted in source-state order, which fixes the per-state
 // summation order independent of the worker count.
 func (m *Model) transpose(pol Policy) policyChain {
 	n := m.numStates
@@ -33,8 +34,8 @@ func (m *Model) transpose(pol Policy) policyChain {
 	total := 0
 	for s := 0; s < n; s++ {
 		k := slot(s)
-		for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
-			c.inOff[m.tto[j]+1]++
+		for j := m.csaOff[k]; j < m.csaOff[k+1]; j++ {
+			c.inOff[m.ctto[j]+1]++
 			total++
 		}
 	}
@@ -47,10 +48,10 @@ func (m *Model) transpose(pol Policy) policyChain {
 	copy(pos, c.inOff[:n])
 	for s := 0; s < n; s++ {
 		k := slot(s)
-		for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
-			d := m.tto[j]
+		for j := m.csaOff[k]; j < m.csaOff[k+1]; j++ {
+			d := m.ctto[j]
 			c.inSrc[pos[d]] = int32(s)
-			c.inProb[pos[d]] = m.tprob[j]
+			c.inProb[pos[d]] = m.ctprob[j]
 			pos[d]++
 		}
 	}

@@ -65,11 +65,35 @@ type Workspace struct {
 	// warm records that h holds the bias of a previous solve and can
 	// seed the next one.
 	warm bool
+
+	// Action-elimination and active-view state; see elimination.go. All
+	// buffers are allocated eagerly by NewWorkspace so the steady-state
+	// probe stays allocation-free.
+	dead       []bool // dead[k]: slot k proven suboptimal in this solve
+	killed     int    // dead slots so far this solve
+	deadSince  int    // kills since the last view rebuild
+	viewFull   bool   // view arrays mirror the full slot set of ws.m
+	viewSlots  int32  // slots currently in the view
+	elim       bool   // elimination enabled for the current solve
+	elimOff    bool   // elimination permanently disabled this solve
+	killMargin float64
+	spanRing   [elimSpanWindow]float64
+	sweepSeq   int
+	// Active-view CSR: per state, the surviving slots (by slot-local
+	// index) and their compacted transitions copied contiguously.
+	vStateOff  []int32
+	vSlotLocal []int32
+	vsaOff     []int32
+	vtprob     []float64
+	vtto       []int32
+	qbuf       [][]float64 // per-worker slot-Q scratch for the kill test
+	killWorker []int32     // per-worker kill counts of the last sweep
 }
 
 // Sweep-kernel selectors for runChunk.
 const (
 	opBellman = iota
+	opBellmanElim
 	opPolicyEval
 	opRecenter
 	opImprove
@@ -82,17 +106,38 @@ const (
 // pool's worker goroutines.
 func (m *Model) NewWorkspace(parallelism int) *Workspace {
 	n := m.numStates
+	numSlots := len(m.eNum)
 	ws := &Workspace{
 		m:       m,
 		h:       make([]float64, n),
 		next:    make([]float64, n),
 		pol:     make(Policy, n),
 		bestPol: make(Policy, n),
-		shift:   make([]float64, len(m.eNum)),
+		shift:   make([]float64, numSlots),
+		// Elimination buffers, sized for the full model so in-solve
+		// compactions never allocate.
+		dead:       make([]bool, numSlots),
+		vStateOff:  make([]int32, n+1),
+		vSlotLocal: make([]int32, numSlots),
+		vsaOff:     make([]int32, numSlots+1),
+		vtprob:     make([]float64, len(m.ctprob)),
+		vtto:       make([]int32, len(m.ctto)),
+		killMargin: math.Inf(1),
 	}
 	ws.pool = newSweepPool(n, effectiveWorkers(parallelism, n, minAutoStatesPerWorker), 1)
 	ws.spans = make([]wspan, ws.pool.workers())
 	ws.improved = make([]int32, ws.pool.workers())
+	ws.killWorker = make([]int32, ws.pool.workers())
+	maxSlots := 0
+	for s := 0; s < n; s++ {
+		if sl := int(m.stateOff[s+1] - m.stateOff[s]); sl > maxSlots {
+			maxSlots = sl
+		}
+	}
+	ws.qbuf = make([][]float64, ws.pool.workers())
+	for w := range ws.qbuf {
+		ws.qbuf[w] = make([]float64, maxSlots)
+	}
 	ws.body = ws.runChunk
 	return ws
 }
@@ -124,7 +169,13 @@ func (ws *Workspace) Bind(m *Model) error {
 	if len(m.eNum) != len(ws.shift) {
 		return fmt.Errorf("mdp: cannot bind workspace for %d state-actions to model with %d", len(ws.shift), len(m.eNum))
 	}
+	if len(m.ctprob) != len(ws.vtprob) {
+		return fmt.Errorf("mdp: cannot bind workspace for %d compacted transitions to model with %d", len(ws.vtprob), len(m.ctprob))
+	}
 	ws.m = m
+	// The view caches the old model's probabilities; rebuild before the
+	// next eliminating solve.
+	ws.viewFull = false
 	return nil
 }
 
@@ -134,6 +185,8 @@ func (ws *Workspace) runChunk(w, lo, hi int) {
 	switch ws.mode {
 	case opBellman:
 		ws.spans[w].lo, ws.spans[w].hi = ws.m.bellmanChunk(ws.h, ws.next, ws.pol, ws.shift, ws.tau, lo, hi)
+	case opBellmanElim:
+		ws.viewElimChunk(w, lo, hi)
 	case opPolicyEval:
 		ws.spans[w].lo, ws.spans[w].hi = ws.m.policyChunk(ws.h, ws.next, ws.evalPol, ws.shift, ws.tau, lo, hi)
 	case opRecenter:
@@ -179,8 +232,14 @@ func (ws *Workspace) seedBias(opts Options) bool {
 }
 
 // AverageReward is Model.AverageReward on the workspace's buffers and
-// pool: same algorithm, same results, no per-solve allocations. See the
-// Workspace doc for warm chaining and result-ownership semantics.
+// pool — relative value iteration accelerated by modified policy
+// iteration and action elimination (see Options.EvalSweeps and
+// Options.NoElimination), with no per-solve allocations. Convergence is
+// declared only when an optimizing sweep's span meets Epsilon (after a
+// full-operator validation sweep if any action was eliminated), so
+// every acceleration path returns a gain with the standard relative-
+// value-iteration guarantee. See the Workspace doc for warm chaining
+// and result-ownership semantics.
 func (ws *Workspace) AverageReward(opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
@@ -190,6 +249,7 @@ func (ws *Workspace) AverageReward(opts Options) (Result, error) {
 	keep := 1 - tau
 	ws.tau = tau
 	m.shiftedRewardsInto(ws.shift, opts.Rho)
+	ws.resetSolveState(opts)
 
 	solvesTotal.Inc()
 	if warm {
@@ -210,13 +270,28 @@ func (ws *Workspace) AverageReward(opts Options) (Result, error) {
 		}
 	}
 
-	for it := 1; it <= opts.MaxIterations; it++ {
-		ws.mode = opBellman
+	it, optSweeps, evalSweeps, compactions := 0, 0, 0, 0
+	var lo, hi float64
+	converged := false
+	for it < opts.MaxIterations && !converged {
+		// Optimizing sweep over the active slot set.
+		if ws.elim {
+			ws.mode = opBellmanElim
+		} else {
+			ws.mode = opBellman
+		}
 		ws.pool.run(ws.body)
-		lo, hi := reduceSpans(ws.spans)
+		lo, hi = reduceSpans(ws.spans)
 		// Re-center on state 0 to keep the bias bounded.
 		ws.recenter(ws.next[0])
 		ws.h, ws.next = ws.next, ws.h
+		it++
+		optSweeps++
+		span := hi - lo
+		ws.noteSpan(span)
+		if ws.elim {
+			compactions += ws.harvestKills()
+		}
 		if tr != nil {
 			changes := 0
 			pol, prevPol := ws.pol, ws.prevPol
@@ -227,31 +302,100 @@ func (ws *Workspace) AverageReward(opts Options) (Result, error) {
 				}
 			}
 			tr.Emit(obs.Event{Kind: "solver.iter", Solver: "rvi", Iter: it,
-				Residual: hi - lo, SpanLo: lo, SpanHi: hi, PolicyChanges: changes})
+				Residual: span, SpanLo: lo, SpanHi: hi, PolicyChanges: changes,
+				Eliminated: ws.killed})
 		}
-		if hi-lo < opts.Epsilon {
-			sweepsTotal.Add(int64(it))
-			ws.warm = true
-			if tr != nil {
-				tr.Emit(obs.Event{Kind: "solver.done", Solver: "rvi", Iter: it,
-					Residual: hi - lo, Gain: (lo + hi) / 2 / keep})
+		if span < opts.Epsilon {
+			if ws.killed == 0 {
+				converged = true
+				break
 			}
-			return Result{
-				Gain:       (lo + hi) / 2 / keep,
-				Policy:     ws.pol,
-				Bias:       ws.h,
-				Iterations: it,
-				Converged:  true,
-				Stats:      Stats{Iterations: it, Residual: hi - lo, Duration: time.Since(start), Workers: ws.pool.workers(), Warm: warm},
-			}, nil
+			// The active set converged but slots were eliminated along
+			// the way: validate with one full-operator sweep. Its span
+			// meeting Epsilon re-establishes the standard criterion on
+			// the whole model; its argmax rewrites pol over every slot.
+			ws.mode = opBellman
+			ws.pool.run(ws.body)
+			lo, hi = reduceSpans(ws.spans)
+			ws.recenter(ws.next[0])
+			ws.h, ws.next = ws.next, ws.h
+			it++
+			optSweeps++
+			ws.noteSpan(hi - lo)
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "solver.iter", Solver: "rvi", Iter: it,
+					Residual: hi - lo, SpanLo: lo, SpanHi: hi,
+					Eliminated: ws.killed, Detail: "validate"})
+			}
+			if hi-lo < opts.Epsilon {
+				converged = true
+				break
+			}
+			// An elimination was unsound; undo all of them and finish
+			// the solve on the full operator.
+			ws.reactivateAll()
+			continue
+		}
+		// Modified policy iteration: polish the current greedy policy's
+		// bias with cheap fixed-policy sweeps before the next backup.
+		// The budget shrinks with the remaining span distance, and the
+		// loop bails out if an evaluation sweep stops contracting (a
+		// mid-solve greedy policy need not induce a unichain).
+		budget := evalSweepBudget(opts.EvalSweeps, span, opts.Epsilon)
+		prev := span
+		for e := 0; e < budget && it < opts.MaxIterations; e++ {
+			ws.mode = opPolicyEval
+			ws.evalPol = ws.pol
+			ws.pool.run(ws.body)
+			elo, ehi := reduceSpans(ws.spans)
+			ws.recenter(ws.next[0])
+			ws.h, ws.next = ws.next, ws.h
+			it++
+			evalSweeps++
+			espan := ehi - elo
+			// espan is deliberately NOT fed to noteSpan: the fixed-policy
+			// operator contracts much faster than the optimizing one, and
+			// mixing its spans into the contraction window would fake a
+			// tiny rate and collapse the kill margin.
+			if tr != nil {
+				tr.Emit(obs.Event{Kind: "solver.iter", Solver: "policy-eval", Iter: it,
+					Residual: espan, SpanLo: elo, SpanHi: ehi})
+			}
+			if espan >= prev || espan < opts.Epsilon*0.5 {
+				break
+			}
+			prev = espan
 		}
 	}
-	sweepsTotal.Add(int64(opts.MaxIterations))
+
+	sweepsTotal.Add(int64(it))
+	evalSweepsTotal.Add(int64(evalSweeps))
+	elimSlotsTotal.Add(int64(ws.killed))
 	ws.warm = true
+	stats := Stats{
+		Iterations: it, OptSweeps: optSweeps, EvalSweeps: evalSweeps,
+		SlotsEliminated: ws.killed, Compactions: compactions,
+		Residual: hi - lo, Duration: time.Since(start),
+		Workers: ws.pool.workers(), Warm: warm,
+	}
+	if !converged {
+		stats.Residual = math.Inf(1)
+		return Result{
+			Policy: ws.pol, Bias: ws.h, Iterations: it, Stats: stats,
+		}, errors.New("mdp: relative value iteration did not converge")
+	}
+	if tr != nil {
+		tr.Emit(obs.Event{Kind: "solver.done", Solver: "rvi", Iter: it,
+			Residual: hi - lo, Gain: (lo + hi) / 2 / keep, Eliminated: ws.killed})
+	}
 	return Result{
-		Policy: ws.pol, Bias: ws.h, Iterations: opts.MaxIterations,
-		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: ws.pool.workers(), Warm: warm},
-	}, errors.New("mdp: relative value iteration did not converge")
+		Gain:       (lo + hi) / 2 / keep,
+		Policy:     ws.pol,
+		Bias:       ws.h,
+		Iterations: it,
+		Converged:  true,
+		Stats:      stats,
+	}, nil
 }
 
 // EvaluatePolicy is Model.EvaluatePolicy on the workspace's buffers
@@ -302,7 +446,7 @@ func (ws *Workspace) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 				Bias:       ws.h,
 				Iterations: it,
 				Converged:  true,
-				Stats:      Stats{Iterations: it, Residual: hi - lo, Duration: time.Since(start), Workers: ws.pool.workers(), Warm: warm},
+				Stats:      Stats{Iterations: it, EvalSweeps: it, Residual: hi - lo, Duration: time.Since(start), Workers: ws.pool.workers(), Warm: warm},
 			}, nil
 		}
 	}
@@ -310,7 +454,7 @@ func (ws *Workspace) EvaluatePolicy(pol Policy, opts Options) (Result, error) {
 	ws.warm = true
 	return Result{
 		Policy: pol, Bias: ws.h, Iterations: opts.MaxIterations,
-		Stats: Stats{Iterations: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: ws.pool.workers(), Warm: warm},
+		Stats: Stats{Iterations: opts.MaxIterations, EvalSweeps: opts.MaxIterations, Residual: math.Inf(1), Duration: time.Since(start), Workers: ws.pool.workers(), Warm: warm},
 	}, errors.New("mdp: policy evaluation did not converge")
 }
 
@@ -376,8 +520,8 @@ func (m *Model) improveChunk(pol Policy, bias, shift []float64, lo, hi int) (imp
 		k0, k1 := m.stateOff[s], m.stateOff[s+1]
 		for k := k0; k < k1; k++ {
 			q := shift[k]
-			for j := m.saOff[k]; j < m.saOff[k+1]; j++ {
-				q += m.tprob[j] * bias[m.tto[j]]
+			for j := m.csaOff[k]; j < m.csaOff[k+1]; j++ {
+				q += m.ctprob[j] * bias[m.ctto[j]]
 			}
 			if q > best+1e-12 {
 				best = q

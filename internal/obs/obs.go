@@ -76,6 +76,10 @@ type Event struct {
 	// PolicyChanges counts states whose greedy action changed in this
 	// sweep relative to the previous one.
 	PolicyChanges int `json:"policy_changes,omitempty"`
+	// Eliminated is the cumulative count of (state, action) slots action
+	// elimination has deactivated so far in this solve ("solver.iter" on
+	// optimizing sweeps).
+	Eliminated int `json:"eliminated,omitempty"`
 	// Gain is the solve's average-reward gain ("solver.done") or the
 	// probe's auxiliary gain ("ratio.probe").
 	Gain float64 `json:"gain,omitempty"`
