@@ -24,6 +24,16 @@
 // dir is set) the queue survives restarts, so an interrupted sweep
 // resumes where it left off.
 //
+// Completions are checked against the coordinator's prescribed validity
+// predicate (internal/verify) before they materialize into the store;
+// with -quorum K a job additionally completes only once K distinct
+// workers delivered matching results, and workers that repeatedly
+// submit invalid or conflicting results are quarantined
+// (-quarantine-after). With -max-solve-wait the serving endpoints shed
+// load: a solve that would wait longer than the bound behind a
+// saturated -max-solves budget is refused with 429 Too Many Requests
+// and a Retry-After header instead of queueing unboundedly.
+//
 // With -pprof the net/http/pprof profiling handlers are additionally
 // mounted under /debug/pprof/.
 //
@@ -65,11 +75,14 @@ func main() {
 		cacheDir     = flag.String("cache-dir", "", "experiment store directory (empty = in-memory only)")
 		memEntries   = flag.Int("mem", 0, "in-memory LRU capacity in artifacts (0 = default, negative = disabled)")
 		maxSolves    = flag.Int("max-solves", runtime.NumCPU(), "max solves running at once across all requests (0 = unbounded)")
+		maxSolveWait = flag.Duration("max-solve-wait", 0, "refuse solves queued behind a saturated budget longer than this with 429 (0 = wait forever)")
 		workers      = cliflag.WorkersFlag(flag.CommandLine, "sweep cells dispatched concurrently per request")
 		par          = cliflag.ParFlag(flag.CommandLine)
 		portFile     = flag.String("portfile", "", "write the actual listen address to this file once serving")
 		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 		queueJournal = flag.String("queue-journal", "", "job queue journal path (default <cache-dir>/jobqueue.json; empty with no cache dir = in-memory queue)")
+		quorum       = flag.Int("quorum", 1, "distinct workers whose matching results must agree before a job completes (1 = first valid result wins)")
+		quarAfter    = flag.Int("quarantine-after", 0, "reputation debits before a worker is quarantined (0 = default, negative = never)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 		trace        = cliflag.TraceFlag(flag.CommandLine)
 		metricsDump  = cliflag.MetricsDumpFlag(flag.CommandLine)
@@ -86,6 +99,7 @@ func main() {
 		Dir:                 *cacheDir,
 		MemEntries:          *memEntries,
 		MaxConcurrentSolves: *maxSolves,
+		MaxBudgetWait:       *maxSolveWait,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -105,7 +119,12 @@ func main() {
 	if journal == "" && *cacheDir != "" {
 		journal = filepath.Join(*cacheDir, "jobqueue.json")
 	}
-	queue, err := jobqueue.Open(jobqueue.Options{Journal: journal, Tracer: tracer})
+	queue, err := jobqueue.Open(jobqueue.Options{
+		Journal:         journal,
+		Tracer:          tracer,
+		Quorum:          *quorum,
+		QuarantineAfter: *quarAfter,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -114,8 +133,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (cache dir %q, solve budget %d, queue journal %q)",
-		ln.Addr(), *cacheDir, *maxSolves, journal)
+	log.Printf("listening on %s (cache dir %q, solve budget %d, queue journal %q, quorum %d)",
+		ln.Addr(), *cacheDir, *maxSolves, journal, *quorum)
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(fmt.Sprintf("%s\n", ln.Addr())), 0o644); err != nil {
 			log.Fatal(err)

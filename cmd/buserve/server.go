@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"buanalysis/internal/par"
 	"buanalysis/internal/stats"
 	"buanalysis/internal/tracetree"
+	"buanalysis/internal/verify"
 )
 
 // server is the buserve HTTP daemon: every query endpoint answers from
@@ -52,6 +54,9 @@ type server struct {
 	// child set per registered route (for /statsz).
 	families endpointFamilies
 	metrics  map[string]*endpointMetrics
+	// sheds counts solve requests refused with 429 because the solve
+	// budget stayed saturated past -max-solve-wait.
+	sheds *obs.Counter
 }
 
 // newServer builds the handler tree. queue backs the /jobs endpoints
@@ -84,11 +89,14 @@ func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelis
 		ring:     ring,
 		families: newEndpointFamilies(reg),
 		metrics:  make(map[string]*endpointMetrics),
+		sheds:    reg.Counter("buserve_sheds_total", "Solve requests refused with 429 because the solve budget stayed saturated past -max-solve-wait."),
 	}
 	store.RegisterMetrics(reg)
 	queue.RegisterMetrics(reg)
 	mdp.Observe(reg)
 	par.Observe(reg)
+	farm.Observe(reg)
+	verify.Observe(reg)
 	reg.GaugeFunc("buserve_uptime_seconds", "Seconds since the server started.", func() float64 {
 		return time.Since(s.started).Seconds()
 	})
@@ -101,7 +109,13 @@ func newServer(store *expstore.Store, queue *jobqueue.Queue, workers, parallelis
 	s.route("GET /tables/{n}", s.handleTable)
 	s.route("GET /tracez", s.handleTracez)
 	s.route("GET /workersz", s.handleWorkersz)
-	s.routeTree("/jobs/", (&farm.API{Queue: queue, Store: store, Tracer: tracer}).Handler())
+	s.routeTree("/jobs/", (&farm.API{
+		Queue: queue, Store: store, Tracer: tracer,
+		// The validity predicate runs with default tolerances; wiring the
+		// tracer makes each verify.check span and rejection visible in
+		// /tracez and the -trace JSONL stream.
+		Verifier: &verify.Checker{Tracer: tracer},
+	}).Handler())
 	return s
 }
 
@@ -422,9 +436,23 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) (cacheOutco
 	// burning it on an answer nobody reads.
 	_, blob, hit, err := expstore.SolveBUCtx(r.Context(), s.store, params, opts)
 	if err != nil {
-		return outcomeNone, badRequest(w, "%v", err)
+		return outcomeNone, s.solveError(w, err)
 	}
 	return hitOutcome(hit), writeBlob(w, blob, hit)
+}
+
+// solveError renders a miss-path solve failure. Budget saturation is the
+// one overload case: the store refused to queue the solve past
+// -max-solve-wait, so the client gets 429 with a Retry-After hint
+// instead of a 400 — the request was fine, the server is busy.
+func (s *server) solveError(w http.ResponseWriter, err error) error {
+	if errors.Is(err, expstore.ErrBudgetSaturated) {
+		s.sheds.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return err
+	}
+	return badRequest(w, "%v", err)
 }
 
 func (s *server) solveBitcoin(w http.ResponseWriter, r *http.Request) (cacheOutcome, error) {
@@ -456,7 +484,7 @@ func (s *server) solveBitcoin(w http.ResponseWriter, r *http.Request) (cacheOutc
 		Alpha: alpha, TieWinProb: tie, Objective: obj, DoubleSpendReward: rds,
 	})
 	if err != nil {
-		return outcomeNone, badRequest(w, "%v", err)
+		return outcomeNone, s.solveError(w, err)
 	}
 	return hitOutcome(hit), writeBlob(w, blob, hit)
 }

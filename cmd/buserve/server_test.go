@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"buanalysis/internal/bumdp"
 	"buanalysis/internal/core"
@@ -431,5 +432,56 @@ func TestServedBlobMatchesCLI(t *testing.T) {
 	}
 	if want := fmt.Sprintf("%s\n", blob); string(body) != want {
 		t.Fatalf("served body != store blob:\nserved: %s\nstore:  %s", body, want)
+	}
+}
+
+// TestSolveShedsWhenSaturated proves the overload-shedding contract:
+// with -max-solve-wait configured, a solve queued behind a saturated
+// budget past the bound is refused with 429 + Retry-After (and counted
+// on buserve_sheds_total) instead of waiting forever, and the same
+// query succeeds once the budget frees.
+func TestSolveShedsWhenSaturated(t *testing.T) {
+	store, err := expstore.Open(expstore.Config{
+		Dir:                 t.TempDir(),
+		MaxConcurrentSolves: 1,
+		MaxBudgetWait:       20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(store, nil, 2, 1, nil, nil, nil)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// Occupy the single budget slot from outside the HTTP plane.
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		store.GetOrCompute("busolve-holder", func() ([]byte, error) {
+			close(holding)
+			<-release
+			return []byte(`{"holder":true}`), nil
+		})
+	}()
+	<-holding
+
+	resp, body := get(t, ts.URL+fastSolve)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated status = %d, body %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carried no Retry-After header")
+	}
+	if got := srv.sheds.Value(); got != 1 {
+		t.Fatalf("buserve_sheds_total = %d, want 1", got)
+	}
+
+	close(release)
+	<-done
+	resp2, body2 := get(t, ts.URL+fastSolve)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d, body %s", resp2.StatusCode, body2)
 	}
 }

@@ -16,6 +16,14 @@
 // polling forever, which turns a worker fleet into a batch step:
 //
 //	buworker -server $URL -drain & buworker -server $URL -drain & wait
+//
+// With -byzantine the worker deliberately tampers with its results
+// before delivering them (modes: corrupt, flipcell, gain, stall; the
+// mutation is deterministic in -byzantine-seed). This is a drill
+// facility: the coordinator's prescribed validity checks are expected
+// to reject every forgery and eventually quarantine the worker, and a
+// byzantine run must leave the experiment store byte-identical to an
+// honest one.
 package main
 
 import (
@@ -47,6 +55,8 @@ func main() {
 		ttl         = flag.Duration("ttl", 30*time.Second, "lease TTL; heartbeats renew at ttl/3")
 		poll        = flag.Duration("poll", 500*time.Millisecond, "idle sleep between lease attempts")
 		drain       = flag.Bool("drain", false, "exit once the queue is empty instead of polling forever")
+		byzantine   = flag.String("byzantine", "", "chaos mode: tamper with results before delivery (corrupt, flipcell, gain, stall); drills only")
+		byzSeed     = flag.Int64("byzantine-seed", 1, "chaos seed; a failing drill replays deterministically from it")
 		quiet       = flag.Bool("quiet", false, "suppress per-job progress lines")
 		parFlag     = cliflag.ParFlag(flag.CommandLine)
 		trace       = cliflag.TraceFlag(flag.CommandLine)
@@ -100,6 +110,12 @@ func main() {
 		Drain:         *drain,
 		Tracer:        tracer,
 	}
+	if *byzantine != "" {
+		// Deliberately adversarial: the coordinator's validity consensus
+		// is expected to reject and eventually quarantine this worker.
+		w.Chaos = &farm.Chaos{Mode: *byzantine, Seed: *byzSeed}
+		log.Printf("BYZANTINE MODE %q (seed %d): results will be tampered with before delivery", *byzantine, *byzSeed)
+	}
 	if !*quiet {
 		w.Logf = log.Printf
 	}
@@ -118,7 +134,8 @@ func main() {
 	log.Printf("worker %s pulling from %s (concurrency %d)", workerName, *server, *concurrency)
 	runErr := w.Run(ctx)
 	executed, completed, failed, lost := w.Stats()
-	log.Printf("done: executed %d, completed %d, failed %d, lost %d", executed, completed, failed, lost)
+	log.Printf("done: executed %d, completed %d, failed %d, lost %d, rejected %d",
+		executed, completed, failed, lost, w.Rejected())
 	// Flush the trace file before exiting so butrace never sees a torn
 	// final line from a graceful shutdown.
 	if err := closeTrace(); err != nil {

@@ -207,6 +207,16 @@ func Sweep(model bumdp.IncentiveModel, cfg SweepConfig) []Cell {
 	return cells
 }
 
+// Grid lays out the full unsolved cell grid the config's sweep would
+// solve — defaults applied, canonical (ad, setting, alpha, ratio)
+// order, inadmissible cells pre-marked Skipped. It is the exported form
+// of grid for callers that must re-derive the exact layout a sweep (or
+// one of its shards) is obliged to cover, such as the result-validity
+// predicates in internal/verify.
+func (c SweepConfig) Grid(model bumdp.IncentiveModel) []Cell {
+	return c.withDefaults(model).grid(model)
+}
+
 // grid lays out the full unsolved cell grid of a defaults-applied
 // config in the canonical (ad, setting, alpha, ratio) order, with
 // inadmissible cells pre-marked Skipped. Sweep, the shard runner, and

@@ -7,12 +7,21 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// ErrBudgetSaturated reports a solve that waited MaxBudgetWait for a
+// budget slot without getting one: the store is refusing the work
+// rather than queueing it unboundedly. Serving layers map it to an
+// overload response (HTTP 429) so callers retry later instead of
+// piling onto a saturated solver.
+var ErrBudgetSaturated = errors.New("expstore: solve budget saturated")
 
 // Config configures a Store. The zero value is a memory-only store with
 // default capacity and an unbounded solve budget.
@@ -29,6 +38,11 @@ type Config struct {
 	// deduplication applies before the budget, so N concurrent requests
 	// for one unsolved key consume a single slot.
 	MaxConcurrentSolves int
+	// MaxBudgetWait bounds how long a solve queues for an exhausted
+	// budget before the store sheds it with ErrBudgetSaturated. 0 (the
+	// default) queues until the caller's context gives up — bounded
+	// latency is opt-in because batch callers genuinely want to wait.
+	MaxBudgetWait time.Duration
 }
 
 // Stats is a snapshot of the store's counters.
@@ -58,8 +72,10 @@ type Stats struct {
 	// capacity.
 	Evictions int64 `json:"evictions"`
 	// BudgetWaits counts solves that found the solve budget exhausted
-	// and had to queue for a slot.
+	// and had to queue for a slot; BudgetSheds counts the subset that
+	// waited MaxBudgetWait without a slot and were refused.
 	BudgetWaits int64 `json:"budget_waits"`
+	BudgetSheds int64 `json:"budget_sheds"`
 }
 
 // Store is a content-addressed cache for solved artifacts: an in-memory
@@ -76,7 +92,7 @@ type Store struct {
 	sem chan struct{} // nil when the budget is unbounded
 
 	hits, memHits, diskHits, misses, shared, corrupt, solves, inFlight atomic.Int64
-	evictions, budgetWaits                                             atomic.Int64
+	evictions, budgetWaits, budgetSheds                                atomic.Int64
 }
 
 type memEntry struct {
@@ -122,6 +138,7 @@ func (s *Store) Stats() Stats {
 		MemEntries:  n,
 		Evictions:   s.evictions.Load(),
 		BudgetWaits: s.budgetWaits.Load(),
+		BudgetSheds: s.budgetSheds.Load(),
 	}
 }
 
@@ -209,8 +226,20 @@ func (s *Store) GetOrComputeCtx(ctx context.Context, key string, compute func() 
 			case s.sem <- struct{}{}:
 			default:
 				s.budgetWaits.Add(1)
+				var shed <-chan time.Time
+				if s.cfg.MaxBudgetWait > 0 {
+					t := time.NewTimer(s.cfg.MaxBudgetWait)
+					defer t.Stop()
+					shed = t.C
+				}
 				select {
 				case s.sem <- struct{}{}:
+				case <-shed:
+					// Waited the configured bound without a slot: refuse
+					// the work instead of queueing unboundedly.
+					s.budgetSheds.Add(1)
+					return nil, fmt.Errorf("%w (budget %d, waited %v)",
+						ErrBudgetSaturated, s.cfg.MaxConcurrentSolves, s.cfg.MaxBudgetWait)
 				case <-ctx.Done():
 					return nil, ctx.Err()
 				}

@@ -1,6 +1,8 @@
 package farm
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +14,7 @@ import (
 	"buanalysis/internal/expstore"
 	"buanalysis/internal/jobqueue"
 	"buanalysis/internal/obs"
+	"buanalysis/internal/verify"
 )
 
 // API is the farm's HTTP surface: the /jobs endpoints over one queue
@@ -21,6 +24,13 @@ import (
 type API struct {
 	Queue *jobqueue.Queue
 	Store *expstore.Store
+	// Verifier is the prescribed validity predicate every completion
+	// must pass before its bytes materialize. Nil selects the default
+	// checker (verify's methods are nil-safe), so verification is
+	// always on: the coordinator — not the worker — decides what a
+	// valid result is, exactly as a prescribed block-validity consensus
+	// decides what a valid block is.
+	Verifier *verify.Checker
 	// Tracer, if non-nil, records the coordinator's side of each job's
 	// trace: enqueue and sweep fan-out spans, the store write on first
 	// completion, and the sweep merge. Requests carrying a W3C
@@ -102,8 +112,11 @@ func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, jobqueue.ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, jobqueue.ErrNotLeased), errors.Is(err, jobqueue.ErrNotDead):
+	case errors.Is(err, jobqueue.ErrNotLeased), errors.Is(err, jobqueue.ErrNotDead),
+		errors.Is(err, jobqueue.ErrQuorumMismatch):
 		return http.StatusConflict
+	case errors.Is(err, jobqueue.ErrQuarantined):
+		return http.StatusForbidden
 	default:
 		return http.StatusBadRequest
 	}
@@ -334,6 +347,9 @@ func (a *API) handleLease(r *http.Request) (any, error) {
 		return nil, err
 	}
 	job, ok, err := a.Queue.Lease(req.Worker, req.Kinds, time.Duration(req.TTLMilli)*time.Millisecond)
+	if errors.Is(err, jobqueue.ErrQuarantined) {
+		return nil, err // 403: the worker is quarantined
+	}
 	if err != nil {
 		return nil, &apiError{http.StatusInternalServerError, err}
 	}
@@ -367,13 +383,19 @@ type completeResponse struct {
 	First bool `json:"first"`
 }
 
-// handleComplete is the exactly-once materialization point: the queue's
-// Complete is the gate (atomic first-delivery decision), and only the
-// first completion writes the result into the store. Duplicate
-// deliveries — client retries, redelivered responses — are acknowledged
-// without touching the stored artifact; completions whose lease was
-// lost are rejected, because the live lease holder will produce the
-// same deterministic bytes.
+// handleComplete is the first-VALID-materialization point: the
+// submitted bytes must pass the coordinator's prescribed validity
+// predicate before the queue's completion gate even sees them, and only
+// the first accepted completion writes the result into the store. An
+// invalid result is rejected (409, counting against the worker's
+// reputation) and the job returns to its retry budget, so a byzantine
+// worker can never poison an artifact — at worst it delays one.
+// Duplicate deliveries — client retries, redelivered responses — are
+// acknowledged without verification or a store write (the artifact is
+// already materialized and immutable; a duplicate whose bytes disagree
+// with it is only counted, see observe.go). Under a quorum policy the
+// completion is a checksum vote: the job completes once Quorum distinct
+// workers deliver identical bytes.
 func (a *API) handleComplete(r *http.Request) (any, error) {
 	var req completeRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -382,7 +404,37 @@ func (a *API) handleComplete(r *http.Request) (any, error) {
 	if len(req.Result) == 0 || !json.Valid(req.Result) {
 		return nil, errors.New("completion needs a JSON result blob")
 	}
-	first, err := a.Queue.Complete(req.ID, req.Lease)
+	job, ok := a.Queue.Get(req.ID)
+	if !ok {
+		return nil, jobqueue.ErrUnknownJob
+	}
+	if job.State == jobqueue.Done {
+		// Benign duplicate: acknowledge without re-verifying, but notice
+		// when the re-delivered bytes disagree with the materialized
+		// artifact — deterministic executors never produce that.
+		first, err := a.Queue.Complete(req.ID, req.Lease)
+		if err != nil {
+			return nil, err
+		}
+		if stored, found := a.Store.Get(req.ID); found &&
+			voteSum(job.Kind, stored) != voteSum(job.Kind, req.Result) {
+			duplicateMismatch.Inc()
+			if a.Tracer != nil {
+				a.Tracer.Emit(obs.Event{Kind: "farm.duplicate_mismatch", Node: req.ID})
+			}
+		}
+		return completeResponse{First: first}, nil
+	}
+	if err := a.Verifier.Artifact(job.Kind, req.ID, job.Spec, req.Result); err != nil {
+		// The predicate refused the bytes: reject the completion (the
+		// queue counts it toward the worker's quarantine and requeues
+		// the job) and tell the worker why.
+		if rejErr := a.Queue.RejectCompletion(req.ID, req.Lease, err.Error()); rejErr != nil {
+			return nil, rejErr
+		}
+		return nil, &apiError{http.StatusConflict, fmt.Errorf("invalid completion: %w", err)}
+	}
+	first, err := a.Queue.CompleteSum(req.ID, req.Lease, voteSum(job.Kind, req.Result))
 	if err != nil {
 		return nil, err
 	}
@@ -394,6 +446,30 @@ func (a *API) handleComplete(r *http.Request) (any, error) {
 		span.EndDetail(req.ID)
 	}
 	return completeResponse{First: first}, nil
+}
+
+// voteSum is the checksum a completion compares under — the quorum
+// vote and the duplicate-agreement check. It is sha256 over the result
+// bytes with run-dependent fields normalized away: the BU solve record
+// is the one artifact whose bytes embed wall-clock facts (the solve's
+// duration and worker count), and without this normalization two
+// honest workers solving the same job would never agree. Every other
+// kind's bytes are deterministic and hash as delivered. Normalization
+// only feeds the comparison; the bytes materialized are always exactly
+// what the winning completion delivered.
+func voteSum(kind string, blob []byte) string {
+	if kind == expstore.KindBUSolve {
+		var rec expstore.BUSolveRecord
+		if json.Unmarshal(blob, &rec) == nil {
+			rec.Stats.Duration = 0
+			rec.Stats.Workers = 0
+			if nb, err := json.Marshal(rec); err == nil {
+				blob = nb
+			}
+		}
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
 }
 
 // storeSpan parents the materializing store write on the worker's

@@ -1,0 +1,422 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/expstore"
+	"buanalysis/internal/jobqueue"
+	"buanalysis/internal/obs"
+)
+
+// The byzantine drills: a worker that lies about its results must never
+// materialize an artifact, must accumulate reputation damage until it
+// is quarantined, and must leave the merged science byte-identical to
+// an honest run. This is the farm's version of the paper's thesis — a
+// prescribed validity predicate at the consensus point contains
+// adversaries that per-node discretion cannot.
+
+// testBUSolveJob is the cheap real job the drills run: a full BU MDP
+// solve small enough for milliseconds.
+func testBUSolveJob(t *testing.T) jobqueue.Job {
+	t.Helper()
+	p := bumdp.Params{Alpha: 0.15, Beta: 0.425, Gamma: 0.425, AD: 3, Model: bumdp.Compliant}
+	job, err := NewBUSolveJob(p, bumdp.SolveOptions{RatioTol: 1e-4, Epsilon: 1e-8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestFarmRejectsForgedCompletion: a well-formed, correctly keyed blob
+// whose reported utility is false is refused at the coordinator, never
+// stored, counted against the worker, and the job is re-executed by an
+// honest worker whose result lands.
+func TestFarmRejectsForgedCompletion(t *testing.T) {
+	client, q, st, _ := testFarm(t, jobqueue.Options{
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+	job := testBUSolveJob(t)
+	if _, _, err := client.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	leased, ok, err := client.Lease("byz", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	blob, err := Execute(leased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capable forgery: decode, inflate the claim, re-encode — the
+	// bytes stay canonical and keyed right, only the claim is a lie.
+	var rec expstore.BUSolveRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Utility += 0.01
+	forged, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete(leased.ID, leased.Lease, forged); !errors.Is(err, ErrRejected) {
+		t.Fatalf("forged completion err = %v, want ErrRejected", err)
+	}
+	if _, found := st.Get(leased.ID); found {
+		t.Fatal("forged bytes were materialized")
+	}
+	got, _ := q.Get(leased.ID)
+	if got.State != jobqueue.Pending || !strings.Contains(got.LastError, "rejected") {
+		t.Fatalf("after rejection: %+v", got)
+	}
+	if stq := q.Stats(); stq.VerifyRejects != 1 {
+		t.Fatalf("stats = %+v", stq)
+	}
+
+	// An honest retry materializes the true bytes.
+	time.Sleep(5 * time.Millisecond)
+	release, ok, err := client.Lease("honest", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("honest lease: ok=%v err=%v", ok, err)
+	}
+	if first, err := client.Complete(release.ID, release.Lease, blob); err != nil || !first {
+		t.Fatalf("honest completion: first=%v err=%v", first, err)
+	}
+	if stored, found := st.Get(leased.ID); !found || string(stored) != string(blob) {
+		t.Fatal("honest bytes not materialized intact")
+	}
+}
+
+// TestFarmByzantineWorkerQuarantined is the end-to-end drill: a chaos
+// worker corrupting every result is rejected, quarantined, and exits;
+// an honest worker then drains the queue and the stored artifact is
+// byte-identical to a direct execution.
+func TestFarmByzantineWorkerQuarantined(t *testing.T) {
+	client, q, st, _ := testFarm(t, jobqueue.Options{
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		QuarantineAfter: 1, MaxAttempts: 10,
+	})
+	// A sweep shard: the byte-deterministic artifact kind (Table 2's),
+	// so the drained result can be compared byte-for-byte.
+	cfg := testSweepConfig()
+	cfg.Ratios = cfg.Ratios[:1]
+	job, err := NewSweepShardJob(bumdp.Compliant, cfg, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+
+	byz := &Worker{
+		Client: client, Name: "byz", Poll: 2 * time.Millisecond,
+		SolverWorkers: 1, Logf: t.Logf,
+		Chaos: &Chaos{Mode: "flipcell", Seed: 42},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	// The byzantine worker's run ends in its own quarantine.
+	if err := byz.Run(ctx); !errors.Is(err, jobqueue.ErrQuarantined) {
+		t.Fatalf("byzantine run err = %v, want ErrQuarantined", err)
+	}
+	if byz.Rejected() < 1 {
+		t.Fatal("byzantine worker's forgery was not rejected")
+	}
+	if _, found := st.Get(job.ID); found {
+		t.Fatal("byzantine worker materialized an artifact")
+	}
+	quarantined := false
+	for _, w := range q.Workers() {
+		if strings.HasPrefix(w.Name, "byz") && w.Quarantined {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("byzantine worker not quarantined: %+v", q.Workers())
+	}
+
+	honest := &Worker{
+		Client: client, Name: "honest", Drain: true,
+		Poll: 2 * time.Millisecond, SolverWorkers: 1, Logf: t.Logf,
+	}
+	if err := honest.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(job, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored, found := st.Get(job.ID); !found || string(stored) != string(want) {
+		t.Fatal("drained artifact differs from direct execution")
+	}
+}
+
+// TestFarmQuorumMismatchAndRecovery: under a 2-quorum, a vote that
+// passes the validity predicate but differs in bytes (a sub-tolerance
+// nudge — the forgery the predicate alone cannot refute) voids the
+// round; the retry round with agreeing voters completes and
+// materializes the honest bytes.
+func TestFarmQuorumMismatchAndRecovery(t *testing.T) {
+	client, q, st, _ := testFarm(t, jobqueue.Options{
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		Quorum: 2,
+	})
+	job := testBUSolveJob(t)
+	if _, _, err := client.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Execute(job, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Vote 1: honest bytes. Not first — the quorum stays open.
+	l1, ok, err := client.Lease("w1", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease 1: ok=%v err=%v", ok, err)
+	}
+	if first, err := client.Complete(l1.ID, l1.Lease, blob); err != nil || first {
+		t.Fatalf("vote 1: first=%v err=%v, want false/nil", first, err)
+	}
+	if _, found := st.Get(job.ID); found {
+		t.Fatal("artifact materialized on an open quorum")
+	}
+
+	// Vote 2: a nudge far below the verifier's tolerance — valid to the
+	// predicate, but not the same bytes. Only the quorum catches it.
+	var rec expstore.BUSolveRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Utility += 1e-12
+	nudged, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(nudged) == string(blob) {
+		t.Fatal("nudge did not change the bytes")
+	}
+	l2, ok, err := client.Lease("w2", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease 2: ok=%v err=%v", ok, err)
+	}
+	if _, err := client.Complete(l2.ID, l2.Lease, nudged); !errors.Is(err, jobqueue.ErrQuorumMismatch) {
+		t.Fatalf("conflicting vote err = %v, want ErrQuorumMismatch", err)
+	}
+	if _, found := st.Get(job.ID); found {
+		t.Fatal("artifact materialized from a voided quorum")
+	}
+	if stq := q.Stats(); stq.QuorumMismatches != 1 {
+		t.Fatalf("stats = %+v", stq)
+	}
+
+	// Retry round: two agreeing voters close the quorum; the second
+	// (closing) completion is the first materialization.
+	time.Sleep(5 * time.Millisecond)
+	l3, ok, err := client.Lease("w3", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease 3: ok=%v err=%v", ok, err)
+	}
+	if first, err := client.Complete(l3.ID, l3.Lease, blob); err != nil || first {
+		t.Fatalf("retry vote 1: first=%v err=%v", first, err)
+	}
+	l4, ok, err := client.Lease("w4", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease 4: ok=%v err=%v", ok, err)
+	}
+	if first, err := client.Complete(l4.ID, l4.Lease, blob); err != nil || !first {
+		t.Fatalf("closing vote: first=%v err=%v", first, err)
+	}
+	if stored, found := st.Get(job.ID); !found || string(stored) != string(blob) {
+		t.Fatal("quorum-agreed bytes not materialized")
+	}
+}
+
+// TestFarmQuorumResumesAcrossRestart: a half-met quorum crosses a
+// coordinator restart through the journal — the restarted coordinator
+// still demands the remaining vote, still refuses the prior voter, and
+// materializes on the closing vote.
+func TestFarmQuorumResumesAcrossRestart(t *testing.T) {
+	journal := t.TempDir() + "/jobqueue.json"
+	storeDir := t.TempDir()
+	qopts := jobqueue.Options{Journal: journal, Quorum: 2}
+
+	q1, err := jobqueue.Open(qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := expstore.Open(expstore.Config{Dir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer((&API{Queue: q1, Store: st1}).Handler())
+	c1 := &Client{Base: srv1.URL}
+	job := testBUSolveJob(t)
+	if _, _, err := c1.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Execute(job, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, ok, err := c1.Lease("w1", nil, 30*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease before crash: ok=%v err=%v", ok, err)
+	}
+	if first, err := c1.Complete(l1.ID, l1.Lease, blob); err != nil || first {
+		t.Fatalf("vote before crash: first=%v err=%v", first, err)
+	}
+	srv1.Close()
+
+	q2, err := jobqueue.Open(qopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := expstore.Open(expstore.Config{Dir: storeDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := httptest.NewServer((&API{Queue: q2, Store: st2}).Handler())
+	defer srv2.Close()
+	c2 := &Client{Base: srv2.URL}
+
+	// The prior voter is still excluded after the restart.
+	if _, ok, err := c2.Lease("w1", nil, 5*time.Second); ok || err != nil {
+		t.Fatalf("prior voter re-leased after restart: ok=%v err=%v", ok, err)
+	}
+	l2, ok, err := c2.Lease("w2", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("closing lease after restart: ok=%v err=%v", ok, err)
+	}
+	if first, err := c2.Complete(l2.ID, l2.Lease, blob); err != nil || !first {
+		t.Fatalf("closing vote after restart: first=%v err=%v", first, err)
+	}
+	if stored, found := st2.Get(job.ID); !found || string(stored) != string(blob) {
+		t.Fatal("quorum artifact not materialized after restart")
+	}
+}
+
+// TestFarmDuplicateMismatchCounted: a duplicate completion whose bytes
+// disagree with the materialized artifact is acknowledged (exactly-once
+// holds) but counted — with deterministic executors every hit is a
+// byzantine re-delivery or a determinism bug.
+func TestFarmDuplicateMismatchCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	Observe(reg)
+	client, _, st, _ := testFarm(t, jobqueue.Options{})
+	job, err := NewEBGameJob([]float64{0.5, 0.3, 0.2}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	leased, ok, err := client.Lease("w", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease: ok=%v err=%v", ok, err)
+	}
+	blob, err := Execute(leased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first, err := client.Complete(leased.ID, leased.Lease, blob); err != nil || !first {
+		t.Fatalf("first completion: first=%v err=%v", first, err)
+	}
+	// Duplicate with disagreeing bytes: acknowledged, artifact intact,
+	// mismatch counted.
+	if first, err := client.Complete(leased.ID, leased.Lease, []byte(`{"tampered":true}`)); err != nil || first {
+		t.Fatalf("duplicate: first=%v err=%v, want false/nil", first, err)
+	}
+	if stored, found := st.Get(leased.ID); !found || string(stored) != string(blob) {
+		t.Fatal("duplicate touched the stored artifact")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "farm_duplicate_mismatch_total 1") {
+		t.Fatalf("metrics missing duplicate mismatch:\n%s", sb.String())
+	}
+	// A byte-identical duplicate does not count.
+	if _, err := client.Complete(leased.ID, leased.Lease, blob); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "farm_duplicate_mismatch_total 1") {
+		t.Fatalf("identical duplicate moved the counter:\n%s", sb.String())
+	}
+}
+
+// TestFarmClientRetriesTransientOnly: idempotent calls ride out
+// transient 5xx failures under the client's bounded backoff; the
+// non-idempotent complete call surfaces the failure to its caller
+// without a replay.
+func TestFarmClientRetriesTransientOnly(t *testing.T) {
+	q, err := jobqueue.Open(jobqueue.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := expstore.Open(expstore.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := (&API{Queue: q, Store: st}).Handler()
+
+	var leaseCalls, completeCalls atomic.Int64
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/jobs/lease":
+			// First two lease deliveries fail transiently.
+			if leaseCalls.Add(1) <= 2 {
+				http.Error(w, "coordinator overloaded", http.StatusServiceUnavailable)
+				return
+			}
+		case "/jobs/complete":
+			// Completions always fail: the client must not retry them.
+			completeCalls.Add(1)
+			http.Error(w, "coordinator overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+	client := &Client{Base: srv.URL}
+
+	job, err := NewEBGameJob([]float64{0.6, 0.4}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	leased, ok, err := client.Lease("w", nil, 5*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("lease through flaky transport: ok=%v err=%v", ok, err)
+	}
+	if got := leaseCalls.Load(); got != 3 {
+		t.Fatalf("lease attempts = %d, want 3 (two 503s + success)", got)
+	}
+
+	blob, err := Execute(leased, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete(leased.ID, leased.Lease, blob); err == nil {
+		t.Fatal("complete through a 503 succeeded")
+	}
+	if got := completeCalls.Load(); got != 1 {
+		t.Fatalf("complete attempts = %d, want 1 (no transport-level retry)", got)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
@@ -13,6 +15,13 @@ import (
 	"buanalysis/internal/jobqueue"
 	"buanalysis/internal/obs"
 )
+
+// ErrRejected reports a completion the coordinator's validity predicate
+// refused: the submitted bytes are not a valid artifact for the job's
+// key. The result was discarded, the rejection counts against the
+// worker's reputation, and the job will be re-executed — an honest
+// worker treats it like a lost lease, not a retryable delivery error.
+var ErrRejected = errors.New("farm: completion rejected as invalid")
 
 // Client speaks the /jobs protocol to a coordinator (cmd/buserve).
 type Client struct {
@@ -22,6 +31,14 @@ type Client struct {
 	// control-plane timeout (completion uploads, which carry result
 	// blobs, get a longer one).
 	HTTP *http.Client
+	// Retries bounds the delivery attempts of idempotent calls (lease,
+	// heartbeat, sweep status/result, stats) against transient failures
+	// — transport errors and 5xx responses — with jittered exponential
+	// backoff between attempts. 0 selects the default (3 attempts);
+	// negative disables retrying. Enqueue and complete never retry at
+	// this layer: their redelivery semantics belong to the lease
+	// protocol, not the transport.
+	Retries int
 }
 
 func (c *Client) client(timeout time.Duration) *http.Client {
@@ -72,13 +89,21 @@ func (c *Client) post(ctx context.Context, cl *http.Client, path string, reqBody
 		switch resp.StatusCode {
 		case http.StatusNotFound:
 			return fmt.Errorf("%w (%s)", jobqueue.ErrUnknownJob, msg)
+		case http.StatusForbidden:
+			return fmt.Errorf("%w (%s)", jobqueue.ErrQuarantined, msg)
 		case http.StatusConflict:
-			if strings.Contains(msg, "dead-lettered") {
+			switch {
+			case strings.Contains(msg, "dead-lettered"):
 				return fmt.Errorf("%w (%s)", jobqueue.ErrNotDead, msg)
+			case strings.Contains(msg, "invalid completion"):
+				return fmt.Errorf("%w (%s)", ErrRejected, msg)
+			case strings.Contains(msg, "quorum checksum mismatch"):
+				return fmt.Errorf("%w (%s)", jobqueue.ErrQuorumMismatch, msg)
+			default:
+				return fmt.Errorf("%w (%s)", jobqueue.ErrNotLeased, msg)
 			}
-			return fmt.Errorf("%w (%s)", jobqueue.ErrNotLeased, msg)
 		default:
-			return fmt.Errorf("farm: %s: %s (HTTP %d)", path, msg, resp.StatusCode)
+			return &httpStatusError{status: resp.StatusCode, path: path, msg: msg}
 		}
 	}
 	if out == nil {
@@ -86,6 +111,79 @@ func (c *Client) post(ctx context.Context, cl *http.Client, path string, reqBody
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// httpStatusError is a non-protocol HTTP failure (everything that is
+// not one of the mapped sentinel statuses), keeping the status around
+// so the retry layer can tell a 5xx from a 4xx.
+type httpStatusError struct {
+	status int
+	path   string
+	msg    string
+}
+
+func (e *httpStatusError) Error() string {
+	return fmt.Sprintf("farm: %s: %s (HTTP %d)", e.path, e.msg, e.status)
+}
+
+// transient reports whether err is worth retrying: a transport failure
+// (connection refused/reset, unreachable coordinator) or a 5xx — but
+// never a context cancellation or deadline, which belong to the caller.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *httpStatusError
+	if errors.As(err, &he) {
+		return he.status >= 500
+	}
+	// The mapped protocol sentinels are definitive answers, not faults.
+	for _, sentinel := range []error{
+		jobqueue.ErrUnknownJob, jobqueue.ErrNotLeased, jobqueue.ErrNotDead,
+		jobqueue.ErrQuarantined, jobqueue.ErrQuorumMismatch, ErrRejected,
+	} {
+		if errors.Is(err, sentinel) {
+			return false
+		}
+	}
+	// What remains from post is the transport itself (a *url.Error from
+	// Do) or a local encode/decode failure; only the former recurs, but
+	// a bounded retry of either is harmless.
+	return true
+}
+
+// postIdempotent is post with a bounded jittered-exponential-backoff
+// retry for transient failures. Only calls that are safe to replay go
+// through it; see Client.Retries.
+func (c *Client) postIdempotent(ctx context.Context, cl *http.Client, path string, reqBody, out any) error {
+	attempts := c.Retries
+	if attempts == 0 {
+		attempts = 3
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			d := time.Duration((0.5 + rand.Float64()) * float64(backoff))
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		if err = c.post(ctx, cl, path, reqBody, out); !transient(err) {
+			return err
+		}
+	}
+	return err
 }
 
 // Enqueue submits one typed job; the coordinator re-derives the ID from
@@ -116,10 +214,11 @@ func (c *Client) EnqueueSweepCtx(ctx context.Context, req SweepRequest) (SweepEn
 	return resp, err
 }
 
-// SweepStatus reports a sweep's per-shard progress.
+// SweepStatus reports a sweep's per-shard progress. The call is
+// read-only and retries transient failures.
 func (c *Client) SweepStatus(req SweepRequest) (SweepStatusResponse, error) {
 	var resp SweepStatusResponse
-	err := c.post(context.Background(), c.client(30*time.Second), "/jobs/sweep/status", req, &resp)
+	err := c.postIdempotent(context.Background(), c.client(30*time.Second), "/jobs/sweep/status", req, &resp)
 	return resp, err
 }
 
@@ -134,27 +233,35 @@ func (c *Client) SweepResult(req SweepRequest) (SweepResultResponse, error) {
 // the caller reuses the span context it enqueued under.
 func (c *Client) SweepResultCtx(ctx context.Context, req SweepRequest) (SweepResultResponse, error) {
 	var resp SweepResultResponse
-	err := c.post(ctx, c.client(2*time.Minute), "/jobs/sweep/result", req, &resp)
+	err := c.postIdempotent(ctx, c.client(2*time.Minute), "/jobs/sweep/result", req, &resp)
 	return resp, err
 }
 
-// Lease pulls the next ready job (ok = false: nothing ready).
+// Lease pulls the next ready job (ok = false: nothing ready). Leasing
+// is idempotent against transient failures — a replayed lease that
+// landed grants a second lease whose twin simply expires back — so the
+// call retries; jobqueue.ErrQuarantined means the coordinator has
+// quarantined this worker and will not serve it again.
 func (c *Client) Lease(worker string, kinds []string, ttl time.Duration) (jobqueue.Job, bool, error) {
 	var resp leaseResponse
-	err := c.post(context.Background(), c.client(30*time.Second), "/jobs/lease",
+	err := c.postIdempotent(context.Background(), c.client(30*time.Second), "/jobs/lease",
 		leaseRequest{Worker: worker, Kinds: kinds, TTLMilli: ttl.Milliseconds()}, &resp)
 	return resp.Job, resp.OK, err
 }
 
-// Heartbeat extends a held lease.
+// Heartbeat extends a held lease, retrying transient failures (a
+// replayed renewal just extends again).
 func (c *Client) Heartbeat(id, lease string, ttl time.Duration) error {
-	return c.post(context.Background(), c.client(30*time.Second), "/jobs/heartbeat",
+	return c.postIdempotent(context.Background(), c.client(30*time.Second), "/jobs/heartbeat",
 		heartbeatRequest{ID: id, Lease: lease, TTLMilli: ttl.Milliseconds()}, nil)
 }
 
 // Complete delivers a job's result blob. first is false on duplicate
-// delivery; jobqueue.ErrNotLeased means the lease was lost and the
-// result was discarded.
+// delivery (and on an open quorum vote: the coordinator waits for more
+// workers to agree); jobqueue.ErrNotLeased means the lease was lost,
+// ErrRejected means the coordinator's validity predicate refused the
+// bytes, and jobqueue.ErrQuorumMismatch means this delivery conflicted
+// with another voter's — in every error case the result was discarded.
 func (c *Client) Complete(id, lease string, result []byte) (first bool, err error) {
 	return c.CompleteCtx(context.Background(), id, lease, result)
 }
@@ -182,15 +289,38 @@ func (c *Client) Requeue(id string) error {
 	}{id}, nil)
 }
 
-// Stats fetches the queue snapshot.
+// Stats fetches the queue snapshot, retrying transient failures (a
+// pure read).
 func (c *Client) Stats() (jobqueue.Stats, error) {
+	attempts := c.Retries
+	if attempts == 0 {
+		attempts = 3
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	var st jobqueue.Stats
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration((0.5 + rand.Float64()) * float64(100*time.Millisecond) * float64(int(1)<<attempt)))
+		}
+		st, err = c.statsOnce()
+		if !transient(err) {
+			return st, err
+		}
+	}
+	return st, err
+}
+
+func (c *Client) statsOnce() (jobqueue.Stats, error) {
 	resp, err := c.client(30 * time.Second).Get(c.url("/jobs/statsz"))
 	if err != nil {
 		return jobqueue.Stats{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return jobqueue.Stats{}, fmt.Errorf("farm: statsz: HTTP %d", resp.StatusCode)
+		return jobqueue.Stats{}, &httpStatusError{status: resp.StatusCode, path: "/jobs/statsz"}
 	}
 	var st jobqueue.Stats
 	err = json.NewDecoder(resp.Body).Decode(&st)

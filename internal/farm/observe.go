@@ -1,0 +1,21 @@
+package farm
+
+import "buanalysis/internal/obs"
+
+// Package-level instruments, nil until Observe installs them; a nil
+// *obs.Counter no-ops, so uninstrumented programs pay nothing.
+var (
+	// duplicateMismatch counts duplicate completions whose bytes differ
+	// from the artifact already materialized under the same key. With
+	// deterministic executors this should never fire: every hit is
+	// either a byzantine worker re-delivering a forged result after an
+	// honest completion won, or a real determinism bug worth chasing.
+	duplicateMismatch *obs.Counter
+)
+
+// Observe registers the farm coordinator's metrics on reg. A nil
+// registry leaves the package uninstrumented.
+func Observe(reg *obs.Registry) {
+	duplicateMismatch = reg.Counter("farm_duplicate_mismatch_total",
+		"Duplicate completions whose bytes differ from the stored artifact.")
+}

@@ -50,8 +50,13 @@ type Worker struct {
 	// events, all parented into the trace the job carries from its
 	// enqueue. Nil keeps the execute path exactly as cheap as before.
 	Tracer obs.Tracer
+	// Chaos, if non-nil, makes the worker byzantine: computed results
+	// are tampered with before delivery (see Chaos). Strictly a test
+	// and drill facility — it exists to prove the coordinator's validity
+	// consensus contains exactly this adversary.
+	Chaos *Chaos
 
-	executed, completed, failed, lost atomic.Int64
+	executed, completed, failed, lost, rejected atomic.Int64
 }
 
 // Stats reports the worker's lifetime delivery counters: jobs executed,
@@ -60,6 +65,12 @@ type Worker struct {
 func (w *Worker) Stats() (executed, completed, failed, lost int64) {
 	return w.executed.Load(), w.completed.Load(), w.failed.Load(), w.lost.Load()
 }
+
+// Rejected reports how many of the worker's deliveries the coordinator
+// refused — validity rejections and quorum conflicts. An honest worker
+// should hold this at zero; a byzantine one watches it climb toward its
+// quarantine.
+func (w *Worker) Rejected() int64 { return w.rejected.Load() }
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.Logf != nil {
@@ -128,6 +139,12 @@ func (w *Worker) runSlot(ctx context.Context, name string, ttl, poll time.Durati
 			return nil
 		}
 		job, ok, err := w.Client.Lease(name, w.Kinds, ttl)
+		if errors.Is(err, jobqueue.ErrQuarantined) {
+			// The coordinator has stopped trusting this worker; polling
+			// further is pointless (quarantine is sticky).
+			w.logf("worker %s: quarantined by the coordinator, exiting", name)
+			return fmt.Errorf("farm: worker %s: %w", name, err)
+		}
 		if err != nil {
 			consecutiveErrs++
 			if consecutiveErrs >= 5 {
@@ -204,6 +221,19 @@ func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
 	solve := obs.StartSpanFrom(w.Tracer, exec.Context(), "worker.solve")
 	blob, execErr := ExecuteTraced(job, w.SolverWorkers, solve.Annotate(w.Tracer))
 	solve.EndDetail(job.ID)
+
+	if w.Chaos != nil && execErr == nil {
+		var stalled bool
+		blob, stalled = w.Chaos.Tamper(job, blob)
+		if stalled {
+			// Byzantine stall: abandon the lease mid-hold and let it rot.
+			close(hbStop)
+			hbWG.Wait()
+			w.logf("worker %s: [chaos] stalling on %s, burning the lease", name, job.ID)
+			return
+		}
+		w.logf("worker %s: [chaos] tampered with %s (%s)", name, job.ID, w.Chaos.Mode)
+	}
 	close(hbStop)
 	hbWG.Wait()
 
@@ -236,6 +266,15 @@ func (w *Worker) execute(job jobqueue.Job, name string, ttl time.Duration) {
 	}
 	first, err := w.Client.CompleteCtx(ctx, job.ID, job.Lease, blob)
 	switch {
+	case errors.Is(err, ErrRejected), errors.Is(err, jobqueue.ErrQuorumMismatch):
+		// The coordinator's validity consensus refused the result. Not a
+		// failure to report (the queue already requeued the job and
+		// debited this worker's reputation); just count it and move on.
+		w.rejected.Add(1)
+		w.logf("worker %s: completion of %s refused: %v", name, job.ID, err)
+		if jlog != nil {
+			jlog.Warn("completion refused", "err", err)
+		}
 	case errors.Is(err, jobqueue.ErrNotLeased):
 		w.lost.Add(1)
 		w.logf("worker %s: completion of %s rejected (lease lost)", name, job.ID)

@@ -15,6 +15,7 @@ import (
 	"buanalysis/internal/expstore"
 	"buanalysis/internal/farm"
 	"buanalysis/internal/jobqueue"
+	"buanalysis/internal/verify"
 )
 
 // Benchmarks for the queue's hot control-plane operations, plus an
@@ -168,6 +169,63 @@ func sweepWallClock(t *testing.T, workers int) float64 {
 	return elapsed
 }
 
+// measureVerifyCost times one compliant BU solve and the validity
+// predicate over its artifact (best-of-n for both, to shed scheduler
+// noise). The predicate's dominant cost is the loose certified
+// re-solve, which must stay a small fraction of the tight solve it
+// guards — that asymmetry is what makes always-on verification free in
+// practice.
+func measureVerifyCost(t *testing.T) (solveNs, verifyNs float64) {
+	t.Helper()
+	// A production-scale instance at production tolerances (zero options
+	// = RatioTol 1e-5, Epsilon 1e-9): the bound is about real artifacts,
+	// and the verifier's advantage is exactly that it re-solves loose
+	// (1e-3) what the worker solved tight. Tiny models would measure
+	// fixed overheads (the model build) instead of the asymmetry.
+	p := bumdp.Params{Alpha: 0.15, Beta: 0.425, Gamma: 0.425, AD: 16, Model: bumdp.Compliant}
+	job, err := farm.NewBUSolveJob(p, bumdp.SolveOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob []byte
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		b, err := farm.Execute(job, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ns := float64(time.Since(start).Nanoseconds()); solveNs == 0 || ns < solveNs {
+			solveNs = ns
+		}
+		blob = b
+	}
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if err := verify.Artifact(job.Kind, job.ID, job.Spec, blob); err != nil {
+			t.Fatal(err)
+		}
+		if ns := float64(time.Since(start).Nanoseconds()); verifyNs == 0 || ns < verifyNs {
+			verifyNs = ns
+		}
+	}
+	return solveNs, verifyNs
+}
+
+// TestVerifyCostBound pins the acceptance bound on the validity
+// predicate: verifying a compliant BU solve artifact must cost under 5%
+// of producing it.
+func TestVerifyCostBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	solveNs, verifyNs := measureVerifyCost(t)
+	ratio := verifyNs / solveNs
+	t.Logf("solve %.1fms, verify %.2fms, ratio %.4f", solveNs/1e6, verifyNs/1e6, ratio)
+	if ratio >= 0.05 {
+		t.Fatalf("verify cost is %.1f%% of the solve, want < 5%%", ratio*100)
+	}
+}
+
 // TestBenchEmit runs the queue benchmarks and the 1-vs-3-worker sweep
 // and writes a machine-readable summary when JOBQUEUE_BENCH_OUT is set
 // (scripts/bench.sh sets it to BENCH_jobqueue.json).
@@ -204,6 +262,7 @@ func TestBenchEmit(t *testing.T) {
 
 	oneWorker := sweepWallClock(t, 1)
 	threeWorkers := sweepWallClock(t, 3)
+	solveNs, verifyNs := measureVerifyCost(t)
 
 	report := map[string]any{
 		"suite": "jobqueue",
@@ -216,6 +275,9 @@ func TestBenchEmit(t *testing.T) {
 		}(),
 		"sweep_1_worker_s":  oneWorker,
 		"sweep_3_workers_s": threeWorkers,
+		"busolve_ms":        solveNs / 1e6,
+		"verify_ms":         verifyNs / 1e6,
+		"verify_cost_ratio": verifyNs / solveNs,
 		"sweep_speedup_x": func() float64 {
 			if threeWorkers == 0 {
 				return 0

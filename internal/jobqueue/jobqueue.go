@@ -98,7 +98,20 @@ type Job struct {
 	StartedAt  time.Time `json:"started_at,omitzero"` // most recent lease
 	DoneAt     time.Time `json:"done_at,omitzero"`
 
+	// Votes accumulates quorum-mode completions: one checksum vote per
+	// distinct worker that finished the job. The job completes only once
+	// Options.Quorum matching votes agree (see CompleteSum). Journaled,
+	// so a restarted coordinator resumes a half-met quorum.
+	Votes []Vote `json:"votes,omitempty"`
+
 	seq int64 // FIFO tiebreak within a priority class
+}
+
+// Vote is one worker's quorum claim: "I executed this job and the
+// canonical result bytes hash to Sum".
+type Vote struct {
+	Worker string `json:"worker"`
+	Sum    string `json:"sum"`
 }
 
 // Options configures a Queue. The zero value is a usable in-memory
@@ -120,6 +133,18 @@ type Options struct {
 	Now func() time.Time
 	// Seed seeds the backoff jitter; 0 derives one from the clock.
 	Seed int64
+	// Quorum is the number of distinct workers whose completions must
+	// agree (matching result checksums) before a job is done. 1 — the
+	// default — trusts the first valid completion; K > 1 re-executes
+	// every job on K workers and completes only on K matching votes,
+	// the untrusted-fleet mode.
+	Quorum int
+	// QuarantineAfter is the per-worker badness threshold that trips
+	// automatic quarantine: a worker whose rejected completions, quorum
+	// mismatches, and (discounted) lost leases reach it is denied
+	// further leases. 0 selects the default (3); negative disables
+	// quarantine.
+	QuarantineAfter int
 	// Tracer receives queue events ("queue.enqueue", "queue.lease",
 	// "queue.retry", "queue.complete", "queue.dead"); nil disables.
 	Tracer obs.Tracer
@@ -144,6 +169,12 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = o.Now().UnixNano()
 	}
+	if o.Quorum < 1 {
+		o.Quorum = 1
+	}
+	if o.QuarantineAfter == 0 {
+		o.QuarantineAfter = 3
+	}
 	return o
 }
 
@@ -161,6 +192,7 @@ type Queue struct {
 
 	enqueued, duplicates, leases, completes, dupCompletes atomic.Int64
 	heartbeats, expiries, failures, retries, deadTotal    atomic.Int64
+	rejects, quorumVotes, mismatches, quarantines         atomic.Int64
 
 	// latency retains per-kind execution times (lease -> complete) for
 	// the quantile blocks of Stats.
@@ -176,6 +208,14 @@ var (
 	ErrNotLeased = errors.New("jobqueue: lease not held")
 	// ErrNotDead reports a Requeue of a job that is not dead-lettered.
 	ErrNotDead = errors.New("jobqueue: job is not dead-lettered")
+	// ErrQuarantined reports a lease request from a quarantined worker:
+	// its accumulated rejections, quorum mismatches, or lost leases
+	// tripped the reputation threshold and it is denied further work.
+	ErrQuarantined = errors.New("jobqueue: worker is quarantined")
+	// ErrQuorumMismatch reports a quorum vote whose result checksum
+	// disagrees with an earlier vote for the same job: all votes are
+	// discarded, every voter is flagged, and the job retries.
+	ErrQuorumMismatch = errors.New("jobqueue: quorum checksum mismatch")
 )
 
 // Open creates a queue, resuming from the journal when opts.Journal
@@ -252,9 +292,18 @@ func (q *Queue) Lease(worker string, kinds []string, ttl time.Duration) (Job, bo
 	defer q.mu.Unlock()
 	now := q.opts.Now()
 	q.expireLocked(now)
+	if w, ok := q.workers[worker]; ok && w.quarantined {
+		return Job{}, false, ErrQuarantined
+	}
 	var best *Job
 	for _, j := range q.jobs {
 		if j.State != Pending || j.NotBefore.After(now) || !kindAllowed(j.Kind, kinds) {
+			continue
+		}
+		// Quorum mode: a worker gets each job once — re-leasing a job to
+		// a worker that already voted on it would let one machine fill
+		// the quorum with itself.
+		if hasVote(j, worker) {
 			continue
 		}
 		if best == nil || j.Priority > best.Priority ||
@@ -323,12 +372,32 @@ func (q *Queue) Heartbeat(id, lease string, ttl time.Duration) error {
 
 // Complete marks a leased job done. first reports whether this call is
 // the one that completed it: a duplicate delivery of the same
-// completion (same lease token, job already done) returns first = false
+// completion (same lease token, job already done) returns false
 // and no error, which is how callers materialize results exactly once.
 // A completion whose lease was lost (expired and requeued or re-leased)
 // is rejected with ErrNotLeased — the job's deterministic result will
 // be produced by the holder of the live lease instead.
+//
+// Complete carries no result checksum, so under a Quorum > 1 policy it
+// counts as an abstaining completion: the job is done immediately, as
+// in the default first-valid-wins mode. Coordinators that enforce
+// quorum use CompleteSum.
 func (q *Queue) Complete(id, lease string) (first bool, err error) {
+	return q.CompleteSum(id, lease, "")
+}
+
+// CompleteSum is Complete with the completing worker's result checksum.
+// With Quorum = 1 (the default) the checksum is ignored and the first
+// completion wins. With Quorum = K > 1 each completion is a vote: the
+// job returns to the ready set (immediately leasable, but never by a
+// worker that already voted) until K distinct workers have completed it
+// with identical checksums, and only the K-th matching vote reports
+// first = true — the caller materializes that completion's bytes,
+// which all K workers agree on. A vote that contradicts an earlier
+// checksum returns ErrQuorumMismatch: every accumulated vote is
+// discarded, all voters are flagged (counting toward quarantine), and
+// the job retries under its normal backoff budget.
+func (q *Queue) CompleteSum(id, lease, sum string) (first bool, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.opts.Now()
@@ -344,6 +413,43 @@ func (q *Queue) Complete(id, lease string) (first bool, err error) {
 	if j.State != Leased || j.Lease != lease {
 		return false, ErrNotLeased
 	}
+	if k := q.opts.Quorum; k > 1 && sum != "" {
+		worker := j.Worker
+		q.quorumVotes.Add(1)
+		if len(j.Votes) > 0 && j.Votes[0].Sum != sum {
+			q.mismatches.Add(1)
+			q.noteMismatchLocked(worker, now)
+			for _, v := range j.Votes {
+				q.noteMismatchLocked(v.Worker, now)
+			}
+			j.Votes = nil
+			q.emitJob(obs.Event{
+				Kind: "queue.mismatch", Detail: j.Kind, Node: j.ID, Miner: worker,
+				Iter: j.Attempts,
+			}, j)
+			q.retireLocked(j, now, "quorum checksum mismatch")
+			if err := q.persistLocked(); err != nil {
+				return false, err
+			}
+			return false, ErrQuorumMismatch
+		}
+		j.Votes = append(j.Votes, Vote{Worker: worker, Sum: sum})
+		if len(j.Votes) < k {
+			// Quorum still open: back to the ready set with no backoff,
+			// for the next distinct worker.
+			j.State = Pending
+			j.Worker, j.Lease = "", ""
+			j.LeaseExpiry = time.Time{}
+			j.NotBefore = now
+			j.LastError = ""
+			q.touchWorkerLocked(worker, now, func(w *workerInfo) { w.completes++ })
+			q.emitJob(obs.Event{
+				Kind: "queue.vote", Detail: j.Kind, Node: j.ID, Miner: worker,
+				Iter: len(j.Votes), Eliminated: k - len(j.Votes),
+			}, j)
+			return false, q.persistLocked()
+		}
+	}
 	j.State = Done
 	j.DoneAt = now
 	j.LeaseExpiry = time.Time{}
@@ -356,6 +462,62 @@ func (q *Queue) Complete(id, lease string) (first bool, err error) {
 		Iter: j.Attempts, DurMS: float64(now.Sub(j.StartedAt)) / float64(time.Millisecond),
 	}, j)
 	return true, q.persistLocked()
+}
+
+// RejectCompletion refuses the lease holder's submitted result: the
+// coordinator's validity predicate found the bytes invalid. The
+// rejection counts against the worker's reputation (toward quarantine)
+// and the job returns to its normal retry/backoff budget, so an honest
+// worker will re-execute it. Rejecting an already-done job is a benign
+// no-op (a stale duplicate); a lost lease is ErrNotLeased.
+func (q *Queue) RejectCompletion(id, lease, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.Now()
+	q.expireLocked(now)
+	j, ok := q.jobs[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	if j.State == Done {
+		return nil
+	}
+	if j.State != Leased || j.Lease != lease {
+		return ErrNotLeased
+	}
+	q.rejects.Add(1)
+	q.touchWorkerLocked(j.Worker, now, func(w *workerInfo) {
+		w.rejects++
+		q.maybeQuarantineLocked(j.Worker, w)
+	})
+	q.emitJob(obs.Event{
+		Kind: "queue.reject", Detail: reason, Node: j.ID, Miner: j.Worker,
+		Iter: j.Attempts,
+	}, j)
+	q.retireLocked(j, now, "rejected: "+reason)
+	return q.persistLocked()
+}
+
+// noteMismatchLocked flags one quorum voter after a checksum conflict.
+// The queue cannot tell which voter lied, so every party to the
+// conflict is flagged; honest workers absorb the occasional flag while
+// a byzantine worker accumulates one per poisoned quorum and trips the
+// threshold.
+func (q *Queue) noteMismatchLocked(name string, now time.Time) {
+	q.touchWorkerLocked(name, now, func(w *workerInfo) {
+		w.mismatches++
+		q.maybeQuarantineLocked(name, w)
+	})
+}
+
+// hasVote reports whether worker already voted on j.
+func hasVote(j *Job, worker string) bool {
+	for _, v := range j.Votes {
+		if v.Worker == worker {
+			return true
+		}
+	}
+	return false
 }
 
 // Fail reports that the lease holder could not complete the job. The
@@ -398,6 +560,7 @@ func (q *Queue) Requeue(id string) error {
 	j.Attempts = 0
 	j.NotBefore = time.Time{}
 	j.Worker, j.Lease = "", ""
+	j.Votes = nil
 	return q.persistLocked()
 }
 
@@ -425,6 +588,7 @@ func (q *Queue) expireLocked(now time.Time) int {
 			// evidence of silence, not of life.
 			if w, ok := q.workers[j.Worker]; ok {
 				w.lostLeases++
+				q.maybeQuarantineLocked(j.Worker, w)
 			}
 			q.retireLocked(j, now, "lease expired (worker "+j.Worker+")")
 			n++

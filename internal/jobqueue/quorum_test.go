@@ -1,0 +1,327 @@
+package jobqueue
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Quorum execution and byzantine-worker quarantine: the queue-side half
+// of the farm's prescribed result-validity consensus. These tests drive
+// CompleteSum / RejectCompletion directly with a manual clock; the
+// end-to-end behavior (coordinator verifying real artifact bytes) lives
+// in the farm package's byzantine tests.
+
+func TestQuorumCompletesOnMatchingVotes(t *testing.T) {
+	q, _ := newTestQueue(t, Options{Quorum: 2})
+	mustEnqueue(t, q, "a", "busolve", 0)
+
+	j1, ok, err := q.Lease("w1", nil, 0)
+	if err != nil || !ok {
+		t.Fatalf("lease 1: ok=%v err=%v", ok, err)
+	}
+	// First vote: not first, no error, job back in the ready set.
+	first, err := q.CompleteSum(j1.ID, j1.Lease, "sum-A")
+	if err != nil || first {
+		t.Fatalf("vote 1: first=%v err=%v", first, err)
+	}
+	if got, _ := q.Get("a"); got.State != Pending || len(got.Votes) != 1 {
+		t.Fatalf("after vote 1: %+v", got)
+	}
+
+	// The voter cannot fill the quorum with itself.
+	if _, ok, err := q.Lease("w1", nil, 0); ok || err != nil {
+		t.Fatalf("voter re-leased its own job: ok=%v err=%v", ok, err)
+	}
+
+	j2, ok, err := q.Lease("w2", nil, 0)
+	if err != nil || !ok {
+		t.Fatalf("lease 2: ok=%v err=%v", ok, err)
+	}
+	// Second matching vote closes the quorum: this is the completion the
+	// caller materializes.
+	first, err = q.CompleteSum(j2.ID, j2.Lease, "sum-A")
+	if err != nil || !first {
+		t.Fatalf("vote 2: first=%v err=%v", first, err)
+	}
+	if got, _ := q.Get("a"); got.State != Done {
+		t.Fatalf("after quorum met: %+v", got)
+	}
+	st := q.Stats()
+	if st.QuorumVotes != 2 || st.QuorumMismatches != 0 || st.Completes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQuorumMismatchRequeuesAndFlagsVoters(t *testing.T) {
+	q, clk := newTestQueue(t, Options{Quorum: 2, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	mustEnqueue(t, q, "a", "busolve", 0)
+
+	ja, _, _ := q.Lease("w1", nil, 0)
+	if _, err := q.CompleteSum(ja.ID, ja.Lease, "sum-A"); err != nil {
+		t.Fatal(err)
+	}
+	jb, _, _ := q.Lease("w2", nil, 0)
+	if _, err := q.CompleteSum(jb.ID, jb.Lease, "sum-B"); !errors.Is(err, ErrQuorumMismatch) {
+		t.Fatalf("conflicting vote err = %v, want ErrQuorumMismatch", err)
+	}
+
+	// The round is voided: votes discarded, job back under backoff.
+	got, _ := q.Get("a")
+	if got.State != Pending || len(got.Votes) != 0 || got.NotBefore.IsZero() {
+		t.Fatalf("after mismatch: %+v", got)
+	}
+	if st := q.Stats(); st.QuorumMismatches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Both parties to the conflict are flagged — the queue cannot tell
+	// which one lied.
+	for _, w := range q.Workers() {
+		if w.Mismatches != 1 {
+			t.Fatalf("worker %s mismatches = %d, want 1", w.Name, w.Mismatches)
+		}
+	}
+
+	// The retry round can complete: both workers vote again, agreeing.
+	clk.Advance(10 * time.Millisecond)
+	j1, ok, _ := q.Lease("w1", nil, 0)
+	if !ok {
+		t.Fatal("no lease after mismatch backoff")
+	}
+	if _, err := q.CompleteSum(j1.ID, j1.Lease, "sum-A"); err != nil {
+		t.Fatal(err)
+	}
+	j2, ok, _ := q.Lease("w2", nil, 0)
+	if !ok {
+		t.Fatal("no second lease in retry round")
+	}
+	if first, err := q.CompleteSum(j2.ID, j2.Lease, "sum-A"); err != nil || !first {
+		t.Fatalf("retry round: first=%v err=%v", first, err)
+	}
+}
+
+func TestQuorumAbstainingCompleteWins(t *testing.T) {
+	// An empty checksum under quorum is an abstaining completion (a
+	// legacy Complete call): it closes the job immediately.
+	q, _ := newTestQueue(t, Options{Quorum: 3})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	j, _, _ := q.Lease("w1", nil, 0)
+	if first, err := q.Complete(j.ID, j.Lease); err != nil || !first {
+		t.Fatalf("abstaining complete: first=%v err=%v", first, err)
+	}
+}
+
+func TestQuorumDefaultIgnoresChecksum(t *testing.T) {
+	// Quorum 1 (default): CompleteSum behaves exactly like Complete.
+	q, _ := newTestQueue(t, Options{})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	j, _, _ := q.Lease("w1", nil, 0)
+	if first, err := q.CompleteSum(j.ID, j.Lease, "sum-A"); err != nil || !first {
+		t.Fatalf("first=%v err=%v", first, err)
+	}
+	if got, _ := q.Get("a"); len(got.Votes) != 0 {
+		t.Fatalf("votes recorded without quorum: %+v", got)
+	}
+}
+
+func TestRejectCompletionCountsAndRequeues(t *testing.T) {
+	q, clk := newTestQueue(t, Options{BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	j, _, _ := q.Lease("w1", nil, 0)
+
+	if err := q.RejectCompletion(j.ID, "lease-999", "bad bytes"); !errors.Is(err, ErrNotLeased) {
+		t.Fatalf("wrong-lease reject err = %v, want ErrNotLeased", err)
+	}
+	if err := q.RejectCompletion("nope", j.Lease, "bad bytes"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown-job reject err = %v, want ErrUnknownJob", err)
+	}
+	if err := q.RejectCompletion(j.ID, j.Lease, "checksum forged"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get("a")
+	if got.State != Pending || got.LastError != "rejected: checksum forged" {
+		t.Fatalf("after reject: %+v", got)
+	}
+	if st := q.Stats(); st.VerifyRejects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ws := q.Workers()
+	if len(ws) != 1 || ws[0].Rejects != 1 {
+		t.Fatalf("workers = %+v", ws)
+	}
+
+	// An honest retry completes; rejecting a done job is a benign no-op.
+	clk.Advance(10 * time.Millisecond)
+	j2, ok, _ := q.Lease("w2", nil, 0)
+	if !ok {
+		t.Fatal("no lease after reject backoff")
+	}
+	if first, err := q.Complete(j2.ID, j2.Lease); err != nil || !first {
+		t.Fatalf("retry complete: first=%v err=%v", first, err)
+	}
+	if err := q.RejectCompletion(j2.ID, j2.Lease, "stale"); err != nil {
+		t.Fatalf("reject after done: %v", err)
+	}
+}
+
+func TestQuarantineTripsAtThreshold(t *testing.T) {
+	q, clk := newTestQueue(t, Options{QuarantineAfter: 2, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	mustEnqueue(t, q, "b", "busolve", 0)
+
+	for i := 0; i < 2; i++ {
+		clk.Advance(10 * time.Millisecond)
+		j, ok, err := q.Lease("byz", nil, 0)
+		if err != nil || !ok {
+			t.Fatalf("lease %d: ok=%v err=%v", i, ok, err)
+		}
+		if err := q.RejectCompletion(j.ID, j.Lease, "invalid artifact"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Threshold reached: the worker is denied further leases, sticky.
+	if _, _, err := q.Lease("byz", nil, 0); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-threshold lease err = %v, want ErrQuarantined", err)
+	}
+	ws := q.Workers()
+	if len(ws) != 1 || !ws[0].Quarantined || ws[0].Rejects != 2 {
+		t.Fatalf("workers = %+v", ws)
+	}
+	if st := q.Stats(); st.QuarantinedWorkers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The fleet keeps working: an honest worker drains the jobs.
+	clk.Advance(10 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		j, ok, err := q.Lease("honest", nil, 0)
+		if err != nil || !ok {
+			t.Fatalf("honest lease %d: ok=%v err=%v", i, ok, err)
+		}
+		if first, err := q.Complete(j.ID, j.Lease); err != nil || !first {
+			t.Fatalf("honest complete %d: first=%v err=%v", i, first, err)
+		}
+	}
+}
+
+func TestQuarantineDisabledByNegativeThreshold(t *testing.T) {
+	q, clk := newTestQueue(t, Options{QuarantineAfter: -1, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	for i := 0; i < 10; i++ {
+		clk.Advance(10 * time.Millisecond)
+		j, ok, _ := q.Lease("byz", nil, 0)
+		if !ok {
+			break // delivery budget exhausted, job dead-lettered
+		}
+		if err := q.RejectCompletion(j.ID, j.Lease, "invalid"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := q.Lease("byz", nil, 0); errors.Is(err, ErrQuarantined) {
+		t.Fatal("quarantined despite disabled threshold")
+	}
+}
+
+func TestQuarantineCountsLostLeasesDiscounted(t *testing.T) {
+	// Lost leases are usually crashes, not malice: they count 1/8 toward
+	// badness, so a stall-based byzantine worker is quarantined
+	// eventually while a once-crashed honest worker is not.
+	q, clk := newTestQueue(t, Options{
+		QuarantineAfter: 1, DefaultTTL: time.Second,
+		BackoffBase: time.Millisecond, BackoffCap: time.Millisecond,
+		MaxAttempts: 100,
+	})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	for i := 0; i < 8; i++ {
+		clk.Advance(10 * time.Millisecond)
+		_, ok, err := q.Lease("staller", nil, 0)
+		if err != nil {
+			t.Fatalf("lease %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("lease %d: nothing ready", i)
+		}
+		clk.Advance(2 * time.Second) // let the lease rot
+		q.ExpireLeases()
+	}
+	// 8 lost leases / 8 = badness 1 = the threshold.
+	if _, _, err := q.Lease("staller", nil, 0); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err = %v, want ErrQuarantined", err)
+	}
+}
+
+func TestQuorumJournalResume(t *testing.T) {
+	// A half-met quorum survives a coordinator restart: the accumulated
+	// votes are journaled with the job, so the restarted queue still
+	// requires only the remaining votes — and still refuses to lease the
+	// job back to a worker that already voted.
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "queue.json")
+	clk := newClock()
+
+	q1, err := Open(Options{Journal: journal, Now: clk.Now, Seed: 1, Quorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEnqueue(t, q1, "a", "busolve", 0)
+	j, _, _ := q1.Lease("w1", nil, 0)
+	if _, err := q1.CompleteSum(j.ID, j.Lease, "sum-A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q2, err := Open(Options{Journal: journal, Now: clk.Now, Seed: 1, Quorum: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q2.Get("a")
+	if got.State != Pending || len(got.Votes) != 1 || got.Votes[0] != (Vote{Worker: "w1", Sum: "sum-A"}) {
+		t.Fatalf("after resume: %+v", got)
+	}
+	if _, ok, _ := q2.Lease("w1", nil, 0); ok {
+		t.Fatal("resumed queue re-leased the job to a prior voter")
+	}
+	j2, ok, _ := q2.Lease("w2", nil, 0)
+	if !ok {
+		t.Fatal("no lease for the second voter after resume")
+	}
+	if first, err := q2.CompleteSum(j2.ID, j2.Lease, "sum-A"); err != nil || !first {
+		t.Fatalf("quorum close across restart: first=%v err=%v", first, err)
+	}
+}
+
+func TestQuorumVoteClearedByRequeue(t *testing.T) {
+	// Manual requeue of a dead job resets its quorum round along with
+	// its delivery budget.
+	q, clk := newTestQueue(t, Options{Quorum: 2, MaxAttempts: 2, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	mustEnqueue(t, q, "a", "busolve", 0)
+	j, _, _ := q.Lease("w1", nil, 0)
+	if _, err := q.CompleteSum(j.ID, j.Lease, "sum-A"); err != nil {
+		t.Fatal(err)
+	}
+	j, ok, _ := q.Lease("w2", nil, 0)
+	if !ok {
+		t.Fatal("no lease")
+	}
+	if err := q.Fail(j.ID, j.Lease, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := q.Get("a"); got.State != Dead {
+		t.Fatalf("after budget spent: %+v", got)
+	}
+	if err := q.Requeue("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := q.Get("a"); len(got.Votes) != 0 {
+		t.Fatalf("requeue kept stale votes: %+v", got)
+	}
+	clk.Advance(10 * time.Millisecond)
+	// With votes cleared, w1 may vote again in the fresh round.
+	if _, ok, _ := q.Lease("w1", nil, 0); !ok {
+		t.Fatal("prior voter denied after requeue reset")
+	}
+}

@@ -3,6 +3,8 @@ package jobqueue
 import (
 	"sort"
 	"time"
+
+	"buanalysis/internal/obs"
 )
 
 // Worker fleet health. The queue is the one place every worker's
@@ -19,6 +21,35 @@ type workerInfo struct {
 	leases, heartbeats  int64
 	completes, failures int64
 	lostLeases          int64
+	// Reputation: rejected (invalid) completions, quorum checksum
+	// conflicts the worker was party to, and the quarantine verdict
+	// they feed (see maybeQuarantineLocked).
+	rejects, mismatches int64
+	quarantined         bool
+}
+
+// badnessLocked is a worker's reputation score against the quarantine
+// threshold. Rejected completions and quorum mismatches are hard
+// byzantine signals and count in full; lost leases are usually mere
+// crashes or partitions, so only chronic lease abuse (as a stall-based
+// byzantine worker produces) moves the score.
+func (w *workerInfo) badnessLocked() int64 {
+	return w.rejects + w.mismatches + w.lostLeases/8
+}
+
+// maybeQuarantineLocked trips the quarantine once a worker's badness
+// reaches the configured threshold. Quarantine is sticky for the
+// queue's lifetime (the records are runtime-only, so a coordinator
+// restart is the release valve) and denies every future lease.
+func (q *Queue) maybeQuarantineLocked(name string, w *workerInfo) {
+	limit := q.opts.QuarantineAfter
+	if limit <= 0 || w.quarantined || w.badnessLocked() < int64(limit) {
+		return
+	}
+	w.quarantined = true
+	q.quarantines.Add(1)
+	q.emit(obs.Event{Kind: "queue.quarantine", Miner: name, Iter: int(w.badnessLocked()),
+		Wall: q.opts.Now().UnixNano()})
 }
 
 // touchWorkerLocked updates (creating if needed) name's record and
@@ -54,6 +85,12 @@ type WorkerStats struct {
 	// LostLeases counts leases that expired out from under the worker
 	// (it went silent mid-job).
 	LostLeases int64 `json:"lost_leases"`
+	// Rejects counts completions the validity predicate refused;
+	// Mismatches counts quorum checksum conflicts the worker was party
+	// to. Both feed Quarantined, the verdict that denies further leases.
+	Rejects     int64 `json:"rejects"`
+	Mismatches  int64 `json:"mismatches"`
+	Quarantined bool  `json:"quarantined"`
 }
 
 // Workers returns the fleet snapshot, sorted by name.
@@ -79,6 +116,9 @@ func (q *Queue) Workers() []WorkerStats {
 			Completes:    w.completes,
 			Failures:     w.failures,
 			LostLeases:   w.lostLeases,
+			Rejects:      w.rejects,
+			Mismatches:   w.mismatches,
+			Quarantined:  w.quarantined,
 		})
 	}
 	q.mu.Unlock()

@@ -1,0 +1,57 @@
+package mdp
+
+import "fmt"
+
+// Certified gain bounds. A converged average-reward solve stops when the
+// span of its last update d = next - h falls below Epsilon, and at that
+// sweep the classic span bracket holds: min(d) <= keep*g* <= max(d),
+// where keep = 1 - Aperiodicity is the gain scaling of the aperiodicity
+// transformation. The solvers already report Gain as the corrected
+// bracket midpoint and Stats.Residual as the bracket width, so the
+// bracket is recoverable after the fact — which is exactly what a
+// cheap validity check needs: a loose re-solve (Epsilon ~1e-4) yields
+// certified bounds orders of magnitude cheaper than the tight solve it
+// checks, and any claimed gain outside those bounds is provably wrong.
+
+// GainBounds recovers the certified optimal-gain bracket [lo, hi] of a
+// converged solve from its reported Gain and Stats.Residual, under the
+// same options the solve ran with (only Aperiodicity matters — the
+// bracket scaling must use the tau the sweeps applied). The true
+// optimal gain of the solved problem lies within the returned bounds.
+func (r Result) GainBounds(opts Options) (lo, hi float64) {
+	opts = opts.withDefaults()
+	keep := 1 - opts.Aperiodicity
+	half := r.Stats.Residual / (2 * keep)
+	return r.Gain - half, r.Gain + half
+}
+
+// VerifyGain is the workspace's exported residual check: it re-solves
+// the bound model under opts and tests whether claimed is consistent
+// with the certified gain bracket, widened by slack >= 0 on each side
+// (slack absorbs the tolerance of whatever produced the claim — a
+// tighter solve's Epsilon, a ratio bisection's RatioTol). The re-solve
+// typically runs at a much looser Epsilon than the original solve,
+// making the check a small fraction of the solve's cost while still
+// refuting any materially perturbed claim. The solve result is
+// returned so callers can inspect the bracket that decided.
+func (ws *Workspace) VerifyGain(opts Options, claimed, slack float64) (Result, error) {
+	r, err := ws.AverageReward(opts)
+	if err != nil {
+		return r, err
+	}
+	lo, hi := r.GainBounds(opts)
+	if claimed < lo-slack || claimed > hi+slack {
+		return r, fmt.Errorf("mdp: claimed gain %.12g outside certified bounds [%.12g, %.12g] (slack %g)",
+			claimed, lo, hi, slack)
+	}
+	return r, nil
+}
+
+// VerifyGain on the model is the transient-workspace form of
+// Workspace.VerifyGain, for one-shot checks.
+func (m *Model) VerifyGain(opts Options, claimed, slack float64) (Result, error) {
+	opts = opts.withDefaults()
+	ws := m.NewWorkspace(opts.Parallelism)
+	defer ws.Close()
+	return ws.VerifyGain(opts, claimed, slack)
+}

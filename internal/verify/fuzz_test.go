@@ -1,0 +1,57 @@
+package verify
+
+import (
+	"encoding/json"
+	"testing"
+
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+)
+
+// FuzzVerifyArtifact drives the completion-blob decoder — the first
+// thing the coordinator runs on untrusted worker bytes — with mutated
+// kinds, ids, specs, and blobs. The invariant is simply that Artifact
+// never panics: it must return an error for garbage, and the check
+// ordering (key echo before any model build) guarantees a mutated input
+// cannot trigger an expensive solve, so the target stays fast. Seeds
+// are real artifacts of every kind, so mutations start from inputs that
+// reach deep into each predicate.
+func FuzzVerifyArtifact(f *testing.F) {
+	solveOpts := bumdp.SolveOptions{RatioTol: 1e-4, Epsilon: 1e-8}
+	p := bumdp.Params{Alpha: 0.15, Beta: 0.425, Gamma: 0.425, AD: 3, Setting: 1, Model: bumdp.Compliant}
+	if id, err := expstore.BUSolveKey(p, solveOpts); err == nil {
+		if blob, err := expstore.ComputeBUSolve(p, solveOpts); err == nil {
+			f.Add(expstore.KindBUSolve, id, []byte(nil), blob)
+		}
+	}
+
+	cfg := core.SweepConfig{
+		Alphas:   []float64{0.10},
+		Ratios:   []core.Ratio{{Name: "1:1", B: 1, G: 1}},
+		Settings: []bumdp.Setting{bumdp.Setting1},
+		AD:       3, RatioTol: 1e-4, Epsilon: 1e-8,
+	}.Normalized(bumdp.Compliant)
+	cfg.Workers = 0
+	cfg.InnerParallelism = 0
+	if id, err := expstore.SweepShardKey(bumdp.Compliant, cfg, 0, 1); err == nil {
+		spec, _ := json.Marshal(shardSpec{Model: int(bumdp.Compliant), Config: cfg, Index: 0, Count: 1})
+		if blob, err := expstore.ComputeSweepShard(bumdp.Compliant, cfg, 0, 1); err == nil {
+			f.Add(expstore.KindSweepShard, id, spec, blob)
+		}
+	}
+
+	f.Add(expstore.KindMonteCarlo, "mcbatch-0000", []byte(nil), []byte(`{"params":{},"steps":1,"batches":1,"seed":0,"summary":{"N":1,"Mean":0,"Std":0,"SE":0}}`))
+	f.Add(expstore.KindEBGame, "ebgame-0000", []byte(nil), []byte(`{"spec":{},"profiles":null,"utilities":null}`))
+	f.Add(expstore.KindBitcoinSolve, "btcsolve-0000", []byte(nil), []byte(`{"params":{},"states":1,"utility":0,"honest":0}`))
+	f.Add("", "", []byte(nil), []byte(nil))
+
+	f.Fuzz(func(t *testing.T, kind, id string, spec, blob []byte) {
+		// Cap the input size: a multi-megabyte JSON document probes the
+		// decoder no deeper than a small one and only slows the fuzzer.
+		if len(blob) > 1<<18 || len(spec) > 1<<18 {
+			t.Skip()
+		}
+		_ = Artifact(kind, id, spec, blob)
+	})
+}

@@ -1,0 +1,18 @@
+package verify
+
+import "buanalysis/internal/obs"
+
+// Package-level instruments, nil until Observe installs them; a nil
+// *obs.Counter no-ops, so uninstrumented programs pay nothing.
+var (
+	checksTotal  *obs.Counter
+	rejectsTotal *obs.Counter
+)
+
+// Observe registers the verifier's metrics on reg: validity checks run
+// and checks that rejected a submission. A nil registry leaves the
+// package uninstrumented.
+func Observe(reg *obs.Registry) {
+	checksTotal = reg.Counter("verify_checks_total", "Artifact validity checks run against submitted results.")
+	rejectsTotal = reg.Counter("verify_rejects_total", "Artifact validity checks that rejected a submission.")
+}

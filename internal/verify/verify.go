@@ -1,0 +1,442 @@
+// Package verify implements the coordinator's prescribed result-validity
+// predicates: cheap deterministic checks that every artifact a solve-farm
+// worker submits must pass before the store materializes it.
+//
+// The paper's thesis is that a consensus system is only robust when
+// validity is prescribed by the protocol rather than judged at each
+// participant's discretion. The farm's analogue: the coordinator does not
+// trust a worker's bytes because the worker was first — it re-derives
+// what a valid artifact of that job must look like and checks the
+// submission against it. The check exploits the same asymmetry the
+// solvers themselves use: *verifying* a claimed optimal value needs one
+// loose certified re-solve (a Bellman-residual bracket at Epsilon ~1e-3),
+// orders of magnitude cheaper than the tight solve (Epsilon 1e-9) that
+// produced the claim, yet still sharp enough to refute any materially
+// perturbed value.
+//
+// Every predicate layers structural checks before semantic ones, in
+// strictly increasing cost:
+//
+//  1. decode: the blob must be valid JSON for the kind's record type;
+//  2. canonical echo: re-encoding the decoded record must reproduce the
+//     blob exactly (modulo insignificant whitespace), so unknown fields,
+//     duplicate keys, and non-canonical encodings are rejected;
+//  3. key echo: the parameters the record (or the job spec) echoes must
+//     re-derive the job's own content-addressed key — a submission for
+//     the wrong parameters, tolerances, or schema version cannot land
+//     under this id;
+//  4. model checks: cheap facts recomputed from the canonical model
+//     (state count, honest utility, fork-rate range);
+//  5. semantic check: the claimed optimal gain/ratio must fall inside
+//     the certified bracket of a loose re-solve (mdp.VerifyGain).
+//
+// The ordering is also the fuzzing guard: reaching a semantic re-solve
+// requires a blob whose echoed parameters hash to the submitted key, so
+// a mutated input can never trigger an expensive model build.
+package verify
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"buanalysis/internal/bitcoin"
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+	"buanalysis/internal/mdp"
+	"buanalysis/internal/obs"
+)
+
+// Default verification tolerances: the span tolerance of the certified
+// re-solve behind a busolve artifact's semantic check (Epsilon) and a
+// sweep shard's per-cell checks (CellEpsilon). 1e-3 resolves any forgery
+// that would move a printed table entry (the drills perturb by 0.01, a
+// 10x margin) while keeping the verifier's re-solve a small fraction of
+// the tight solve it checks — the <5% bound pinned by
+// jobqueue.TestVerifyCostBound.
+const (
+	DefaultEpsilon     = 1e-3
+	DefaultCellEpsilon = 1e-3
+)
+
+// Checker verifies artifacts against the repository's canonical models.
+// The zero value (and a nil *Checker) verifies with default tolerances
+// and no tracing; a Checker is safe for concurrent use.
+type Checker struct {
+	// Epsilon is the span tolerance of the certified re-solve behind a
+	// busolve artifact's gain/ratio check (default 1e-3).
+	Epsilon float64
+	// CellEpsilon is the re-solve tolerance for each cell of a sweep
+	// shard (default 1e-3).
+	CellEpsilon float64
+	// Tracer, when set, receives one "verify.check" span event per
+	// verification (Detail = kind, Node = artifact id) and an extra
+	// "verify.reject" event carrying the reason when a check fails.
+	Tracer obs.Tracer
+}
+
+var zeroChecker Checker
+
+func (c *Checker) orDefault() *Checker {
+	if c == nil {
+		return &zeroChecker
+	}
+	return c
+}
+
+func (c *Checker) epsilon() float64 {
+	if c.Epsilon == 0 {
+		return DefaultEpsilon
+	}
+	return c.Epsilon
+}
+
+func (c *Checker) cellEpsilon() float64 {
+	if c.CellEpsilon == 0 {
+		return DefaultCellEpsilon
+	}
+	return c.CellEpsilon
+}
+
+// Artifact verifies one artifact blob of the given kind against the
+// identity it claims: id is the job's content-addressed key (re-derived,
+// never trusted) and spec is the job's spec document (needed only by
+// kinds, like sweep shards, whose stored record does not echo its full
+// configuration). A nil error means the blob is a valid artifact for
+// exactly this key; any defect — structural or semantic — is an error
+// naming the first check that failed.
+func (c *Checker) Artifact(kind, id string, spec, blob []byte) error {
+	c = c.orDefault()
+	start := time.Now()
+	err := c.check(kind, id, spec, blob)
+	checksTotal.Inc()
+	if c.Tracer != nil {
+		c.Tracer.Emit(obs.Event{
+			Kind: "verify.check", Detail: kind, Node: id,
+			Wall:  start.UnixNano(),
+			DurMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+		if err != nil {
+			c.Tracer.Emit(obs.Event{
+				Kind: "verify.reject", Detail: err.Error(), Node: id,
+				Wall: time.Now().UnixNano(),
+			})
+		}
+	}
+	if err != nil {
+		rejectsTotal.Inc()
+		return fmt.Errorf("verify: %s %s: %w", kind, id, err)
+	}
+	return nil
+}
+
+// Artifact verifies with the default checker.
+func Artifact(kind, id string, spec, blob []byte) error {
+	return zeroChecker.Artifact(kind, id, spec, blob)
+}
+
+func (c *Checker) check(kind, id string, spec, blob []byte) error {
+	if len(blob) == 0 {
+		return errors.New("empty result")
+	}
+	switch kind {
+	case expstore.KindBUSolve:
+		return c.checkBUSolve(id, blob)
+	case expstore.KindBitcoinSolve:
+		return checkBitcoinSolve(id, blob)
+	case expstore.KindSweepShard:
+		return c.checkSweepShard(id, spec, blob)
+	case expstore.KindMonteCarlo:
+		return checkMonteCarlo(id, blob)
+	case expstore.KindEBGame:
+		return checkEBGame(id, blob)
+	default:
+		return fmt.Errorf("no validity predicate for artifact kind %q", kind)
+	}
+}
+
+// canonicalEcho rejects a blob that is not the canonical encoding of the
+// record decoded from it: re-marshaling rec must reproduce the compacted
+// blob byte for byte. Unknown fields, duplicated keys, reordered keys,
+// and alternative number spellings all fail here, so everything after
+// this check reasons about exactly the bytes that would be stored.
+func canonicalEcho(rec any, blob []byte) error {
+	enc, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("re-encoding record: %w", err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, blob); err != nil {
+		return fmt.Errorf("result is not valid JSON: %w", err)
+	}
+	if !bytes.Equal(enc, compact.Bytes()) {
+		return errors.New("result is not the canonical record encoding")
+	}
+	return nil
+}
+
+// claimSlack is the acceptance slack of a semantic check: the claimed
+// value was produced by a bisection honest to ratioTol with probes
+// honest to epsilon, so a true claim can sit this far outside the loose
+// re-solve's own certified bracket. Chained cells (warm-started sweep
+// rows) get double the bisection allowance.
+func claimSlack(ratioTol, epsilon float64, chained bool) float64 {
+	mult := 4.0
+	if chained {
+		mult = 8
+	}
+	return mult*ratioTol + epsilon + 1e-9
+}
+
+// checkClaim is the semantic core: a claimed optimal value for one
+// solved instance must be consistent with a loose certified re-solve of
+// the canonical model. For the absolute-reward objective (NonCompliant)
+// the claim is the optimal gain itself and must land inside the
+// re-solve's bracket. For the ratio objectives the claim u is optimal
+// iff the rho-shifted rewards (num - u*den) have optimal gain zero
+// (Dinkelbach), so the re-solve runs at Rho = u and the bracket must
+// contain zero. Either way one loose solve refutes any materially wrong
+// claim at a small fraction of the original solve's cost.
+func checkClaim(a *bumdp.Analysis, eps, ratioTol, epsilon, claimed float64, chained bool) error {
+	if math.IsNaN(claimed) || math.IsInf(claimed, 0) {
+		return fmt.Errorf("claimed utility %v is not finite", claimed)
+	}
+	if a.Params.Model == bumdp.NonCompliant {
+		slack := epsilon + 1e-9
+		if _, err := a.Model.VerifyGain(mdp.Options{Epsilon: eps}, claimed, slack); err != nil {
+			return fmt.Errorf("gain check: %w", err)
+		}
+		return nil
+	}
+	if claimed < -1e-9 || claimed > 1+1e-9 {
+		return fmt.Errorf("claimed ratio utility %v outside [0, 1]", claimed)
+	}
+	slack := claimSlack(ratioTol, epsilon, chained)
+	if _, err := a.Model.VerifyGain(mdp.Options{Epsilon: eps, Rho: claimed}, 0, slack); err != nil {
+		return fmt.Errorf("ratio check at rho=%.9g: %w", claimed, err)
+	}
+	return nil
+}
+
+func (c *Checker) checkBUSolve(id string, blob []byte) error {
+	var rec expstore.BUSolveRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return fmt.Errorf("decoding record: %w", err)
+	}
+	if err := canonicalEcho(rec, blob); err != nil {
+		return err
+	}
+	key, err := expstore.BUSolveKey(rec.Params, bumdp.SolveOptions{RatioTol: rec.RatioTol, Epsilon: rec.Epsilon})
+	if err != nil {
+		return fmt.Errorf("re-deriving key from params echo: %w", err)
+	}
+	if key != id {
+		return fmt.Errorf("params echo derives key %s, artifact claims %s", key, id)
+	}
+	a, err := bumdp.New(rec.Params)
+	if err != nil {
+		return fmt.Errorf("rebuilding model: %w", err)
+	}
+	if len(a.States) != rec.States {
+		return fmt.Errorf("claims %d states, model has %d", rec.States, len(a.States))
+	}
+	if honest := a.HonestUtility(); math.Abs(rec.Honest-honest) > 1e-12 {
+		return fmt.Errorf("claims honest utility %v, model says %v", rec.Honest, honest)
+	}
+	if rec.ForkRate < -1e-9 || rec.ForkRate > 1+1e-9 {
+		return fmt.Errorf("fork rate %v outside [0, 1]", rec.ForkRate)
+	}
+	if rec.Params.Model != bumdp.NonCompliant && rec.Probes < 1 {
+		return fmt.Errorf("ratio solve claims %d bisection probes", rec.Probes)
+	}
+	return checkClaim(a, c.epsilon(), rec.RatioTol, rec.Epsilon, rec.Utility, false)
+}
+
+// shardSpec mirrors farm.SweepShardSpec's encoding. verify cannot import
+// internal/farm (farm's coordinator imports verify), so the handful of
+// spec fields the shard predicate needs are decoded locally; the json
+// tags are pinned by the farm package's own tests.
+type shardSpec struct {
+	Model  int              `json:"model"`
+	Config core.SweepConfig `json:"config"`
+	Index  int              `json:"index"`
+	Count  int              `json:"count"`
+}
+
+func (c *Checker) checkSweepShard(id string, spec, blob []byte) error {
+	if len(spec) == 0 {
+		return errors.New("sweep-shard verification needs the job spec")
+	}
+	var s shardSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return fmt.Errorf("decoding job spec: %w", err)
+	}
+	var rec expstore.SweepShardRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return fmt.Errorf("decoding record: %w", err)
+	}
+	if err := canonicalEcho(rec, blob); err != nil {
+		return err
+	}
+	model := bumdp.IncentiveModel(s.Model)
+	key, err := expstore.SweepShardKey(model, s.Config, s.Index, s.Count)
+	if err != nil {
+		return fmt.Errorf("re-deriving key from job spec: %w", err)
+	}
+	if key != id {
+		return fmt.Errorf("job spec derives key %s, artifact claims %s", key, id)
+	}
+	if rec.Model != s.Model || rec.Index != s.Index || rec.Count != s.Count {
+		return fmt.Errorf("record claims shard %d of %d (model %d), job is shard %d of %d (model %d)",
+			rec.Index, rec.Count, rec.Model, s.Index, s.Count, s.Model)
+	}
+
+	// The shard is obliged to cover exactly its round-robin rows of the
+	// defaults-applied grid, whole rows in grid order. Re-derive that
+	// layout and hold every cell to it.
+	cfg := s.Config.Normalized(model)
+	grid := cfg.Grid(model)
+	rows := cfg.ShardRows(model, s.Index, s.Count)
+	rowLen := len(cfg.Ratios)
+	if len(rec.Cells) != len(rows)*rowLen {
+		return fmt.Errorf("shard has %d cells, its rows hold %d", len(rec.Cells), len(rows)*rowLen)
+	}
+
+	// One rolling analysis across the shard's cells: consecutive cells
+	// share a model shape (same AD/setting), so Rebind amortizes the
+	// expensive structure compile the way the sweep's own warm chains do.
+	var a *bumdp.Analysis
+	eps := c.cellEpsilon()
+	for k, r := range rows {
+		for j := 0; j < rowLen; j++ {
+			got := rec.Cells[k*rowLen+j]
+			want := grid[r*rowLen+j]
+			if got.Alpha != want.Alpha || got.Ratio != want.Ratio ||
+				got.Setting != int(want.Setting) || got.Model != int(want.Model) ||
+				got.AD != want.AD || got.Skipped != want.Skipped {
+				return fmt.Errorf("cell %d is off-grid: got (alpha=%g ratio=%q setting=%d model=%d ad=%d skipped=%v), grid holds (alpha=%g ratio=%q setting=%d model=%d ad=%d skipped=%v)",
+					k*rowLen+j, got.Alpha, got.Ratio, got.Setting, got.Model, got.AD, got.Skipped,
+					want.Alpha, want.Ratio, int(want.Setting), int(want.Model), want.AD, want.Skipped)
+			}
+			where := fmt.Sprintf("cell %d (alpha=%g ratio=%s setting=%d)", k*rowLen+j, got.Alpha, got.Ratio, got.Setting)
+			if got.Skipped {
+				if got.Value != 0 || got.Honest != 0 || got.ForkRate != 0 || got.Probes != 0 || got.Sweeps != 0 || got.Err != "" {
+					return fmt.Errorf("%s: skipped cell carries solve results", where)
+				}
+				continue
+			}
+			if got.Err != "" {
+				// A failed solve must never materialize: rejecting keeps
+				// the job on its retry budget instead of caching the error.
+				return fmt.Errorf("%s: reports a solve error: %s", where, got.Err)
+			}
+			params, opts := cfg.CellParams(core.Cell{
+				Alpha: got.Alpha, Ratio: got.Ratio, Setting: bumdp.Setting(got.Setting),
+				Model: bumdp.IncentiveModel(got.Model), AD: got.AD,
+			})
+			if a == nil {
+				a, err = bumdp.New(params)
+			} else {
+				a, err = a.Rebind(params)
+			}
+			if err != nil {
+				return fmt.Errorf("%s: rebuilding model: %w", where, err)
+			}
+			if honest := a.HonestUtility(); math.Abs(got.Honest-honest) > 1e-12 {
+				return fmt.Errorf("%s: claims honest utility %v, model says %v", where, got.Honest, honest)
+			}
+			if got.ForkRate < -1e-9 || got.ForkRate > 1+1e-9 {
+				return fmt.Errorf("%s: fork rate %v outside [0, 1]", where, got.ForkRate)
+			}
+			if err := checkClaim(a, eps, opts.RatioTol, opts.Epsilon, got.Value, true); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+		}
+	}
+	return nil
+}
+
+func checkBitcoinSolve(id string, blob []byte) error {
+	var rec expstore.BitcoinSolveRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return fmt.Errorf("decoding record: %w", err)
+	}
+	if err := canonicalEcho(rec, blob); err != nil {
+		return err
+	}
+	key, err := expstore.BitcoinSolveKey(rec.Params)
+	if err != nil {
+		return fmt.Errorf("re-deriving key from params echo: %w", err)
+	}
+	if key != id {
+		return fmt.Errorf("params echo derives key %s, artifact claims %s", key, id)
+	}
+	a, err := bitcoin.New(rec.Params)
+	if err != nil {
+		return fmt.Errorf("rebuilding model: %w", err)
+	}
+	if len(a.States) != rec.States {
+		return fmt.Errorf("claims %d states, model has %d", rec.States, len(a.States))
+	}
+	if math.IsNaN(rec.Utility) || rec.Utility < -1e-9 || rec.Utility > 1+1e-9 {
+		return fmt.Errorf("claimed utility %v outside [0, 1]", rec.Utility)
+	}
+	if honest := a.HonestUtility(); math.Abs(rec.Honest-honest) > 1e-12 {
+		return fmt.Errorf("claims honest utility %v, model says %v", rec.Honest, honest)
+	}
+	// The revenue objectives maximize: an optimal attack can only
+	// improve on the honest baseline.
+	if rec.Params.Objective != bitcoin.OrphanRate && rec.Utility < rec.Honest-1e-6 {
+		return fmt.Errorf("claimed utility %v below the honest baseline %v", rec.Utility, rec.Honest)
+	}
+	return nil
+}
+
+func checkMonteCarlo(id string, blob []byte) error {
+	var rec expstore.MonteCarloRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return fmt.Errorf("decoding record: %w", err)
+	}
+	if err := canonicalEcho(rec, blob); err != nil {
+		return err
+	}
+	key, err := expstore.MonteCarloKey(rec.Params, rec.Steps, rec.Batches, rec.Seed)
+	if err != nil {
+		return fmt.Errorf("re-deriving key from params echo: %w", err)
+	}
+	if key != id {
+		return fmt.Errorf("params echo derives key %s, artifact claims %s", key, id)
+	}
+	if rec.Summary.N != rec.Batches {
+		return fmt.Errorf("summary covers %d batches, plan says %d", rec.Summary.N, rec.Batches)
+	}
+	if math.IsNaN(rec.Summary.Mean) || math.IsNaN(rec.Summary.SE) || rec.Summary.SE < 0 {
+		return fmt.Errorf("summary statistics are not finite")
+	}
+	return nil
+}
+
+func checkEBGame(id string, blob []byte) error {
+	var rec expstore.EquilibriaRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return fmt.Errorf("decoding record: %w", err)
+	}
+	if err := canonicalEcho(rec, blob); err != nil {
+		return err
+	}
+	key, err := expstore.Key(expstore.KindEBGame, rec.Spec)
+	if err != nil {
+		return fmt.Errorf("re-deriving key from spec echo: %w", err)
+	}
+	if key != id {
+		return fmt.Errorf("spec echo derives key %s, artifact claims %s", key, id)
+	}
+	if len(rec.Utilities) != len(rec.Profiles) {
+		return fmt.Errorf("%d utility rows for %d equilibria", len(rec.Utilities), len(rec.Profiles))
+	}
+	return nil
+}

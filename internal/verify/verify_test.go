@@ -1,0 +1,303 @@
+package verify
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"buanalysis/internal/bitcoin"
+	"buanalysis/internal/bumdp"
+	"buanalysis/internal/core"
+	"buanalysis/internal/expstore"
+)
+
+// testTols are the solve tolerances used throughout: loose enough to
+// keep the grid fast, tight enough that the verifier's acceptance
+// window (a few times RatioTol) stays far below the 0.01 perturbations
+// the tamper tests inject.
+const (
+	testRatioTol = 1e-4
+	testEpsilon  = 1e-8
+)
+
+func buSolveArtifact(t *testing.T, p bumdp.Params) (id string, blob []byte) {
+	t.Helper()
+	opts := bumdp.SolveOptions{RatioTol: testRatioTol, Epsilon: testEpsilon}
+	id, err := expstore.BUSolveKey(p, opts)
+	if err != nil {
+		t.Fatalf("BUSolveKey: %v", err)
+	}
+	blob, err = expstore.ComputeBUSolve(p, opts)
+	if err != nil {
+		t.Fatalf("ComputeBUSolve: %v", err)
+	}
+	return id, blob
+}
+
+// retamper decodes a busolve blob, applies f, and re-encodes it
+// canonically — the forgery a capable byzantine worker would ship, with
+// every structural check (canonical echo, key echo when params are
+// untouched) still passing, so only the semantic predicate stands
+// between the forgery and the store.
+func retamper(t *testing.T, blob []byte, f func(*expstore.BUSolveRecord)) []byte {
+	t.Helper()
+	var rec expstore.BUSolveRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("decoding record: %v", err)
+	}
+	f(&rec)
+	out, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("re-encoding record: %v", err)
+	}
+	return out
+}
+
+func cellParams(t *testing.T, alpha float64, r core.Ratio, model bumdp.IncentiveModel) bumdp.Params {
+	t.Helper()
+	beta, gamma := r.Split(alpha)
+	p := bumdp.Params{Alpha: alpha, Beta: beta, Gamma: gamma, AD: 3, Setting: 1, Model: model}
+	np, err := p.Normalized()
+	if err != nil {
+		t.Fatalf("normalizing params: %v", err)
+	}
+	return np
+}
+
+// TestVerifyBUSolveGrid pins the soundness of the busolve predicate on
+// the Table-2 grid (compliant model, every admissible alpha x ratio): a
+// freshly computed artifact always passes, and a perturbed utility
+// always fails. -short spot-checks the grid corners.
+func TestVerifyBUSolveGrid(t *testing.T) {
+	alphas := core.PaperAlphas
+	ratios := core.PaperRatios
+	if testing.Short() {
+		alphas = []float64{alphas[0], alphas[len(alphas)-1]}
+		ratios = []core.Ratio{ratios[0], ratios[len(ratios)-1]}
+	}
+	for _, alpha := range alphas {
+		for _, r := range ratios {
+			if !r.Admissible(alpha) {
+				continue
+			}
+			p := cellParams(t, alpha, r, bumdp.Compliant)
+			id, blob := buSolveArtifact(t, p)
+			if err := Artifact(expstore.KindBUSolve, id, nil, blob); err != nil {
+				t.Fatalf("valid artifact rejected (alpha=%g ratio=%s): %v", alpha, r.Name, err)
+			}
+			for _, delta := range []float64{0.01, -0.01} {
+				bad := retamper(t, blob, func(rec *expstore.BUSolveRecord) { rec.Utility += delta })
+				if err := Artifact(expstore.KindBUSolve, id, nil, bad); err == nil {
+					t.Fatalf("utility perturbed by %g accepted (alpha=%g ratio=%s)", delta, alpha, r.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestVerifyBUSolveNonCompliant(t *testing.T) {
+	p := cellParams(t, 0.25, core.Ratio{Name: "1:1", B: 1, G: 1}, bumdp.NonCompliant)
+	id, blob := buSolveArtifact(t, p)
+	if err := Artifact(expstore.KindBUSolve, id, nil, blob); err != nil {
+		t.Fatalf("valid non-compliant artifact rejected: %v", err)
+	}
+	bad := retamper(t, blob, func(rec *expstore.BUSolveRecord) { rec.Utility += 0.01 })
+	if err := Artifact(expstore.KindBUSolve, id, nil, bad); err == nil {
+		t.Fatal("perturbed gain accepted")
+	}
+}
+
+func TestVerifyBUSolveStructural(t *testing.T) {
+	p := cellParams(t, 0.15, core.Ratio{Name: "1:1", B: 1, G: 1}, bumdp.Compliant)
+	id, blob := buSolveArtifact(t, p)
+
+	cases := map[string][]byte{
+		"empty blob":      nil,
+		"not json":        []byte("not json"),
+		"wrong shape":     []byte(`{"tampered":true}`),
+		"corrupted bytes": append([]byte("xx"), blob[2:]...),
+		"unknown field":   []byte(strings.Replace(string(blob), `"params"`, `"extra":1,"params"`, 1)),
+		"honest tampered": retamper(t, blob, func(rec *expstore.BUSolveRecord) { rec.Honest += 0.5 }),
+		"states tampered": retamper(t, blob, func(rec *expstore.BUSolveRecord) { rec.States++ }),
+		"fork rate range": retamper(t, blob, func(rec *expstore.BUSolveRecord) { rec.ForkRate = 1.5 }),
+		"params swapped": retamper(t, blob, func(rec *expstore.BUSolveRecord) {
+			rec.Params.Alpha, rec.Params.Beta = rec.Params.Beta, rec.Params.Alpha
+		}),
+		"ratio_tol forged": retamper(t, blob, func(rec *expstore.BUSolveRecord) { rec.RatioTol = 1e-3 }),
+	}
+	for name, bad := range cases {
+		if err := Artifact(expstore.KindBUSolve, id, nil, bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// The id itself is part of the identity: a valid blob under a
+	// different key must fail the key echo.
+	if err := Artifact(expstore.KindBUSolve, "busolve-0000", nil, blob); err == nil {
+		t.Error("valid blob accepted under a foreign key")
+	}
+}
+
+func shardTestConfig() core.SweepConfig {
+	return core.SweepConfig{
+		Alphas: []float64{0.10, 0.15},
+		Ratios: []core.Ratio{
+			{Name: "1:1", B: 1, G: 1},
+			{Name: "1:2", B: 1, G: 2},
+		},
+		Settings: []bumdp.Setting{bumdp.Setting1},
+		AD:       3,
+		RatioTol: testRatioTol,
+		Epsilon:  testEpsilon,
+	}
+}
+
+func shardArtifact(t *testing.T, cfg core.SweepConfig, index, count int) (id string, spec, blob []byte) {
+	t.Helper()
+	model := bumdp.Compliant
+	norm := cfg.Normalized(model)
+	norm.Workers = 0
+	norm.InnerParallelism = 0
+	id, err := expstore.SweepShardKey(model, norm, index, count)
+	if err != nil {
+		t.Fatalf("SweepShardKey: %v", err)
+	}
+	spec, err = json.Marshal(shardSpec{Model: int(model), Config: norm, Index: index, Count: count})
+	if err != nil {
+		t.Fatalf("encoding spec: %v", err)
+	}
+	blob, err = expstore.ComputeSweepShard(model, cfg, index, count)
+	if err != nil {
+		t.Fatalf("ComputeSweepShard: %v", err)
+	}
+	return id, spec, blob
+}
+
+func retamperShard(t *testing.T, blob []byte, f func(*expstore.SweepShardRecord)) []byte {
+	t.Helper()
+	var rec expstore.SweepShardRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("decoding shard record: %v", err)
+	}
+	f(&rec)
+	out, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("re-encoding shard record: %v", err)
+	}
+	return out
+}
+
+func TestVerifySweepShard(t *testing.T) {
+	cfg := shardTestConfig()
+	const count = 2
+	for index := 0; index < count; index++ {
+		id, spec, blob := shardArtifact(t, cfg, index, count)
+		if err := Artifact(expstore.KindSweepShard, id, spec, blob); err != nil {
+			t.Fatalf("valid shard %d rejected: %v", index, err)
+		}
+		flipped := retamperShard(t, blob, func(rec *expstore.SweepShardRecord) {
+			rec.Cells[0].Value += 0.01
+		})
+		if err := Artifact(expstore.KindSweepShard, id, spec, flipped); err == nil {
+			t.Fatalf("shard %d with one flipped cell accepted", index)
+		}
+		offgrid := retamperShard(t, blob, func(rec *expstore.SweepShardRecord) {
+			rec.Cells[0].Alpha = 0.33
+		})
+		if err := Artifact(expstore.KindSweepShard, id, spec, offgrid); err == nil {
+			t.Fatalf("shard %d with an off-grid cell accepted", index)
+		}
+		errcell := retamperShard(t, blob, func(rec *expstore.SweepShardRecord) {
+			rec.Cells[1].Err = "synthetic failure"
+		})
+		if err := Artifact(expstore.KindSweepShard, id, spec, errcell); err == nil {
+			t.Fatalf("shard %d carrying a solve error accepted", index)
+		}
+		wrongIndex := retamperShard(t, blob, func(rec *expstore.SweepShardRecord) {
+			rec.Index = (index + 1) % count
+		})
+		if err := Artifact(expstore.KindSweepShard, id, spec, wrongIndex); err == nil {
+			t.Fatalf("shard %d claiming another index accepted", index)
+		}
+		if err := Artifact(expstore.KindSweepShard, id, nil, blob); err == nil {
+			t.Fatalf("shard %d accepted without the job spec", index)
+		}
+	}
+}
+
+func TestVerifyBitcoinSolve(t *testing.T) {
+	p := bitcoin.Params{Alpha: 0.25, TieWinProb: 0.5, Objective: bitcoin.AbsoluteReward}
+	np, err := p.Normalized()
+	if err != nil {
+		t.Fatalf("normalizing: %v", err)
+	}
+	id, err := expstore.BitcoinSolveKey(np)
+	if err != nil {
+		t.Fatalf("BitcoinSolveKey: %v", err)
+	}
+	blob, err := expstore.ComputeBitcoinSolve(np)
+	if err != nil {
+		t.Fatalf("ComputeBitcoinSolve: %v", err)
+	}
+	if err := Artifact(expstore.KindBitcoinSolve, id, nil, blob); err != nil {
+		t.Fatalf("valid bitcoin artifact rejected: %v", err)
+	}
+	var rec expstore.BitcoinSolveRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	rec.Utility = rec.Honest - 0.01
+	bad, _ := json.Marshal(rec)
+	if err := Artifact(expstore.KindBitcoinSolve, id, nil, bad); err == nil {
+		t.Fatal("below-honest bitcoin utility accepted")
+	}
+}
+
+func TestVerifyMonteCarlo(t *testing.T) {
+	p := cellParams(t, 0.25, core.Ratio{Name: "1:1", B: 1, G: 1}, bumdp.Compliant)
+	const steps, batches, seed = 5000, 4, 7
+	id, err := expstore.MonteCarloKey(p, steps, batches, seed)
+	if err != nil {
+		t.Fatalf("MonteCarloKey: %v", err)
+	}
+	blob, err := expstore.ComputeMonteCarloBatch(p, steps, batches, seed, 1)
+	if err != nil {
+		t.Fatalf("ComputeMonteCarloBatch: %v", err)
+	}
+	if err := Artifact(expstore.KindMonteCarlo, id, nil, blob); err != nil {
+		t.Fatalf("valid monte carlo artifact rejected: %v", err)
+	}
+	var rec expstore.MonteCarloRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	rec.Seed++
+	bad, _ := json.Marshal(rec)
+	if err := Artifact(expstore.KindMonteCarlo, id, nil, bad); err == nil {
+		t.Fatal("monte carlo artifact with forged seed accepted")
+	}
+}
+
+func TestVerifyEBGame(t *testing.T) {
+	powers := []float64{0.4, 0.35, 0.25}
+	const choices = 2
+	id, err := expstore.EBGameKey(powers, choices)
+	if err != nil {
+		t.Fatalf("EBGameKey: %v", err)
+	}
+	blob, err := expstore.ComputeEBEquilibria(powers, choices, 1)
+	if err != nil {
+		t.Fatalf("ComputeEBEquilibria: %v", err)
+	}
+	if err := Artifact(expstore.KindEBGame, id, nil, blob); err != nil {
+		t.Fatalf("valid ebgame artifact rejected: %v", err)
+	}
+	if err := Artifact(expstore.KindEBGame, "ebgame-0000", nil, blob); err == nil {
+		t.Fatal("ebgame artifact accepted under a foreign key")
+	}
+}
+
+func TestVerifyUnknownKind(t *testing.T) {
+	if err := Artifact("nosuchkind", "nosuchkind-0000", nil, []byte("{}")); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

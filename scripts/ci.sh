@@ -42,8 +42,8 @@ go build ./...
 echo "== go test ${SHORT} =="
 go test ${SHORT} ./...
 
-echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs, netsim, p2p, faultsim, invariant, fullnode, jobqueue, farm) =="
-go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/ ./internal/netsim/ ./internal/p2p/ ./internal/faultsim/ ./internal/invariant/ ./internal/fullnode/ ./internal/jobqueue/ ./internal/farm/
+echo "== go test -race ${SHORT} (mdp, bumdp, core, montecarlo, expstore, obs, netsim, p2p, faultsim, invariant, fullnode, jobqueue, farm, verify) =="
+go test -race ${SHORT} ./internal/mdp/ ./internal/bumdp/ ./internal/core/ ./internal/montecarlo/ ./internal/expstore/ ./internal/obs/ ./internal/netsim/ ./internal/p2p/ ./internal/faultsim/ ./internal/invariant/ ./internal/fullnode/ ./internal/jobqueue/ ./internal/farm/ ./internal/verify/
 
 echo "== fault-injection scenario corpus (busim -mode faults) =="
 # Runs all seeded fault scenarios end to end through the binary and
@@ -56,6 +56,12 @@ echo "== cache-key fuzz smoke (FuzzCanonicalKey) =="
 # derivation; regressions found earlier are pinned as seeds in
 # internal/expstore/testdata and already ran in the unit pass above.
 go test -run '^$' -fuzz FuzzCanonicalKey -fuzztime 5s ./internal/expstore/
+
+echo "== validity-predicate fuzz smoke (FuzzVerifyArtifact) =="
+# Mutated artifact blobs against the coordinator's validity predicates:
+# the structural checks must refuse every mutation before it can reach
+# an expensive semantic re-solve, and never panic.
+go test -run '^$' -fuzz FuzzVerifyArtifact -fuzztime 5s ./internal/verify/
 
 echo "== warm-vs-cold sweep smoke =="
 # The chained direct path must agree with independent cold solves and be
@@ -83,7 +89,9 @@ fi
 
 echo "== buserve smoke test =="
 SMOKE="$(mktemp -d)"
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
+SERVE_PID=""
+SERVE2_PID=""
+trap 'kill "$SERVE_PID" "$SERVE2_PID" 2>/dev/null || true; rm -rf "$SMOKE"' EXIT
 
 go build -o "$SMOKE/buserve" ./cmd/buserve
 "$SMOKE/buserve" -addr 127.0.0.1:0 -cache-dir "$SMOKE/cache" -portfile "$SMOKE/port" \
@@ -238,5 +246,68 @@ grep -q '4 completed job(s): 0 problem(s)' "$SMOKE/check.out"
 # And the human report: the per-job critical-path table, for the CI log.
 "$SMOKE/butrace" "$SMOKE/coord.jsonl" \
 	"$SMOKE/w1.jsonl" "$SMOKE/w2.jsonl" "$SMOKE/w3.jsonl"
+
+echo "== byzantine drill smoke (validity consensus + quarantine) =="
+# A fresh coordinator (empty cache, instant quarantine) gets the same
+# sweep, and a byzantine worker leases first. Its flipcell forgeries are
+# well-formed canonical bytes whose claimed values are false — the
+# hardest case, refusable only by the semantic re-solve. Every delivery
+# must be rejected, the worker quarantined, nothing materialized; honest
+# workers then drain the queue and the merged result must be
+# byte-identical to the honest run's above.
+"$SMOKE/buserve" -addr 127.0.0.1:0 -cache-dir "$SMOKE/cache2" -portfile "$SMOKE/port2" \
+	-quarantine-after 1 &
+SERVE2_PID=$!
+i=0
+while [ ! -s "$SMOKE/port2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 50 ]; then
+		echo "buserve (byzantine drill) did not start" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+ADDR2="$(cat "$SMOKE/port2")"
+
+curl -fsS -X POST --data-binary @"$SMOKE/sweep.json" "http://$ADDR2/jobs/sweep" |
+	tr -d ' \n\t' | grep -q '"created":3'
+
+"$SMOKE/buworker" -server "http://$ADDR2" -name byz \
+	-byzantine flipcell -byzantine-seed 42 -quiet &
+BYZ_PID=$!
+# Wait for the coordinator to refuse a forged completion; the reject
+# debits the worker past -quarantine-after 1, so the byzantine worker's
+# next lease is refused and it exits (nonzero) on its own.
+i=0
+until curl -fsS "http://$ADDR2/jobs/statsz" | tr -d ' \n\t' |
+	grep -q '"verify_rejects":[1-9]'; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "no forged completion was rejected" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+wait "$BYZ_PID" 2>/dev/null || true
+
+"$SMOKE/buworker" -server "http://$ADDR2" -name h1 -drain -quiet &
+H1=$!
+"$SMOKE/buworker" -server "http://$ADDR2" -name h2 -drain -quiet &
+H2=$!
+wait "$H1" "$H2"
+
+STATS2="$(curl -fsS "http://$ADDR2/jobs/statsz" | tr -d ' \n\t')"
+echo "$STATS2" | grep -q '"done":3'
+echo "$STATS2" | grep -q '"pending":0'
+echo "$STATS2" | grep -q '"quarantined_workers":1'
+curl -fsS "http://$ADDR2/workersz" | tr -d ' \n\t' | grep -q '"quarantined":true'
+# The forgeries never poisoned the store: the byzantine run's merged
+# table is byte-identical to the honest run's.
+curl -fsS -X POST --data-binary @"$SMOKE/sweep.json" "http://$ADDR2/jobs/sweep/result" \
+	>"$SMOKE/result2.json"
+cmp "$SMOKE/result.json" "$SMOKE/result2.json"
+
+kill -TERM "$SERVE2_PID"
+wait "$SERVE2_PID"
 
 echo "CI: all checks passed"
